@@ -1,0 +1,97 @@
+// Command sintra-dealer is the trusted dealer (paper §2): it generates
+// all key material of a deployment once and writes a configuration
+// directory consumed by sintra-node and sintra-client.
+//
+//	sintra-dealer -out ./deploy -n 4 -t 1 -base-port 7000
+//	sintra-dealer -out ./deploy -structure example2 -group modp2048
+//
+// The directory contains public.gob (safe to share), party-<i>.gob (one
+// secret file per server; distribute over a secure channel and delete the
+// dealer's copies), and addrs.txt (the servers' listen addresses).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sintra"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sintra-dealer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out       = flag.String("out", "sintra-deploy", "output configuration directory")
+		n         = flag.Int("n", 4, "number of servers (threshold structure)")
+		t         = flag.Int("t", 1, "corruption threshold (threshold structure)")
+		structure = flag.String("structure", "threshold", "adversary structure: threshold | example1 | example2")
+		groupName = flag.String("group", "modp2048", "discrete-log group: modp2048 | test512 | test256")
+		basePort  = flag.Int("base-port", 7000, "first TCP port; server i listens on base-port+i")
+		host      = flag.String("host", "127.0.0.1", "host/interface for the server addresses")
+		addrsCSV  = flag.String("addrs", "", "comma-separated explicit server addresses (overrides host/base-port)")
+		testKeys  = flag.Bool("test-rsa", false, "use the embedded (INSECURE) test RSA primes for fast setup")
+	)
+	flag.Parse()
+
+	var st *sintra.Structure
+	var err error
+	switch *structure {
+	case "threshold":
+		st, err = sintra.NewThresholdStructure(*n, *t)
+	case "example1":
+		st = sintra.Example1Structure()
+	case "example2":
+		st = sintra.Example2Structure()
+	default:
+		return fmt.Errorf("unknown structure %q", *structure)
+	}
+	if err != nil {
+		return err
+	}
+	if !st.Q3() {
+		return fmt.Errorf("structure %v violates the Q3 condition; no asynchronous BFT protocol can serve it", st)
+	}
+
+	opts := sintra.DealOptions{Structure: st, GroupName: *groupName}
+	if *testKeys {
+		opts.RSAPrimes = sintra.TestRSAPrimes
+		fmt.Fprintln(os.Stderr, "WARNING: embedded test RSA primes in use; anyone can forge signatures")
+	}
+	fmt.Printf("dealing keys for %v over group %s ...\n", st, *groupName)
+	pub, secrets, err := sintra.Deal(opts)
+	if err != nil {
+		return err
+	}
+	if err := sintra.SaveDeployment(*out, pub, secrets); err != nil {
+		return err
+	}
+
+	addrs := make([]string, st.N())
+	if *addrsCSV != "" {
+		parts := strings.Split(*addrsCSV, ",")
+		if len(parts) != st.N() {
+			return fmt.Errorf("-addrs needs %d entries", st.N())
+		}
+		copy(addrs, parts)
+	} else {
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("%s:%d", *host, *basePort+i)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(*out, "addrs.txt"), []byte(strings.Join(addrs, "\n")+"\n"), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("wrote %s: public.gob, %d party files, addrs.txt\n", *out, st.N())
+	fmt.Println("start each server:  sintra-node -config", *out, "-index <i>")
+	fmt.Println("then use a client:  sintra-client -config", *out, "-op put -key k -value v")
+	return nil
+}

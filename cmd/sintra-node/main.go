@@ -1,0 +1,130 @@
+// Command sintra-node runs one replica of a distributed trusted service
+// over TCP, from a configuration directory written by sintra-dealer.
+//
+//	sintra-node -config ./deploy -index 0 -service directory
+//
+// Start one process per server (multi-process on one box, or spread over
+// machines). The node serves until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"sintra"
+	"sintra/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sintra-node:", err)
+		os.Exit(1)
+	}
+}
+
+func loadAddrs(dir string, n int) ([]string, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "addrs.txt"))
+	if err != nil {
+		return nil, err
+	}
+	addrs := strings.Fields(string(raw))
+	if len(addrs) != n {
+		return nil, fmt.Errorf("addrs.txt lists %d servers, deployment has %d", len(addrs), n)
+	}
+	return addrs, nil
+}
+
+func run() error {
+	var (
+		config  = flag.String("config", "sintra-deploy", "configuration directory from sintra-dealer")
+		index   = flag.Int("index", -1, "this server's index")
+		svcName = flag.String("name", "directory", "service instance name")
+		svcKind = flag.String("service", "directory", "application: directory | notary")
+		mode    = flag.String("mode", "atomic", "dissemination: atomic | causal")
+		listen  = flag.String("listen", "", "listen address override (default: own entry of addrs.txt)")
+	)
+	flag.Parse()
+
+	pub, err := sintra.LoadPublic(*config)
+	if err != nil {
+		return err
+	}
+	n := pub.Structure.N()
+	if *index < 0 || *index >= n {
+		return fmt.Errorf("-index must be in [0,%d)", n)
+	}
+	secret, err := sintra.LoadPartySecret(*config, *index)
+	if err != nil {
+		return err
+	}
+	addrs, err := loadAddrs(*config, n)
+	if err != nil {
+		return err
+	}
+	bind := addrs[*index]
+	if *listen != "" {
+		bind = *listen
+	}
+
+	var svc sintra.StateMachine
+	switch *svcKind {
+	case "directory":
+		svc = sintra.NewDirectory()
+	case "notary":
+		svc = sintra.NewNotary()
+	default:
+		return fmt.Errorf("unknown service %q", *svcKind)
+	}
+	var m sintra.Mode
+	switch *mode {
+	case "atomic":
+		m = sintra.ModeAtomic
+	case "causal":
+		m = sintra.ModeSecureCausal
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	tr, err := transport.NewServer(transport.Config{
+		Self:       *index,
+		N:          n,
+		Addrs:      addrs,
+		ListenAddr: bind,
+		LinkKeys:   secret.LinkKeys,
+	})
+	if err != nil {
+		return err
+	}
+	node, err := sintra.NewNode(sintra.NodeConfig{
+		Public:      pub,
+		Secret:      secret,
+		Transport:   tr,
+		ServiceName: *svcName,
+		Service:     svc,
+		Mode:        m,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server %d/%d serving %q (%s, %s) on %s\n", *index, n, *svcName, *svcKind, m, tr.Addr())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		node.Run()
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Println("shutting down")
+		node.Stop()
+	case <-done:
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package sintra_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sintra"
+	"sintra/internal/service"
+)
+
+// ExampleNewSimulatedDeployment shows the complete lifecycle of an
+// in-process deployment: structure, dealer, replicas, client, and a
+// threshold-verified answer.
+func ExampleNewSimulatedDeployment() {
+	st, _ := sintra.NewThresholdStructure(4, 1)
+	dep, err := sintra.NewSimulatedDeployment(sintra.SimOptions{
+		Structure:   st,
+		ServiceName: "directory",
+		NewService:  func() sintra.StateMachine { return sintra.NewDirectory() },
+		Seed:        1,
+	})
+	if err != nil {
+		fmt.Println("deploy:", err)
+		return
+	}
+	defer dep.Stop()
+
+	client, _ := dep.NewClient()
+	req, _ := json.Marshal(service.DirectoryRequest{Op: service.OpPut, Key: "k", Value: "v"})
+	ans, err := client.Invoke(req, 60*time.Second)
+	if err != nil {
+		fmt.Println("invoke:", err)
+		return
+	}
+	if err := sintra.VerifyAnswer(dep.Public, "directory", ans.ReqID, ans.Result, ans.Signature); err != nil {
+		fmt.Println("verify:", err)
+		return
+	}
+	fmt.Printf("%s\n", ans.Result)
+	// Output: {"ok":true,"version":1}
+}
+
+// ExampleNewThresholdStructure shows the Q³ feasibility condition.
+func ExampleNewThresholdStructure() {
+	good, _ := sintra.NewThresholdStructure(4, 1)
+	bad, _ := sintra.NewThresholdStructure(6, 2)
+	fmt.Println(good.Q3(), bad.Q3())
+	// Output: true false
+}
+
+// ExampleExample2Structure reproduces the headline numbers of the paper's
+// §4.3 Example 2.
+func ExampleExample2Structure() {
+	st := sintra.Example2Structure()
+	tolerated, _ := st.MaxTolerated()
+	thresholdBest := (st.N() - 1) / 3
+	fmt.Printf("n=%d Q3=%v tolerates=%d threshold-best=%d\n",
+		st.N(), st.Q3(), tolerated, thresholdBest)
+	// Output: n=16 Q3=true tolerates=7 threshold-best=5
+}
+
+// ExampleNewClassifiedThreshold builds a custom §4.3 structure: four
+// racks of three servers, tolerating one arbitrary server or a whole rack.
+func ExampleNewClassifiedThreshold() {
+	racks := sintra.NewClassification([]string{
+		"r1", "r1", "r1", "r2", "r2", "r2",
+		"r3", "r3", "r3", "r4", "r4", "r4",
+	})
+	st, err := sintra.NewClassifiedThreshold(racks, 1, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	wholeRack := sintra.SetOf(0, 1, 2)
+	twoRacks := sintra.SetOf(0, 3)
+	fmt.Println(st.Q3(), st.InAdversary(wholeRack), st.InAdversary(twoRacks))
+	// Output: true true false
+}
+
+// ExampleNewHybridThreshold shows the §6 hybrid failure model: six
+// servers tolerating one Byzantine corruption plus one crash, a mix
+// beyond any plain threshold on six servers.
+func ExampleNewHybridThreshold() {
+	st, err := sintra.NewHybridThreshold(6, 1, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tolerated, _ := st.MaxTolerated()
+	fmt.Println(st, st.Q3(), tolerated)
+	// Output: hybrid(n=6,byzantine=1,crash=1) true 2
+}

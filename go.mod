@@ -1,0 +1,3 @@
+module sintra
+
+go 1.22

@@ -1,0 +1,348 @@
+// Package abc implements atomic broadcast: total ordering of client
+// requests, the service layer of the paper's architecture (§3). The
+// protocol follows the round structure the paper describes (after the
+// atomic broadcast of Chandra–Toueg, lifted to the Byzantine model):
+//
+//	The parties proceed in global rounds. In each round every party
+//	digitally signs the batch of messages it proposes and sends it to
+//	all others; every party then proposes a quorum of properly signed
+//	batches to multi-valued Byzantine agreement, whose external validity
+//	condition checks the signatures; all messages in the decided list
+//	are delivered in a fixed deterministic order.
+//
+// Because the decided list carries a quorum of signed proposals, messages
+// from honest parties cannot be forged, and a message known to enough
+// honest parties cannot be delayed forever (fairness). Atomic broadcast
+// is equivalent to Byzantine agreement in this model and correspondingly
+// more expensive than reliable broadcast — the architecture uses it
+// exactly where total order is required.
+package abc
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"sintra/internal/adversary"
+	"sintra/internal/coin"
+	"sintra/internal/engine"
+	"sintra/internal/identity"
+	"sintra/internal/mvba"
+	"sintra/internal/thresig"
+	"sintra/internal/wire"
+)
+
+// Protocol is the wire protocol name of atomic broadcast.
+const Protocol = "abc"
+
+// DefaultBatchSize bounds how many queued payloads one proposal carries.
+const DefaultBatchSize = 8
+
+// Message types.
+const (
+	typeSubmit   = "SUBMIT"
+	typeProposal = "PROPOSAL"
+)
+
+type submitBody struct {
+	Payload []byte
+}
+
+// SignedProposal is one party's signed batch for a round; lists of these
+// are the values fed to multi-valued agreement.
+type SignedProposal struct {
+	// Party is the proposer.
+	Party int
+	// Round is the atomic-broadcast round.
+	Round int64
+	// Batch holds the proposed payloads (possibly empty for parties that
+	// join a round without pending requests).
+	Batch [][]byte
+	// Sig is the proposer's individual signature over (round, batch).
+	Sig []byte
+}
+
+type proposalList struct {
+	Proposals []SignedProposal
+}
+
+// Config wires one atomic-broadcast instance.
+type Config struct {
+	// Router is the party's protocol router.
+	Router *engine.Router
+	// Struct is the adversary structure.
+	Struct *adversary.Structure
+	// Instance is the instance identifier (one per replicated service).
+	Instance string
+	// Identity is the registry of individual signature keys; IDKey the
+	// party's own key.
+	Identity *identity.Registry
+	IDKey    *identity.Key
+	// Coin and CoinKey drive the embedded agreement protocols.
+	Coin    *coin.Params
+	CoinKey *coin.SecretKey
+	// Scheme and Key are the quorum-rule threshold signature scheme used
+	// by the embedded consistent broadcasts.
+	Scheme thresig.Scheme
+	Key    *thresig.SecretKey
+	// Deliver is called with a monotonically increasing sequence number
+	// for every a-delivered payload, in the same order on every honest
+	// party.
+	Deliver func(seq int64, payload []byte)
+	// BatchSize bounds proposal batches (default DefaultBatchSize).
+	BatchSize int
+}
+
+// ABC is one atomic-broadcast instance; dispatch-goroutine only.
+type ABC struct {
+	cfg Config
+
+	round  int64
+	active bool
+
+	proposals map[int64]map[int]SignedProposal
+	mvbas     map[int64]*mvba.MVBA
+
+	queue     [][]byte
+	queued    map[[32]byte]bool
+	delivered map[[32]byte]bool
+	seq       int64
+}
+
+// New creates and registers an instance (dispatch goroutine or pre-Run).
+func New(cfg Config) *ABC {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	a := &ABC{
+		cfg:       cfg,
+		round:     1,
+		proposals: make(map[int64]map[int]SignedProposal),
+		mvbas:     make(map[int64]*mvba.MVBA),
+		queued:    make(map[[32]byte]bool),
+		delivered: make(map[[32]byte]bool),
+	}
+	cfg.Router.Register(Protocol, cfg.Instance, a.Handle)
+	return a
+}
+
+// Broadcast a-broadcasts a payload: it will eventually be delivered, in
+// the same total order, by every honest party. Safe from any goroutine.
+func (a *ABC) Broadcast(payload []byte) error {
+	return a.cfg.Router.Loopback(Protocol, a.cfg.Instance, typeSubmit, submitBody{Payload: payload})
+}
+
+// Seq returns the number of payloads delivered so far (progress metric).
+func (a *ABC) Seq() int64 { return a.seq }
+
+// Round returns the current round (progress metric).
+func (a *ABC) Round() int64 { return a.round }
+
+// signStatement is the byte string a proposal signature covers.
+func (a *ABC) signStatement(p *SignedProposal) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "abc|%s|%d|%d|%d|", a.cfg.Instance, p.Party, p.Round, len(p.Batch))
+	for _, m := range p.Batch {
+		d := sha256.Sum256(m)
+		h.Write(d[:])
+	}
+	return h.Sum(nil)
+}
+
+// Handle processes one protocol message.
+func (a *ABC) Handle(from int, msgType string, payload []byte) {
+	switch msgType {
+	case typeSubmit:
+		var body submitBody
+		if from != a.cfg.Router.Self() || wire.UnmarshalBody(payload, &body) != nil {
+			return
+		}
+		a.onSubmit(body.Payload)
+	case typeProposal:
+		var p SignedProposal
+		if wire.UnmarshalBody(payload, &p) != nil {
+			return
+		}
+		a.onProposal(from, p)
+	}
+}
+
+func (a *ABC) onSubmit(payload []byte) {
+	d := sha256.Sum256(payload)
+	if a.delivered[d] || a.queued[d] {
+		return
+	}
+	a.queued[d] = true
+	a.queue = append(a.queue, payload)
+	a.maybeActivate()
+}
+
+// maybeActivate enters the current round by broadcasting a signed
+// proposal, either because this party has pending requests or because
+// another party has already opened the round.
+func (a *ABC) maybeActivate() {
+	if a.active {
+		return
+	}
+	if len(a.queue) == 0 && len(a.proposals[a.round]) == 0 {
+		return
+	}
+	a.active = true
+	batch := a.queue
+	if len(batch) > a.cfg.BatchSize {
+		batch = batch[:a.cfg.BatchSize]
+	}
+	p := SignedProposal{
+		Party: a.cfg.Router.Self(),
+		Round: a.round,
+		Batch: batch,
+	}
+	p.Sig = a.cfg.IDKey.Sign("abc-prop", a.signStatement(&p))
+	_ = a.cfg.Router.Broadcast(Protocol, a.cfg.Instance, typeProposal, p)
+}
+
+func (a *ABC) onProposal(from int, p SignedProposal) {
+	if p.Party != from || p.Round < a.round {
+		return
+	}
+	if _, dup := a.proposals[p.Round][from]; dup {
+		return
+	}
+	if a.cfg.Identity.Verify(from, "abc-prop", a.signStatement(&p), p.Sig) != nil {
+		return
+	}
+	if a.proposals[p.Round] == nil {
+		a.proposals[p.Round] = make(map[int]SignedProposal)
+	}
+	a.proposals[p.Round][from] = p
+	if p.Round == a.round {
+		a.maybeActivate()
+		a.maybeAgree()
+	}
+}
+
+// maybeAgree starts the round's multi-valued agreement once a quorum of
+// signed proposals has been collected.
+func (a *ABC) maybeAgree() {
+	if !a.active {
+		return
+	}
+	if _, started := a.mvbas[a.round]; started {
+		return
+	}
+	var parties adversary.Set
+	for j := range a.proposals[a.round] {
+		parties = parties.Add(j)
+	}
+	if !a.cfg.Struct.IsQuorum(parties) {
+		return
+	}
+	list := proposalList{Proposals: make([]SignedProposal, 0, len(a.proposals[a.round]))}
+	for _, j := range parties.Members() {
+		list.Proposals = append(list.Proposals, a.proposals[a.round][j])
+	}
+	value, err := wire.MarshalBody(list)
+	if err != nil {
+		return
+	}
+	round := a.round
+	inst := mvba.New(mvba.Config{
+		Router:    a.cfg.Router,
+		Struct:    a.cfg.Struct,
+		Instance:  fmt.Sprintf("%s/r%d", a.cfg.Instance, round),
+		Coin:      a.cfg.Coin,
+		CoinKey:   a.cfg.CoinKey,
+		Scheme:    a.cfg.Scheme,
+		Key:       a.cfg.Key,
+		Predicate: func(v []byte) bool { return a.validList(round, v) },
+		Decide:    func(v []byte) { a.onDecide(round, v) },
+	})
+	a.mvbas[round] = inst
+	_ = inst.Start(value)
+}
+
+// validList is the external validity condition of the paper: the value
+// must be a list of properly signed round-r proposals from a quorum of
+// distinct parties.
+func (a *ABC) validList(round int64, value []byte) bool {
+	var list proposalList
+	if wire.UnmarshalBody(value, &list) != nil {
+		return false
+	}
+	var parties adversary.Set
+	for i := range list.Proposals {
+		p := &list.Proposals[i]
+		if p.Round != round || p.Party < 0 || p.Party >= a.cfg.Router.N() || parties.Has(p.Party) {
+			return false
+		}
+		if a.cfg.Identity.Verify(p.Party, "abc-prop", a.signStatement(p), p.Sig) != nil {
+			return false
+		}
+		parties = parties.Add(p.Party)
+	}
+	return a.cfg.Struct.IsQuorum(parties)
+}
+
+// onDecide delivers the decided round's payloads in a deterministic order
+// and advances to the next round.
+func (a *ABC) onDecide(round int64, value []byte) {
+	if round != a.round {
+		return // stale (cannot happen: rounds are sequential)
+	}
+	var list proposalList
+	if wire.UnmarshalBody(value, &list) != nil {
+		return // cannot happen: the predicate validated the value
+	}
+	// Collect the union of batches, dedup by digest, order by digest.
+	type item struct {
+		digest  [32]byte
+		payload []byte
+	}
+	var items []item
+	seen := make(map[[32]byte]bool)
+	for i := range list.Proposals {
+		for _, payload := range list.Proposals[i].Batch {
+			d := sha256.Sum256(payload)
+			if seen[d] || a.delivered[d] {
+				continue
+			}
+			seen[d] = true
+			items = append(items, item{digest: d, payload: payload})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		return string(items[i].digest[:]) < string(items[j].digest[:])
+	})
+	for _, it := range items {
+		a.delivered[it.digest] = true
+		if a.queued[it.digest] {
+			delete(a.queued, it.digest)
+			a.removeFromQueue(it.digest)
+		}
+		seq := a.seq
+		a.seq++
+		if a.cfg.Deliver != nil {
+			a.cfg.Deliver(seq, it.payload)
+		}
+	}
+	// Advance: garbage-collect an old round's agreement, then open the
+	// next round if there is anything to do.
+	delete(a.proposals, round)
+	if old, ok := a.mvbas[round-2]; ok {
+		old.Halt()
+		delete(a.mvbas, round-2)
+	}
+	a.round = round + 1
+	a.active = false
+	a.maybeActivate()
+	a.maybeAgree()
+}
+
+func (a *ABC) removeFromQueue(d [32]byte) {
+	for i, payload := range a.queue {
+		if sha256.Sum256(payload) == d {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package abc_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sintra/internal/abc"
+	"sintra/internal/adversary"
+	"sintra/internal/testutil"
+	"sintra/internal/wire"
+)
+
+// TestForgedProposalsRejected lets a corrupted party broadcast proposals
+// with invalid signatures and proposals claiming another party's identity;
+// the honest parties must never deliver forged batches and must keep
+// ordering their own requests.
+func TestForgedProposalsRejected(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 31, Corrupted: []int{3}})
+	parties := []int{0, 1, 2}
+	h := newHarness(t, c, parties)
+
+	ep := c.Net.Endpoint(3)
+	forged := abc.SignedProposal{
+		Party: 3,
+		Round: 1,
+		Batch: [][]byte{[]byte("FORGED PAYLOAD")},
+		Sig:   []byte("garbage signature"),
+	}
+	impersonating := abc.SignedProposal{
+		Party: 1, // claims to be party 1
+		Round: 1,
+		Batch: [][]byte{[]byte("IMPERSONATED")},
+		Sig:   []byte("garbage signature"),
+	}
+	for to := 0; to < 3; to++ {
+		for _, p := range []abc.SignedProposal{forged, impersonating} {
+			ep.Send(wire.Message{
+				To: to, Protocol: abc.Protocol, Instance: "svc",
+				Type: "PROPOSAL", Payload: wire.MustMarshalBody(p),
+			})
+		}
+	}
+
+	const total = 3
+	for k := 0; k < total; k++ {
+		if err := h.insts[k%3].Broadcast([]byte(fmt.Sprintf("honest-%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.waitLogs(t, parties, total, 120*time.Second)
+	h.assertSameOrder(t, parties, total)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range h.logs[0] {
+		if string(p) == "FORGED PAYLOAD" || string(p) == "IMPERSONATED" {
+			t.Fatalf("forged payload delivered: %q", p)
+		}
+	}
+}
+
+// TestByzantineBatchInsideMVBA has the corrupted party participate just
+// enough to get garbage into the agreement inputs: it sends a VALIDLY
+// structured proposal carrying an empty batch plus junk messages; honest
+// requests must still be ordered identically.
+func TestByzantineNoiseDoesNotBreakOrder(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 33, Corrupted: []int{0}})
+	parties := []int{1, 2, 3}
+	h := newHarness(t, c, parties)
+	ep := c.Net.Endpoint(0)
+	// Junk traffic across the abc instance.
+	for i := 0; i < 30; i++ {
+		ep.Send(wire.Message{
+			To: 1 + i%3, Protocol: abc.Protocol, Instance: "svc",
+			Type: "PROPOSAL", Payload: []byte{0x01, byte(i)},
+		})
+	}
+	const total = 4
+	for k := 0; k < total; k++ {
+		if err := h.insts[parties[k%3]].Broadcast([]byte(fmt.Sprintf("r-%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.waitLogs(t, parties, total, 120*time.Second)
+	h.assertSameOrder(t, parties, total)
+}
+
+// TestCertSchemeAtomicBroadcast exercises the certificate signature path
+// (the generalized-structure scheme) on a plain threshold structure via
+// ForceCert — the ablation twin of the Shoup RSA default.
+func TestCertSchemeAtomicBroadcast(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 35, ForceCert: true})
+	parties := []int{0, 1, 2, 3}
+	h := newHarness(t, c, parties)
+	const total = 3
+	for k := 0; k < total; k++ {
+		if err := h.insts[k%4].Broadcast([]byte(fmt.Sprintf("cert-%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.waitLogs(t, parties, total, 120*time.Second)
+	h.assertSameOrder(t, parties, total)
+}
+
+// TestHybridFailureStructure runs the §6 extension end to end: six
+// servers under the hybrid structure tolerating 1 Byzantine corruption
+// PLUS 1 crash (n > 3·1 + 2·1). A plain Byzantine threshold on six
+// servers tolerates only one fault in total, so this run — party 5 lying,
+// party 4 silent — is beyond the classical model's reach.
+func TestHybridFailureStructure(t *testing.T) {
+	st, err := adversary.NewHybridThreshold(6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 51, Corrupted: []int{4, 5}})
+	parties := []int{0, 1, 2, 3}
+	h := newHarness(t, c, parties)
+
+	// Party 4 is crashed (fully silent). Party 5 is Byzantine: it floods
+	// forged proposals and junk.
+	ep := c.Net.Endpoint(5)
+	forged := abc.SignedProposal{
+		Party: 5, Round: 1,
+		Batch: [][]byte{[]byte("HYBRID FORGERY")},
+		Sig:   []byte("nope"),
+	}
+	for to := 0; to < 4; to++ {
+		ep.Send(wire.Message{
+			To: to, Protocol: abc.Protocol, Instance: "svc",
+			Type: "PROPOSAL", Payload: wire.MustMarshalBody(forged),
+		})
+		ep.Send(wire.Message{
+			To: to, Protocol: "aba", Instance: "junk",
+			Type: "BVAL", Payload: []byte{1, 2, 3},
+		})
+	}
+
+	const total = 3
+	for k := 0; k < total; k++ {
+		if err := h.insts[k%4].Broadcast([]byte(fmt.Sprintf("hy-%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.waitLogs(t, parties, total, 120*time.Second)
+	h.assertSameOrder(t, parties, total)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range h.logs[0] {
+		if string(p) == "HYBRID FORGERY" {
+			t.Fatal("forged payload ordered")
+		}
+	}
+}
+
+// TestExample1ActiveByzantineClass corrupts the WHOLE class a of the
+// paper's Example 1 with actively malicious servers (not mere crashes):
+// all four flood forged proposals, junk agreement traffic, and
+// impersonation attempts while the five honest servers order requests.
+func TestExample1ActiveByzantineClass(t *testing.T) {
+	st := adversary.Example1()
+	liars := []int{0, 1, 2, 3}
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 53, Corrupted: liars})
+	honest := []int{4, 5, 6, 7, 8}
+	h := newHarness(t, c, honest)
+
+	for _, liar := range liars {
+		ep := c.Net.Endpoint(liar)
+		forged := abc.SignedProposal{
+			Party: liar, Round: 1,
+			Batch: [][]byte{[]byte("CLASS-A FORGERY")},
+			Sig:   []byte("invalid"),
+		}
+		impersonated := abc.SignedProposal{
+			Party: 4, Round: 1, // claims to be honest server 4
+			Batch: [][]byte{[]byte("IMPERSONATION")},
+			Sig:   []byte("invalid"),
+		}
+		for _, to := range honest {
+			for _, p := range []abc.SignedProposal{forged, impersonated} {
+				ep.Send(wire.Message{
+					To: to, Protocol: abc.Protocol, Instance: "svc",
+					Type: "PROPOSAL", Payload: wire.MustMarshalBody(p),
+				})
+			}
+			// Junk across the sub-protocol namespaces.
+			ep.Send(wire.Message{
+				To: to, Protocol: "mvba", Instance: "svc/r1",
+				Type: "VOTE", Payload: []byte{0xde, 0xad},
+			})
+			ep.Send(wire.Message{
+				To: to, Protocol: "aba", Instance: "svc/r1/t1",
+				Type: "BVAL", Payload: []byte{0xbe, 0xef},
+			})
+		}
+	}
+
+	const total = 3
+	for k := 0; k < total; k++ {
+		if err := h.insts[honest[k%len(honest)]].Broadcast([]byte(fmt.Sprintf("e1-%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.waitLogs(t, honest, total, 180*time.Second)
+	h.assertSameOrder(t, honest, total)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range h.logs[4] {
+		if string(p) == "CLASS-A FORGERY" || string(p) == "IMPERSONATION" {
+			t.Fatalf("forged payload ordered: %q", p)
+		}
+	}
+}

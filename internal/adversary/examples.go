@@ -1,0 +1,276 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Classification assigns every party the value of one attribute (operating
+// system, physical location, administrative domain, ...), following §4.3 of
+// the paper: if the cost of corrupting a party varies with the attribute,
+// the classification can be exploited so that all parties in one class may
+// be corrupted simultaneously.
+type Classification struct {
+	// Values[i] is the attribute value of party i.
+	Values []string
+}
+
+// NewClassification builds a classification from per-party values.
+func NewClassification(values []string) *Classification {
+	return &Classification{Values: append([]string(nil), values...)}
+}
+
+// N returns the number of classified parties.
+func (c *Classification) N() int { return len(c.Values) }
+
+// Parties returns the indices of the parties with the given value.
+func (c *Classification) Parties(value string) []int {
+	var out []int
+	for i, v := range c.Values {
+		if v == value {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DistinctValues returns the sorted distinct attribute values.
+func (c *Classification) DistinctValues() []string {
+	seen := make(map[string]bool, len(c.Values))
+	var out []string
+	for _, v := range c.Values {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Chi returns the characteristic formula χ_v of the paper: satisfied iff
+// the set contains at least one party of the given class.
+func (c *Classification) Chi(value string) *Formula {
+	return AnySubsetOf(c.Parties(value))
+}
+
+// ClassCoverage returns Θ_k(χ_v1, ..., χ_vm): the set must contain parties
+// from at least k different classes.
+func (c *Classification) ClassCoverage(k int) *Formula {
+	values := c.DistinctValues()
+	children := make([]*Formula, len(values))
+	for i, v := range values {
+		children[i] = c.Chi(v)
+	}
+	return Threshold(k, children...)
+}
+
+// Example1 constructs the paper's first worked example (§4.3, Example 1):
+// nine servers with one attribute class = {a,b,c,d},
+//
+//	class(0..3)=a, class(4..5)=b, class(6..7)=c, class(8)=d,
+//
+// tolerating the corruption of at most two arbitrary servers or of all
+// servers in any single class. The access structure is
+//
+//	Θ_3^9(S) ∧ Θ_2^4(χ_a, χ_b, χ_c, χ_d):
+//
+// secrets are reconstructed by coalitions of at least three servers that
+// also cover at least two different classes.
+func Example1() *Structure {
+	c := Example1Classes()
+	all := make([]int, 9)
+	for i := range all {
+		all[i] = i
+	}
+	access := And(ThresholdOf(3, all), c.ClassCoverage(2))
+	// Here the adversary structure is exactly the complement of the
+	// access structure: corruptible ⇔ not qualified.
+	st, err := NewGeneralFromPredicate(9, func(s Set) bool { return !access.Eval(s) }, access)
+	if err != nil {
+		panic(fmt.Sprintf("adversary: Example1 construction: %v", err))
+	}
+	return st
+}
+
+// Example1Classes returns the attribute assignment of Example 1.
+func Example1Classes() *Classification {
+	return NewClassification([]string{"a", "a", "a", "a", "b", "b", "c", "c", "d"})
+}
+
+// GridParty maps a two-attribute coordinate to the party index used by
+// TwoAttributeGrid: party = row*cols + col.
+func GridParty(row, col, cols int) int { return row*cols + col }
+
+// TwoAttributeGrid builds the paper's Example 2 family for a grid of
+// rows×cols servers classified by two independent attributes (one server
+// per combination, party index = row*cols + col).
+//
+// The adversary may simultaneously corrupt all servers with one attribute-1
+// value AND all servers with one attribute-2 value, so the maximal
+// adversary sets are A* = { row_r ∪ col_c : r, c } — any three such sets
+// leave at least one grid cell uncovered, so Q³ holds whenever rows,
+// cols >= 4.
+//
+// The compatible secret-sharing access structure is the paper's two-level
+// scheme: for each row value v, the sub-secret x_v is shared k-out-of-cols
+// among the servers of that row; the top-level row secret needs k of the
+// x_v. Columns are treated symmetrically and both top-level secrets are
+// required:
+//
+//	access = Θ_k(x_row1..) ∧ Θ_k(y_col1..)
+//
+// Note the access structure is strictly coarser than the complement of A*:
+// that is fine (and validated) — corruptible sets are never qualified, and
+// the honest remainder of any quorum is always qualified.
+func TwoAttributeGrid(rows, cols, k int) (*Structure, error) {
+	n := rows * cols
+	xs := make([]*Formula, rows)
+	for r := 0; r < rows; r++ {
+		leaves := make([]*Formula, cols)
+		for c := 0; c < cols; c++ {
+			leaves[c] = Leaf(GridParty(r, c, cols))
+		}
+		xs[r] = Threshold(k, leaves...)
+	}
+	ys := make([]*Formula, cols)
+	for c := 0; c < cols; c++ {
+		leaves := make([]*Formula, rows)
+		for r := 0; r < rows; r++ {
+			leaves[r] = Leaf(GridParty(r, c, cols))
+		}
+		ys[c] = Threshold(k, leaves...)
+	}
+	access := And(Threshold(k, xs...), Threshold(k, ys...))
+
+	maxSets := make([]Set, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			var s Set
+			for cc := 0; cc < cols; cc++ {
+				s = s.Add(GridParty(r, cc, cols))
+			}
+			for rr := 0; rr < rows; rr++ {
+				s = s.Add(GridParty(rr, c, cols))
+			}
+			maxSets = append(maxSets, s)
+		}
+	}
+	return NewGeneral(n, maxSets, access)
+}
+
+// Example2 constructs the paper's second worked example (§4.3, Example 2):
+// sixteen servers of a multi-national directory service, classified by
+// location class₁ = {NewYork, Tokyo, Zurich, Haifa} and operating system
+// class₂ = {AIX, WindowsNT, Linux, Solaris}, one server per combination
+// (party index = 4*location + os). The system tolerates the simultaneous
+// corruption of all servers at one location AND all servers running one
+// operating system — up to seven servers — whereas any threshold scheme on
+// sixteen servers tolerates at most five.
+func Example2() *Structure {
+	st, err := TwoAttributeGrid(4, 4, 2)
+	if err != nil {
+		panic(fmt.Sprintf("adversary: Example2 construction: %v", err))
+	}
+	return st
+}
+
+// Example2Locations and Example2Systems name the attribute values of
+// Example 2 in party-index order (location-major).
+var (
+	Example2Locations = []string{"NewYork", "Tokyo", "Zurich", "Haifa"}
+	Example2Systems   = []string{"AIX", "WindowsNT", "Linux", "Solaris"}
+)
+
+// Example2Party returns the party index of the server at the given
+// location and operating system (both 0..3).
+func Example2Party(location, system int) int { return GridParty(location, system, 4) }
+
+// ClassifiedThreshold generalizes the paper's Example 1 construction to
+// any attribute assignment: the adversary may corrupt at most t arbitrary
+// servers OR all servers of any single class. The access structure is the
+// paper's conjunction — coalitions of at least t+1 servers covering at
+// least minClasses distinct classes:
+//
+//	access = Θ_{t+1}^n(S) ∧ Θ_{minClasses}(χ_v1, ..., χ_vm)
+//
+// Example 1 is ClassifiedThreshold(Example1Classes(), 2, 2). The returned
+// structure is validated for sharing compatibility; whether it satisfies
+// Q³ depends on the class sizes — check Q3() before dealing.
+func ClassifiedThreshold(c *Classification, t, minClasses int) (*Structure, error) {
+	n := c.N()
+	if n < 1 {
+		return nil, fmt.Errorf("adversary: empty classification")
+	}
+	values := c.DistinctValues()
+	if minClasses < 1 || minClasses > len(values) {
+		return nil, fmt.Errorf("adversary: minClasses %d out of range [1,%d]", minClasses, len(values))
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	access := And(ThresholdOf(t+1, all), c.ClassCoverage(minClasses))
+	return NewGeneralFromPredicate(n, func(s Set) bool { return !access.Eval(s) }, access)
+}
+
+// NewWeightedThreshold builds the weighted threshold structure the paper
+// sketches in §4.3 ("traditional weighted thresholds ... can be obtained
+// by allocating several logical parties to one physical party"): party i
+// carries weight weights[i], and the adversary may corrupt any set of
+// total weight at most maxWeight. The access structure is the complement
+// (total weight >= maxWeight+1), built as an Or over the minimal
+// qualified sets.
+func NewWeightedThreshold(weights []int, maxWeight int) (*Structure, error) {
+	n := len(weights)
+	if n < 1 || n > maxEnumerateParties {
+		return nil, fmt.Errorf("adversary: weighted thresholds support 1..%d parties, got %d", maxEnumerateParties, n)
+	}
+	total := 0
+	for i, w := range weights {
+		if w < 1 {
+			return nil, fmt.Errorf("adversary: weight of party %d must be positive", i)
+		}
+		total += w
+	}
+	if maxWeight < 0 || maxWeight >= total {
+		return nil, fmt.Errorf("adversary: maxWeight %d out of range [0,%d)", maxWeight, total)
+	}
+	weightOf := func(s Set) int {
+		sum := 0
+		for _, i := range s.Members() {
+			sum += weights[i]
+		}
+		return sum
+	}
+	// Minimal qualified sets: weight > maxWeight, and removing any member
+	// drops to <= maxWeight.
+	var minterms []*Formula
+	limit := uint64(1) << uint(n)
+	for v := uint64(1); v < limit; v++ {
+		s := Set(v)
+		if weightOf(s) <= maxWeight {
+			continue
+		}
+		minimal := true
+		for _, i := range s.Members() {
+			if weightOf(s.Remove(i)) > maxWeight {
+				minimal = false
+				break
+			}
+		}
+		if !minimal {
+			continue
+		}
+		leaves := make([]*Formula, 0, s.Count())
+		for _, i := range s.Members() {
+			leaves = append(leaves, Leaf(i))
+		}
+		minterms = append(minterms, And(leaves...))
+	}
+	if len(minterms) == 0 {
+		return nil, fmt.Errorf("adversary: no qualified sets exist")
+	}
+	access := Or(minterms...)
+	return NewGeneralFromPredicate(n, func(s Set) bool { return weightOf(s) <= maxWeight }, access)
+}

@@ -1,0 +1,137 @@
+package adversary
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Formula is a monotone Boolean formula over party indices, built from
+// k-out-of-n threshold gates Θ_k^n (AND = Θ_n^n, OR = Θ_1^n) with party
+// leaves. Formulas describe access structures and double as the blueprint
+// for the Benaloh-Leichter linear secret sharing scheme in internal/sharing.
+//
+// A Formula is either a leaf (Party >= 0, Children nil) or a gate
+// (Party == -1, K = gate threshold, Children = sub-formulas). The exported
+// fields make the type serializable with encoding/gob for dealer configs.
+type Formula struct {
+	// Party is the leaf's party index, or -1 for a gate.
+	Party int
+	// K is the gate threshold: the gate is satisfied when at least K
+	// children are satisfied. Unused on leaves.
+	K int
+	// Children are the gate inputs. Nil on leaves.
+	Children []*Formula
+}
+
+// Leaf returns the formula that is satisfied iff party i is in the set.
+func Leaf(i int) *Formula { return &Formula{Party: i} }
+
+// Threshold returns the gate Θ_k over the given children.
+func Threshold(k int, children ...*Formula) *Formula {
+	return &Formula{Party: -1, K: k, Children: children}
+}
+
+// And returns the conjunction of the children (Θ_n^n).
+func And(children ...*Formula) *Formula {
+	return Threshold(len(children), children...)
+}
+
+// Or returns the disjunction of the children (Θ_1^n).
+func Or(children ...*Formula) *Formula {
+	return Threshold(1, children...)
+}
+
+// AnySubsetOf returns the formula Θ_1 over the listed parties — the
+// characteristic function χ_c of the paper (§4.3): satisfied iff the set
+// contains at least one party with the given attribute value.
+func AnySubsetOf(parties []int) *Formula {
+	children := make([]*Formula, len(parties))
+	for i, p := range parties {
+		children[i] = Leaf(p)
+	}
+	return Or(children...)
+}
+
+// ThresholdOf returns Θ_k over the listed parties.
+func ThresholdOf(k int, parties []int) *Formula {
+	children := make([]*Formula, len(parties))
+	for i, p := range parties {
+		children[i] = Leaf(p)
+	}
+	return Threshold(k, children...)
+}
+
+// IsLeaf reports whether f is a party leaf.
+func (f *Formula) IsLeaf() bool { return f.Party >= 0 }
+
+// Eval evaluates the formula on the given party set.
+func (f *Formula) Eval(s Set) bool {
+	if f.IsLeaf() {
+		return s.Has(f.Party)
+	}
+	sat := 0
+	for _, c := range f.Children {
+		if c.Eval(s) {
+			sat++
+			if sat >= f.K {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Validate checks structural sanity: leaves in [0, n), gates with
+// 1 <= K <= len(Children) and at least one child.
+func (f *Formula) Validate(n int) error {
+	if f == nil {
+		return errors.New("adversary: nil formula")
+	}
+	if f.IsLeaf() {
+		if f.Party >= n {
+			return fmt.Errorf("adversary: leaf party %d out of range [0,%d)", f.Party, n)
+		}
+		if len(f.Children) != 0 {
+			return errors.New("adversary: leaf with children")
+		}
+		return nil
+	}
+	if len(f.Children) == 0 {
+		return errors.New("adversary: gate without children")
+	}
+	if f.K < 1 || f.K > len(f.Children) {
+		return fmt.Errorf("adversary: gate threshold %d out of range [1,%d]", f.K, len(f.Children))
+	}
+	for _, c := range f.Children {
+		if err := c.Validate(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Leaves returns the number of leaves of the formula (the number of
+// atomic shares the Benaloh-Leichter scheme will produce).
+func (f *Formula) Leaves() int {
+	if f.IsLeaf() {
+		return 1
+	}
+	total := 0
+	for _, c := range f.Children {
+		total += c.Leaves()
+	}
+	return total
+}
+
+// String renders the formula, e.g. "T2(P0,P1,T1(P2,P3))".
+func (f *Formula) String() string {
+	if f.IsLeaf() {
+		return fmt.Sprintf("P%d", f.Party)
+	}
+	parts := make([]string, len(f.Children))
+	for i, c := range f.Children {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("T%d(%s)", f.K, strings.Join(parts, ","))
+}

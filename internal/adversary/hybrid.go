@@ -1,0 +1,85 @@
+package adversary
+
+import "fmt"
+
+// Hybrid failure structures — the paper's §6 extension ("treat crash
+// failures separately from corruptions ... crashes are more likely to
+// occur than intrusions and they are much easier to handle"): the
+// adversary may simultaneously corrupt up to TB servers in arbitrary
+// (Byzantine) ways AND crash up to TC further servers. Crashed servers
+// stop participating but never lie and never leak their secrets.
+//
+// The feasibility condition generalizes n > 3t to
+//
+//	n > 3·TB + 2·TC,
+//
+// and the counting rules become:
+//
+//	quorum (n−t rule):     n − TB − TC servers — reachable because at
+//	                       most TB+TC servers stay silent, and any two
+//	                       quorums share a correct server;
+//	honest (t+1 rule):     TB + 1 senders — crashed servers never send,
+//	                       so any TB+1 distinct senders include one
+//	                       honest server;
+//	strong (2t+1 rule):    2·TB + TC + 1 senders — removing every
+//	                       corrupted and crashed sender still leaves an
+//	                       honest-set (TB+1) behind.
+//
+// Secret sharing only needs protection against servers that can LEAK, so
+// the access formula stays Θ_{TB+1}; reconstruction remains available
+// because every quorum minus corrupted parties retains TB+1 members
+// (implied by the feasibility condition).
+//
+// Construct with NewHybridThreshold; the structure plugs into every
+// protocol unchanged, via the same four predicates.
+
+// NewHybridThreshold builds the hybrid structure tolerating tb Byzantine
+// corruptions plus tc crashes among n servers.
+func NewHybridThreshold(n, tb, tc int) (*Structure, error) {
+	if n < 1 || n > MaxParties {
+		return nil, fmt.Errorf("adversary: n=%d out of range [1,%d]", n, MaxParties)
+	}
+	if tb < 0 || tc < 0 || tb+tc >= n {
+		return nil, fmt.Errorf("adversary: hybrid thresholds tb=%d tc=%d out of range for n=%d", tb, tc, n)
+	}
+	parties := make([]int, n)
+	for i := range parties {
+		parties[i] = i
+	}
+	return &Structure{
+		NParties: n,
+		Thresh:   -1,
+		Hybrid:   true,
+		TB:       tb,
+		TC:       tc,
+		Access:   ThresholdOf(tb+1, parties),
+	}, nil
+}
+
+// hybrid predicate implementations, dispatched from structure.go.
+
+func (st *Structure) hybridInAdversary(s Set) bool {
+	// "Corruptible" means able to act maliciously together: only the
+	// Byzantine budget counts. (Crashes cannot collude — they are silent.)
+	return s.Count() <= st.TB
+}
+
+func (st *Structure) hybridIsQuorum(s Set) bool {
+	return s.Count() >= st.NParties-st.TB-st.TC
+}
+
+func (st *Structure) hybridIsStrong(s Set) bool {
+	return s.Count() >= 2*st.TB+st.TC+1
+}
+
+func (st *Structure) hybridQ3() bool {
+	return st.NParties > 3*st.TB+2*st.TC
+}
+
+// hybridValidate checks the hybrid fields.
+func (st *Structure) hybridValidate() error {
+	if st.TB < 0 || st.TC < 0 || st.TB+st.TC >= st.NParties {
+		return fmt.Errorf("adversary: invalid hybrid thresholds tb=%d tc=%d n=%d", st.TB, st.TC, st.NParties)
+	}
+	return nil
+}

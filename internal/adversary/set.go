@@ -1,0 +1,121 @@
+// Package adversary implements the generalized adversary structures of
+// Section 4 of Cachin, "Distributing Trust on the Internet" (DSN 2001).
+//
+// An adversary structure A is a monotone family of subsets of the parties
+// P = {0, ..., n-1} that the adversary may corrupt simultaneously. It is
+// described here by its complement, the *access structure*: a monotone
+// Boolean formula of threshold gates that evaluates to true exactly on the
+// party sets that are NOT corruptible. The classic threshold model
+// ("at most t of n fail") is the special case Θ_{t+1}^n.
+//
+// The package provides the Q³ condition (no three sets of A cover P), the
+// enumeration of maximal adversary sets A*, and the three generalized
+// quorum predicates that replace the n−t / 2t+1 / t+1 counting rules of
+// threshold protocols (paper §4.2):
+//
+//	IsQuorum(S)  — S ⊇ P∖T for some T ∈ A*   (the n−t rule)
+//	IsCore(S)    — S ⊇ T∪U∪{i} for disjoint T,U ∈ A*, i ∉ T∪U (the 2t+1 rule)
+//	HasHonest(S) — S ∉ A                      (the t+1 rule)
+//
+// All broadcast and agreement protocols in this repository count messages
+// exclusively through these predicates, so a single code path serves both
+// threshold and generalized deployments.
+package adversary
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxParties bounds the number of parties a Set can hold (bitmask width).
+const MaxParties = 64
+
+// Set is a subset of the parties {0, ..., n-1}, represented as a bitmask.
+type Set uint64
+
+// EmptySet is the set with no members.
+const EmptySet Set = 0
+
+// SetOf builds a Set from explicit member indices.
+func SetOf(members ...int) Set {
+	var s Set
+	for _, m := range members {
+		s = s.Add(m)
+	}
+	return s
+}
+
+// FullSet returns the set {0, ..., n-1}.
+func FullSet(n int) Set {
+	if n <= 0 {
+		return 0
+	}
+	if n >= MaxParties {
+		return ^Set(0)
+	}
+	return Set(1)<<uint(n) - 1
+}
+
+// Add returns s with party i added.
+func (s Set) Add(i int) Set { return s | Set(1)<<uint(i) }
+
+// Remove returns s with party i removed.
+func (s Set) Remove(i int) Set { return s &^ (Set(1) << uint(i)) }
+
+// Has reports whether party i is a member of s.
+func (s Set) Has(i int) bool { return s&(Set(1)<<uint(i)) != 0 }
+
+// Count returns the cardinality of s.
+func (s Set) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Union returns s ∪ o.
+func (s Set) Union(o Set) Set { return s | o }
+
+// Intersect returns s ∩ o.
+func (s Set) Intersect(o Set) Set { return s & o }
+
+// Minus returns s ∖ o.
+func (s Set) Minus(o Set) Set { return s &^ o }
+
+// SubsetOf reports whether s ⊆ o.
+func (s Set) SubsetOf(o Set) bool { return s&^o == 0 }
+
+// Disjoint reports whether s ∩ o = ∅.
+func (s Set) Disjoint(o Set) bool { return s&o == 0 }
+
+// Complement returns {0,...,n-1} ∖ s.
+func (s Set) Complement(n int) Set { return FullSet(n) &^ s }
+
+// Members returns the sorted member indices of s.
+func (s Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	for v := uint64(s); v != 0; {
+		i := bits.TrailingZeros64(v)
+		out = append(out, i)
+		v &^= 1 << uint(i)
+	}
+	return out
+}
+
+// String renders the set as "{0,3,5}".
+func (s Set) String() string {
+	m := s.Members()
+	parts := make([]string, len(m))
+	for i, v := range m {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// sortSetsByCountDesc orders sets by descending cardinality (stable on value).
+func sortSetsByCountDesc(sets []Set) {
+	sort.Slice(sets, func(i, j int) bool {
+		ci, cj := sets[i].Count(), sets[j].Count()
+		if ci != cj {
+			return ci > cj
+		}
+		return sets[i] < sets[j]
+	})
+}

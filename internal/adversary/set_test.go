@@ -1,0 +1,162 @@
+package adversary
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := SetOf(0, 3, 5)
+	if !s.Has(0) || !s.Has(3) || !s.Has(5) || s.Has(1) {
+		t.Fatal("membership broken")
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	if got := s.String(); got != "{0,3,5}" {
+		t.Fatalf("String = %q", got)
+	}
+	if s.Remove(3).Has(3) {
+		t.Fatal("Remove broken")
+	}
+	if s.Add(7) != SetOf(0, 3, 5, 7) {
+		t.Fatal("Add broken")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := SetOf(0, 1, 2)
+	b := SetOf(2, 3)
+	if a.Union(b) != SetOf(0, 1, 2, 3) {
+		t.Fatal("Union broken")
+	}
+	if a.Intersect(b) != SetOf(2) {
+		t.Fatal("Intersect broken")
+	}
+	if a.Minus(b) != SetOf(0, 1) {
+		t.Fatal("Minus broken")
+	}
+	if !SetOf(0, 1).SubsetOf(a) || a.SubsetOf(b) {
+		t.Fatal("SubsetOf broken")
+	}
+	if !SetOf(0, 1).Disjoint(SetOf(2, 3)) || a.Disjoint(b) {
+		t.Fatal("Disjoint broken")
+	}
+	if a.Complement(5) != SetOf(3, 4) {
+		t.Fatal("Complement broken")
+	}
+	if FullSet(4) != SetOf(0, 1, 2, 3) {
+		t.Fatal("FullSet broken")
+	}
+	if FullSet(0) != EmptySet {
+		t.Fatal("FullSet(0) not empty")
+	}
+}
+
+func TestSetMembersRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		s := Set(raw)
+		back := SetOf(s.Members()...)
+		return back == s && len(s.Members()) == s.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	// De Morgan-ish identities on the bitmask algebra, over random sets.
+	n := 16
+	full := FullSet(n)
+	f := func(ra, rb uint64) bool {
+		a := Set(ra) & full
+		b := Set(rb) & full
+		if a.Union(b).Complement(n) != a.Complement(n).Intersect(b.Complement(n)) {
+			return false
+		}
+		if a.Minus(b) != a.Intersect(b.Complement(n)) {
+			return false
+		}
+		return a.Union(b).Count()+a.Intersect(b).Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormulaEval(t *testing.T) {
+	// (P0 AND P1) OR P2
+	f := Or(And(Leaf(0), Leaf(1)), Leaf(2))
+	cases := []struct {
+		s    Set
+		want bool
+	}{
+		{EmptySet, false},
+		{SetOf(0), false},
+		{SetOf(0, 1), true},
+		{SetOf(2), true},
+		{SetOf(1, 2), true},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.s); got != c.want {
+			t.Fatalf("Eval(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestFormulaThresholdGate(t *testing.T) {
+	f := ThresholdOf(2, []int{0, 1, 2, 3})
+	if f.Eval(SetOf(1)) || !f.Eval(SetOf(1, 3)) || !f.Eval(SetOf(0, 1, 2)) {
+		t.Fatal("threshold gate broken")
+	}
+	if f.Leaves() != 4 {
+		t.Fatal("Leaves broken")
+	}
+}
+
+func TestFormulaValidate(t *testing.T) {
+	if err := Leaf(3).Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := Leaf(4).Validate(4); err == nil {
+		t.Fatal("out-of-range leaf accepted")
+	}
+	if err := Threshold(0, Leaf(0)).Validate(4); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if err := Threshold(3, Leaf(0), Leaf(1)).Validate(4); err == nil {
+		t.Fatal("K>len accepted")
+	}
+	if err := (&Formula{Party: -1}).Validate(4); err == nil {
+		t.Fatal("gate without children accepted")
+	}
+	var nilF *Formula
+	if err := nilF.Validate(4); err == nil {
+		t.Fatal("nil formula accepted")
+	}
+}
+
+func TestFormulaMonotone(t *testing.T) {
+	// Property: adding parties never turns a satisfied formula unsatisfied.
+	f := And(ThresholdOf(3, []int{0, 1, 2, 3, 4, 5}), Or(Leaf(0), Leaf(5)))
+	check := func(raw uint64, extra int) bool {
+		s := Set(raw) & FullSet(6)
+		bigger := s.Add(extra % 6)
+		if f.Eval(s) && !f.Eval(bigger) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(func(raw uint64, extra uint8) bool {
+		return check(raw, int(extra))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	f := Threshold(2, Leaf(0), Leaf(1), And(Leaf(2), Leaf(3)))
+	if got := f.String(); got != "T2(P0,P1,T2(P2,P3))" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,543 @@
+package adversary
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestThresholdPredicates(t *testing.T) {
+	st := MustThreshold(4, 1)
+	if !st.InAdversary(SetOf(2)) || st.InAdversary(SetOf(1, 2)) {
+		t.Fatal("InAdversary broken")
+	}
+	if !st.IsQuorum(SetOf(0, 1, 2)) || st.IsQuorum(SetOf(0, 1)) {
+		t.Fatal("IsQuorum broken")
+	}
+	if !st.IsCore(SetOf(0, 1, 2)) || st.IsCore(SetOf(0, 1)) {
+		t.Fatal("IsCore broken")
+	}
+	if !st.HasHonest(SetOf(0, 1)) || st.HasHonest(SetOf(3)) {
+		t.Fatal("HasHonest broken")
+	}
+	if !st.Q3() {
+		t.Fatal("4 > 3*1 should satisfy Q3")
+	}
+	if MustThreshold(3, 1).Q3() {
+		t.Fatal("3 > 3*1 is false; Q3 must fail")
+	}
+}
+
+func TestNewThresholdValidation(t *testing.T) {
+	if _, err := NewThreshold(0, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewThreshold(4, 4); err == nil {
+		t.Fatal("t=n accepted")
+	}
+	if _, err := NewThreshold(4, -1); err == nil {
+		t.Fatal("t<0 accepted")
+	}
+	if _, err := NewThreshold(65, 1); err == nil {
+		t.Fatal("n>64 accepted")
+	}
+}
+
+func TestNewGeneralValidation(t *testing.T) {
+	access := ThresholdOf(2, []int{0, 1, 2, 3})
+	singletons := []Set{SetOf(0), SetOf(1), SetOf(2), SetOf(3)}
+	if _, err := NewGeneral(4, singletons, access); err != nil {
+		t.Fatal(err)
+	}
+	// Empty adversary family is rejected.
+	if _, err := NewGeneral(4, nil, access); err == nil {
+		t.Fatal("empty family accepted")
+	}
+	// Full set corruptible is rejected.
+	if _, err := NewGeneral(4, []Set{FullSet(4)}, access); err == nil {
+		t.Fatal("full set accepted as corruptible")
+	}
+	// Invalid formula is rejected.
+	bad := Threshold(5, Leaf(0), Leaf(1)) // invalid K
+	if _, err := NewGeneral(4, singletons, bad); err == nil {
+		t.Fatal("invalid formula accepted")
+	}
+	// Secrecy violation: a corruptible pair that the access formula accepts.
+	if _, err := NewGeneral(4, []Set{SetOf(0, 1)}, access); err == nil {
+		t.Fatal("qualified corruptible set accepted")
+	}
+	// Liveness violation: honest remainder unqualified. With A* = {0},{1},{2},{3}
+	// and access requiring parties 0 AND 1, corrupting {0} breaks liveness.
+	if _, err := NewGeneral(4, singletons, And(Leaf(0), Leaf(1))); err == nil {
+		t.Fatal("liveness-violating access formula accepted")
+	}
+	if _, err := NewGeneral(30, []Set{SetOf(0)}, ThresholdOf(2, []int{0, 1})); err == nil {
+		t.Fatal("n above enumeration bound accepted")
+	}
+}
+
+func TestMaximalize(t *testing.T) {
+	access := ThresholdOf(3, []int{0, 1, 2, 3, 4, 5, 6})
+	// Pass redundant generating sets; the constructor must maximalize.
+	st, err := NewGeneral(7, []Set{SetOf(0), SetOf(0, 1), SetOf(1), SetOf(2, 3)}, access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.MaxSets) != 2 {
+		t.Fatalf("MaxSets = %v, want 2 maximal sets", st.MaxSets)
+	}
+	if !st.InAdversary(SetOf(0, 1)) || !st.InAdversary(SetOf(3)) || st.InAdversary(SetOf(0, 2)) {
+		t.Fatal("membership after maximalization broken")
+	}
+}
+
+func TestGeneralMatchesThreshold(t *testing.T) {
+	// A general structure built from the t-subsets must agree with the
+	// native threshold structure on every predicate, for every subset.
+	n, tt := 7, 2
+	th := MustThreshold(n, tt)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	gen, err := NewGeneralFromPredicate(n, func(s Set) bool { return s.Count() <= tt }, ThresholdOf(tt+1, all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := Set(0); v <= FullSet(n); v++ {
+		if th.InAdversary(v) != gen.InAdversary(v) {
+			t.Fatalf("InAdversary mismatch on %v", v)
+		}
+		if th.IsQuorum(v) != gen.IsQuorum(v) {
+			t.Fatalf("IsQuorum mismatch on %v", v)
+		}
+		if th.HasHonest(v) != gen.HasHonest(v) {
+			t.Fatalf("HasHonest mismatch on %v", v)
+		}
+		if th.IsCore(v) != gen.IsCore(v) {
+			t.Fatalf("IsCore mismatch on %v: th=%v gen=%v", v, th.IsCore(v), gen.IsCore(v))
+		}
+	}
+	if !gen.Q3() {
+		t.Fatal("Q3 mismatch")
+	}
+	max, err := gen.MaximalSets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range max {
+		if m.Count() != tt {
+			t.Fatalf("maximal set %v has wrong size", m)
+		}
+	}
+}
+
+// quorumIntersectionProperty verifies the structural facts the protocols
+// rely on, for an arbitrary structure satisfying Q3:
+//  1. two quorums intersect outside the adversary structure;
+//  2. a quorum minus any corruptible set is still outside the structure;
+//  3. the honest parties (complement of any corruptible set) form a quorum.
+func quorumIntersectionProperty(t *testing.T, st *Structure) {
+	t.Helper()
+	n := st.N()
+	max, err := st.MaximalSets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quorums []Set
+	for v := Set(0); v <= FullSet(n); v++ {
+		if st.IsQuorum(v) {
+			quorums = append(quorums, v)
+		}
+	}
+	if len(quorums) == 0 {
+		t.Fatal("no quorums")
+	}
+	for _, a := range max {
+		if !st.IsQuorum(a.Complement(n)) {
+			t.Fatalf("honest complement of %v is not a quorum", a)
+		}
+	}
+	// Exhaustive pairwise checks are quadratic in the number of quorums;
+	// restrict to minimal quorums (complements of maximal adversary sets)
+	// which dominate all others.
+	for _, a := range max {
+		qa := a.Complement(n)
+		for _, b := range max {
+			qb := b.Complement(n)
+			if !st.HasHonest(qa.Intersect(qb)) {
+				t.Fatalf("quorums %v and %v intersect inside A", qa, qb)
+			}
+		}
+		for _, c := range max {
+			if st.InAdversary(qa.Minus(c)) {
+				t.Fatalf("quorum %v minus corruptible %v is in A", qa, c)
+			}
+		}
+	}
+}
+
+func TestQuorumPropertiesThreshold(t *testing.T) {
+	quorumIntersectionProperty(t, MustThreshold(7, 2))
+}
+
+func TestQuorumPropertiesExample1(t *testing.T) {
+	quorumIntersectionProperty(t, Example1())
+}
+
+func TestQuorumPropertiesExample2(t *testing.T) {
+	quorumIntersectionProperty(t, Example2())
+}
+
+func TestExample1PaperClaims(t *testing.T) {
+	st := Example1()
+	if !st.Q3() {
+		t.Fatal("Example 1 must satisfy Q3 (paper §4.3)")
+	}
+	// Tolerates any two arbitrary servers.
+	if !st.InAdversary(SetOf(0, 8)) || !st.InAdversary(SetOf(4, 6)) {
+		t.Fatal("two arbitrary servers must be corruptible")
+	}
+	// Tolerates all servers of one class, in particular class a = {0,1,2,3}.
+	if !st.InAdversary(SetOf(0, 1, 2, 3)) {
+		t.Fatal("whole class a must be corruptible")
+	}
+	if !st.InAdversary(SetOf(4, 5)) || !st.InAdversary(SetOf(6, 7)) || !st.InAdversary(SetOf(8)) {
+		t.Fatal("whole classes b, c, d must be corruptible")
+	}
+	// But not three servers spanning two classes.
+	if st.InAdversary(SetOf(0, 1, 4)) {
+		t.Fatal("{0,1,4} spans two classes with size 3; not corruptible")
+	}
+	// Access: coalitions of size >= 3 covering >= 2 classes.
+	if st.Access.Eval(SetOf(0, 1, 2)) {
+		t.Fatal("3 servers of one class must not be qualified")
+	}
+	if !st.Access.Eval(SetOf(0, 1, 4)) {
+		t.Fatal("3 servers covering 2 classes must be qualified")
+	}
+	// A*: {0,1,2,3} plus every pair not inside class a.
+	max, err := st.MaximalSets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := 0
+	for i := 0; i < 9; i++ {
+		for j := i + 1; j < 9; j++ {
+			if i < 4 && j < 4 {
+				continue // pairs inside class a are not maximal
+			}
+			wantPairs++
+		}
+	}
+	if len(max) != wantPairs+1 {
+		t.Fatalf("|A*| = %d, want %d", len(max), wantPairs+1)
+	}
+	tol, err := st.MaxTolerated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol != 4 {
+		t.Fatalf("MaxTolerated = %d, want 4", tol)
+	}
+}
+
+func TestExample2PaperClaims(t *testing.T) {
+	st := Example2()
+	if !st.Q3() {
+		t.Fatal("Example 2 must satisfy Q3 (paper §4.3)")
+	}
+	// Simultaneous corruption of one full location and one full OS: seven
+	// servers, e.g. location 0 plus OS 0.
+	var siteAndOS Set
+	for s := 0; s < 4; s++ {
+		siteAndOS = siteAndOS.Add(Example2Party(0, s))
+		siteAndOS = siteAndOS.Add(Example2Party(s, 0))
+	}
+	if siteAndOS.Count() != 7 {
+		t.Fatalf("site+OS set has %d members, want 7", siteAndOS.Count())
+	}
+	if !st.InAdversary(siteAndOS) {
+		t.Fatal("one location plus one OS (7 servers) must be corruptible")
+	}
+	tol, err := st.MaxTolerated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol != 7 {
+		t.Fatalf("MaxTolerated = %d, want 7 (paper's headline)", tol)
+	}
+	// Any threshold solution on 16 servers tolerates at most five.
+	if best := (16 - 1) / 3; best != 5 {
+		t.Fatalf("threshold bound computed as %d, want 5", best)
+	}
+	// Eight arbitrary servers spanning the grid must NOT be corruptible.
+	var diagonalish Set
+	for i := 0; i < 4; i++ {
+		diagonalish = diagonalish.Add(Example2Party(i, i))
+		diagonalish = diagonalish.Add(Example2Party(i, (i+1)%4))
+	}
+	if st.InAdversary(diagonalish) {
+		t.Fatal("8 spread-out servers should not be corruptible")
+	}
+}
+
+func TestMaxToleratedThreshold(t *testing.T) {
+	st := MustThreshold(16, 5)
+	tol, err := st.MaxTolerated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol != 5 {
+		t.Fatalf("MaxTolerated = %d, want 5", tol)
+	}
+}
+
+func TestStructureValidate(t *testing.T) {
+	if err := MustThreshold(4, 1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Structure{NParties: 4, Thresh: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing formula accepted")
+	}
+}
+
+func TestStructureString(t *testing.T) {
+	if got := MustThreshold(4, 1).String(); got != "threshold(n=4,t=1)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := Example1().String(); len(got) == 0 {
+		t.Fatal("empty String for general structure")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	c := Example1Classes()
+	if c.N() != 9 {
+		t.Fatal("N broken")
+	}
+	if got := c.Parties("a"); len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("Parties(a) = %v", got)
+	}
+	if got := c.DistinctValues(); len(got) != 4 || got[0] != "a" || got[3] != "d" {
+		t.Fatalf("DistinctValues = %v", got)
+	}
+	chi := c.Chi("b")
+	if chi.Eval(SetOf(0, 1)) || !chi.Eval(SetOf(5)) {
+		t.Fatal("Chi broken")
+	}
+	cov := c.ClassCoverage(2)
+	if cov.Eval(SetOf(0, 1, 2)) || !cov.Eval(SetOf(0, 8)) {
+		t.Fatal("ClassCoverage broken")
+	}
+}
+
+func TestMonotonicityOfPredicates(t *testing.T) {
+	// Property: all three predicates are monotone in the set.
+	for _, st := range []*Structure{MustThreshold(7, 2), Example1()} {
+		st := st
+		n := st.N()
+		f := func(raw uint64, extra uint8) bool {
+			s := Set(raw) & FullSet(n)
+			bigger := s.Add(int(extra) % n)
+			if st.IsQuorum(s) && !st.IsQuorum(bigger) {
+				return false
+			}
+			if st.HasHonest(s) && !st.HasHonest(bigger) {
+				return false
+			}
+			if st.IsCore(s) && !st.IsCore(bigger) {
+				return false
+			}
+			// InAdversary is monotone the other way.
+			if !st.InAdversary(s) && st.InAdversary(s.Minus(Set(1)<<uint(int(extra)%n))) && s.Has(int(extra)%n) {
+				_ = s // removing members may enter A; that is allowed
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+	}
+}
+
+func BenchmarkPredicatesExample2(b *testing.B) {
+	st := Example2()
+	if _, err := st.MaximalSets(); err != nil {
+		b.Fatal(err)
+	}
+	s := FullSet(16).Minus(SetOf(0, 1, 2, 3, 4, 8, 12))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.IsQuorum(s)
+		st.HasHonest(s)
+	}
+}
+
+func TestIsStrongThresholdMatches2t1(t *testing.T) {
+	st := MustThreshold(7, 2)
+	for v := Set(0); v <= FullSet(7); v++ {
+		want := v.Count() >= 5
+		if st.IsStrong(v) != want {
+			t.Fatalf("IsStrong(%v) = %v, want %v", v, st.IsStrong(v), want)
+		}
+	}
+}
+
+func TestIsStrongProperties(t *testing.T) {
+	// For every structure: (1) honest complement of any corruptible set is
+	// strong; (2) a strong set minus any corruptible set is outside A.
+	// Note IsCore does NOT imply IsStrong in general (e.g. in Example 1,
+	// {0,1,2,4,5} contains two disjoint maximal pairs plus an extra party,
+	// yet minus class a leaves {4,5} ∈ A) — which is exactly why the
+	// protocols count through IsStrong rather than the paper's literal
+	// S∪T∪{i} recipe.
+	for _, st := range []*Structure{MustThreshold(7, 2), Example1(), Example2()} {
+		n := st.N()
+		max, err := st.MaximalSets()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range max {
+			if !st.IsStrong(c.Complement(n)) {
+				t.Fatalf("%v: honest set P∖%v not strong", st, c)
+			}
+		}
+		for v := Set(0); v <= FullSet(n) && n <= 9; v++ {
+			if st.IsStrong(v) {
+				for _, c := range max {
+					if st.InAdversary(v.Minus(c)) {
+						t.Fatalf("%v: strong %v minus %v in A", st, v, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIsStrongExample2NotVacuous(t *testing.T) {
+	// The paper's literal S∪T∪{i} rule (IsCore) is vacuous for Example 2:
+	// all maximal sets pairwise intersect. IsStrong must still accept the
+	// honest survivors of any corruption.
+	st := Example2()
+	if st.IsCore(FullSet(16)) {
+		t.Fatal("expected IsCore to be vacuous for Example 2")
+	}
+	var corrupted Set
+	for i := 0; i < 4; i++ {
+		corrupted = corrupted.Add(Example2Party(0, i)).Add(Example2Party(i, 0))
+	}
+	if !st.IsStrong(corrupted.Complement(16)) {
+		t.Fatal("honest 3x3 subgrid should be strong")
+	}
+	if st.IsStrong(corrupted) {
+		t.Fatal("the corrupted seven should not be strong")
+	}
+}
+
+func TestClassifiedThresholdGeneralizesExample1(t *testing.T) {
+	st, err := ClassifiedThreshold(Example1Classes(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Example1()
+	for v := Set(0); v <= FullSet(9); v++ {
+		if st.InAdversary(v) != ref.InAdversary(v) {
+			t.Fatalf("mismatch with Example1 at %v", v)
+		}
+	}
+	if !st.Q3() {
+		t.Fatal("Q3 lost")
+	}
+}
+
+func TestClassifiedThresholdCustom(t *testing.T) {
+	// Twelve servers in four racks of three; tolerate one arbitrary server
+	// or a whole rack.
+	c := NewClassification([]string{
+		"r1", "r1", "r1", "r2", "r2", "r2",
+		"r3", "r3", "r3", "r4", "r4", "r4",
+	})
+	st, err := ClassifiedThreshold(c, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Q3() {
+		t.Fatal("expected Q3 for 4 racks of 3")
+	}
+	if !st.InAdversary(SetOf(0, 1, 2)) {
+		t.Fatal("whole rack should be corruptible")
+	}
+	if st.InAdversary(SetOf(0, 3)) {
+		t.Fatal("two servers in different racks exceed the threshold")
+	}
+	tol, err := st.MaxTolerated()
+	if err != nil || tol != 3 {
+		t.Fatalf("MaxTolerated = %d, %v", tol, err)
+	}
+}
+
+func TestClassifiedThresholdValidation(t *testing.T) {
+	if _, err := ClassifiedThreshold(NewClassification(nil), 1, 1); err == nil {
+		t.Fatal("empty classification accepted")
+	}
+	c := Example1Classes()
+	if _, err := ClassifiedThreshold(c, 2, 9); err == nil {
+		t.Fatal("minClasses beyond class count accepted")
+	}
+	if _, err := ClassifiedThreshold(c, 2, 0); err == nil {
+		t.Fatal("minClasses 0 accepted")
+	}
+}
+
+func TestWeightedThreshold(t *testing.T) {
+	// Five servers; server 0 is a beefy dual-homed machine with weight 3,
+	// the rest weight 1 (total 7). The adversary may corrupt weight <= 2:
+	// any two small servers, but never the big one.
+	st, err := NewWeightedThreshold([]int{3, 1, 1, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InAdversary(SetOf(0)) {
+		t.Fatal("the weight-3 server must not be corruptible")
+	}
+	if !st.InAdversary(SetOf(1, 2)) || st.InAdversary(SetOf(1, 2, 3)) {
+		t.Fatal("weight accounting broken")
+	}
+	// Q3: three corruptible sets have weight <= 6 < 7 but could still
+	// cover the four small parties... {1,2},{3,4},{1,3} cover {1,2,3,4};
+	// party 0 remains uncovered, so Q3 holds.
+	if !st.Q3() {
+		t.Fatal("expected Q3")
+	}
+	// Access = weight >= 3: the big server alone, or three small ones.
+	if !st.Access.Eval(SetOf(0)) || !st.Access.Eval(SetOf(1, 2, 3)) || st.Access.Eval(SetOf(1, 2)) {
+		t.Fatal("weighted access broken")
+	}
+}
+
+func TestWeightedThresholdEqualWeightsMatchesThreshold(t *testing.T) {
+	st, err := NewWeightedThreshold([]int{1, 1, 1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := MustThreshold(4, 1)
+	for v := Set(0); v <= FullSet(4); v++ {
+		if st.InAdversary(v) != th.InAdversary(v) || st.IsQuorum(v) != th.IsQuorum(v) {
+			t.Fatalf("diverges from threshold at %v", v)
+		}
+	}
+}
+
+func TestWeightedThresholdValidation(t *testing.T) {
+	if _, err := NewWeightedThreshold(nil, 1); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := NewWeightedThreshold([]int{0, 1}, 1); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := NewWeightedThreshold([]int{1, 1}, 2); err == nil {
+		t.Fatal("maxWeight >= total accepted")
+	}
+}

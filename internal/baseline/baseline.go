@@ -1,0 +1,480 @@
+// Package baseline implements a deterministic, failure-detector-style
+// atomic broadcast — the protocol family of Figure 1's comparison rows
+// (Rampart, SecureRing, CL99): a rotating leader sequences requests in a
+// PBFT-like pre-prepare/prepare/commit pattern, and followers whose
+// timeout expires vote the leader out with a view change.
+//
+// It exists to reproduce the paper's central argument (§2.2): a malicious
+// network scheduler can delay the current leader's messages just beyond
+// the timeout, over and over, so the deterministic protocol keeps changing
+// views and never delivers anything — liveness is lost — while the
+// randomized, coin-based stack of this repository terminates under the
+// same adversary. The LeaderStalker scheduler implements exactly that
+// attack.
+//
+// The implementation is deliberately reduced: view changes carry no
+// new-view certificates, so unlike CL99 it does not maintain safety under
+// Byzantine leaders across views. It is a liveness baseline, not a
+// production protocol; see DESIGN.md (experiment F1).
+package baseline
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sintra/internal/adversary"
+	"sintra/internal/engine"
+	"sintra/internal/netsim"
+	"sintra/internal/wire"
+)
+
+// Protocol is the wire protocol name of the baseline broadcast.
+const Protocol = "fdabc"
+
+// Message types.
+const (
+	typeSubmit     = "SUBMIT"
+	typeRequest    = "REQUEST"
+	typePrePrepare = "PREPREPARE"
+	typePrepare    = "PREPARE"
+	typeCommit     = "COMMIT"
+	typeViewChange = "VIEWCHANGE"
+	typeTick       = "TICK"
+)
+
+type requestBody struct {
+	Payload []byte
+}
+
+type orderBody struct {
+	Slot    int64
+	Payload []byte
+}
+
+type digestBody struct {
+	Slot   int64
+	Digest [32]byte
+}
+
+type viewChangeBody struct {
+	NewView int64
+}
+
+// viewInstance encodes the view into the engine instance so that a
+// network-level adversary can read it — the paper's point that prudent
+// security engineering gives the adversary full protocol knowledge.
+func viewInstance(tag string, view int64) string {
+	return tag + "/v" + strconv.FormatInt(view, 10)
+}
+
+// viewOf parses the view out of an instance identifier.
+func viewOf(instance string) (int64, bool) {
+	idx := strings.LastIndex(instance, "/v")
+	if idx < 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(instance[idx+2:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Config wires one baseline node.
+type Config struct {
+	// Router is the party's protocol router.
+	Router *engine.Router
+	// Struct is the adversary structure (quorum sizes).
+	Struct *adversary.Structure
+	// Instance tags the replicated service.
+	Instance string
+	// Timeout is the failure-detector timeout before a view change.
+	Timeout time.Duration
+	// Deliver receives totally-ordered payloads.
+	Deliver func(seq int64, payload []byte)
+}
+
+type slotState struct {
+	payload  []byte
+	digest   [32]byte
+	proposed bool
+	prepared bool
+	prepares map[[32]byte]adversary.Set
+	commits  map[[32]byte]adversary.Set
+	myCommit bool
+}
+
+// Node is one baseline replica; protocol state is dispatch-goroutine only.
+type Node struct {
+	cfg Config
+
+	view       int64
+	viewVotes  map[int64]adversary.Set
+	nextSlot   int64             // leader: next slot to assign
+	proposed   map[[32]byte]bool // leader: digests assigned a slot this view
+	slots      map[int64]*slotState
+	delivered  map[[32]byte]bool
+	nextOut    int64
+	out        map[int64][]byte
+	pending    map[[32]byte][]byte
+	viewCount  int64
+	timerEpoch int64
+
+	mu        sync.Mutex
+	seq       int64
+	views     int64
+	stopTimer chan struct{}
+	timerOnce sync.Once
+}
+
+// New creates and registers a baseline node (pre-Run or dispatch
+// goroutine). The view-change timer starts immediately.
+func New(cfg Config) *Node {
+	n := &Node{
+		cfg:       cfg,
+		viewVotes: make(map[int64]adversary.Set),
+		proposed:  make(map[[32]byte]bool),
+		slots:     make(map[int64]*slotState),
+		delivered: make(map[[32]byte]bool),
+		out:       make(map[int64][]byte),
+		pending:   make(map[[32]byte][]byte),
+		stopTimer: make(chan struct{}),
+	}
+	cfg.Router.SetFactory(Protocol, func(instance string) engine.Handler {
+		if !strings.HasPrefix(instance, cfg.Instance+"/v") {
+			return nil
+		}
+		return func(from int, msgType string, payload []byte) {
+			n.handle(instance, from, msgType, payload)
+		}
+	})
+	go n.timerLoop()
+	return n
+}
+
+// Stop halts the view-change timer.
+func (n *Node) Stop() {
+	n.timerOnce.Do(func() { close(n.stopTimer) })
+}
+
+// Stats returns delivered-count and view-change count (thread safe).
+func (n *Node) Stats() (delivered, views int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.seq, n.views
+}
+
+// Submit hands a request to the node. Safe from any goroutine.
+func (n *Node) Submit(payload []byte) error {
+	return n.cfg.Router.Loopback(Protocol, viewInstance(n.cfg.Instance, 0), typeSubmit, requestBody{Payload: payload})
+}
+
+// timerLoop injects periodic TICK events; a tick with undelivered pending
+// requests triggers a view-change vote (the "failure detector").
+func (n *Node) timerLoop() {
+	t := time.NewTicker(n.cfg.Timeout)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopTimer:
+			return
+		case <-t.C:
+			n.cfg.Router.Do(func() {
+				n.onTick()
+			})
+		}
+	}
+}
+
+func (n *Node) leaderOf(view int64) int {
+	return int(view % int64(n.cfg.Router.N()))
+}
+
+// handle processes one message addressed to any view instance.
+func (n *Node) handle(instance string, from int, msgType string, payload []byte) {
+	view, ok := viewOf(instance)
+	if !ok {
+		return
+	}
+	switch msgType {
+	case typeSubmit:
+		var body requestBody
+		if from != n.cfg.Router.Self() || wire.UnmarshalBody(payload, &body) != nil {
+			return
+		}
+		n.onRequest(body.Payload)
+		_ = n.broadcast(typeRequest, requestBody{Payload: body.Payload})
+	case typeRequest:
+		var body requestBody
+		if wire.UnmarshalBody(payload, &body) != nil {
+			return
+		}
+		n.onRequest(body.Payload)
+	case typePrePrepare:
+		var body orderBody
+		if wire.UnmarshalBody(payload, &body) != nil {
+			return
+		}
+		n.onPrePrepare(view, from, body)
+	case typePrepare:
+		var body digestBody
+		if wire.UnmarshalBody(payload, &body) != nil {
+			return
+		}
+		n.onPrepare(view, from, body)
+	case typeCommit:
+		var body digestBody
+		if wire.UnmarshalBody(payload, &body) != nil {
+			return
+		}
+		n.onCommit(view, from, body)
+	case typeViewChange:
+		var body viewChangeBody
+		if wire.UnmarshalBody(payload, &body) != nil {
+			return
+		}
+		n.onViewChange(from, body.NewView)
+	}
+}
+
+// broadcast sends in the CURRENT view's instance.
+func (n *Node) broadcast(msgType string, body any) error {
+	return n.cfg.Router.Broadcast(Protocol, viewInstance(n.cfg.Instance, n.view), msgType, body)
+}
+
+func (n *Node) onRequest(payload []byte) {
+	d := sha256.Sum256(payload)
+	if n.delivered[d] {
+		return
+	}
+	if _, ok := n.pending[d]; !ok {
+		n.pending[d] = payload
+	}
+	n.proposePending()
+}
+
+// proposePending lets the current leader assign slots to pending requests.
+func (n *Node) proposePending() {
+	if n.leaderOf(n.view) != n.cfg.Router.Self() {
+		return
+	}
+	digests := make([]string, 0, len(n.pending))
+	byKey := make(map[string][]byte, len(n.pending))
+	for d, p := range n.pending {
+		digests = append(digests, string(d[:]))
+		byKey[string(d[:])] = p
+	}
+	sort.Strings(digests)
+	for _, k := range digests {
+		payload := byKey[k]
+		d := sha256.Sum256(payload)
+		if n.proposed[d] {
+			continue // already assigned a slot in this view
+		}
+		n.proposed[d] = true
+		slot := n.nextSlot
+		n.nextSlot++
+		_ = n.broadcast(typePrePrepare, orderBody{Slot: slot, Payload: payload})
+	}
+}
+
+func (n *Node) slot(s int64) *slotState {
+	st, ok := n.slots[s]
+	if !ok {
+		st = &slotState{
+			prepares: make(map[[32]byte]adversary.Set),
+			commits:  make(map[[32]byte]adversary.Set),
+		}
+		n.slots[s] = st
+	}
+	return st
+}
+
+func (n *Node) onPrePrepare(view int64, from int, body orderBody) {
+	if view != n.view || from != n.leaderOf(view) {
+		return
+	}
+	st := n.slot(body.Slot)
+	if st.proposed {
+		return
+	}
+	st.proposed = true
+	st.payload = body.Payload
+	st.digest = sha256.Sum256(body.Payload)
+	_ = n.broadcast(typePrepare, digestBody{Slot: body.Slot, Digest: st.digest})
+}
+
+func (n *Node) onPrepare(view int64, from int, body digestBody) {
+	if view != n.view {
+		return
+	}
+	st := n.slot(body.Slot)
+	st.prepares[body.Digest] = st.prepares[body.Digest].Add(from)
+	if !st.prepared && n.cfg.Struct.IsQuorum(st.prepares[body.Digest]) {
+		st.prepared = true
+		_ = n.broadcast(typeCommit, digestBody{Slot: body.Slot, Digest: body.Digest})
+	}
+}
+
+func (n *Node) onCommit(view int64, from int, body digestBody) {
+	if view != n.view {
+		return
+	}
+	st := n.slot(body.Slot)
+	st.commits[body.Digest] = st.commits[body.Digest].Add(from)
+	if st.payload == nil || st.digest != body.Digest {
+		return
+	}
+	if !n.cfg.Struct.IsQuorum(st.commits[body.Digest]) || n.delivered[st.digest] {
+		return
+	}
+	n.delivered[st.digest] = true
+	delete(n.pending, st.digest)
+	n.out[body.Slot] = st.payload
+	n.flush()
+}
+
+func (n *Node) flush() {
+	for {
+		p, ok := n.out[n.nextOut]
+		if !ok {
+			return
+		}
+		delete(n.out, n.nextOut)
+		seq := n.nextOut
+		n.nextOut++
+		n.mu.Lock()
+		n.seq++
+		n.mu.Unlock()
+		if n.cfg.Deliver != nil {
+			n.cfg.Deliver(seq, p)
+		}
+	}
+}
+
+// onTick is the failure detector: pending-but-undelivered requests after a
+// timeout mean "the leader looks faulty" — vote for the next view.
+func (n *Node) onTick() {
+	if len(n.pending) == 0 {
+		return
+	}
+	// Re-announce pending requests so a new leader learns them, then
+	// suspect the current leader.
+	for _, p := range n.pending {
+		_ = n.broadcast(typeRequest, requestBody{Payload: p})
+	}
+	_ = n.broadcast(typeViewChange, viewChangeBody{NewView: n.view + 1})
+}
+
+func (n *Node) onViewChange(from int, newView int64) {
+	if newView <= n.view {
+		return
+	}
+	n.viewVotes[newView] = n.viewVotes[newView].Add(from)
+	if !n.cfg.Struct.IsQuorum(n.viewVotes[newView]) {
+		return
+	}
+	// Adopt the new view; reset per-view ordering state (slots restart —
+	// delivered requests are deduplicated by digest).
+	n.view = newView
+	n.mu.Lock()
+	n.views++
+	n.mu.Unlock()
+	n.slots = make(map[int64]*slotState)
+	n.out = make(map[int64][]byte)
+	n.proposed = make(map[[32]byte]bool)
+	n.nextSlot = n.nextOut
+	n.proposePending()
+}
+
+// LeaderStalker is the adversarial scheduler of the paper's liveness
+// attack (§2.2): it reads the view number off the wire (the adversary
+// knows the protocol, including its timeouts) and holds every message SENT
+// BY the current leader until a later view has begun — i.e. it delays the
+// leader "just longer than the timeout". Every message is eventually
+// delivered (when it has become stale), so the run stays inside the
+// asynchronous model, yet the deterministic protocol never delivers
+// anything.
+type LeaderStalker struct {
+	st       *adversary.Structure
+	fallback netsim.Scheduler
+	// votes[v][receiver] is the set of senders whose VIEWCHANGE into view
+	// v has been DELIVERED to the receiver; once every receiver holds a
+	// quorum, the whole system has provably adopted view >= v and the old
+	// leaders' messages are stale.
+	votes   map[int64][]adversary.Set
+	sysView int64
+}
+
+// NewLeaderStalker builds the attack scheduler; non-baseline traffic is
+// scheduled by the fallback.
+func NewLeaderStalker(st *adversary.Structure, fallback netsim.Scheduler) *LeaderStalker {
+	return &LeaderStalker{st: st, fallback: fallback, votes: make(map[int64][]adversary.Set)}
+}
+
+var _ netsim.Scheduler = (*LeaderStalker)(nil)
+
+// Next implements netsim.Scheduler.
+func (s *LeaderStalker) Next(pending []wire.Message) int {
+	n := s.st.N()
+	var free []int
+	for i := range pending {
+		m := &pending[i]
+		v, ok := viewOf(m.Instance)
+		if ok && m.From == int(v%int64(n)) && v >= s.sysView {
+			continue // an unretired leader's message: hold it
+		}
+		free = append(free, i)
+	}
+	if len(free) == 0 {
+		return -1 // hold the leader's traffic until something else moves
+	}
+	sub := make([]wire.Message, len(free))
+	for i, idx := range free {
+		sub[i] = pending[idx]
+	}
+	chosen := free[s.fallback.Next(sub)]
+	s.observe(&pending[chosen])
+	return chosen
+}
+
+// observe records a delivered VIEWCHANGE vote and advances the system
+// view once every party verifiably adopted it.
+func (s *LeaderStalker) observe(m *wire.Message) {
+	if m.Type != typeViewChange {
+		return
+	}
+	v, ok := viewOf(m.Instance)
+	if !ok {
+		return
+	}
+	target := v + 1 // a VIEWCHANGE sent in view v votes for view v+1
+	if target <= s.sysView {
+		return
+	}
+	n := s.st.N()
+	if m.To < 0 || m.To >= n {
+		return
+	}
+	if s.votes[target] == nil {
+		s.votes[target] = make([]adversary.Set, n)
+	}
+	s.votes[target][m.To] = s.votes[target][m.To].Add(m.From)
+	for _, recv := range s.votes[target] {
+		if !s.st.IsQuorum(recv) {
+			return
+		}
+	}
+	s.sysView = target
+	delete(s.votes, target)
+}
+
+// String describes the scheduler.
+func (s *LeaderStalker) String() string {
+	return fmt.Sprintf("leader-stalker(n=%d,view=%d)", s.st.N(), s.sysView)
+}

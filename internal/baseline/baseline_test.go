@@ -1,0 +1,160 @@
+package baseline_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sintra/internal/adversary"
+	"sintra/internal/baseline"
+	"sintra/internal/netsim"
+	"sintra/internal/testutil"
+)
+
+type harness struct {
+	nodes map[int]*baseline.Node
+	mu    sync.Mutex
+	logs  map[int][][]byte
+	cond  *sync.Cond
+}
+
+func newHarness(t *testing.T, c *testutil.Cluster, parties []int, timeout time.Duration) *harness {
+	t.Helper()
+	h := &harness{
+		nodes: make(map[int]*baseline.Node, len(parties)),
+		logs:  make(map[int][][]byte, len(parties)),
+	}
+	h.cond = sync.NewCond(&h.mu)
+	for _, i := range parties {
+		i := i
+		h.nodes[i] = baseline.New(baseline.Config{
+			Router:   c.Routers[i],
+			Struct:   c.Struct,
+			Instance: "b",
+			Timeout:  timeout,
+			Deliver: func(seq int64, payload []byte) {
+				h.mu.Lock()
+				defer h.mu.Unlock()
+				h.logs[i] = append(h.logs[i], payload)
+				h.cond.Broadcast()
+			},
+		})
+	}
+	t.Cleanup(func() {
+		for _, n := range h.nodes {
+			n.Stop()
+		}
+	})
+	return h
+}
+
+func (h *harness) wait(t *testing.T, parties []int, want int, timeout time.Duration) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		for {
+			ok := true
+			for _, p := range parties {
+				if len(h.logs[p]) < want {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return
+			}
+			h.cond.Wait()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		t.Fatalf("timeout waiting for %d deliveries", want)
+	}
+}
+
+func TestBaselineDeliversInFriendlyNetwork(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 2})
+	parties := []int{0, 1, 2, 3}
+	h := newHarness(t, c, parties, 200*time.Millisecond)
+	const total = 3
+	for k := 0; k < total; k++ {
+		if err := h.nodes[1].Submit([]byte(fmt.Sprintf("req-%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.wait(t, parties, total, 30*time.Second)
+	// Total order between parties.
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range parties[1:] {
+		n := len(h.logs[0])
+		if len(h.logs[p]) < n {
+			n = len(h.logs[p])
+		}
+		for k := 0; k < n; k++ {
+			if !bytes.Equal(h.logs[0][k], h.logs[p][k]) {
+				t.Fatalf("order differs at %d", k)
+			}
+		}
+	}
+}
+
+func TestLeaderStalkerStopsBaseline(t *testing.T) {
+	// The paper's liveness attack: the adversary delays the current
+	// leader's messages just beyond the timeout, forever. The baseline
+	// must keep changing views without delivering anything.
+	st := adversary.MustThreshold(4, 1)
+	sched := baseline.NewLeaderStalker(st, netsim.NewRandomScheduler(3))
+	c := testutil.NewCluster(t, st, testutil.Options{Scheduler: sched})
+	parties := []int{0, 1, 2, 3}
+	h := newHarness(t, c, parties, 30*time.Millisecond)
+	if err := h.nodes[1].Submit([]byte("never delivered")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(1500 * time.Millisecond)
+	deliveredTotal := int64(0)
+	viewsMax := int64(0)
+	for _, n := range h.nodes {
+		d, v := n.Stats()
+		deliveredTotal += d
+		if v > viewsMax {
+			viewsMax = v
+		}
+	}
+	if deliveredTotal != 0 {
+		t.Fatalf("baseline delivered %d requests under the leader stalker", deliveredTotal)
+	}
+	if viewsMax < 3 {
+		t.Fatalf("expected many view changes, saw %d", viewsMax)
+	}
+	t.Logf("liveness attack: 0 deliveries, %d view changes", viewsMax)
+}
+
+func TestBaselineSurvivesCrashedLeaderViaViewChange(t *testing.T) {
+	// With the initial leader crashed, the timeout rotates to a live
+	// leader and requests are delivered — the failure detector works as
+	// intended for crash faults (the model it was designed for).
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 5, Corrupted: []int{0}})
+	parties := []int{1, 2, 3}
+	h := newHarness(t, c, parties, 50*time.Millisecond)
+	if err := h.nodes[1].Submit([]byte("after view change")); err != nil {
+		t.Fatal(err)
+	}
+	h.wait(t, parties, 1, 30*time.Second)
+	for _, p := range parties {
+		h.mu.Lock()
+		got := h.logs[p][0]
+		h.mu.Unlock()
+		if !bytes.Equal(got, []byte("after view change")) {
+			t.Fatal("wrong payload")
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sintra/internal/abc"
+	"sintra/internal/adversary"
+	"sintra/internal/netsim"
+	"sintra/internal/scabc"
+	"sintra/internal/wire"
+)
+
+// CausalityResult is experiment P5: does a network-level adversary (a
+// corrupted server sees at least this much) learn a request's content
+// BEFORE the request is ordered? The paper's input-causality argument
+// says plain atomic broadcast leaks and secure causal atomic broadcast
+// does not (§3, §5.2).
+type CausalityResult struct {
+	// PlainLeaks: the document bytes appeared verbatim in network traffic
+	// before the first delivery under plain atomic broadcast.
+	PlainLeaks bool
+	// CausalLeaks: same observation under secure causal atomic broadcast
+	// (must be false — the ciphertext reveals nothing).
+	CausalLeaks bool
+}
+
+// snoopScheduler wraps a fair scheduler and records whether the secret
+// pattern occurs in any scheduled message before markDelivered is set.
+type snoopScheduler struct {
+	inner   netsim.Scheduler
+	pattern []byte
+
+	mu        sync.Mutex
+	leaked    bool
+	stopWatch bool
+}
+
+func (s *snoopScheduler) Next(pending []wire.Message) int {
+	i := s.inner.Next(pending)
+	s.mu.Lock()
+	if !s.stopWatch {
+		for j := range pending {
+			if bytes.Contains(pending[j].Payload, s.pattern) {
+				s.leaked = true
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	return i
+}
+
+func (s *snoopScheduler) stop() {
+	s.mu.Lock()
+	s.stopWatch = true
+	s.mu.Unlock()
+}
+
+func (s *snoopScheduler) sawPattern() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leaked
+}
+
+// RunCausality runs the leak observation under both modes.
+func RunCausality() (CausalityResult, error) {
+	secret := []byte("SECRET-PATENT-CLAIM-0xC0FFEE")
+	var res CausalityResult
+
+	st := adversary.MustThreshold(4, 1)
+
+	// Plain atomic broadcast.
+	{
+		snoop := &snoopScheduler{inner: netsim.NewRandomScheduler(3), pattern: secret}
+		c, err := newCluster(st, snoop, nil)
+		if err != nil {
+			return res, err
+		}
+		var delivered atomic.Int64
+		insts := make(map[int]*abc.ABC)
+		for _, i := range c.alive() {
+			i := i
+			c.routers[i].DoSync(func() {
+				insts[i] = abc.New(abc.Config{
+					Router: c.routers[i], Struct: st, Instance: "leak",
+					Identity: c.pub.Identity, IDKey: c.secrets[i].Identity,
+					Coin: c.pub.Coin, CoinKey: c.secrets[i].Coin,
+					Scheme: c.pub.QuorumSig(), Key: c.secrets[i].SigQuorum,
+					Deliver: func(int64, []byte) { delivered.Add(1) },
+				})
+			})
+		}
+		if err := insts[0].Broadcast(secret); err != nil {
+			c.stop()
+			return res, err
+		}
+		if err := waitCount(func() int { return int(delivered.Load()) }, 4, defaultTimeout); err != nil {
+			c.stop()
+			return res, err
+		}
+		snoop.stop()
+		res.PlainLeaks = snoop.sawPattern()
+		c.stop()
+	}
+
+	// Secure causal atomic broadcast.
+	{
+		snoop := &snoopScheduler{inner: netsim.NewRandomScheduler(3), pattern: secret}
+		c, err := newCluster(st, snoop, nil)
+		if err != nil {
+			return res, err
+		}
+		var delivered atomic.Int64
+		var got []byte
+		var gotMu sync.Mutex
+		insts := make(map[int]*scabc.SCABC)
+		for _, i := range c.alive() {
+			i := i
+			c.routers[i].DoSync(func() {
+				insts[i] = scabc.New(scabc.Config{
+					Router: c.routers[i], Struct: st, Instance: "leak",
+					Identity: c.pub.Identity, IDKey: c.secrets[i].Identity,
+					Coin: c.pub.Coin, CoinKey: c.secrets[i].Coin,
+					Scheme: c.pub.QuorumSig(), Key: c.secrets[i].SigQuorum,
+					Enc: c.pub.Enc, EncKey: c.secrets[i].Enc,
+					Deliver: func(_ int64, req []byte) {
+						gotMu.Lock()
+						got = append([]byte(nil), req...)
+						gotMu.Unlock()
+						delivered.Add(1)
+					},
+				})
+			})
+		}
+		ct, err := scabc.Encrypt(c.pub.Enc, "leak", secret)
+		if err != nil {
+			c.stop()
+			return res, err
+		}
+		if err := insts[0].Submit(ct); err != nil {
+			c.stop()
+			return res, err
+		}
+		if err := waitCount(func() int { return int(delivered.Load()) }, 4, defaultTimeout); err != nil {
+			c.stop()
+			return res, err
+		}
+		// Note: decryption shares circulate only after ordering; the snoop
+		// watched the whole run, but the leak question is answered by
+		// whether the pattern appeared at all among CIPHERTEXT traffic
+		// before ordering. To keep the observation honest we stop watching
+		// at first delivery on the plain run and watch ordering-phase
+		// traffic only here, by construction of the protocol: the
+		// plaintext appears on no wire at any time (only inside TDH2
+		// payloads and never re-broadcast in clear).
+		snoop.stop()
+		res.CausalLeaks = snoop.sawPattern()
+		gotMu.Lock()
+		ok := bytes.Equal(got, secret)
+		gotMu.Unlock()
+		c.stop()
+		if !ok {
+			return res, errDeliveredWrongPlaintext
+		}
+	}
+	_ = time.Now
+	return res, nil
+}
+
+var errDeliveredWrongPlaintext = errBench("secure causal broadcast delivered wrong plaintext")
+
+type errBench string
+
+func (e errBench) Error() string { return string(e) }

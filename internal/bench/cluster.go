@@ -1,0 +1,110 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper from the implementation (see DESIGN.md §3 for the
+// experiment index). The cmd/sintra-bench command prints the paper-style
+// tables; the repository-root benchmarks reuse the same runners.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sintra/internal/adversary"
+	"sintra/internal/deal"
+	"sintra/internal/engine"
+	"sintra/internal/group"
+	"sintra/internal/netsim"
+)
+
+// defaultTimeout bounds each measured operation.
+const defaultTimeout = 120 * time.Second
+
+// cluster is a dealt set of parties over the simulated network (the
+// non-testing twin of internal/testutil).
+type cluster struct {
+	st      *adversary.Structure
+	net     *netsim.Network
+	routers []*engine.Router
+	pub     *deal.Public
+	secrets []*deal.PartySecret
+
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// newCluster deals keys and starts routers for every non-crashed party.
+func newCluster(st *adversary.Structure, sched netsim.Scheduler, crashed []int) (*cluster, error) {
+	return newClusterForceCert(st, sched, crashed, false)
+}
+
+// newClusterForceCert additionally selects the certificate signature
+// scheme even for threshold structures (ablations).
+func newClusterForceCert(st *adversary.Structure, sched netsim.Scheduler, crashed []int, forceCert bool) (*cluster, error) {
+	pub, secrets, err := deal.New(deal.Options{
+		Group:     group.Test256(),
+		Structure: st,
+		RSAPrimes: deal.TestPrimes256(),
+		ForceCert: forceCert,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		sched = netsim.NewRandomScheduler(1)
+	}
+	c := &cluster{
+		st:      st,
+		net:     netsim.New(st.N(), 2, sched),
+		pub:     pub,
+		secrets: secrets,
+	}
+	down := make(map[int]bool, len(crashed))
+	for _, i := range crashed {
+		down[i] = true
+	}
+	c.routers = make([]*engine.Router, st.N())
+	for i := 0; i < st.N(); i++ {
+		if down[i] {
+			continue
+		}
+		r := engine.NewRouter(c.net.Endpoint(i))
+		c.routers[i] = r
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			r.Run()
+		}()
+	}
+	return c, nil
+}
+
+// alive returns the indices of running parties.
+func (c *cluster) alive() []int {
+	var out []int
+	for i, r := range c.routers {
+		if r != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (c *cluster) stop() {
+	c.stopOnce.Do(func() {
+		c.net.Stop()
+		c.wg.Wait()
+	})
+}
+
+// waitCount blocks until the counter function (called under no lock; it
+// must be thread safe) reaches want, or the timeout expires.
+func waitCount(counter func() int, want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for counter() < want {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: timeout: %d of %d events", counter(), want)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}

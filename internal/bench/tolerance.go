@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sintra/internal/abc"
+	"sintra/internal/adversary"
+	"sintra/internal/netsim"
+)
+
+// ToleranceRow is one point of the resilience sweep: atomic broadcast on
+// n=3t+1 servers with a growing number of crashed parties. Up to t crashes
+// the protocol must keep delivering; at t+1 crashes no quorum exists and
+// progress must stop — the optimal-resilience boundary (n > 3t) the paper
+// proves tight.
+type ToleranceRow struct {
+	N         int
+	T         int
+	Crashed   int
+	Delivered int
+	Live      bool
+	Elapsed   time.Duration
+}
+
+// RunToleranceSweep sweeps crash counts 0..t+1 on an (n, t) deployment,
+// attempting ops requests each time; beyond-threshold runs are observed
+// for the window and must deliver nothing.
+func RunToleranceSweep(n, t, ops int, window time.Duration) ([]ToleranceRow, error) {
+	st, err := adversary.NewThreshold(n, t)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ToleranceRow
+	for crashed := 0; crashed <= t+1; crashed++ {
+		var down []int
+		for i := 0; i < crashed; i++ {
+			down = append(down, n-1-i) // crash from the top
+		}
+		c, err := newCluster(st, netsim.NewRandomScheduler(int64(29+crashed)), down)
+		if err != nil {
+			return nil, err
+		}
+		var delivered atomic.Int64
+		insts := make(map[int]*abc.ABC)
+		for _, i := range c.alive() {
+			i := i
+			c.routers[i].DoSync(func() {
+				insts[i] = abc.New(abc.Config{
+					Router: c.routers[i], Struct: st, Instance: "tol",
+					Identity: c.pub.Identity, IDKey: c.secrets[i].Identity,
+					Coin: c.pub.Coin, CoinKey: c.secrets[i].Coin,
+					Scheme: c.pub.QuorumSig(), Key: c.secrets[i].SigQuorum,
+					Deliver: func(int64, []byte) { delivered.Add(1) },
+				})
+			})
+		}
+		alive := len(c.alive())
+		start := time.Now()
+		for k := 0; k < ops; k++ {
+			_ = insts[c.alive()[0]].Broadcast([]byte(fmt.Sprintf("t-%d", k)))
+		}
+		row := ToleranceRow{N: n, T: t, Crashed: crashed}
+		if crashed <= t {
+			// Must deliver everything.
+			err := waitCount(func() int { return int(delivered.Load()) }, alive*ops, defaultTimeout)
+			row.Live = err == nil
+			row.Delivered = int(delivered.Load()) / alive
+		} else {
+			// Beyond the bound: observe for the window; no delivery may
+			// happen (no quorum of proposals can form).
+			time.Sleep(window)
+			row.Delivered = int(delivered.Load()) / alive
+			row.Live = row.Delivered > 0
+		}
+		row.Elapsed = time.Since(start)
+		c.stop()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintToleranceSweep renders the resilience-boundary table.
+func PrintToleranceSweep(wr interface{ Write([]byte) (int, error) }, rows []ToleranceRow) {
+	fmt.Fprintf(wr, "T1 — resilience boundary (n > 3t is optimal and tight)\n")
+	fmt.Fprintf(wr, "%4s %3s %9s %11s %7s\n", "n", "t", "crashed", "delivered", "live")
+	for _, r := range rows {
+		fmt.Fprintf(wr, "%4d %3d %9d %11d %7v\n", r.N, r.T, r.Crashed, r.Delivered, r.Live)
+	}
+	fmt.Fprintf(wr, "up to t crashes: full progress; t+1 crashes: no quorum, no progress\n")
+}

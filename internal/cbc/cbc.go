@@ -1,0 +1,273 @@
+// Package cbc implements consistent broadcast (echo broadcast with a
+// threshold-signature certificate), the variation of reliable broadcast
+// the paper highlights (§3): it guarantees uniqueness of the delivered
+// message but relaxes totality — a party may instead learn of the message
+// by other means and fetch it, presenting the transferable delivery
+// certificate. The protocol goes back to Reiter's echo multicast and is
+// the workhorse of the multi-valued agreement protocol, where proposals
+// are c-broadcast and their certificates serve as evidence.
+//
+// Flow: the sender SENDs the payload; every party that accepts it (the
+// external-validity predicate) returns a signature share on the payload
+// digest to the sender; the sender combines a quorum of shares into a
+// certificate and FINALs (payload, certificate); parties deliver on a
+// valid certificate. Since two quorums intersect in an honest party and
+// honest parties sign at most one digest per instance, at most one payload
+// can ever carry a valid certificate: uniqueness.
+package cbc
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sintra/internal/adversary"
+	"sintra/internal/engine"
+	"sintra/internal/thresig"
+	"sintra/internal/wire"
+)
+
+// Protocol is the wire protocol name of consistent broadcast.
+const Protocol = "cbc"
+
+// Message types.
+const (
+	typeSend  = "SEND"
+	typeShare = "SHARE"
+	typeFinal = "FINAL"
+	typeReq   = "REQ"
+	typeAns   = "ANS"
+)
+
+type sendBody struct {
+	Payload []byte
+}
+
+type shareBody struct {
+	Share thresig.Share
+}
+
+type finalBody struct {
+	Payload []byte
+	Cert    []byte
+}
+
+type emptyBody struct{}
+
+// InstanceID builds the canonical instance identifier, binding the sender.
+func InstanceID(sender int, tag string) string {
+	return strconv.Itoa(sender) + "/" + tag
+}
+
+// SenderOf parses the sender out of an instance identifier.
+func SenderOf(instance string) (int, error) {
+	head, _, ok := strings.Cut(instance, "/")
+	if !ok {
+		return 0, fmt.Errorf("cbc: malformed instance %q", instance)
+	}
+	sender, err := strconv.Atoi(head)
+	if err != nil {
+		return 0, fmt.Errorf("cbc: malformed instance %q", instance)
+	}
+	return sender, nil
+}
+
+// signedStatement is the string whose threshold signature certifies a
+// delivery: it binds instance and payload digest.
+func signedStatement(instance string, digest [32]byte) []byte {
+	return []byte("cbc|" + instance + "|" + hex.EncodeToString(digest[:]))
+}
+
+// VerifyCertificate checks a transferable delivery certificate for the
+// given instance and payload.
+func VerifyCertificate(scheme thresig.Scheme, instance string, payload, cert []byte) error {
+	d := sha256.Sum256(payload)
+	if err := scheme.Verify(signedStatement(instance, d), cert); err != nil {
+		return fmt.Errorf("cbc: certificate: %w", err)
+	}
+	return nil
+}
+
+// Config wires one consistent-broadcast instance.
+type Config struct {
+	// Router is the party's protocol router.
+	Router *engine.Router
+	// Struct is the adversary structure.
+	Struct *adversary.Structure
+	// Instance is the instance identifier (use InstanceID).
+	Instance string
+	// Sender is the broadcasting party.
+	Sender int
+	// Scheme is the quorum-rule threshold signature scheme.
+	Scheme thresig.Scheme
+	// Key is this party's signing key for Scheme.
+	Key *thresig.SecretKey
+	// Deliver is called exactly once with the payload and its
+	// transferable certificate.
+	Deliver func(payload, cert []byte)
+	// Predicate optionally rejects payloads (external validity).
+	Predicate func(payload []byte) bool
+}
+
+// CBC is one consistent-broadcast instance; dispatch-goroutine only.
+type CBC struct {
+	cfg Config
+
+	signedDigest *[32]byte // the digest this party signed, if any
+	delivered    bool
+	payload      []byte
+	cert         []byte
+
+	// Sender-side state.
+	sentPayload []byte
+	shares      []thresig.Share
+	shareFrom   adversary.Set
+	finalSent   bool
+
+	answered adversary.Set
+}
+
+// New creates and registers an instance on the router (dispatch goroutine
+// or pre-Run only).
+func New(cfg Config) *CBC {
+	c := &CBC{cfg: cfg}
+	cfg.Router.Register(Protocol, cfg.Instance, c.Handle)
+	return c
+}
+
+// Start c-broadcasts the payload; sender only. Safe from any goroutine
+// (routed through a loopback message).
+func (c *CBC) Start(payload []byte) error {
+	if c.cfg.Router.Self() != c.cfg.Sender {
+		return fmt.Errorf("cbc: party %d cannot start instance of sender %d", c.cfg.Router.Self(), c.cfg.Sender)
+	}
+	return c.cfg.Router.Loopback(Protocol, c.cfg.Instance, "START", sendBody{Payload: payload})
+}
+
+// Delivered reports whether the instance has delivered.
+func (c *CBC) Delivered() bool { return c.delivered }
+
+func (c *CBC) valid(payload []byte) bool {
+	return c.cfg.Predicate == nil || c.cfg.Predicate(payload)
+}
+
+// Handle processes one protocol message.
+func (c *CBC) Handle(from int, msgType string, payload []byte) {
+	switch msgType {
+	case "START":
+		var body sendBody
+		if from != c.cfg.Router.Self() || wire.UnmarshalBody(payload, &body) != nil {
+			return
+		}
+		if c.sentPayload != nil {
+			return
+		}
+		c.sentPayload = body.Payload
+		_ = c.cfg.Router.Broadcast(Protocol, c.cfg.Instance, typeSend, sendBody{Payload: body.Payload})
+	case typeSend:
+		var body sendBody
+		if from != c.cfg.Sender || wire.UnmarshalBody(payload, &body) != nil {
+			return
+		}
+		c.onSend(body.Payload)
+	case typeShare:
+		var body shareBody
+		if wire.UnmarshalBody(payload, &body) != nil {
+			return
+		}
+		c.onShare(from, body.Share)
+	case typeFinal:
+		var body finalBody
+		if wire.UnmarshalBody(payload, &body) != nil {
+			return
+		}
+		c.onFinal(body.Payload, body.Cert)
+	case typeReq:
+		c.onReq(from)
+	case typeAns:
+		var body finalBody
+		if wire.UnmarshalBody(payload, &body) != nil {
+			return
+		}
+		c.onFinal(body.Payload, body.Cert)
+	}
+}
+
+// onSend: sign the digest once and return the share to the sender.
+func (c *CBC) onSend(payload []byte) {
+	if c.signedDigest != nil || !c.valid(payload) {
+		return
+	}
+	d := sha256.Sum256(payload)
+	c.signedDigest = &d
+	share, err := c.cfg.Scheme.SignShare(c.cfg.Key, signedStatement(c.cfg.Instance, d), rand.Reader)
+	if err != nil {
+		return
+	}
+	_ = c.cfg.Router.Send(c.cfg.Sender, Protocol, c.cfg.Instance, typeShare, shareBody{Share: share})
+}
+
+// onShare: sender collects shares until the quorum rule is met.
+func (c *CBC) onShare(from int, share thresig.Share) {
+	if c.cfg.Router.Self() != c.cfg.Sender || c.finalSent || c.sentPayload == nil {
+		return
+	}
+	if share.Party != from || c.shareFrom.Has(from) {
+		return
+	}
+	d := sha256.Sum256(c.sentPayload)
+	stmt := signedStatement(c.cfg.Instance, d)
+	if err := c.cfg.Scheme.VerifyShare(stmt, share); err != nil {
+		return
+	}
+	c.shareFrom = c.shareFrom.Add(from)
+	c.shares = append(c.shares, share)
+	if !c.cfg.Scheme.Sufficient(c.shareFrom) {
+		return
+	}
+	cert, err := c.cfg.Scheme.Combine(stmt, c.shares)
+	if err != nil {
+		return
+	}
+	c.finalSent = true
+	_ = c.cfg.Router.Broadcast(Protocol, c.cfg.Instance, typeFinal, finalBody{Payload: c.sentPayload, Cert: cert})
+}
+
+// onFinal: verify the certificate and deliver.
+func (c *CBC) onFinal(payload, cert []byte) {
+	if c.delivered {
+		return
+	}
+	if VerifyCertificate(c.cfg.Scheme, c.cfg.Instance, payload, cert) != nil {
+		return
+	}
+	c.delivered = true
+	c.payload = payload
+	c.cert = cert
+	if c.cfg.Deliver != nil {
+		c.cfg.Deliver(payload, cert)
+	}
+}
+
+// onReq: serve the certified payload to a party that learned of the
+// message by other means (at most once per requester).
+func (c *CBC) onReq(from int) {
+	if !c.delivered || c.answered.Has(from) {
+		return
+	}
+	c.answered = c.answered.Add(from)
+	_ = c.cfg.Router.Send(from, Protocol, c.cfg.Instance, typeAns, finalBody{Payload: c.payload, Cert: c.cert})
+}
+
+// Fetch asks the given parties for the certified payload (used by parties
+// that learned about the broadcast out of band). Safe from any goroutine.
+func (c *CBC) Fetch(parties []int) {
+	for _, j := range parties {
+		if j != c.cfg.Router.Self() {
+			_ = c.cfg.Router.Send(j, Protocol, c.cfg.Instance, typeReq, emptyBody{})
+		}
+	}
+}

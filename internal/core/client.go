@@ -1,0 +1,211 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sintra/internal/adversary"
+	"sintra/internal/deal"
+	"sintra/internal/scabc"
+	"sintra/internal/thresig"
+	"sintra/internal/wire"
+)
+
+// Client errors.
+var (
+	// ErrTimeout is returned when not enough consistent answers arrived in
+	// time.
+	ErrTimeout = errors.New("core: request timed out")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("core: client closed")
+)
+
+// Answer is a completed service invocation.
+type Answer struct {
+	// ReqID is the request's correlation ID; VerifyAnswer needs it.
+	ReqID [16]byte
+	// Result is the service's response body.
+	Result []byte
+	// Seq is the request's position in the service's total order.
+	Seq int64
+	// Signature is the service's threshold signature over the answer;
+	// verify with VerifyAnswer. It proves the answer to third parties —
+	// a certificate, a notary receipt.
+	Signature []byte
+}
+
+// Client invokes a replicated trusted service: it sends each request to
+// all servers and accepts an answer once a set of servers outside the
+// adversary structure returned the same result, recovering the service's
+// threshold signature from the response shares (paper §5).
+type Client struct {
+	pub     *deal.Public
+	tr      wire.Transport
+	service string
+	mode    Mode
+
+	mu      sync.Mutex
+	pending map[[16]byte]*call
+	closed  bool
+
+	done chan struct{}
+	once sync.Once
+}
+
+type call struct {
+	responses map[int]responseBody // by responding server
+	ch        chan Answer
+}
+
+// NewClient wraps a client transport endpoint. Close releases it.
+func NewClient(pub *deal.Public, tr wire.Transport, service string, mode Mode) *Client {
+	c := &Client{
+		pub:     pub,
+		tr:      tr,
+		service: service,
+		mode:    mode,
+		pending: make(map[[16]byte]*call),
+		done:    make(chan struct{}),
+	}
+	go c.recvLoop()
+	return c
+}
+
+// Close shuts the client down.
+func (c *Client) Close() {
+	c.once.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		c.mu.Unlock()
+		_ = c.tr.Close()
+		<-c.done
+	})
+}
+
+// Invoke executes one request against the service and waits for a
+// trustworthy answer.
+func (c *Client) Invoke(body []byte, timeout time.Duration) (Answer, error) {
+	var reqID [16]byte
+	if _, err := rand.Read(reqID[:]); err != nil {
+		return Answer{}, fmt.Errorf("core: %w", err)
+	}
+	env := envelope{ReqID: reqID, Body: body}
+	plain, err := wire.MarshalBody(env)
+	if err != nil {
+		return Answer{}, err
+	}
+	payload := plain
+	if c.mode == ModeSecureCausal {
+		// Encrypt under the service key: servers see the request content
+		// only after its position in the order is fixed.
+		payload, err = scabc.Encrypt(c.pub.Enc, "svc/"+c.service, plain)
+		if err != nil {
+			return Answer{}, fmt.Errorf("core: encrypt request: %w", err)
+		}
+	}
+
+	cl := &call{responses: make(map[int]responseBody), ch: make(chan Answer, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Answer{}, ErrClosed
+	}
+	c.pending[reqID] = cl
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+	}()
+
+	// Send to all servers: corrupted servers could ignore the request, so
+	// more than a corruptible set must receive it (paper §5).
+	req, err := wire.MarshalBody(requestBody{ReqID: reqID, Payload: payload})
+	if err != nil {
+		return Answer{}, err
+	}
+	for s := 0; s < c.tr.N(); s++ {
+		c.tr.Send(wire.Message{
+			To:       s,
+			Protocol: clientProtocol,
+			Instance: c.service,
+			Type:     typeRequest,
+			Payload:  req,
+		})
+	}
+
+	select {
+	case a := <-cl.ch:
+		return a, nil
+	case <-time.After(timeout):
+		return Answer{}, ErrTimeout
+	case <-c.done:
+		return Answer{}, ErrClosed
+	}
+}
+
+// recvLoop processes RESPONSE messages until the transport closes.
+func (c *Client) recvLoop() {
+	defer close(c.done)
+	for {
+		m, ok := c.tr.Recv()
+		if !ok {
+			return
+		}
+		if m.Protocol != clientProtocol || m.Type != typeResponse {
+			continue
+		}
+		var resp responseBody
+		if wire.UnmarshalBody(m.Payload, &resp) != nil {
+			continue
+		}
+		c.onResponse(m.From, resp)
+	}
+}
+
+func (c *Client) onResponse(from int, resp responseBody) {
+	if from < 0 || from >= c.tr.N() || resp.Share.Party != from {
+		return
+	}
+	stmt := answerStatement(c.service, resp.ReqID, resp.Result)
+	scheme := c.pub.AnswerSig()
+	if scheme.VerifyShare(stmt, resp.Share) != nil {
+		return // corrupted server: invalid share
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl, ok := c.pending[resp.ReqID]
+	if !ok {
+		return
+	}
+	if _, dup := cl.responses[from]; dup {
+		return
+	}
+	cl.responses[from] = resp
+
+	// Group responders by identical result; accept once a group that
+	// cannot be entirely corrupted agrees.
+	var agreeing adversary.Set
+	shares := make([]thresig.Share, 0, len(cl.responses))
+	for s, r := range cl.responses {
+		if bytes.Equal(r.Result, resp.Result) {
+			agreeing = agreeing.Add(s)
+			shares = append(shares, r.Share)
+		}
+	}
+	if !c.pub.Structure.HasHonest(agreeing) || !scheme.Sufficient(agreeing) {
+		return
+	}
+	sig, err := scheme.Combine(stmt, shares)
+	if err != nil {
+		return // wait for more shares
+	}
+	select {
+	case cl.ch <- Answer{ReqID: resp.ReqID, Result: resp.Result, Seq: resp.Seq, Signature: sig}:
+	default:
+	}
+}

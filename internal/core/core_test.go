@@ -1,0 +1,367 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sintra/internal/adversary"
+	"sintra/internal/core"
+	"sintra/internal/netsim"
+	"sintra/internal/testutil"
+	"sintra/internal/wire"
+)
+
+// echoService is a deterministic state machine that prefixes each request
+// with its sequence number.
+type echoService struct {
+	mu      sync.Mutex
+	applied []string
+}
+
+func (e *echoService) Apply(seq int64, request []byte) []byte {
+	e.mu.Lock()
+	e.applied = append(e.applied, string(request))
+	e.mu.Unlock()
+	return []byte(fmt.Sprintf("%d:%s", seq, request))
+}
+
+// counterService returns a running counter, exercising state dependence.
+type counterService struct {
+	count int64
+}
+
+func (c *counterService) Apply(seq int64, request []byte) []byte {
+	c.count += int64(len(request))
+	return []byte(fmt.Sprintf("count=%d", c.count))
+}
+
+// nodesFor builds and runs a node on each listed party over the cluster's
+// simulated network.
+func nodesFor(t *testing.T, c *testutil.Cluster, parties []int, mode core.Mode, svc func() core.StateMachine) map[int]*core.Node {
+	t.Helper()
+	nodes := make(map[int]*core.Node, len(parties))
+	for _, i := range parties {
+		n, err := core.NewNode(core.NodeConfig{
+			Public:      c.Pub,
+			Secret:      c.Secrets[i],
+			Transport:   c.Net.Endpoint(i),
+			ServiceName: "test",
+			Service:     svc(),
+			Mode:        mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		go n.Run()
+	}
+	t.Cleanup(func() {
+		// Stop the simulated network first: Node.Stop waits for its
+		// dispatch loop, which only exits once its endpoint's Recv fails.
+		c.Net.Stop()
+		for _, n := range nodes {
+			n.Stop()
+		}
+	})
+	return nodes
+}
+
+// Cluster routers collide with Node routers on the same endpoints, so core
+// tests build clusters with no routers started (all parties "corrupted"
+// from testutil's perspective) and attach Nodes instead.
+func coreCluster(t *testing.T, st *adversary.Structure, opts testutil.Options) *testutil.Cluster {
+	t.Helper()
+	all := make([]int, st.N())
+	for i := range all {
+		all[i] = i
+	}
+	opts.Corrupted = all
+	if opts.Clients == 0 {
+		opts.Clients = 2
+	}
+	return testutil.NewCluster(t, st, opts)
+}
+
+func TestClientInvokeAtomic(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := coreCluster(t, st, testutil.Options{Seed: 2})
+	nodesFor(t, c, []int{0, 1, 2, 3}, core.ModeAtomic, func() core.StateMachine { return &echoService{} })
+	client := core.NewClient(c.Pub, c.Net.Endpoint(4), "test", core.ModeAtomic)
+	defer client.Close()
+
+	ans, err := client.Invoke([]byte("hello"), 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(ans.Result), ":hello") {
+		t.Fatalf("Result = %q", ans.Result)
+	}
+	if len(ans.Signature) == 0 {
+		t.Fatal("answer carries no threshold signature")
+	}
+}
+
+func TestSequentialStateEvolution(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := coreCluster(t, st, testutil.Options{Seed: 3})
+	nodesFor(t, c, []int{0, 1, 2, 3}, core.ModeAtomic, func() core.StateMachine { return &counterService{} })
+	client := core.NewClient(c.Pub, c.Net.Endpoint(4), "test", core.ModeAtomic)
+	defer client.Close()
+
+	// Because requests mutate shared state, every client answer must
+	// reflect the same replica history: counts strictly increase.
+	last := int64(-1)
+	for k := 0; k < 3; k++ {
+		ans, err := client.Invoke([]byte("xx"), 60*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var count int64
+		if _, err := fmt.Sscanf(string(ans.Result), "count=%d", &count); err != nil {
+			t.Fatalf("Result %q: %v", ans.Result, err)
+		}
+		if count <= last {
+			t.Fatalf("count did not advance: %d after %d", count, last)
+		}
+		last = count
+	}
+}
+
+func TestClientSurvivesCrashedServer(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := coreCluster(t, st, testutil.Options{Seed: 5})
+	nodesFor(t, c, []int{0, 1, 2}, core.ModeAtomic, func() core.StateMachine { return &echoService{} })
+	client := core.NewClient(c.Pub, c.Net.Endpoint(4), "test", core.ModeAtomic)
+	defer client.Close()
+	ans, err := client.Invoke([]byte("crash-tolerant"), 90*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ans.Result), "crash-tolerant") {
+		t.Fatalf("Result = %q", ans.Result)
+	}
+}
+
+func TestSecureCausalMode(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := coreCluster(t, st, testutil.Options{Seed: 7})
+	nodesFor(t, c, []int{0, 1, 2, 3}, core.ModeSecureCausal, func() core.StateMachine { return &echoService{} })
+	client := core.NewClient(c.Pub, c.Net.Endpoint(4), "test", core.ModeSecureCausal)
+	defer client.Close()
+	ans, err := client.Invoke([]byte("confidential"), 90*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ans.Result), "confidential") {
+		t.Fatalf("Result = %q", ans.Result)
+	}
+}
+
+func TestTwoClientsConcurrently(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := coreCluster(t, st, testutil.Options{Seed: 9, Clients: 2})
+	nodesFor(t, c, []int{0, 1, 2, 3}, core.ModeAtomic, func() core.StateMachine { return &echoService{} })
+	c1 := core.NewClient(c.Pub, c.Net.Endpoint(4), "test", core.ModeAtomic)
+	defer c1.Close()
+	c2 := core.NewClient(c.Pub, c.Net.Endpoint(5), "test", core.ModeAtomic)
+	defer c2.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	results := make([]core.Answer, 2)
+	for i, cl := range []*core.Client{c1, c2} {
+		i, cl := i, cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = cl.Invoke([]byte(fmt.Sprintf("client-%d", i)), 90*time.Second)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if !strings.Contains(string(results[i].Result), fmt.Sprintf("client-%d", i)) {
+			t.Fatalf("client %d got %q", i, results[i].Result)
+		}
+	}
+}
+
+func TestGeneralStructureService(t *testing.T) {
+	// Example 1 with all of class a crashed: the trusted service keeps
+	// answering although four of nine servers are gone.
+	st := adversary.Example1()
+	c := coreCluster(t, st, testutil.Options{Seed: 11})
+	nodesFor(t, c, []int{4, 5, 6, 7, 8}, core.ModeAtomic, func() core.StateMachine { return &echoService{} })
+	client := core.NewClient(c.Pub, c.Net.Endpoint(9), "test", core.ModeAtomic)
+	defer client.Close()
+	ans, err := client.Invoke([]byte("class-a-is-down"), 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ans.Result), "class-a-is-down") {
+		t.Fatalf("Result = %q", ans.Result)
+	}
+}
+
+func TestByzantineResponderCannotFoolClient(t *testing.T) {
+	// Server 3 is replaced by a liar that answers garbage immediately with
+	// an invalid share; the client must still converge on the honest
+	// answer.
+	st := adversary.MustThreshold(4, 1)
+	c := coreCluster(t, st, testutil.Options{Seed: 13})
+	nodesFor(t, c, []int{0, 1, 2}, core.ModeAtomic, func() core.StateMachine { return &echoService{} })
+
+	// The liar listens on endpoint 3 and answers any REQUEST at once.
+	liar := c.Net.Endpoint(3)
+	go func() {
+		for {
+			m, ok := liar.Recv()
+			if !ok {
+				return
+			}
+			if m.Protocol != "client" || m.Type != "REQUEST" {
+				continue
+			}
+			var req struct {
+				ReqID   [16]byte
+				Payload []byte
+			}
+			if wire.UnmarshalBody(m.Payload, &req) != nil {
+				continue
+			}
+			resp := struct {
+				ReqID  [16]byte
+				Seq    int64
+				Result []byte
+				Share  struct {
+					Party int
+					Data  []byte
+				}
+			}{ReqID: req.ReqID, Result: []byte("LIES")}
+			resp.Share.Party = 3
+			resp.Share.Data = []byte("garbage")
+			liar.Send(wire.Message{
+				To: m.From, Protocol: "client", Instance: "test",
+				Type: "RESPONSE", Payload: wire.MustMarshalBody(resp),
+			})
+		}
+	}()
+
+	client := core.NewClient(c.Pub, c.Net.Endpoint(4), "test", core.ModeAtomic)
+	defer client.Close()
+	ans, err := client.Invoke([]byte("truth"), 90*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(ans.Result, []byte("LIES")) {
+		t.Fatal("client accepted the liar's answer")
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := coreCluster(t, st, testutil.Options{})
+	if _, err := core.NewNode(core.NodeConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := core.NewNode(core.NodeConfig{
+		Public: c.Pub, Secret: c.Secrets[0], Transport: c.Net.Endpoint(0),
+		Service: &echoService{}, Mode: core.ModeAtomic,
+	}); err == nil {
+		t.Fatal("missing service name accepted")
+	}
+	if _, err := core.NewNode(core.NodeConfig{
+		Public: c.Pub, Secret: c.Secrets[0], Transport: c.Net.Endpoint(0),
+		ServiceName: "x", Service: &echoService{}, Mode: core.Mode(9),
+	}); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if core.ModeAtomic.String() != "atomic" || core.ModeSecureCausal.String() != "secure-causal" {
+		t.Fatal("mode names broken")
+	}
+	if core.Mode(9).String() == "" {
+		t.Fatal("unknown mode must still render")
+	}
+}
+
+var _ netsim.Scheduler = (*netsim.RandomScheduler)(nil) // compile-time reference
+
+func TestClientTimeoutWhenServersDown(t *testing.T) {
+	// No nodes run at all: the client must time out, not hang.
+	st := adversary.MustThreshold(4, 1)
+	c := coreCluster(t, st, testutil.Options{Seed: 15})
+	client := core.NewClient(c.Pub, c.Net.Endpoint(4), "test", core.ModeAtomic)
+	defer client.Close()
+	if _, err := client.Invoke([]byte("void"), 300*time.Millisecond); err != core.ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := coreCluster(t, st, testutil.Options{Seed: 16})
+	client := core.NewClient(c.Pub, c.Net.Endpoint(4), "test", core.ModeAtomic)
+	client.Close()
+	if _, err := client.Invoke([]byte("x"), time.Second); err != core.ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	client.Close() // idempotent
+}
+
+func TestVerifyAnswerRejectsForgery(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := coreCluster(t, st, testutil.Options{Seed: 17})
+	nodesFor(t, c, []int{0, 1, 2, 3}, core.ModeAtomic, func() core.StateMachine { return &echoService{} })
+	client := core.NewClient(c.Pub, c.Net.Endpoint(4), "test", core.ModeAtomic)
+	defer client.Close()
+	ans, err := client.Invoke([]byte("real"), 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyAnswer(c.Pub, "test", ans.ReqID, ans.Result, ans.Signature); err != nil {
+		t.Fatal(err)
+	}
+	forged := append([]byte(nil), ans.Result...)
+	forged[0] ^= 1
+	if err := core.VerifyAnswer(c.Pub, "test", ans.ReqID, forged, ans.Signature); err == nil {
+		t.Fatal("forged result verified")
+	}
+	if err := core.VerifyAnswer(c.Pub, "other-service", ans.ReqID, ans.Result, ans.Signature); err == nil {
+		t.Fatal("signature transferred across services")
+	}
+	var otherID [16]byte
+	otherID[5] = 9
+	if err := core.VerifyAnswer(c.Pub, "test", otherID, ans.Result, ans.Signature); err == nil {
+		t.Fatal("signature transferred across requests")
+	}
+}
+
+func TestLargerClusterService(t *testing.T) {
+	// Full service stack at n=7, t=2, with two crashed replicas.
+	if testing.Short() {
+		t.Skip("larger cluster")
+	}
+	st := adversary.MustThreshold(7, 2)
+	c := coreCluster(t, st, testutil.Options{Seed: 19})
+	nodesFor(t, c, []int{0, 1, 2, 3, 4}, core.ModeAtomic, func() core.StateMachine { return &echoService{} })
+	client := core.NewClient(c.Pub, c.Net.Endpoint(7), "test", core.ModeAtomic)
+	defer client.Close()
+	for k := 0; k < 2; k++ {
+		ans, err := client.Invoke([]byte(fmt.Sprintf("big-%d", k)), 120*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(ans.Result), fmt.Sprintf("big-%d", k)) {
+			t.Fatalf("Result = %q", ans.Result)
+		}
+	}
+}

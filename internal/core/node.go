@@ -1,0 +1,211 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+
+	"sintra/internal/abc"
+	"sintra/internal/deal"
+	"sintra/internal/engine"
+	"sintra/internal/scabc"
+	"sintra/internal/wire"
+)
+
+// NodeConfig configures one replica.
+type NodeConfig struct {
+	// Public is the dealer's public output; Secret this party's keys.
+	Public *deal.Public
+	Secret *deal.PartySecret
+	// Transport connects the replica to the network.
+	Transport wire.Transport
+	// ServiceName tags the replicated service (protocol instance).
+	ServiceName string
+	// Service is the deterministic application.
+	Service StateMachine
+	// Mode selects atomic or secure-causal request dissemination.
+	Mode Mode
+	// BatchSize tunes the atomic broadcast batches.
+	BatchSize int
+}
+
+// Node is one replica of a distributed trusted service.
+type Node struct {
+	cfg    NodeConfig
+	router *engine.Router
+
+	// reqClients maps a request correlation ID to the client endpoints
+	// that asked for it (dispatch goroutine only).
+	reqClients map[[16]byte][]int
+
+	applied int64 // requests applied (dispatch goroutine only)
+
+	runOnce  sync.Once
+	stopOnce sync.Once
+}
+
+// NewNode builds a replica. Call Run to start serving; Stop to shut down.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Public == nil || cfg.Secret == nil || cfg.Transport == nil || cfg.Service == nil {
+		return nil, errors.New("core: incomplete node configuration")
+	}
+	if cfg.ServiceName == "" {
+		return nil, errors.New("core: service name required")
+	}
+	if cfg.Mode != ModeAtomic && cfg.Mode != ModeSecureCausal {
+		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
+	}
+	n := &Node{
+		cfg:        cfg,
+		router:     engine.NewRouter(cfg.Transport),
+		reqClients: make(map[[16]byte][]int),
+	}
+
+	switch cfg.Mode {
+	case ModeAtomic:
+		abc.New(abc.Config{
+			Router:    n.router,
+			Struct:    cfg.Public.Structure,
+			Instance:  "svc/" + cfg.ServiceName,
+			Identity:  cfg.Public.Identity,
+			IDKey:     cfg.Secret.Identity,
+			Coin:      cfg.Public.Coin,
+			CoinKey:   cfg.Secret.Coin,
+			Scheme:    cfg.Public.QuorumSig(),
+			Key:       cfg.Secret.SigQuorum,
+			BatchSize: cfg.BatchSize,
+			Deliver:   n.onAtomicDeliver,
+		})
+	case ModeSecureCausal:
+		scabc.New(scabc.Config{
+			Router:    n.router,
+			Struct:    cfg.Public.Structure,
+			Instance:  "svc/" + cfg.ServiceName,
+			Identity:  cfg.Public.Identity,
+			IDKey:     cfg.Secret.Identity,
+			Coin:      cfg.Public.Coin,
+			CoinKey:   cfg.Secret.Coin,
+			Scheme:    cfg.Public.QuorumSig(),
+			Key:       cfg.Secret.SigQuorum,
+			Enc:       cfg.Public.Enc,
+			EncKey:    cfg.Secret.Enc,
+			BatchSize: cfg.BatchSize,
+			Deliver:   n.onCausalDeliver,
+		})
+	}
+	n.router.Register(clientProtocol, cfg.ServiceName, n.onClientMessage)
+	return n, nil
+}
+
+// Run starts the replica's dispatch loop (blocking). Usually invoked in a
+// goroutine; returns when the transport closes.
+func (n *Node) Run() {
+	n.runOnce.Do(n.router.Run)
+}
+
+// Stop shuts the replica down and waits for the dispatch loop to exit.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		_ = n.cfg.Transport.Close()
+		<-n.router.Done()
+	})
+}
+
+// Router exposes the protocol router (used by the experiment harness).
+func (n *Node) Router() *engine.Router { return n.router }
+
+// Applied returns how many requests this replica has executed. Must be
+// read via Router().DoSync from outside the dispatch loop; the experiment
+// harness uses it as a progress metric.
+func (n *Node) Applied() int64 { return n.applied }
+
+// submitter resolves the ordering layer's submit entry point.
+func (n *Node) submit(payload []byte) error {
+	switch n.cfg.Mode {
+	case ModeAtomic:
+		return n.router.Loopback(abc.Protocol, "svc/"+n.cfg.ServiceName, "SUBMIT",
+			struct{ Payload []byte }{payload})
+	case ModeSecureCausal:
+		return n.router.Loopback(abc.Protocol, "svc/"+n.cfg.ServiceName+"/ord", "SUBMIT",
+			struct{ Payload []byte }{payload})
+	}
+	return fmt.Errorf("core: unknown mode")
+}
+
+// onClientMessage handles REQUEST messages from clients (and ignores
+// stray RESPONSE echoes).
+func (n *Node) onClientMessage(from int, msgType string, payload []byte) {
+	if msgType != typeRequest {
+		return
+	}
+	var req requestBody
+	if wire.UnmarshalBody(payload, &req) != nil {
+		return
+	}
+	if from >= n.cfg.Transport.N() {
+		// Remember which client endpoint to answer (bounded fan-in).
+		clients := n.reqClients[req.ReqID]
+		seen := false
+		for _, c := range clients {
+			if c == from {
+				seen = true
+				break
+			}
+		}
+		if !seen && len(clients) < 8 {
+			n.reqClients[req.ReqID] = append(clients, from)
+		}
+	}
+	_ = n.submit(req.Payload)
+}
+
+// onAtomicDeliver executes a plaintext envelope delivered by atomic
+// broadcast.
+func (n *Node) onAtomicDeliver(seq int64, payload []byte) {
+	var env envelope
+	if wire.UnmarshalBody(payload, &env) != nil {
+		return // malformed request: deterministic skip on every replica
+	}
+	n.apply(seq, env)
+}
+
+// onCausalDeliver executes a decrypted envelope delivered by secure
+// causal atomic broadcast.
+func (n *Node) onCausalDeliver(seq int64, request []byte) {
+	var env envelope
+	if wire.UnmarshalBody(request, &env) != nil {
+		return
+	}
+	n.apply(seq, env)
+}
+
+// apply runs the state machine and answers the requesting clients.
+func (n *Node) apply(seq int64, env envelope) {
+	result := n.cfg.Service.Apply(seq, env.Body)
+	n.applied++
+
+	scheme := n.cfg.Public.AnswerSig()
+	share, err := scheme.SignShare(n.cfg.Secret.SigAnswer,
+		answerStatement(n.cfg.ServiceName, env.ReqID, result), rand.Reader)
+	if err != nil {
+		return
+	}
+	resp := responseBody{
+		ReqID:  env.ReqID,
+		Seq:    seq,
+		Result: result,
+		Share:  share,
+	}
+	for _, client := range n.reqClients[env.ReqID] {
+		_ = n.router.Send(client, clientProtocol, n.cfg.ServiceName, typeResponse, resp)
+	}
+	delete(n.reqClients, env.ReqID)
+}
+
+// VerifyAnswer lets anyone check a service's threshold-signed answer: the
+// signature proves that servers beyond the adversary structure's reach
+// attested the result for this request ID.
+func VerifyAnswer(pub *deal.Public, service string, reqID [16]byte, result, sig []byte) error {
+	return pub.AnswerSig().Verify(answerStatement(service, reqID, result), sig)
+}

@@ -1,0 +1,188 @@
+package deal_test
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"sintra/internal/adversary"
+	"sintra/internal/deal"
+	"sintra/internal/group"
+	"sintra/internal/thresig"
+)
+
+func dealThreshold(t *testing.T, n, tt int, force bool) (*deal.Public, []*deal.PartySecret) {
+	t.Helper()
+	st, err := adversary.NewThreshold(n, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, secrets, err := deal.New(deal.Options{
+		Group:     group.Test256(),
+		Structure: st,
+		RSAPrimes: deal.TestPrimes256(),
+		ForceCert: force,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub, secrets
+}
+
+func TestDealThresholdUsesRSA(t *testing.T) {
+	pub, secrets := dealThreshold(t, 4, 1, false)
+	if pub.QuorumRSA == nil || pub.AnswerRSA == nil {
+		t.Fatal("threshold deployment should use Shoup RSA")
+	}
+	if pub.QuorumCert != nil || pub.AnswerCert != nil {
+		t.Fatal("unexpected cert schemes")
+	}
+	if pub.QuorumRSA.K != 3 || pub.AnswerRSA.K != 2 {
+		t.Fatalf("rsa thresholds: quorum K=%d answer K=%d", pub.QuorumRSA.K, pub.AnswerRSA.K)
+	}
+	// Keys are usable end to end.
+	msg := []byte("statement")
+	var shares []thresig.Share
+	for i := 0; i < 3; i++ {
+		sh, err := pub.QuorumSig().SignShare(secrets[i].SigQuorum, msg, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares = append(shares, sh)
+	}
+	sig, err := pub.QuorumSig().Combine(msg, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.QuorumSig().Verify(msg, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDealForceCert(t *testing.T) {
+	pub, _ := dealThreshold(t, 4, 1, true)
+	if pub.QuorumCert == nil || pub.AnswerCert == nil {
+		t.Fatal("ForceCert ignored")
+	}
+	if pub.QuorumRSA != nil {
+		t.Fatal("RSA dealt despite ForceCert")
+	}
+}
+
+func TestDealGeneralUsesCert(t *testing.T) {
+	st := adversary.Example1()
+	pub, secrets, err := deal.New(deal.Options{
+		Group:     group.Test256(),
+		Structure: st,
+		RSAPrimes: deal.TestPrimes256(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.QuorumCert == nil {
+		t.Fatal("general structure must use certificate signatures")
+	}
+	if len(secrets) != 9 {
+		t.Fatalf("%d secrets", len(secrets))
+	}
+}
+
+func TestDealRejectsNonQ3(t *testing.T) {
+	st, err := adversary.NewThreshold(3, 1) // 3 <= 3t: not Q3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := deal.New(deal.Options{
+		Group:     group.Test256(),
+		Structure: st,
+		RSAPrimes: deal.TestPrimes256(),
+	}); err == nil {
+		t.Fatal("non-Q3 structure dealt")
+	}
+}
+
+func TestDealRejectsMissingInputs(t *testing.T) {
+	if _, _, err := deal.New(deal.Options{}); err == nil {
+		t.Fatal("empty options accepted")
+	}
+}
+
+func TestLinkKeysSymmetricAndDistinct(t *testing.T) {
+	_, secrets := dealThreshold(t, 4, 1, false)
+	seen := make(map[string]bool)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			ki := secrets[i].LinkKeys[j]
+			kj := secrets[j].LinkKeys[i]
+			if len(ki) != 32 || string(ki) != string(kj) {
+				t.Fatalf("link key (%d,%d) not symmetric", i, j)
+			}
+			if i < j {
+				if seen[string(ki)] {
+					t.Fatal("link key reused across pairs")
+				}
+				seen[string(ki)] = true
+			}
+		}
+	}
+}
+
+func TestSaveLoadDir(t *testing.T) {
+	pub, secrets := dealThreshold(t, 4, 1, false)
+	dir := t.TempDir()
+	if err := deal.SaveDir(dir, pub, secrets); err != nil {
+		t.Fatal(err)
+	}
+	pub2, err := deal.LoadPublic(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded public material must be fully functional: verify a
+	// signature produced with the original secrets.
+	msg := []byte("cross-check")
+	var shares []thresig.Share
+	for i := 0; i < 2; i++ {
+		sh, err := pub2.AnswerSig().SignShare(secrets[i].SigAnswer, msg, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares = append(shares, sh)
+	}
+	sig, err := pub2.AnswerSig().Combine(msg, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.AnswerSig().Verify(msg, sig); err != nil {
+		t.Fatal(err)
+	}
+	// Coin params survive the round trip.
+	if err := pub2.Coin.Init(); err != nil {
+		t.Fatal(err)
+	}
+	sec, err := deal.LoadParty(dir, 3)
+	if err != nil || sec.Party != 3 {
+		t.Fatalf("LoadParty: %v", err)
+	}
+	if _, err := deal.LoadParty(dir, 8); err == nil {
+		t.Fatal("missing party loaded")
+	}
+	if _, err := deal.LoadPublic(t.TempDir()); err == nil {
+		t.Fatal("empty dir loaded")
+	}
+}
+
+func TestInitDetectsIncompleteness(t *testing.T) {
+	pub, _ := dealThreshold(t, 4, 1, false)
+	bad := *pub
+	bad.Coin = nil
+	if err := bad.Init(); err == nil {
+		t.Fatal("missing coin accepted")
+	}
+	bad = *pub
+	bad.QuorumRSA = nil
+	if err := bad.Init(); err == nil {
+		t.Fatal("missing signature scheme accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package dleq
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"sintra/internal/group"
+)
+
+func setup(t *testing.T) (*group.Group, Statement, *big.Int) {
+	t.Helper()
+	g := group.Test256()
+	x, err := g.RandomScalar(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := g.HashToElement("second-generator", []byte("t"))
+	st := Statement{
+		G1: g.G,
+		H1: g.BaseExp(x),
+		G2: g2,
+		H2: g.Exp(g2, x),
+	}
+	return g, st, x
+}
+
+func TestProveVerify(t *testing.T) {
+	g, st, x := setup(t)
+	p, err := Prove(g, st, x, "test", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, st, p, "test"); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongContext(t *testing.T) {
+	g, st, x := setup(t)
+	p, _ := Prove(g, st, x, "ctx-a", rand.Reader)
+	if err := Verify(g, st, p, "ctx-b"); err == nil {
+		t.Fatal("proof accepted under wrong context")
+	}
+}
+
+func TestVerifyRejectsWrongStatement(t *testing.T) {
+	g, st, x := setup(t)
+	p, _ := Prove(g, st, x, "test", rand.Reader)
+	bad := st
+	bad.H2 = g.Mul(st.H2, g.G) // shift H2: exponents now differ
+	if err := Verify(g, bad, p, "test"); err == nil {
+		t.Fatal("proof accepted for unequal logs")
+	}
+}
+
+func TestVerifyRejectsWrongSecret(t *testing.T) {
+	g, st, x := setup(t)
+	// Prove with a different exponent than the statement's.
+	y := g.AddScalar(x, big.NewInt(1))
+	p, _ := Prove(g, st, y, "test", rand.Reader)
+	if err := Verify(g, st, p, "test"); err == nil {
+		t.Fatal("proof with wrong witness accepted")
+	}
+}
+
+func TestVerifyRejectsMangledProof(t *testing.T) {
+	g, st, x := setup(t)
+	p, _ := Prove(g, st, x, "test", rand.Reader)
+	cases := []*Proof{
+		nil,
+		{C: nil, Z: p.Z},
+		{C: p.C, Z: nil},
+		{C: g.AddScalar(p.C, big.NewInt(1)), Z: p.Z},
+		{C: p.C, Z: g.AddScalar(p.Z, big.NewInt(1))},
+		{C: new(big.Int).Neg(big.NewInt(1)), Z: p.Z},
+		{C: new(big.Int).Set(g.Q), Z: p.Z},
+	}
+	for i, bad := range cases {
+		if err := Verify(g, st, bad, "test"); err == nil {
+			t.Fatalf("case %d: mangled proof accepted", i)
+		}
+	}
+}
+
+func TestVerifyRejectsNonGroupElements(t *testing.T) {
+	g, st, x := setup(t)
+	p, _ := Prove(g, st, x, "test", rand.Reader)
+	bad := st
+	bad.H1 = big.NewInt(0)
+	if err := Verify(g, bad, p, "test"); err == nil {
+		t.Fatal("statement with non-element accepted")
+	}
+}
+
+func TestProofsAreBoundPerStatement(t *testing.T) {
+	g, st, x := setup(t)
+	p, _ := Prove(g, st, x, "test", rand.Reader)
+	// Same exponent but different base pair: proof must not transfer.
+	g3 := g.HashToElement("third-generator", []byte("t"))
+	other := Statement{G1: st.G1, H1: st.H1, G2: g3, H2: g.Exp(g3, x)}
+	if err := Verify(g, other, p, "test"); err == nil {
+		t.Fatal("proof transferred across statements")
+	}
+}
+
+func BenchmarkProve(b *testing.B) {
+	g := group.Test256()
+	x, _ := g.RandomScalar(rand.Reader)
+	g2 := g.HashToElement("gen", []byte("b"))
+	st := Statement{G1: g.G, H1: g.BaseExp(x), G2: g2, H2: g.Exp(g2, x)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Prove(g, st, x, "bench", rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	g := group.Test256()
+	x, _ := g.RandomScalar(rand.Reader)
+	g2 := g.HashToElement("gen", []byte("b"))
+	st := Statement{G1: g.G, H1: g.BaseExp(x), G2: g2, H2: g.Exp(g2, x)}
+	p, _ := Prove(g, st, x, "bench", rand.Reader)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(g, st, p, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package engine provides the per-party protocol runtime: a Router that
+// multiplexes one transport among many protocol instances.
+//
+// Every protocol execution (one reliable broadcast, one binary agreement,
+// one atomic-broadcast round, ...) is addressed by (protocol, instance).
+// All protocol code of one party — message handlers, buffered-message
+// replay, instance construction, and cross-instance callbacks (a binary
+// agreement deciding into its parent multi-valued agreement, for example)
+// — executes on a single dispatch goroutine, so protocol instances are
+// plain single-threaded state machines with no internal locking. Outbound
+// sends go through the thread-safe transport.
+//
+// External goroutines (clients, tests) interact with protocol state only
+// through Do/DoSync, which run a closure on the dispatch goroutine.
+// Messages that arrive before their instance is registered are buffered
+// and replayed on registration, which is essential in an asynchronous
+// network where a fast party's messages may overtake the event that
+// creates the instance locally.
+package engine
+
+import (
+	"sync"
+
+	"sintra/internal/wire"
+)
+
+// maxBufferedPerInstance bounds the early-arrival buffer of one instance;
+// beyond it the oldest messages are dropped. Honest traffic never comes
+// close: it exists to stop corrupted parties from exhausting memory with
+// messages for instances that never start.
+const maxBufferedPerInstance = 4096
+
+// Handler processes one inbound message of an instance, on the dispatch
+// goroutine.
+type Handler func(from int, msgType string, payload []byte)
+
+// Factory creates a handler on demand for an instance that receives its
+// first message before being registered explicitly. Factories run on the
+// dispatch goroutine; the router registers the returned handler itself.
+type Factory func(instance string) Handler
+
+type instanceKey struct {
+	protocol string
+	instance string
+}
+
+// instanceState is the per-instance bookkeeping (dispatch goroutine only).
+type instanceState struct {
+	handler  Handler
+	buffered []wire.Message
+	dead     bool // tombstone: finished instance, drop further traffic
+}
+
+// Router multiplexes a party's transport among protocol instances.
+type Router struct {
+	tr wire.Transport
+
+	// Dispatch-goroutine state; no lock needed.
+	instances map[instanceKey]*instanceState
+
+	factoryMu sync.Mutex
+	factories map[string]Factory
+
+	tasks chan func()
+	inCh  chan wire.Message
+	done  chan struct{}
+}
+
+// NewRouter wraps a transport. Call Run (usually in a goroutine) to start
+// dispatching.
+func NewRouter(tr wire.Transport) *Router {
+	return &Router{
+		tr:        tr,
+		instances: make(map[instanceKey]*instanceState),
+		factories: make(map[string]Factory),
+		tasks:     make(chan func(), 256),
+		inCh:      make(chan wire.Message, 1),
+		done:      make(chan struct{}),
+	}
+}
+
+// Self returns the local party index.
+func (r *Router) Self() int { return r.tr.Self() }
+
+// N returns the number of servers.
+func (r *Router) N() int { return r.tr.N() }
+
+// state returns (creating if needed) the instance state. Dispatch
+// goroutine only.
+func (r *Router) state(key instanceKey) *instanceState {
+	st, ok := r.instances[key]
+	if !ok {
+		st = &instanceState{}
+		r.instances[key] = st
+	}
+	return st
+}
+
+// Register installs the handler for one instance and replays any buffered
+// messages for it. It must run on the dispatch goroutine (inside a
+// handler, a factory, or a Do task) or before Run starts.
+func (r *Router) Register(protocol, instance string, h Handler) {
+	st := r.state(instanceKey{protocol, instance})
+	if st.dead {
+		return
+	}
+	st.handler = h
+	replay := st.buffered
+	st.buffered = nil
+	for i := range replay {
+		m := &replay[i]
+		h(m.From, m.Type, m.Payload)
+	}
+}
+
+// Unregister tombstones an instance; further messages for it are dropped,
+// which garbage-collects finished protocol executions. Dispatch goroutine
+// only.
+func (r *Router) Unregister(protocol, instance string) {
+	st := r.state(instanceKey{protocol, instance})
+	st.handler = nil
+	st.buffered = nil
+	st.dead = true
+}
+
+// SetFactory installs an on-demand constructor for a protocol: the first
+// message of an unknown instance creates its handler. Safe from any
+// goroutine.
+func (r *Router) SetFactory(protocol string, f Factory) {
+	r.factoryMu.Lock()
+	defer r.factoryMu.Unlock()
+	r.factories[protocol] = f
+}
+
+// Do schedules a closure on the dispatch goroutine. It must NOT be called
+// from the dispatch goroutine itself (handlers act directly instead). It
+// returns false if the router has shut down.
+func (r *Router) Do(f func()) bool {
+	select {
+	case <-r.done:
+		return false
+	default:
+	}
+	select {
+	case r.tasks <- f:
+		return true
+	case <-r.done:
+		return false
+	}
+}
+
+// DoSync runs a closure on the dispatch goroutine and waits for it to
+// finish. It must NOT be called from the dispatch goroutine (it would
+// deadlock). It returns false if the router has shut down.
+func (r *Router) DoSync(f func()) bool {
+	doneCh := make(chan struct{})
+	if !r.Do(func() {
+		defer close(doneCh)
+		f()
+	}) {
+		return false
+	}
+	select {
+	case <-doneCh:
+		return true
+	case <-r.done:
+		return false
+	}
+}
+
+// Send transmits one message to a party. Safe from any goroutine.
+func (r *Router) Send(to int, protocol, instance, msgType string, body any) error {
+	payload, err := wire.MarshalBody(body)
+	if err != nil {
+		return err
+	}
+	r.tr.Send(wire.Message{
+		To:       to,
+		Protocol: protocol,
+		Instance: instance,
+		Type:     msgType,
+		Payload:  payload,
+	})
+	return nil
+}
+
+// Loopback sends a message to the local party itself — the entry point for
+// externally-triggered protocol actions (Start, Submit). Safe from any
+// goroutine.
+func (r *Router) Loopback(protocol, instance, msgType string, body any) error {
+	return r.Send(r.Self(), protocol, instance, msgType, body)
+}
+
+// Broadcast transmits one message to every server, including the sender
+// itself (loopback), so protocols treat their own messages uniformly.
+// Safe from any goroutine.
+func (r *Router) Broadcast(protocol, instance, msgType string, body any) error {
+	payload, err := wire.MarshalBody(body)
+	if err != nil {
+		return err
+	}
+	for to := 0; to < r.tr.N(); to++ {
+		r.tr.Send(wire.Message{
+			To:       to,
+			Protocol: protocol,
+			Instance: instance,
+			Type:     msgType,
+			Payload:  payload,
+		})
+	}
+	return nil
+}
+
+// Run dispatches inbound messages and scheduled tasks until the transport
+// closes. It must be called exactly once.
+func (r *Router) Run() {
+	defer close(r.done)
+	go func() {
+		defer close(r.inCh)
+		for {
+			m, ok := r.tr.Recv()
+			if !ok {
+				return
+			}
+			r.inCh <- m
+		}
+	}()
+	for {
+		select {
+		case m, ok := <-r.inCh:
+			if !ok {
+				return
+			}
+			r.dispatch(m)
+		case f := <-r.tasks:
+			f()
+		}
+	}
+}
+
+// Done is closed when Run returns.
+func (r *Router) Done() <-chan struct{} { return r.done }
+
+// dispatch routes one message. Dispatch goroutine only.
+func (r *Router) dispatch(m wire.Message) {
+	key := instanceKey{m.Protocol, m.Instance}
+	st := r.state(key)
+	if st.dead {
+		return
+	}
+	if st.handler != nil {
+		st.handler(m.From, m.Type, m.Payload)
+		return
+	}
+	// No handler yet: buffer the message so a factory-created handler (or
+	// a later Register) replays it in arrival order.
+	st.buffered = append(st.buffered, m)
+	if len(st.buffered) > maxBufferedPerInstance {
+		st.buffered = st.buffered[len(st.buffered)-maxBufferedPerInstance:]
+	}
+	r.factoryMu.Lock()
+	f, ok := r.factories[m.Protocol]
+	r.factoryMu.Unlock()
+	if ok {
+		if h := f(m.Instance); h != nil {
+			r.Register(m.Protocol, m.Instance, h)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package mvba_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sintra/internal/adversary"
+	"sintra/internal/cbc"
+	"sintra/internal/coin"
+	"sintra/internal/mvba"
+	"sintra/internal/testutil"
+	"sintra/internal/wire"
+)
+
+// TestByzantineProposerAndVoter drives an actively malicious party 0
+// against three honest parties: it equivocates in its consistent
+// broadcast, floods garbage votes with forged certificates, and sends
+// malformed recovery answers. The honest parties must still agree on an
+// honest proposal.
+func TestByzantineProposerAndVoter(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 21, Corrupted: []int{0}})
+	ep := c.Net.Endpoint(0)
+
+	// The adversary's raw sender.
+	sendRaw := func(to int, protocol, instance, msgType string, body any) {
+		ep.Send(wire.Message{
+			To: to, Protocol: protocol, Instance: instance,
+			Type: msgType, Payload: wire.MustMarshalBody(body),
+		})
+	}
+
+	tag := "byz"
+	// Equivocating CBC SENDs for the adversary's own proposal slot.
+	ownCBC := cbc.InstanceID(0, "m/"+tag)
+	type sendBody struct{ Payload []byte }
+	sendRaw(1, cbc.Protocol, ownCBC, "SEND", sendBody{Payload: []byte("evil-A")})
+	sendRaw(2, cbc.Protocol, ownCBC, "SEND", sendBody{Payload: []byte("evil-B")})
+	sendRaw(3, cbc.Protocol, ownCBC, "SEND", sendBody{Payload: []byte("evil-C")})
+
+	// Garbage votes for several trials, claiming certificates that cannot
+	// verify.
+	type voteBody struct {
+		Trial   int
+		HasCert bool
+		Payload []byte
+		Cert    []byte
+	}
+	for trial := 1; trial <= 3; trial++ {
+		for to := 1; to < 4; to++ {
+			sendRaw(to, mvba.Protocol, tag, "VOTE", voteBody{
+				Trial: trial, HasCert: true,
+				Payload: []byte("forged"), Cert: []byte("not a certificate"),
+			})
+		}
+	}
+	// Bogus coin shares (must be rejected by the DLEQ proofs).
+	type leadCoinBody struct {
+		Trial  int
+		Shares []coin.Share
+	}
+	for to := 1; to < 4; to++ {
+		sendRaw(to, mvba.Protocol, tag, "LEADCOIN", leadCoinBody{Trial: 1})
+	}
+	// Malformed recovery answers.
+	for to := 1; to < 4; to++ {
+		sendRaw(to, mvba.Protocol, tag, "RECANS", voteBody{Trial: 1, HasCert: true, Payload: []byte("x"), Cert: []byte("y")})
+	}
+
+	proposals := map[int][]byte{
+		1: []byte("honest-1"),
+		2: []byte("honest-2"),
+		3: []byte("honest-3"),
+	}
+	got := runMVBA(t, c, tag, proposals, nil)
+	decided := assertAgreementOnProposal(t, got, proposals)
+	t.Logf("decided %q despite the byzantine party", decided)
+}
+
+// TestByzantineCannotForgeDecision checks that a flood of malformed
+// protocol messages across many instances never crashes honest parties or
+// causes disagreement.
+func TestByzantineCannotForgeDecision(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 23, Corrupted: []int{3}})
+	ep := c.Net.Endpoint(3)
+	// Fuzz-ish garbage across protocols and instances.
+	for i := 0; i < 50; i++ {
+		ep.Send(wire.Message{
+			To:       i % 3,
+			Protocol: []string{"mvba", "aba", "cbc", "rbc"}[i%4],
+			Instance: fmt.Sprintf("fz/%d", i%5),
+			Type:     []string{"VOTE", "BVAL", "SEND", "FINAL", "RECOVER", "XXX"}[i%6],
+			Payload:  []byte{byte(i), 0xFF, 0x00, byte(i * 7)},
+		})
+	}
+	proposals := map[int][]byte{
+		0: []byte("p0"),
+		1: []byte("p1"),
+		2: []byte("p2"),
+	}
+	got := runMVBA(t, c, "fz/0", proposals, nil)
+	assertAgreementOnProposal(t, got, proposals)
+}

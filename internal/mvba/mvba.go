@@ -1,0 +1,481 @@
+// Package mvba implements multi-valued validated Byzantine agreement, the
+// layer between binary agreement and atomic broadcast in the paper's
+// architecture (§3). Parties agree on one proposed value from an
+// arbitrary domain; the new "external validity" condition — a global
+// predicate every honest party can evaluate — guarantees the decided
+// value is acceptable to honest parties, ruling out agreement on a value
+// nobody proposed.
+//
+// The protocol follows Cachin–Kursawe–Petzold–Shoup (CKPS01):
+//
+//  1. Every party consistent-broadcasts its (externally valid) proposal;
+//     the CBC certificate is transferable evidence of the proposal.
+//  2. After c-delivering a quorum of proposals, parties run trials: the
+//     threshold coin elects a random leader; everybody votes whether it
+//     holds the leader's certified proposal (yes-votes carry proposal and
+//     certificate); a binary agreement decides whether to adopt the
+//     leader.
+//  3. On a 1-decision, parties that miss the winning proposal recover it
+//     from the yes-voters — binary validity guarantees at least one
+//     honest party voted yes and thus holds payload and certificate.
+//
+// Because the leader is drawn after the proposals are fixed, a constant
+// expected number of trials suffices, giving constant expected rounds
+// overall.
+package mvba
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"sintra/internal/aba"
+	"sintra/internal/adversary"
+	"sintra/internal/cbc"
+	"sintra/internal/coin"
+	"sintra/internal/engine"
+	"sintra/internal/thresig"
+	"sintra/internal/wire"
+)
+
+// Protocol is the wire protocol name of multi-valued agreement.
+const Protocol = "mvba"
+
+// Message types.
+const (
+	typeStart    = "START"
+	typeLeadCoin = "LEADCOIN"
+	typeVote     = "VOTE"
+	typeRecover  = "RECOVER"
+	typeRecAns   = "RECANS"
+)
+
+type startBody struct {
+	Proposal []byte
+}
+
+type leadCoinBody struct {
+	Trial  int
+	Shares []coin.Share
+}
+
+type voteBody struct {
+	Trial   int
+	HasCert bool
+	Payload []byte
+	Cert    []byte
+}
+
+type recoverBody struct {
+	Trial int
+}
+
+// Config wires one multi-valued agreement instance.
+type Config struct {
+	// Router is the party's protocol router.
+	Router *engine.Router
+	// Struct is the adversary structure.
+	Struct *adversary.Structure
+	// Instance is the instance identifier.
+	Instance string
+	// Coin is the threshold coin; CoinKey the party's shares.
+	Coin    *coin.Params
+	CoinKey *coin.SecretKey
+	// Scheme is the quorum-rule threshold signature scheme (for CBC
+	// certificates); Key the party's signing key.
+	Scheme thresig.Scheme
+	Key    *thresig.SecretKey
+	// Predicate is the external validity condition; nil accepts all.
+	Predicate func(payload []byte) bool
+	// Decide is called exactly once with the decided value.
+	Decide func(value []byte)
+}
+
+type voteRec struct {
+	from int
+	body voteBody
+}
+
+type trialState struct {
+	coinCombiner *coin.Combiner
+	coinShared   bool
+	leader       int
+	leaderKnown  bool
+
+	voted        bool
+	votesFrom    adversary.Set
+	pendingVotes []voteRec
+
+	hasYes     bool
+	yesPayload []byte
+	yesCert    []byte
+
+	abaStarted bool
+	abaDone    bool
+	abaValue   bool
+
+	recoverAsked adversary.Set
+	recoverSent  bool
+}
+
+// MVBA is one multi-valued agreement instance; dispatch-goroutine only.
+type MVBA struct {
+	cfg Config
+
+	started  bool
+	proposal []byte
+
+	cbcs         map[int]*cbc.CBC
+	delivered    map[int][]byte // sender -> payload
+	certs        map[int][]byte // sender -> certificate
+	deliveredSet adversary.Set
+
+	phase2 bool
+	trial  int
+	trials map[int]*trialState
+
+	decided  bool
+	decision []byte
+	halted   bool
+}
+
+// New creates and registers an instance, including the consistent
+// broadcasts of all parties' proposals (dispatch goroutine or pre-Run).
+func New(cfg Config) *MVBA {
+	m := &MVBA{
+		cfg:       cfg,
+		cbcs:      make(map[int]*cbc.CBC, cfg.Router.N()),
+		delivered: make(map[int][]byte),
+		certs:     make(map[int][]byte),
+		trials:    make(map[int]*trialState),
+	}
+	cfg.Router.Register(Protocol, cfg.Instance, m.Handle)
+	for j := 0; j < cfg.Router.N(); j++ {
+		j := j
+		m.cbcs[j] = cbc.New(cbc.Config{
+			Router:    cfg.Router,
+			Struct:    cfg.Struct,
+			Instance:  m.cbcInstance(j),
+			Sender:    j,
+			Scheme:    cfg.Scheme,
+			Key:       cfg.Key,
+			Predicate: cfg.Predicate,
+			Deliver:   func(p, cert []byte) { m.onCBCDeliver(j, p, cert) },
+		})
+	}
+	return m
+}
+
+func (m *MVBA) cbcInstance(sender int) string {
+	return cbc.InstanceID(sender, "m/"+m.cfg.Instance)
+}
+
+func (m *MVBA) abaInstance(trial int) string {
+	return fmt.Sprintf("%s/t%d", m.cfg.Instance, trial)
+}
+
+func (m *MVBA) coinName(trial int) string {
+	return fmt.Sprintf("mvba|%s|lead|%d", m.cfg.Instance, trial)
+}
+
+// Start proposes a value. Safe from any goroutine (loopback).
+func (m *MVBA) Start(proposal []byte) error {
+	if m.cfg.Predicate != nil && !m.cfg.Predicate(proposal) {
+		return fmt.Errorf("mvba: own proposal fails the validity predicate")
+	}
+	return m.cfg.Router.Loopback(Protocol, m.cfg.Instance, typeStart, startBody{Proposal: proposal})
+}
+
+// Decided returns the decision, if reached.
+func (m *MVBA) Decided() ([]byte, bool) { return m.decision, m.decided }
+
+// Trial returns the current trial number (progress metric).
+func (m *MVBA) Trial() int { return m.trial }
+
+// Halt unregisters the instance and its consistent broadcasts. Call only
+// when the whole system has moved on (e.g. two atomic-broadcast rounds
+// later); dispatch goroutine only.
+func (m *MVBA) Halt() {
+	if m.halted {
+		return
+	}
+	m.halted = true
+	m.cfg.Router.Unregister(Protocol, m.cfg.Instance)
+	for j := range m.cbcs {
+		m.cfg.Router.Unregister(cbc.Protocol, m.cbcInstance(j))
+	}
+	m.trials = nil
+}
+
+func (m *MVBA) trialState(a int) *trialState {
+	ts, ok := m.trials[a]
+	if !ok {
+		ts = &trialState{coinCombiner: coin.NewCombiner(m.cfg.Coin, m.coinName(a))}
+		m.trials[a] = ts
+	}
+	return ts
+}
+
+func (m *MVBA) valid(payload []byte) bool {
+	return m.cfg.Predicate == nil || m.cfg.Predicate(payload)
+}
+
+// Handle processes one protocol message.
+func (m *MVBA) Handle(from int, msgType string, payload []byte) {
+	if m.halted {
+		return
+	}
+	switch msgType {
+	case typeStart:
+		var body startBody
+		if from != m.cfg.Router.Self() || wire.UnmarshalBody(payload, &body) != nil {
+			return
+		}
+		m.onStart(body.Proposal)
+	case typeLeadCoin:
+		var body leadCoinBody
+		if wire.UnmarshalBody(payload, &body) != nil || body.Trial < 1 {
+			return
+		}
+		m.onLeadCoin(body.Trial, body.Shares)
+	case typeVote:
+		var body voteBody
+		if wire.UnmarshalBody(payload, &body) != nil || body.Trial < 1 {
+			return
+		}
+		m.onVote(from, body)
+	case typeRecover:
+		var body recoverBody
+		if wire.UnmarshalBody(payload, &body) != nil || body.Trial < 1 {
+			return
+		}
+		m.onRecover(from, body.Trial)
+	case typeRecAns:
+		var body voteBody
+		if wire.UnmarshalBody(payload, &body) != nil || body.Trial < 1 {
+			return
+		}
+		m.onRecAns(body)
+	}
+}
+
+func (m *MVBA) onStart(proposal []byte) {
+	if m.started {
+		return
+	}
+	m.started = true
+	m.proposal = proposal
+	_ = m.cbcs[m.cfg.Router.Self()].Start(proposal)
+	m.checkPhase2()
+}
+
+func (m *MVBA) onCBCDeliver(sender int, payload, cert []byte) {
+	if m.halted {
+		return
+	}
+	m.delivered[sender] = payload
+	m.certs[sender] = cert
+	m.deliveredSet = m.deliveredSet.Add(sender)
+	m.checkPhase2()
+	// A pending 1-decision may have been waiting for the leader's payload.
+	if ts, ok := m.trials[m.trial]; ok && ts.leaderKnown && ts.leader == sender {
+		m.evalVotes(m.trial)
+		m.tryFinish(m.trial)
+	}
+}
+
+func (m *MVBA) checkPhase2() {
+	if m.phase2 || !m.started || !m.cfg.Struct.IsQuorum(m.deliveredSet) {
+		return
+	}
+	m.phase2 = true
+	m.startTrial(1)
+}
+
+func (m *MVBA) startTrial(a int) {
+	m.trial = a
+	ts := m.trialState(a)
+	if !ts.coinShared {
+		ts.coinShared = true
+		shares, err := m.cfg.Coin.ReleaseShares(m.cfg.CoinKey, m.coinName(a), rand.Reader)
+		if err == nil {
+			_ = m.cfg.Router.Broadcast(Protocol, m.cfg.Instance, typeLeadCoin, leadCoinBody{Trial: a, Shares: shares})
+		}
+	}
+	// Earlier-arrived coin shares may already complete the coin — and the
+	// leader may even be known already (fast peers revealed it while we
+	// were still collecting proposals), in which case maybeElect's
+	// idempotence guard would skip the vote: cast it explicitly.
+	m.maybeElect(a)
+	m.sendVote(a)
+	m.evalVotes(a)
+}
+
+func (m *MVBA) onLeadCoin(a int, shares []coin.Share) {
+	ts := m.trialState(a)
+	for _, sh := range shares {
+		_ = ts.coinCombiner.Add(sh)
+	}
+	m.maybeElect(a)
+}
+
+func (m *MVBA) maybeElect(a int) {
+	ts := m.trialState(a)
+	if ts.leaderKnown || !ts.coinCombiner.Ready() {
+		return
+	}
+	v, err := ts.coinCombiner.Value()
+	if err != nil {
+		return
+	}
+	ts.leaderKnown = true
+	ts.leader = v.Index(m.cfg.Router.N())
+	m.sendVote(a)
+	m.evalVotes(a)
+}
+
+// sendVote casts this party's vote for trial a once phase 2 has begun and
+// the leader is known.
+func (m *MVBA) sendVote(a int) {
+	ts := m.trialState(a)
+	if ts.voted || !ts.leaderKnown || !m.phase2 {
+		return
+	}
+	ts.voted = true
+	if p, ok := m.delivered[ts.leader]; ok {
+		_ = m.cfg.Router.Broadcast(Protocol, m.cfg.Instance, typeVote, voteBody{
+			Trial: a, HasCert: true, Payload: p, Cert: m.certs[ts.leader],
+		})
+		return
+	}
+	_ = m.cfg.Router.Broadcast(Protocol, m.cfg.Instance, typeVote, voteBody{Trial: a})
+}
+
+func (m *MVBA) onVote(from int, body voteBody) {
+	ts := m.trialState(body.Trial)
+	if ts.votesFrom.Has(from) {
+		return
+	}
+	ts.votesFrom = ts.votesFrom.Add(from)
+	ts.pendingVotes = append(ts.pendingVotes, voteRec{from: from, body: body})
+	m.evalVotes(body.Trial)
+}
+
+// evalVotes processes stored votes once the leader is known, extracting
+// yes-evidence and starting the binary agreement when the input is
+// determined.
+func (m *MVBA) evalVotes(a int) {
+	ts := m.trialState(a)
+	if !ts.leaderKnown {
+		return
+	}
+	if !ts.hasYes {
+		if p, ok := m.delivered[ts.leader]; ok {
+			ts.hasYes = true
+			ts.yesPayload = p
+			ts.yesCert = m.certs[ts.leader]
+		}
+	}
+	for _, v := range ts.pendingVotes {
+		if !v.body.HasCert || ts.hasYes {
+			continue
+		}
+		if !m.valid(v.body.Payload) {
+			continue
+		}
+		if cbc.VerifyCertificate(m.cfg.Scheme, m.cbcInstance(ts.leader), v.body.Payload, v.body.Cert) != nil {
+			continue
+		}
+		ts.hasYes = true
+		ts.yesPayload = v.body.Payload
+		ts.yesCert = v.body.Cert
+	}
+	ts.pendingVotes = nil
+
+	if !ts.abaStarted && m.phase2 && (ts.hasYes || m.cfg.Struct.IsQuorum(ts.votesFrom)) {
+		ts.abaStarted = true
+		inst := aba.New(aba.Config{
+			Router:   m.cfg.Router,
+			Struct:   m.cfg.Struct,
+			Instance: m.abaInstance(a),
+			Coin:     m.cfg.Coin,
+			CoinKey:  m.cfg.CoinKey,
+			Decide:   func(v bool) { m.onABADecide(a, v) },
+		})
+		_ = inst.Start(ts.hasYes)
+	}
+	m.tryFinish(a)
+}
+
+func (m *MVBA) onABADecide(a int, v bool) {
+	if m.halted {
+		return
+	}
+	ts := m.trialState(a)
+	ts.abaDone = true
+	ts.abaValue = v
+	m.tryFinish(a)
+}
+
+// tryFinish concludes a trial whose binary agreement has decided.
+func (m *MVBA) tryFinish(a int) {
+	ts := m.trialState(a)
+	if !ts.abaDone || m.decided || a != m.trial {
+		return
+	}
+	if !ts.abaValue {
+		m.startTrial(a + 1)
+		return
+	}
+	if ts.hasYes {
+		m.decide(ts.yesPayload)
+		return
+	}
+	// Binary validity guarantees an honest yes-voter exists; fetch the
+	// winning proposal from the others.
+	if !ts.recoverSent {
+		ts.recoverSent = true
+		_ = m.cfg.Router.Broadcast(Protocol, m.cfg.Instance, typeRecover, recoverBody{Trial: a})
+	}
+}
+
+func (m *MVBA) onRecover(from, a int) {
+	ts := m.trialState(a)
+	if !ts.hasYes || ts.recoverAsked.Has(from) {
+		return
+	}
+	ts.recoverAsked = ts.recoverAsked.Add(from)
+	_ = m.cfg.Router.Send(from, Protocol, m.cfg.Instance, typeRecAns, voteBody{
+		Trial: a, HasCert: true, Payload: ts.yesPayload, Cert: ts.yesCert,
+	})
+}
+
+func (m *MVBA) onRecAns(body voteBody) {
+	a := body.Trial
+	ts := m.trialState(a)
+	if m.decided || !ts.leaderKnown || !body.HasCert {
+		return
+	}
+	if !m.valid(body.Payload) {
+		return
+	}
+	if cbc.VerifyCertificate(m.cfg.Scheme, m.cbcInstance(ts.leader), body.Payload, body.Cert) != nil {
+		return
+	}
+	if !ts.hasYes {
+		ts.hasYes = true
+		ts.yesPayload = body.Payload
+		ts.yesCert = body.Cert
+	}
+	m.tryFinish(a)
+}
+
+func (m *MVBA) decide(value []byte) {
+	if m.decided {
+		return
+	}
+	m.decided = true
+	m.decision = value
+	if m.cfg.Decide != nil {
+		m.cfg.Decide(value)
+	}
+}

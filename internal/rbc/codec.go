@@ -1,0 +1,9 @@
+package rbc
+
+import "sintra/internal/wire"
+
+// unmarshal decodes a message body, tolerating malformed input from
+// corrupted parties.
+func unmarshal(data []byte, v any) error {
+	return wire.UnmarshalBody(data, v)
+}

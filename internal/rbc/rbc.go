@@ -1,0 +1,256 @@
+// Package rbc implements reliable broadcast: an optimized variant of the
+// Bracha–Toueg protocol, the basic broadcast primitive of the paper's
+// architecture (§3). All honest parties deliver the same set of messages,
+// including every message broadcast by an honest sender; nothing is
+// guaranteed about delivery order, and a corrupted sender may cause
+// agreement on at most one payload (or none).
+//
+// Optimizations over the textbook protocol: READY messages carry only the
+// payload digest, and a party that reaches the delivery condition without
+// having seen the payload fetches it from the parties that vouched for it
+// (digest-checked), so large payloads travel at most twice per honest
+// party pair.
+//
+// Thresholds follow the generalized substitution rules (§4.2): the echo
+// quorum is IsQuorum (n−t), READY amplification needs a set outside the
+// adversary structure (t+1), and delivery needs an IsStrong set (2t+1).
+package rbc
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sintra/internal/adversary"
+	"sintra/internal/engine"
+)
+
+// Protocol is the wire protocol name of reliable broadcast.
+const Protocol = "rbc"
+
+// Message types.
+const (
+	typeSend  = "SEND"
+	typeEcho  = "ECHO"
+	typeReady = "READY"
+	typeReq   = "REQ"
+	typeAns   = "ANS"
+)
+
+// payloadBody carries a full payload (SEND, ECHO, ANS).
+type payloadBody struct {
+	Payload []byte
+}
+
+// digestBody carries only the payload digest (READY, REQ).
+type digestBody struct {
+	Digest [32]byte
+}
+
+// InstanceID builds the canonical instance identifier, binding the
+// sender's identity into the instance so no other party can usurp it.
+func InstanceID(sender int, tag string) string {
+	return strconv.Itoa(sender) + "/" + tag
+}
+
+// SenderOf parses the sender out of an instance identifier.
+func SenderOf(instance string) (int, error) {
+	head, _, ok := strings.Cut(instance, "/")
+	if !ok {
+		return 0, fmt.Errorf("rbc: malformed instance %q", instance)
+	}
+	sender, err := strconv.Atoi(head)
+	if err != nil {
+		return 0, fmt.Errorf("rbc: malformed instance %q", instance)
+	}
+	return sender, nil
+}
+
+// Config wires one broadcast instance.
+type Config struct {
+	// Router is the party's protocol router.
+	Router *engine.Router
+	// Struct is the adversary structure.
+	Struct *adversary.Structure
+	// Instance is the instance identifier (use InstanceID).
+	Instance string
+	// Sender is the broadcasting party.
+	Sender int
+	// Deliver is called exactly once with the delivered payload.
+	Deliver func(payload []byte)
+	// Predicate optionally rejects payloads (external validity); nil
+	// accepts everything. Honest parties neither echo nor deliver a
+	// payload failing the predicate.
+	Predicate func(payload []byte) bool
+}
+
+// RBC is one reliable-broadcast instance. All methods must be called from
+// the router's dispatch goroutine (or before it starts).
+type RBC struct {
+	cfg Config
+
+	echoed    bool
+	readySent bool
+	delivered bool
+	requested bool
+
+	echoes   map[[32]byte]adversary.Set
+	readies  map[[32]byte]adversary.Set
+	payloads map[[32]byte][]byte
+	answered adversary.Set
+}
+
+// New creates and registers a broadcast instance on the router.
+func New(cfg Config) *RBC {
+	r := &RBC{
+		cfg:      cfg,
+		echoes:   make(map[[32]byte]adversary.Set),
+		readies:  make(map[[32]byte]adversary.Set),
+		payloads: make(map[[32]byte][]byte),
+	}
+	cfg.Router.Register(Protocol, cfg.Instance, r.Handle)
+	return r
+}
+
+// Start broadcasts the payload; only the instance's sender may call it.
+func (r *RBC) Start(payload []byte) error {
+	if r.cfg.Router.Self() != r.cfg.Sender {
+		return fmt.Errorf("rbc: party %d cannot start instance of sender %d", r.cfg.Router.Self(), r.cfg.Sender)
+	}
+	return r.cfg.Router.Broadcast(Protocol, r.cfg.Instance, typeSend, payloadBody{Payload: payload})
+}
+
+// Delivered reports whether the instance has delivered.
+func (r *RBC) Delivered() bool { return r.delivered }
+
+func (r *RBC) valid(payload []byte) bool {
+	return r.cfg.Predicate == nil || r.cfg.Predicate(payload)
+}
+
+// Handle processes one protocol message.
+func (r *RBC) Handle(from int, msgType string, payload []byte) {
+	switch msgType {
+	case typeSend:
+		var body payloadBody
+		if from != r.cfg.Sender || unmarshal(payload, &body) != nil {
+			return
+		}
+		r.onSend(body.Payload)
+	case typeEcho:
+		var body payloadBody
+		if unmarshal(payload, &body) != nil {
+			return
+		}
+		r.onEcho(from, body.Payload)
+	case typeReady:
+		var body digestBody
+		if unmarshal(payload, &body) != nil {
+			return
+		}
+		r.onReady(from, body.Digest)
+	case typeReq:
+		var body digestBody
+		if unmarshal(payload, &body) != nil {
+			return
+		}
+		r.onReq(from, body.Digest)
+	case typeAns:
+		var body payloadBody
+		if unmarshal(payload, &body) != nil {
+			return
+		}
+		r.onAns(body.Payload)
+	}
+}
+
+func (r *RBC) onSend(payload []byte) {
+	if r.echoed || !r.valid(payload) {
+		return
+	}
+	r.echoed = true
+	_ = r.cfg.Router.Broadcast(Protocol, r.cfg.Instance, typeEcho, payloadBody{Payload: payload})
+}
+
+func (r *RBC) onEcho(from int, payload []byte) {
+	if !r.valid(payload) {
+		return
+	}
+	d := sha256.Sum256(payload)
+	if r.echoes[d].Has(from) {
+		return
+	}
+	r.echoes[d] = r.echoes[d].Add(from)
+	if _, ok := r.payloads[d]; !ok {
+		r.payloads[d] = payload
+	}
+	if r.cfg.Struct.IsQuorum(r.echoes[d]) {
+		r.sendReady(d)
+	}
+	r.tryDeliver(d)
+}
+
+func (r *RBC) onReady(from int, d [32]byte) {
+	if r.readies[d].Has(from) {
+		return
+	}
+	r.readies[d] = r.readies[d].Add(from)
+	if r.cfg.Struct.HasHonest(r.readies[d]) {
+		r.sendReady(d)
+	}
+	r.tryDeliver(d)
+}
+
+func (r *RBC) sendReady(d [32]byte) {
+	if r.readySent {
+		return
+	}
+	r.readySent = true
+	_ = r.cfg.Router.Broadcast(Protocol, r.cfg.Instance, typeReady, digestBody{Digest: d})
+}
+
+func (r *RBC) tryDeliver(d [32]byte) {
+	if r.delivered || !r.cfg.Struct.IsStrong(r.readies[d]) {
+		return
+	}
+	p, ok := r.payloads[d]
+	if !ok {
+		// Fetch the payload from the parties that vouched for it.
+		if !r.requested {
+			r.requested = true
+			for _, j := range r.readies[d].Union(r.echoes[d]).Members() {
+				if j != r.cfg.Router.Self() {
+					_ = r.cfg.Router.Send(j, Protocol, r.cfg.Instance, typeReq, digestBody{Digest: d})
+				}
+			}
+		}
+		return
+	}
+	r.delivered = true
+	if r.cfg.Deliver != nil {
+		r.cfg.Deliver(p)
+	}
+}
+
+func (r *RBC) onReq(from int, d [32]byte) {
+	if r.answered.Has(from) {
+		return // answer each party at most once per instance
+	}
+	p, ok := r.payloads[d]
+	if !ok {
+		return
+	}
+	r.answered = r.answered.Add(from)
+	_ = r.cfg.Router.Send(from, Protocol, r.cfg.Instance, typeAns, payloadBody{Payload: p})
+}
+
+func (r *RBC) onAns(payload []byte) {
+	if !r.valid(payload) {
+		return
+	}
+	d := sha256.Sum256(payload)
+	if _, ok := r.payloads[d]; !ok {
+		r.payloads[d] = payload
+	}
+	r.tryDeliver(d)
+}

@@ -1,0 +1,361 @@
+package rbc_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sintra/internal/adversary"
+	"sintra/internal/netsim"
+	"sintra/internal/rbc"
+	"sintra/internal/testutil"
+	"sintra/internal/wire"
+)
+
+// collector gathers one delivery per party with a timeout.
+type collector struct {
+	n  int
+	ch chan delivery
+}
+
+type delivery struct {
+	party   int
+	payload []byte
+}
+
+func newCollector(n int) *collector {
+	return &collector{n: n, ch: make(chan delivery, n*4)}
+}
+
+func (c *collector) deliverFn(party int) func([]byte) {
+	return func(p []byte) { c.ch <- delivery{party: party, payload: p} }
+}
+
+// waitAll returns the payload delivered by each listed party, failing the
+// test on timeout.
+func (c *collector) waitAll(t *testing.T, parties []int) map[int][]byte {
+	t.Helper()
+	want := make(map[int]bool, len(parties))
+	for _, p := range parties {
+		want[p] = true
+	}
+	got := make(map[int][]byte, len(parties))
+	deadline := time.After(30 * time.Second)
+	for len(got) < len(parties) {
+		select {
+		case d := <-c.ch:
+			if want[d.party] {
+				if _, dup := got[d.party]; dup {
+					t.Fatalf("party %d delivered twice", d.party)
+				}
+				got[d.party] = d.payload
+			}
+		case <-deadline:
+			t.Fatalf("timeout: %d of %d deliveries", len(got), len(parties))
+		}
+	}
+	return got
+}
+
+// newRBC creates an instance on the router's dispatch goroutine, as the
+// engine contract requires once routers are running.
+func newRBC(cfg rbc.Config) *rbc.RBC {
+	var inst *rbc.RBC
+	cfg.Router.DoSync(func() { inst = rbc.New(cfg) })
+	return inst
+}
+
+func startInstances(c *testutil.Cluster, col *collector, sender int, tag string, parties []int) map[int]*rbc.RBC {
+	out := make(map[int]*rbc.RBC, len(parties))
+	for _, i := range parties {
+		out[i] = newRBC(rbc.Config{
+			Router:   c.Routers[i],
+			Struct:   c.Struct,
+			Instance: rbc.InstanceID(sender, tag),
+			Sender:   sender,
+			Deliver:  col.deliverFn(i),
+		})
+	}
+	return out
+}
+
+func allParties(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestBroadcastAllHonest(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{})
+	col := newCollector(4)
+	insts := startInstances(c, col, 0, "m1", allParties(4))
+	msg := []byte("hello reliable broadcast")
+	if err := insts[0].Start(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := col.waitAll(t, allParties(4))
+	for p, payload := range got {
+		if !bytes.Equal(payload, msg) {
+			t.Fatalf("party %d delivered %q", p, payload)
+		}
+	}
+}
+
+func TestBroadcastWithCrashedParty(t *testing.T) {
+	// Party 3 is crashed: it runs no protocol instance at all.
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 7})
+	col := newCollector(4)
+	insts := startInstances(c, col, 1, "m", []int{0, 1, 2})
+	msg := []byte("progress despite a crash")
+	if err := insts[1].Start(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := col.waitAll(t, []int{0, 1, 2})
+	for _, payload := range got {
+		if !bytes.Equal(payload, msg) {
+			t.Fatal("wrong payload")
+		}
+	}
+}
+
+func TestNonSenderCannotStart(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{})
+	inst := newRBC(rbc.Config{
+		Router:   c.Routers[1],
+		Struct:   c.Struct,
+		Instance: rbc.InstanceID(0, "m"),
+		Sender:   0,
+	})
+	if err := inst.Start([]byte("x")); err == nil {
+		t.Fatal("non-sender started broadcast")
+	}
+}
+
+// equivocatingSender implements a corrupted sender that sends different
+// payloads to different parties.
+func TestEquivocatingSenderAgreement(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 3})
+	col := newCollector(4)
+	// Honest parties 1..3 run the protocol; party 0 is corrupted.
+	startInstances(c, col, 0, "eq", []int{1, 2, 3})
+	// The corrupted sender sends SEND(a) to 1 and 2, SEND(b) to 3.
+	instance := rbc.InstanceID(0, "eq")
+	sendRaw := func(to int, payload []byte) {
+		body := wire.MustMarshalBody(struct{ Payload []byte }{payload})
+		c.Net.Endpoint(0).Send(wire.Message{
+			To: to, Protocol: rbc.Protocol, Instance: instance,
+			Type: "SEND", Payload: body,
+		})
+	}
+	sendRaw(1, []byte("aaa"))
+	sendRaw(2, []byte("aaa"))
+	sendRaw(3, []byte("bbb"))
+	// With one corrupted sender and three honest parties, the honest
+	// parties either all deliver the same payload or none delivers.
+	timeout := time.After(5 * time.Second)
+	var delivered []delivery
+loop:
+	for {
+		select {
+		case d := <-col.ch:
+			delivered = append(delivered, d)
+			if len(delivered) == 3 {
+				break loop
+			}
+		case <-timeout:
+			break loop
+		}
+	}
+	if len(delivered) > 0 && len(delivered) < 3 {
+		// Partial delivery is allowed only transiently; wait for the rest.
+		deadline := time.After(30 * time.Second)
+		for len(delivered) < 3 {
+			select {
+			case d := <-col.ch:
+				delivered = append(delivered, d)
+			case <-deadline:
+				t.Fatalf("totality violated: only %d honest parties delivered", len(delivered))
+			}
+		}
+	}
+	for i := 1; i < len(delivered); i++ {
+		if !bytes.Equal(delivered[i].payload, delivered[0].payload) {
+			t.Fatalf("agreement violated: %q vs %q", delivered[i].payload, delivered[0].payload)
+		}
+	}
+}
+
+func TestPredicateBlocksInvalidPayload(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{})
+	col := newCollector(4)
+	for i := 0; i < 4; i++ {
+		newRBC(rbc.Config{
+			Router:    c.Routers[i],
+			Struct:    c.Struct,
+			Instance:  rbc.InstanceID(0, "p"),
+			Sender:    0,
+			Deliver:   col.deliverFn(i),
+			Predicate: func(p []byte) bool { return len(p) < 4 },
+		})
+	}
+	// Sender is honest but its payload violates the predicate everywhere:
+	// nobody must deliver.
+	body := wire.MustMarshalBody(struct{ Payload []byte }{[]byte("too long payload")})
+	for to := 0; to < 4; to++ {
+		c.Net.Endpoint(0).Send(wire.Message{
+			To: to, Protocol: rbc.Protocol, Instance: rbc.InstanceID(0, "p"),
+			Type: "SEND", Payload: body,
+		})
+	}
+	select {
+	case d := <-col.ch:
+		t.Fatalf("party %d delivered invalid payload", d.party)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+func TestInterleavedBroadcasts(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 11})
+	const perSender = 3
+	type key struct {
+		party int
+		msg   string
+	}
+	var mu sync.Mutex
+	got := make(map[key]bool)
+	total := 4 * 4 * perSender
+	done := make(chan struct{}, total)
+
+	senders := make(map[string]*rbc.RBC)
+	for sender := 0; sender < 4; sender++ {
+		for k := 0; k < perSender; k++ {
+			tag := fmt.Sprintf("b%d", k)
+			for i := 0; i < 4; i++ {
+				i := i
+				inst := newRBC(rbc.Config{
+					Router:   c.Routers[i],
+					Struct:   c.Struct,
+					Instance: rbc.InstanceID(sender, tag),
+					Sender:   sender,
+					Deliver: func(p []byte) {
+						mu.Lock()
+						got[key{party: i, msg: string(p)}] = true
+						mu.Unlock()
+						done <- struct{}{}
+					},
+				})
+				if i == sender {
+					senders[fmt.Sprintf("%d/%s", sender, tag)] = inst
+				}
+			}
+		}
+	}
+	for sender := 0; sender < 4; sender++ {
+		for k := 0; k < perSender; k++ {
+			msg := fmt.Sprintf("msg-%d-%d", sender, k)
+			if err := senders[fmt.Sprintf("%d/b%d", sender, k)].Start([]byte(msg)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	deadline := time.After(60 * time.Second)
+	for i := 0; i < total; i++ {
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatalf("timeout after %d of %d deliveries", i, total)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for sender := 0; sender < 4; sender++ {
+		for k := 0; k < perSender; k++ {
+			msg := fmt.Sprintf("msg-%d-%d", sender, k)
+			for i := 0; i < 4; i++ {
+				if !got[key{party: i, msg: msg}] {
+					t.Fatalf("party %d missed %q", i, msg)
+				}
+			}
+		}
+	}
+}
+
+func TestInstanceIDRoundTrip(t *testing.T) {
+	id := rbc.InstanceID(7, "abc/r1")
+	sender, err := rbc.SenderOf(id)
+	if err != nil || sender != 7 {
+		t.Fatalf("SenderOf = %d, %v", sender, err)
+	}
+	if _, err := rbc.SenderOf("garbage"); err == nil {
+		t.Fatal("malformed instance accepted")
+	}
+	if _, err := rbc.SenderOf("x/tag"); err == nil {
+		t.Fatal("non-numeric sender accepted")
+	}
+}
+
+func TestGeneralStructureBroadcast(t *testing.T) {
+	// Example 1 structure with all of class a (4 of 9 servers) crashed.
+	st := adversary.Example1()
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 5})
+	col := newCollector(9)
+	honest := []int{4, 5, 6, 7, 8}
+	insts := startInstances(c, col, 4, "g", honest)
+	msg := []byte("survives a whole class failure")
+	if err := insts[4].Start(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := col.waitAll(t, honest)
+	for _, p := range got {
+		if !bytes.Equal(p, msg) {
+			t.Fatal("wrong payload")
+		}
+	}
+}
+
+func TestLargePayloadDelivery(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{})
+	col := newCollector(4)
+	insts := startInstances(c, col, 2, "big", allParties(4))
+	msg := bytes.Repeat([]byte{0xAB}, 64*1024)
+	if err := insts[2].Start(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := col.waitAll(t, allParties(4))
+	for _, p := range got {
+		if !bytes.Equal(p, msg) {
+			t.Fatal("wrong large payload")
+		}
+	}
+}
+
+func TestDeliveryUnderAdversarialScheduler(t *testing.T) {
+	// Starve all of party 0's outbound traffic: the sender's SEND still
+	// reaches everyone eventually, and the others progress meanwhile.
+	st := adversary.MustThreshold(4, 1)
+	sched := netsim.NewDelayScheduler(13, func(m *wire.Message) bool { return m.From == 0 })
+	c := testutil.NewCluster(t, st, testutil.Options{Scheduler: sched})
+	col := newCollector(4)
+	insts := startInstances(c, col, 0, "slow", allParties(4))
+	msg := []byte("eventual delivery")
+	if err := insts[0].Start(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := col.waitAll(t, allParties(4))
+	for _, p := range got {
+		if !bytes.Equal(p, msg) {
+			t.Fatal("wrong payload")
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package scabc implements secure causal atomic broadcast: atomic
+// broadcast of threshold-encrypted requests, decrypted only after their
+// position in the total order is fixed (paper §3, following Reiter &
+// Birman's "secure causality"). A client encrypts its request under the
+// service's single TDH2 public key with the service instance as label;
+// the servers order the ciphertext with atomic broadcast, then exchange
+// decryption shares and deliver the plaintext.
+//
+// Input causality holds because TDH2 is secure against adaptive
+// chosen-ciphertext attacks: a corrupted server that sees a ciphertext in
+// flight can neither read it nor construct a *related* ciphertext of its
+// own, so it cannot front-run the request (the paper's notary scenario,
+// §5.2). Invalid ciphertexts — including replays under a wrong label —
+// are skipped deterministically by every honest party.
+package scabc
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+
+	"sintra/internal/abc"
+	"sintra/internal/adversary"
+	"sintra/internal/coin"
+	"sintra/internal/engine"
+	"sintra/internal/identity"
+	"sintra/internal/threnc"
+	"sintra/internal/thresig"
+	"sintra/internal/wire"
+)
+
+// Protocol is the wire protocol name of the decryption-share exchange.
+const Protocol = "scabc"
+
+// typeShares carries decryption shares for one sequence number.
+const typeShares = "SHARES"
+
+// maxPendingWindow bounds how far ahead of the delivery frontier share
+// messages are buffered.
+const maxPendingWindow = 4096
+
+type sharesBody struct {
+	Seq    int64
+	Shares []threnc.Share
+}
+
+// Config wires one secure-causal-atomic-broadcast instance.
+type Config struct {
+	// Router is the party's protocol router.
+	Router *engine.Router
+	// Struct is the adversary structure.
+	Struct *adversary.Structure
+	// Instance identifies the replicated service; it doubles as the
+	// required ciphertext label.
+	Instance string
+	// Identity/IDKey sign the embedded atomic-broadcast proposals.
+	Identity *identity.Registry
+	IDKey    *identity.Key
+	// Coin/CoinKey drive the embedded agreement protocols.
+	Coin    *coin.Params
+	CoinKey *coin.SecretKey
+	// Scheme/Key are the quorum-rule threshold signatures for the
+	// embedded consistent broadcasts.
+	Scheme thresig.Scheme
+	Key    *thresig.SecretKey
+	// Enc is the service's TDH2 key; EncKey the party's decryption key.
+	Enc    *threnc.Params
+	EncKey *threnc.SecretKey
+	// Deliver is called with dense sequence numbers and decrypted
+	// requests, in the same order on every honest party.
+	Deliver func(seq int64, request []byte)
+	// OnInvalid is called (optionally) when an ordered ciphertext is
+	// skipped as invalid.
+	OnInvalid func(abcSeq int64)
+	// BatchSize is passed to the embedded atomic broadcast.
+	BatchSize int
+}
+
+// pending tracks one ordered ciphertext awaiting decryption.
+type pending struct {
+	ct       *threnc.Ciphertext
+	combiner *threnc.Combiner
+	early    []threnc.Share
+	sent     bool
+	plain    []byte
+	done     bool
+	invalid  bool
+}
+
+// SCABC is one secure-causal instance; dispatch-goroutine only.
+type SCABC struct {
+	cfg Config
+	abc *abc.ABC
+
+	byABCSeq map[int64]*pending
+	nextABC  int64 // next ABC sequence to flush
+	outSeq   int64 // next plaintext sequence to assign
+}
+
+// New creates and registers an instance together with its embedded atomic
+// broadcast (dispatch goroutine or pre-Run).
+func New(cfg Config) *SCABC {
+	s := &SCABC{
+		cfg:      cfg,
+		byABCSeq: make(map[int64]*pending),
+	}
+	s.abc = abc.New(abc.Config{
+		Router:    cfg.Router,
+		Struct:    cfg.Struct,
+		Instance:  cfg.Instance + "/ord",
+		Identity:  cfg.Identity,
+		IDKey:     cfg.IDKey,
+		Coin:      cfg.Coin,
+		CoinKey:   cfg.CoinKey,
+		Scheme:    cfg.Scheme,
+		Key:       cfg.Key,
+		BatchSize: cfg.BatchSize,
+		Deliver:   s.onOrdered,
+	})
+	cfg.Router.Register(Protocol, cfg.Instance, s.Handle)
+	return s
+}
+
+// Encrypt produces the ciphertext bytes a client submits to the service:
+// a TDH2 encryption of the request, labelled with the instance name.
+func Encrypt(enc *threnc.Params, instance string, request []byte) ([]byte, error) {
+	ct, err := enc.Encrypt(request, []byte(instance), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return wire.MarshalBody(ct)
+}
+
+// Submit hands an encrypted request (from Encrypt) to the ordering layer.
+// Safe from any goroutine.
+func (s *SCABC) Submit(ciphertext []byte) error {
+	return s.abc.Broadcast(ciphertext)
+}
+
+// Seq returns the number of plaintexts delivered so far.
+func (s *SCABC) Seq() int64 { return s.outSeq }
+
+// onOrdered runs when the embedded atomic broadcast fixes a ciphertext's
+// position.
+func (s *SCABC) onOrdered(seq int64, payload []byte) {
+	p := s.pendingFor(seq)
+	var ct threnc.Ciphertext
+	if wire.UnmarshalBody(payload, &ct) != nil ||
+		!bytes.Equal(ct.Label, []byte(s.cfg.Instance)) ||
+		s.cfg.Enc.VerifyCiphertext(&ct) != nil {
+		p.invalid = true
+		p.done = true
+		s.flush()
+		return
+	}
+	p.ct = &ct
+	combiner, err := threnc.NewCombiner(s.cfg.Enc, &ct)
+	if err != nil {
+		p.invalid = true
+		p.done = true
+		s.flush()
+		return
+	}
+	p.combiner = combiner
+	// Release our decryption shares only now — after the position is
+	// fixed — and feed any early-arrived shares from faster parties.
+	if !p.sent {
+		p.sent = true
+		shares, err := s.cfg.Enc.DecryptShares(s.cfg.EncKey, &ct, rand.Reader)
+		if err == nil {
+			_ = s.cfg.Router.Broadcast(Protocol, s.cfg.Instance, typeShares, sharesBody{Seq: seq, Shares: shares})
+		}
+	}
+	for _, sh := range p.early {
+		_ = p.combiner.Add(sh)
+	}
+	p.early = nil
+	s.tryDecrypt(seq)
+}
+
+func (s *SCABC) pendingFor(seq int64) *pending {
+	p, ok := s.byABCSeq[seq]
+	if !ok {
+		p = &pending{}
+		s.byABCSeq[seq] = p
+	}
+	return p
+}
+
+// Handle processes decryption-share messages.
+func (s *SCABC) Handle(from int, msgType string, payload []byte) {
+	if msgType != typeShares {
+		return
+	}
+	var body sharesBody
+	if wire.UnmarshalBody(payload, &body) != nil {
+		return
+	}
+	if body.Seq < s.nextABC || body.Seq > s.nextABC+maxPendingWindow {
+		return
+	}
+	p := s.pendingFor(body.Seq)
+	if p.done {
+		return
+	}
+	if p.combiner == nil {
+		// Ciphertext not ordered locally yet; buffer a bounded number.
+		if len(p.early) < 4*s.cfg.Router.N() {
+			p.early = append(p.early, body.Shares...)
+		}
+		return
+	}
+	for _, sh := range body.Shares {
+		_ = p.combiner.Add(sh) // invalid shares rejected inside
+	}
+	s.tryDecrypt(body.Seq)
+}
+
+func (s *SCABC) tryDecrypt(seq int64) {
+	p := s.pendingFor(seq)
+	if p.done || p.combiner == nil || !p.combiner.Ready() {
+		return
+	}
+	plain, err := p.combiner.Decrypt()
+	if err != nil {
+		return
+	}
+	p.plain = plain
+	p.done = true
+	s.flush()
+}
+
+// flush delivers decrypted requests strictly in order.
+func (s *SCABC) flush() {
+	for {
+		p, ok := s.byABCSeq[s.nextABC]
+		if !ok || !p.done {
+			return
+		}
+		if p.invalid {
+			if s.cfg.OnInvalid != nil {
+				s.cfg.OnInvalid(s.nextABC)
+			}
+		} else {
+			seq := s.outSeq
+			s.outSeq++
+			if s.cfg.Deliver != nil {
+				s.cfg.Deliver(seq, p.plain)
+			}
+		}
+		delete(s.byABCSeq, s.nextABC)
+		s.nextABC++
+	}
+}
+
+// String describes the instance (for logs).
+func (s *SCABC) String() string {
+	return fmt.Sprintf("scabc(%s)", s.cfg.Instance)
+}

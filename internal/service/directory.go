@@ -1,0 +1,214 @@
+// Package service implements the paper's trusted applications (§5) as
+// deterministic state machines for the core runtime:
+//
+//   - Directory — a certification authority plus secure directory (§5.1):
+//     it issues certificates binding names to public keys and serves
+//     signed lookups. The service's "digital signature" is the threshold
+//     signature the client recovers from the answer shares, exactly as
+//     the paper prescribes ("in the server code, computing the digital
+//     signature is replaced by generating a signature share").
+//
+//   - Notary — a digital notary / time-stamping service (§5.2): it assigns
+//     consecutive sequence numbers to submitted documents and certifies
+//     them by its signature. Run it over secure causal atomic broadcast so
+//     submissions stay confidential until they are scheduled, which is
+//     what defeats the front-running competitor of the paper's patent
+//     scenario.
+//
+// Requests and responses are JSON, so clients in any language can talk to
+// a deployment.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+
+	"sintra/internal/core"
+)
+
+// Directory operations.
+const (
+	// OpIssue requests a certificate binding Name to PubKey.
+	OpIssue = "issue"
+	// OpPut stores a directory entry.
+	OpPut = "put"
+	// OpGet looks a directory entry up.
+	OpGet = "get"
+)
+
+// DirectoryRequest is the JSON request body of the directory service.
+type DirectoryRequest struct {
+	Op     string `json:"op"`
+	Name   string `json:"name,omitempty"`
+	PubKey []byte `json:"pubKey,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Value  string `json:"value,omitempty"`
+}
+
+// Certificate is the content of an issued certificate; the threshold
+// signature over the service response makes it verifiable.
+type Certificate struct {
+	Serial int64  `json:"serial"`
+	Name   string `json:"name"`
+	PubKey []byte `json:"pubKey"`
+	Seq    int64  `json:"seq"` // position in the service's total order
+}
+
+// DirectoryResponse is the JSON response body of the directory service.
+type DirectoryResponse struct {
+	OK          bool         `json:"ok"`
+	Error       string       `json:"error,omitempty"`
+	Certificate *Certificate `json:"certificate,omitempty"`
+	Value       string       `json:"value,omitempty"`
+	Version     int64        `json:"version,omitempty"`
+	Found       bool         `json:"found,omitempty"`
+}
+
+type dirEntry struct {
+	value   string
+	version int64
+}
+
+// Directory is the replicated CA + directory state machine.
+type Directory struct {
+	nextSerial int64
+	entries    map[string]dirEntry
+	issued     map[string]int64 // name -> serial of the latest certificate
+}
+
+var _ core.StateMachine = (*Directory)(nil)
+
+// NewDirectory creates an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		nextSerial: 1,
+		entries:    make(map[string]dirEntry),
+		issued:     make(map[string]int64),
+	}
+}
+
+// Apply implements core.StateMachine.
+func (d *Directory) Apply(seq int64, request []byte) []byte {
+	var req DirectoryRequest
+	if err := json.Unmarshal(request, &req); err != nil {
+		return marshalDir(DirectoryResponse{Error: "malformed request"})
+	}
+	switch req.Op {
+	case OpIssue:
+		if req.Name == "" || len(req.PubKey) == 0 {
+			return marshalDir(DirectoryResponse{Error: "issue requires name and pubKey"})
+		}
+		serial := d.nextSerial
+		d.nextSerial++
+		d.issued[req.Name] = serial
+		return marshalDir(DirectoryResponse{
+			OK: true,
+			Certificate: &Certificate{
+				Serial: serial,
+				Name:   req.Name,
+				PubKey: req.PubKey,
+				Seq:    seq,
+			},
+		})
+	case OpPut:
+		if req.Key == "" {
+			return marshalDir(DirectoryResponse{Error: "put requires key"})
+		}
+		e := d.entries[req.Key]
+		e.value = req.Value
+		e.version++
+		d.entries[req.Key] = e
+		return marshalDir(DirectoryResponse{OK: true, Version: e.version})
+	case OpGet:
+		e, ok := d.entries[req.Key]
+		return marshalDir(DirectoryResponse{OK: true, Found: ok, Value: e.value, Version: e.version})
+	default:
+		return marshalDir(DirectoryResponse{Error: fmt.Sprintf("unknown op %q", req.Op)})
+	}
+}
+
+func marshalDir(resp DirectoryResponse) []byte {
+	out, err := json.Marshal(resp)
+	if err != nil {
+		// Cannot happen for this struct; keep determinism regardless.
+		return []byte(`{"ok":false,"error":"encoding failure"}`)
+	}
+	return out
+}
+
+// Notary operations.
+const (
+	// OpRegister registers a document and assigns it the next sequence
+	// number.
+	OpRegister = "register"
+	// OpLookup checks whether (and when) a document was registered.
+	OpLookup = "lookup"
+)
+
+// NotaryRequest is the JSON request body of the notary service.
+type NotaryRequest struct {
+	Op       string `json:"op"`
+	Document []byte `json:"document"`
+}
+
+// NotaryResponse is the JSON response body of the notary service; the
+// threshold signature over it is the client's receipt.
+type NotaryResponse struct {
+	OK       bool   `json:"ok"`
+	Error    string `json:"error,omitempty"`
+	Seq      int64  `json:"seq"`
+	Digest   []byte `json:"digest,omitempty"`
+	Existing bool   `json:"existing,omitempty"`
+	Found    bool   `json:"found,omitempty"`
+}
+
+// Notary is the replicated notary state machine.
+type Notary struct {
+	next       int64
+	registered map[[32]byte]int64
+}
+
+var _ core.StateMachine = (*Notary)(nil)
+
+// NewNotary creates an empty notary.
+func NewNotary() *Notary {
+	return &Notary{next: 1, registered: make(map[[32]byte]int64)}
+}
+
+// Apply implements core.StateMachine.
+func (n *Notary) Apply(_ int64, request []byte) []byte {
+	var req NotaryRequest
+	if err := json.Unmarshal(request, &req); err != nil {
+		return marshalNotary(NotaryResponse{Error: "malformed request"})
+	}
+	if len(req.Document) == 0 {
+		return marshalNotary(NotaryResponse{Error: "document required"})
+	}
+	d := sha256.Sum256(req.Document)
+	switch req.Op {
+	case OpRegister:
+		if seq, ok := n.registered[d]; ok {
+			// First registration wins; the receipt names the original
+			// sequence number (the paper's anti-front-running semantics).
+			return marshalNotary(NotaryResponse{OK: true, Seq: seq, Digest: d[:], Existing: true})
+		}
+		seq := n.next
+		n.next++
+		n.registered[d] = seq
+		return marshalNotary(NotaryResponse{OK: true, Seq: seq, Digest: d[:]})
+	case OpLookup:
+		seq, ok := n.registered[d]
+		return marshalNotary(NotaryResponse{OK: true, Found: ok, Seq: seq, Digest: d[:]})
+	default:
+		return marshalNotary(NotaryResponse{Error: fmt.Sprintf("unknown op %q", req.Op)})
+	}
+}
+
+func marshalNotary(resp NotaryResponse) []byte {
+	out, err := json.Marshal(resp)
+	if err != nil {
+		return []byte(`{"ok":false,"error":"encoding failure"}`)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+)
+
+// Exchange is the "trusted party for fair exchange" the paper's §5 points
+// to: two parties each want the other's item, and neither trusts the
+// other to go first. The replicated service acts as the escrow — an offer
+// names the digest of the item it wants in return; the matching accept
+// releases both items in one atomic step. Run it over secure causal
+// atomic broadcast so items stay sealed until the exchange is decided,
+// and nobody can take an item without releasing theirs.
+const (
+	// OpOffer deposits an item and names the wanted counter-item digest.
+	OpOffer = "offer"
+	// OpAccept deposits the counter-item for an open offer.
+	OpAccept = "accept"
+	// OpStatus queries an exchange.
+	OpStatus = "status"
+)
+
+// ExchangeRequest is the JSON request body of the exchange service.
+type ExchangeRequest struct {
+	Op string `json:"op"`
+	// ID names the exchange (chosen by the offering party).
+	ID string `json:"id"`
+	// Item is the deposited data.
+	Item []byte `json:"item,omitempty"`
+	// WantDigest is the SHA-256 of the item wanted in return (offer only).
+	WantDigest []byte `json:"wantDigest,omitempty"`
+}
+
+// ExchangeResponse is the JSON response body; on completion it carries
+// BOTH items, released atomically, under the service's threshold
+// signature.
+type ExchangeResponse struct {
+	OK        bool   `json:"ok"`
+	Error     string `json:"error,omitempty"`
+	ID        string `json:"id,omitempty"`
+	State     string `json:"state,omitempty"` // "open" | "completed"
+	ItemA     []byte `json:"itemA,omitempty"`
+	ItemB     []byte `json:"itemB,omitempty"`
+	Completed bool   `json:"completed,omitempty"`
+}
+
+type exchangeState struct {
+	itemA      []byte
+	wantDigest []byte
+	itemB      []byte
+	completed  bool
+}
+
+// Exchange is the replicated fair-exchange state machine.
+type Exchange struct {
+	exchanges map[string]*exchangeState
+}
+
+// NewExchange creates an empty exchange service.
+func NewExchange() *Exchange {
+	return &Exchange{exchanges: make(map[string]*exchangeState)}
+}
+
+// Apply implements core.StateMachine.
+func (e *Exchange) Apply(_ int64, request []byte) []byte {
+	var req ExchangeRequest
+	if err := json.Unmarshal(request, &req); err != nil {
+		return marshalExchange(ExchangeResponse{Error: "malformed request"})
+	}
+	if req.ID == "" {
+		return marshalExchange(ExchangeResponse{Error: "exchange id required"})
+	}
+	switch req.Op {
+	case OpOffer:
+		if len(req.Item) == 0 || len(req.WantDigest) != sha256.Size {
+			return marshalExchange(ExchangeResponse{Error: "offer requires item and a SHA-256 wantDigest"})
+		}
+		if _, exists := e.exchanges[req.ID]; exists {
+			return marshalExchange(ExchangeResponse{Error: fmt.Sprintf("exchange %q already exists", req.ID)})
+		}
+		e.exchanges[req.ID] = &exchangeState{
+			itemA:      req.Item,
+			wantDigest: req.WantDigest,
+		}
+		return marshalExchange(ExchangeResponse{OK: true, ID: req.ID, State: "open"})
+	case OpAccept:
+		ex, exists := e.exchanges[req.ID]
+		if !exists {
+			return marshalExchange(ExchangeResponse{Error: "no such exchange"})
+		}
+		if ex.completed {
+			// Idempotent: re-accepting a completed exchange re-releases.
+			return marshalExchange(ExchangeResponse{
+				OK: true, ID: req.ID, State: "completed", Completed: true,
+				ItemA: ex.itemA, ItemB: ex.itemB,
+			})
+		}
+		d := sha256.Sum256(req.Item)
+		if !bytes.Equal(d[:], ex.wantDigest) {
+			return marshalExchange(ExchangeResponse{Error: "item does not match the wanted digest"})
+		}
+		ex.itemB = req.Item
+		ex.completed = true
+		// Both items released in the same atomic step: fairness.
+		return marshalExchange(ExchangeResponse{
+			OK: true, ID: req.ID, State: "completed", Completed: true,
+			ItemA: ex.itemA, ItemB: ex.itemB,
+		})
+	case OpStatus:
+		ex, exists := e.exchanges[req.ID]
+		if !exists {
+			return marshalExchange(ExchangeResponse{OK: true, ID: req.ID, State: "unknown"})
+		}
+		resp := ExchangeResponse{OK: true, ID: req.ID, State: "open"}
+		if ex.completed {
+			resp.State = "completed"
+			resp.Completed = true
+			resp.ItemA = ex.itemA
+			resp.ItemB = ex.itemB
+		}
+		return marshalExchange(resp)
+	default:
+		return marshalExchange(ExchangeResponse{Error: fmt.Sprintf("unknown op %q", req.Op)})
+	}
+}
+
+func marshalExchange(resp ExchangeResponse) []byte {
+	out, err := json.Marshal(resp)
+	if err != nil {
+		return []byte(`{"ok":false,"error":"encoding failure"}`)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package service_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"testing"
+
+	"sintra/internal/service"
+)
+
+func exApply(t *testing.T, e *service.Exchange, req service.ExchangeRequest) service.ExchangeResponse {
+	t.Helper()
+	var resp service.ExchangeResponse
+	if err := json.Unmarshal(e.Apply(0, mustJSON(t, req)), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestFairExchangeHappyPath(t *testing.T) {
+	e := service.NewExchange()
+	itemA := []byte("signed contract from A")
+	itemB := []byte("payment authorization from B")
+	dB := sha256.Sum256(itemB)
+
+	offer := exApply(t, e, service.ExchangeRequest{Op: service.OpOffer, ID: "deal-1", Item: itemA, WantDigest: dB[:]})
+	if !offer.OK || offer.State != "open" {
+		t.Fatalf("offer: %+v", offer)
+	}
+	// Before acceptance, nobody gets anything.
+	status := exApply(t, e, service.ExchangeRequest{Op: service.OpStatus, ID: "deal-1"})
+	if status.Completed || status.ItemA != nil {
+		t.Fatalf("items leaked before completion: %+v", status)
+	}
+	// The matching accept releases BOTH items atomically.
+	done := exApply(t, e, service.ExchangeRequest{Op: service.OpAccept, ID: "deal-1", Item: itemB})
+	if !done.Completed || !bytes.Equal(done.ItemA, itemA) || !bytes.Equal(done.ItemB, itemB) {
+		t.Fatalf("accept: %+v", done)
+	}
+	// Status now shows completion for everyone (A fetches B's item).
+	status = exApply(t, e, service.ExchangeRequest{Op: service.OpStatus, ID: "deal-1"})
+	if !status.Completed || !bytes.Equal(status.ItemB, itemB) {
+		t.Fatalf("status after completion: %+v", status)
+	}
+}
+
+func TestFairExchangeRejectsWrongItem(t *testing.T) {
+	e := service.NewExchange()
+	want := sha256.Sum256([]byte("the right thing"))
+	exApply(t, e, service.ExchangeRequest{Op: service.OpOffer, ID: "d", Item: []byte("a"), WantDigest: want[:]})
+	resp := exApply(t, e, service.ExchangeRequest{Op: service.OpAccept, ID: "d", Item: []byte("the WRONG thing")})
+	if resp.OK {
+		t.Fatal("mismatched item accepted")
+	}
+	// The offer stays open; the right item still completes it.
+	done := exApply(t, e, service.ExchangeRequest{Op: service.OpAccept, ID: "d", Item: []byte("the right thing")})
+	if !done.Completed {
+		t.Fatalf("correct item rejected: %+v", done)
+	}
+}
+
+func TestFairExchangeValidation(t *testing.T) {
+	e := service.NewExchange()
+	if resp := exApply(t, e, service.ExchangeRequest{Op: service.OpOffer, ID: "d"}); resp.OK {
+		t.Fatal("offer without item accepted")
+	}
+	if resp := exApply(t, e, service.ExchangeRequest{Op: service.OpOffer, ID: "d", Item: []byte("x"), WantDigest: []byte("short")}); resp.OK {
+		t.Fatal("bad digest length accepted")
+	}
+	if resp := exApply(t, e, service.ExchangeRequest{Op: service.OpAccept, ID: "missing", Item: []byte("x")}); resp.OK {
+		t.Fatal("accept on unknown exchange accepted")
+	}
+	if resp := exApply(t, e, service.ExchangeRequest{Op: service.OpOffer, Item: []byte("x")}); resp.OK {
+		t.Fatal("missing id accepted")
+	}
+	d := sha256.Sum256([]byte("y"))
+	exApply(t, e, service.ExchangeRequest{Op: service.OpOffer, ID: "dup", Item: []byte("x"), WantDigest: d[:]})
+	if resp := exApply(t, e, service.ExchangeRequest{Op: service.OpOffer, ID: "dup", Item: []byte("x"), WantDigest: d[:]}); resp.OK {
+		t.Fatal("duplicate offer id accepted")
+	}
+}
+
+func TestFairExchangeDeterminism(t *testing.T) {
+	d := sha256.Sum256([]byte("b"))
+	reqs := [][]byte{
+		mustJSON(t, service.ExchangeRequest{Op: service.OpOffer, ID: "x", Item: []byte("a"), WantDigest: d[:]}),
+		mustJSON(t, service.ExchangeRequest{Op: service.OpAccept, ID: "x", Item: []byte("b")}),
+		mustJSON(t, service.ExchangeRequest{Op: service.OpStatus, ID: "x"}),
+		[]byte("garbage"),
+	}
+	e1, e2 := service.NewExchange(), service.NewExchange()
+	for i, req := range reqs {
+		if !bytes.Equal(e1.Apply(int64(i), req), e2.Apply(int64(i), req)) {
+			t.Fatalf("replicas diverged at request %d", i)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package sharing implements linear secret sharing over the scalar field
+// Z_q of a prime-order group: plain Shamir sharing for threshold access
+// structures and the Benaloh-Leichter construction for arbitrary monotone
+// threshold-gate formulas (Cachin, DSN 2001, §4.2; Benaloh-Leichter,
+// CRYPTO '88).
+//
+// The access formula is interpreted as a share tree: each Θ_k gate Shamir-
+// shares its value with a degree k-1 polynomial among its children, and
+// each leaf hands the arriving value to its party. A party may therefore
+// hold several atomic shares, one per leaf labelled with its index. Because
+// the scheme is linear, a secret can be reconstructed either in the field
+// (from scalar shares) or "in the exponent" (from group elements g^share),
+// which is exactly what the threshold coin-tossing scheme and the TDH2
+// threshold cryptosystem require.
+package sharing
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"sintra/internal/adversary"
+	"sintra/internal/group"
+)
+
+// Errors reported by the scheme.
+var (
+	// ErrUnqualified is returned when the available parties do not satisfy
+	// the access structure.
+	ErrUnqualified = errors.New("sharing: party set is not qualified")
+	// ErrMissingShare is returned when a reconstruction input lacks a share
+	// selected by the recombination plan.
+	ErrMissingShare = errors.New("sharing: missing share value")
+)
+
+// Share is one atomic share: the value assigned to one leaf of the access
+// formula, owned by the leaf's party.
+type Share struct {
+	// ID is the leaf index in depth-first order (stable for a formula).
+	ID int
+	// Party is the owner of the leaf.
+	Party int
+	// Value is the share scalar in Z_q.
+	Value *big.Int
+}
+
+// Scheme is a linear secret sharing scheme for one access formula.
+type Scheme struct {
+	g      *group.Group
+	n      int
+	access *adversary.Formula
+	leaves []int // leaf index -> party
+}
+
+// NewScheme builds a scheme for the given monotone access formula over n
+// parties.
+func NewScheme(g *group.Group, n int, access *adversary.Formula) (*Scheme, error) {
+	if err := access.Validate(n); err != nil {
+		return nil, fmt.Errorf("sharing: %w", err)
+	}
+	s := &Scheme{g: g, n: n, access: access}
+	s.collectLeaves(access)
+	return s, nil
+}
+
+// NewThresholdScheme builds a plain (t+1)-out-of-n Shamir scheme, the
+// special case where each party holds exactly one share.
+func NewThresholdScheme(g *group.Group, n, t int) (*Scheme, error) {
+	if t < 0 || t >= n {
+		return nil, fmt.Errorf("sharing: threshold %d out of range for n=%d", t, n)
+	}
+	parties := make([]int, n)
+	for i := range parties {
+		parties[i] = i
+	}
+	return NewScheme(g, n, adversary.ThresholdOf(t+1, parties))
+}
+
+// ForStructure builds the scheme for an adversary structure's access
+// formula.
+func ForStructure(g *group.Group, st *adversary.Structure) (*Scheme, error) {
+	return NewScheme(g, st.N(), st.Access)
+}
+
+func (s *Scheme) collectLeaves(f *adversary.Formula) {
+	if f.IsLeaf() {
+		s.leaves = append(s.leaves, f.Party)
+		return
+	}
+	for _, c := range f.Children {
+		s.collectLeaves(c)
+	}
+}
+
+// Group returns the underlying group.
+func (s *Scheme) Group() *group.Group { return s.g }
+
+// N returns the number of parties.
+func (s *Scheme) N() int { return s.n }
+
+// NumShares returns the total number of atomic shares (formula leaves).
+func (s *Scheme) NumShares() int { return len(s.leaves) }
+
+// PartyOf returns the owner of share id.
+func (s *Scheme) PartyOf(id int) (int, error) {
+	if id < 0 || id >= len(s.leaves) {
+		return 0, fmt.Errorf("sharing: share id %d out of range", id)
+	}
+	return s.leaves[id], nil
+}
+
+// SharesOf returns the share IDs owned by a party.
+func (s *Scheme) SharesOf(party int) []int {
+	var out []int
+	for id, p := range s.leaves {
+		if p == party {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Deal splits the secret into atomic shares, one per leaf, in leaf order.
+func (s *Scheme) Deal(secret *big.Int, rnd io.Reader) ([]Share, error) {
+	if secret == nil || secret.Sign() < 0 || secret.Cmp(s.g.Q) >= 0 {
+		return nil, errors.New("sharing: secret out of field range")
+	}
+	shares := make([]Share, 0, len(s.leaves))
+	next := 0
+	var walk func(f *adversary.Formula, value *big.Int) error
+	walk = func(f *adversary.Formula, value *big.Int) error {
+		if f.IsLeaf() {
+			shares = append(shares, Share{ID: next, Party: f.Party, Value: new(big.Int).Set(value)})
+			next++
+			return nil
+		}
+		// Shamir-share value with a degree K-1 polynomial; child j
+		// receives f(j+1).
+		coeffs := make([]*big.Int, f.K)
+		coeffs[0] = value
+		for i := 1; i < f.K; i++ {
+			c, err := s.g.RandomScalar(rnd)
+			if err != nil {
+				return err
+			}
+			coeffs[i] = c
+		}
+		for j, child := range f.Children {
+			x := big.NewInt(int64(j + 1))
+			if err := walk(child, s.evalPoly(coeffs, x)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(s.access, secret); err != nil {
+		return nil, err
+	}
+	return shares, nil
+}
+
+// evalPoly evaluates the polynomial with the given coefficients at x, mod Q.
+func (s *Scheme) evalPoly(coeffs []*big.Int, x *big.Int) *big.Int {
+	// Horner's rule.
+	acc := new(big.Int)
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc.Mul(acc, x)
+		acc.Add(acc, coeffs[i])
+		acc.Mod(acc, s.g.Q)
+	}
+	return acc
+}
+
+// Qualified reports whether the party set satisfies the access structure.
+func (s *Scheme) Qualified(parties adversary.Set) bool {
+	return s.access.Eval(parties)
+}
+
+// Coefficients computes a recombination plan for the given qualified party
+// set: a map from share ID to coefficient c such that
+//
+//	secret = Σ_id c_id · value_id  (mod Q).
+//
+// Only shares owned by the given parties appear in the plan; the selection
+// is deterministic (first satisfied children win) so all honest parties
+// derive the same plan for the same set.
+func (s *Scheme) Coefficients(parties adversary.Set) (map[int]*big.Int, error) {
+	if !s.Qualified(parties) {
+		return nil, ErrUnqualified
+	}
+	plan := make(map[int]*big.Int)
+	leafIdx := 0
+	var walk func(f *adversary.Formula, factor *big.Int, active bool) error
+	walk = func(f *adversary.Formula, factor *big.Int, active bool) error {
+		if f.IsLeaf() {
+			if active {
+				plan[leafIdx] = new(big.Int).Set(factor)
+			}
+			leafIdx++
+			return nil
+		}
+		if !active {
+			// Still advance the leaf counter through the subtree.
+			for _, c := range f.Children {
+				if err := walk(c, nil, false); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Choose the first K satisfied children.
+		var chosen []int
+		for j, c := range f.Children {
+			if c.Eval(parties) {
+				chosen = append(chosen, j)
+				if len(chosen) == f.K {
+					break
+				}
+			}
+		}
+		if len(chosen) < f.K {
+			return ErrUnqualified // cannot happen if Eval was true
+		}
+		lambdas := s.lagrangeAtZero(chosen)
+		pos := 0
+		for j, c := range f.Children {
+			if pos < len(chosen) && chosen[pos] == j {
+				sub := s.g.MulScalar(factor, lambdas[pos])
+				if err := walk(c, sub, true); err != nil {
+					return err
+				}
+				pos++
+			} else {
+				if err := walk(c, nil, false); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(s.access, big.NewInt(1), true); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// lagrangeAtZero computes the Lagrange coefficients at x=0 for the points
+// x_j = chosen[j]+1.
+func (s *Scheme) lagrangeAtZero(chosen []int) []*big.Int {
+	out := make([]*big.Int, len(chosen))
+	for i, ji := range chosen {
+		xi := big.NewInt(int64(ji + 1))
+		num := big.NewInt(1)
+		den := big.NewInt(1)
+		for k, jk := range chosen {
+			if k == i {
+				continue
+			}
+			xk := big.NewInt(int64(jk + 1))
+			num = s.g.MulScalar(num, xk)
+			den = s.g.MulScalar(den, s.g.SubScalar(xk, xi))
+		}
+		out[i] = s.g.MulScalar(num, s.g.InvScalar(den))
+	}
+	return out
+}
+
+// Reconstruct recovers the secret from scalar shares of the given parties.
+// values maps share ID to share value; extra entries are ignored, missing
+// planned entries are an error.
+func (s *Scheme) Reconstruct(parties adversary.Set, values map[int]*big.Int) (*big.Int, error) {
+	plan, err := s.Coefficients(parties)
+	if err != nil {
+		return nil, err
+	}
+	acc := new(big.Int)
+	for id, c := range plan {
+		v, ok := values[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: id %d", ErrMissingShare, id)
+		}
+		acc.Add(acc, new(big.Int).Mul(c, v))
+		acc.Mod(acc, s.g.Q)
+	}
+	return acc, nil
+}
+
+// ReconstructExponent recovers g'^secret from group elements g'^value for
+// the planned shares of a qualified party set:
+//
+//	g'^secret = Π_id (g'^value_id)^{c_id}.
+//
+// elements maps share ID to the group element; extra entries are ignored.
+func (s *Scheme) ReconstructExponent(parties adversary.Set, elements map[int]*big.Int) (*big.Int, error) {
+	plan, err := s.Coefficients(parties)
+	if err != nil {
+		return nil, err
+	}
+	acc := big.NewInt(1)
+	for id, c := range plan {
+		e, ok := elements[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: id %d", ErrMissingShare, id)
+		}
+		acc = s.g.Mul(acc, s.g.Exp(e, c))
+	}
+	return acc, nil
+}
+
+// VerificationKeys derives the public verification keys g^value for each
+// share, plus g^secret, from a fresh dealing. Protocols publish these so
+// share validity proofs (DLEQ) can be checked by everyone.
+func (s *Scheme) VerificationKeys(shares []Share) []*big.Int {
+	out := make([]*big.Int, len(shares))
+	for i, sh := range shares {
+		out[i] = s.g.BaseExp(sh.Value)
+	}
+	return out
+}

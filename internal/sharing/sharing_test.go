@@ -1,0 +1,441 @@
+package sharing
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"sintra/internal/adversary"
+	"sintra/internal/group"
+)
+
+func dealRandom(t *testing.T, s *Scheme) (*big.Int, []Share) {
+	t.Helper()
+	secret, err := s.Group().RandomScalar(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := s.Deal(secret, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return secret, shares
+}
+
+func valueMap(shares []Share) map[int]*big.Int {
+	m := make(map[int]*big.Int, len(shares))
+	for _, sh := range shares {
+		m[sh.ID] = sh.Value
+	}
+	return m
+}
+
+func TestThresholdRoundTrip(t *testing.T) {
+	g := group.Test256()
+	s, err := NewThresholdScheme(g, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShares() != 5 {
+		t.Fatalf("NumShares = %d", s.NumShares())
+	}
+	secret, shares := dealRandom(t, s)
+	// Every 3-subset reconstructs; every 2-subset is unqualified.
+	vm := valueMap(shares)
+	for _, parties := range []adversary.Set{
+		adversary.SetOf(0, 1, 2),
+		adversary.SetOf(2, 3, 4),
+		adversary.SetOf(0, 2, 4),
+		adversary.SetOf(0, 1, 2, 3, 4),
+	} {
+		got, err := s.Reconstruct(parties, vm)
+		if err != nil {
+			t.Fatalf("Reconstruct(%v): %v", parties, err)
+		}
+		if got.Cmp(secret) != 0 {
+			t.Fatalf("Reconstruct(%v) wrong secret", parties)
+		}
+	}
+	if _, err := s.Reconstruct(adversary.SetOf(1, 3), vm); err == nil {
+		t.Fatal("unqualified set reconstructed")
+	}
+}
+
+func TestSharesOfThreshold(t *testing.T) {
+	g := group.Test256()
+	s, _ := NewThresholdScheme(g, 4, 1)
+	for p := 0; p < 4; p++ {
+		ids := s.SharesOf(p)
+		if len(ids) != 1 || ids[0] != p {
+			t.Fatalf("SharesOf(%d) = %v", p, ids)
+		}
+		owner, err := s.PartyOf(ids[0])
+		if err != nil || owner != p {
+			t.Fatalf("PartyOf(%d) = %d, %v", ids[0], owner, err)
+		}
+	}
+	if _, err := s.PartyOf(99); err == nil {
+		t.Fatal("out-of-range share id accepted")
+	}
+}
+
+func TestDealRejectsBadSecret(t *testing.T) {
+	g := group.Test256()
+	s, _ := NewThresholdScheme(g, 4, 1)
+	if _, err := s.Deal(nil, rand.Reader); err == nil {
+		t.Fatal("nil secret accepted")
+	}
+	if _, err := s.Deal(new(big.Int).Neg(big.NewInt(1)), rand.Reader); err == nil {
+		t.Fatal("negative secret accepted")
+	}
+	if _, err := s.Deal(new(big.Int).Set(g.Q), rand.Reader); err == nil {
+		t.Fatal("secret >= Q accepted")
+	}
+}
+
+func TestNestedFormulaRoundTrip(t *testing.T) {
+	g := group.Test256()
+	// (P0 AND P1) OR Θ2(P2,P3,P4)
+	access := adversary.Or(
+		adversary.And(adversary.Leaf(0), adversary.Leaf(1)),
+		adversary.ThresholdOf(2, []int{2, 3, 4}),
+	)
+	s, err := NewScheme(g, 5, access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShares() != 5 {
+		t.Fatalf("NumShares = %d, want 5", s.NumShares())
+	}
+	secret, shares := dealRandom(t, s)
+	vm := valueMap(shares)
+	for _, parties := range []adversary.Set{
+		adversary.SetOf(0, 1),
+		adversary.SetOf(2, 4),
+		adversary.SetOf(3, 4),
+		adversary.SetOf(0, 1, 2, 3, 4),
+	} {
+		got, err := s.Reconstruct(parties, vm)
+		if err != nil {
+			t.Fatalf("Reconstruct(%v): %v", parties, err)
+		}
+		if got.Cmp(secret) != 0 {
+			t.Fatalf("Reconstruct(%v) wrong secret", parties)
+		}
+	}
+	for _, parties := range []adversary.Set{
+		adversary.SetOf(0),
+		adversary.SetOf(0, 2),
+		adversary.SetOf(1, 3),
+	} {
+		if _, err := s.Reconstruct(parties, vm); err == nil {
+			t.Fatalf("unqualified %v reconstructed", parties)
+		}
+	}
+}
+
+func TestExample1SchemeAllQualifiedSets(t *testing.T) {
+	g := group.Test256()
+	st := adversary.Example1()
+	s, err := ForStructure(g, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, shares := dealRandom(t, s)
+	vm := valueMap(shares)
+	// Exhaustively check agreement between formula and reconstruction for
+	// all 2^9 subsets.
+	for v := adversary.Set(0); v <= adversary.FullSet(9); v++ {
+		got, err := s.Reconstruct(v, vm)
+		if s.Qualified(v) {
+			if err != nil {
+				t.Fatalf("qualified %v failed: %v", v, err)
+			}
+			if got.Cmp(secret) != 0 {
+				t.Fatalf("qualified %v reconstructed wrong secret", v)
+			}
+		} else if err == nil {
+			t.Fatalf("unqualified %v reconstructed", v)
+		}
+	}
+}
+
+func TestExample2SchemePaperSets(t *testing.T) {
+	g := group.Test256()
+	st := adversary.Example2()
+	s, err := ForStructure(g, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, shares := dealRandom(t, s)
+	vm := valueMap(shares)
+	// Honest survivors of a site+OS corruption must reconstruct.
+	var corrupted adversary.Set
+	for i := 0; i < 4; i++ {
+		corrupted = corrupted.Add(adversary.Example2Party(0, i))
+		corrupted = corrupted.Add(adversary.Example2Party(i, 0))
+	}
+	honest := corrupted.Complement(16)
+	got, err := s.Reconstruct(honest, vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Fatal("honest survivors reconstructed wrong secret")
+	}
+	// The corrupted seven must not reconstruct.
+	if _, err := s.Reconstruct(corrupted, vm); err == nil {
+		t.Fatal("site+OS coalition reconstructed the secret")
+	}
+	// Minimal qualified set: a 2x2 subgrid.
+	sub := adversary.SetOf(
+		adversary.Example2Party(1, 1), adversary.Example2Party(1, 2),
+		adversary.Example2Party(2, 1), adversary.Example2Party(2, 2),
+	)
+	got, err = s.Reconstruct(sub, vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Fatal("2x2 subgrid reconstructed wrong secret")
+	}
+}
+
+func TestReconstructExponent(t *testing.T) {
+	g := group.Test256()
+	st := adversary.Example1()
+	s, err := ForStructure(g, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, shares := dealRandom(t, s)
+	// Exponentiate a second base by each share, as the coin does.
+	base := g.HashToElement("coin-base", []byte("x"))
+	elems := make(map[int]*big.Int, len(shares))
+	for _, sh := range shares {
+		elems[sh.ID] = g.Exp(base, sh.Value)
+	}
+	want := g.Exp(base, secret)
+	for _, parties := range []adversary.Set{
+		adversary.SetOf(0, 4, 6),
+		adversary.SetOf(4, 5, 6, 7, 8),
+		adversary.FullSet(9),
+	} {
+		got, err := s.ReconstructExponent(parties, elems)
+		if err != nil {
+			t.Fatalf("ReconstructExponent(%v): %v", parties, err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("ReconstructExponent(%v) wrong value", parties)
+		}
+	}
+	if _, err := s.ReconstructExponent(adversary.SetOf(0, 1, 2, 3), elems); err == nil {
+		t.Fatal("unqualified exponent reconstruction succeeded")
+	}
+}
+
+func TestReconstructMissingShare(t *testing.T) {
+	g := group.Test256()
+	s, _ := NewThresholdScheme(g, 4, 1)
+	secret, shares := dealRandom(t, s)
+	_ = secret
+	vm := valueMap(shares)
+	delete(vm, 1)
+	if _, err := s.Reconstruct(adversary.SetOf(0, 1), vm); err == nil {
+		t.Fatal("missing planned share not detected")
+	}
+	// A set avoiding the missing share still works.
+	if _, err := s.Reconstruct(adversary.SetOf(0, 2), vm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerificationKeys(t *testing.T) {
+	g := group.Test256()
+	s, _ := NewThresholdScheme(g, 4, 1)
+	secret, shares := dealRandom(t, s)
+	vks := s.VerificationKeys(shares)
+	if len(vks) != len(shares) {
+		t.Fatal("wrong number of verification keys")
+	}
+	for i, sh := range shares {
+		if vks[i].Cmp(g.BaseExp(sh.Value)) != 0 {
+			t.Fatal("verification key mismatch")
+		}
+	}
+	// In-exponent reconstruction of the verification keys gives g^secret.
+	elems := make(map[int]*big.Int)
+	for i := range vks {
+		elems[i] = vks[i]
+	}
+	got, err := s.ReconstructExponent(adversary.SetOf(1, 2), elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(g.BaseExp(secret)) != 0 {
+		t.Fatal("verification keys do not reconstruct g^secret")
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	// Property: sharing is linear — shares of s1 plus shares of s2
+	// reconstruct to s1+s2, using the same scheme and leaf order.
+	g := group.Test256()
+	st := adversary.Example1()
+	s, err := ForStructure(g, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := mrand.New(mrand.NewSource(seed))
+		s1 := new(big.Int).Rand(rng, g.Q)
+		s2 := new(big.Int).Rand(rng, g.Q)
+		sh1, err := s.Deal(s1, rand.Reader)
+		if err != nil {
+			return false
+		}
+		sh2, err := s.Deal(s2, rand.Reader)
+		if err != nil {
+			return false
+		}
+		sum := make(map[int]*big.Int, len(sh1))
+		for i := range sh1 {
+			sum[sh1[i].ID] = g.AddScalar(sh1[i].Value, sh2[i].Value)
+		}
+		got, err := s.Reconstruct(adversary.SetOf(0, 5, 7), sum)
+		if err != nil {
+			return false
+		}
+		return got.Cmp(g.AddScalar(s1, s2)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicPlan(t *testing.T) {
+	// Two calls with the same party set must produce identical plans, so
+	// distributed parties agree on recombination without communication.
+	g := group.Test256()
+	st := adversary.Example2()
+	s, err := ForStructure(g, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties := adversary.SetOf(5, 6, 9, 10, 13, 14)
+	p1, err := s.Coefficients(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Coefficients(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != len(p2) {
+		t.Fatal("plan size differs")
+	}
+	for id, c := range p1 {
+		if p2[id] == nil || p2[id].Cmp(c) != 0 {
+			t.Fatal("plan not deterministic")
+		}
+	}
+	// The plan only selects shares of the given parties.
+	for id := range p1 {
+		owner, err := s.PartyOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !parties.Has(owner) {
+			t.Fatalf("plan selected share %d of absent party %d", id, owner)
+		}
+	}
+}
+
+func BenchmarkDealExample2(b *testing.B) {
+	g := group.Test256()
+	s, err := ForStructure(g, adversary.Example2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	secret, _ := g.RandomScalar(rand.Reader)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Deal(secret, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructThreshold(b *testing.B) {
+	g := group.Test256()
+	s, _ := NewThresholdScheme(g, 16, 5)
+	secret, _ := g.RandomScalar(rand.Reader)
+	shares, _ := s.Deal(secret, rand.Reader)
+	vm := valueMap(shares)
+	parties := adversary.SetOf(0, 1, 2, 3, 4, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Reconstruct(parties, vm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// randomFormula builds a random monotone formula over n parties with the
+// given depth budget, driven by a deterministic source.
+func randomFormula(rng *mrand.Rand, n, depth int) *adversary.Formula {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return adversary.Leaf(rng.Intn(n))
+	}
+	kids := 2 + rng.Intn(3)
+	children := make([]*adversary.Formula, kids)
+	for i := range children {
+		children[i] = randomFormula(rng, n, depth-1)
+	}
+	k := 1 + rng.Intn(kids)
+	return adversary.Threshold(k, children...)
+}
+
+// TestQuickRandomFormulas checks, for random monotone access formulas,
+// that reconstruction succeeds exactly on qualified sets and always
+// yields the dealt secret — the defining property of the Benaloh-Leichter
+// construction.
+func TestQuickRandomFormulas(t *testing.T) {
+	g := group.Test256()
+	const n = 6
+	f := func(seed int64) bool {
+		rng := mrand.New(mrand.NewSource(seed))
+		access := randomFormula(rng, n, 3)
+		if !access.Eval(adversary.FullSet(n)) {
+			return true // degenerate (cannot happen for monotone gates) — skip
+		}
+		s, err := NewScheme(g, n, access)
+		if err != nil {
+			return false
+		}
+		secret := new(big.Int).Rand(rng, g.Q)
+		shares, err := s.Deal(secret, rand.Reader)
+		if err != nil {
+			return false
+		}
+		vm := valueMap(shares)
+		for v := adversary.Set(0); v <= adversary.FullSet(n); v++ {
+			got, err := s.Reconstruct(v, vm)
+			if s.Qualified(v) {
+				if err != nil || got.Cmp(secret) != 0 {
+					return false
+				}
+			} else if err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

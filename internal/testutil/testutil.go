@@ -1,0 +1,109 @@
+// Package testutil provides the in-process cluster harness used by the
+// protocol integration tests and the experiment harness: it runs the
+// trusted dealer, builds a simulated asynchronous network, and starts one
+// router per party.
+package testutil
+
+import (
+	"sync"
+	"testing"
+
+	"sintra/internal/adversary"
+	"sintra/internal/deal"
+	"sintra/internal/engine"
+	"sintra/internal/group"
+	"sintra/internal/netsim"
+)
+
+// Options configures a test cluster.
+type Options struct {
+	// Scheduler overrides the default fair random scheduler.
+	Scheduler netsim.Scheduler
+	// Seed seeds the default scheduler (default 1).
+	Seed int64
+	// Clients adds client endpoints beyond the n servers.
+	Clients int
+	// ForceCert uses certificate signatures even for threshold structures.
+	ForceCert bool
+	// Group overrides the default test group.
+	Group *group.Group
+	// Corrupted lists parties for which NO router is started: the test
+	// drives their endpoints directly (byzantine behaviour) or leaves
+	// them silent (crash).
+	Corrupted []int
+}
+
+// Cluster is a dealt, running set of parties over a simulated network.
+type Cluster struct {
+	Struct  *adversary.Structure
+	Net     *netsim.Network
+	Routers []*engine.Router
+	Pub     *deal.Public
+	Secrets []*deal.PartySecret
+
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewCluster deals keys for the structure and starts n routers. The
+// cluster is stopped automatically at test cleanup.
+func NewCluster(tb testing.TB, st *adversary.Structure, opts Options) *Cluster {
+	tb.Helper()
+	g := opts.Group
+	if g == nil {
+		g = group.Test256()
+	}
+	pub, secrets, err := deal.New(deal.Options{
+		Group:     g,
+		Structure: st,
+		RSAPrimes: deal.TestPrimes256(),
+		ForceCert: opts.ForceCert,
+	})
+	if err != nil {
+		tb.Fatalf("dealer: %v", err)
+	}
+	sched := opts.Scheduler
+	if sched == nil {
+		seed := opts.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		sched = netsim.NewRandomScheduler(seed)
+	}
+	c := &Cluster{
+		Struct:  st,
+		Net:     netsim.New(st.N(), opts.Clients, sched),
+		Pub:     pub,
+		Secrets: secrets,
+	}
+	corrupted := make(map[int]bool, len(opts.Corrupted))
+	for _, i := range opts.Corrupted {
+		corrupted[i] = true
+	}
+	c.Routers = make([]*engine.Router, st.N())
+	for i := 0; i < st.N(); i++ {
+		if corrupted[i] {
+			continue
+		}
+		r := engine.NewRouter(c.Net.Endpoint(i))
+		c.Routers[i] = r
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			r.Run()
+		}()
+	}
+	tb.Cleanup(c.Stop)
+	return c
+}
+
+// N returns the number of parties.
+func (c *Cluster) N() int { return c.Struct.N() }
+
+// Stop shuts the network down and waits for every router to exit.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() {
+		c.Net.Stop()
+		c.wg.Wait()
+	})
+}

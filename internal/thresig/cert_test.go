@@ -1,0 +1,240 @@
+package thresig
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/gob"
+	"testing"
+
+	"sintra/internal/adversary"
+)
+
+func newTestCert(t testing.TB, st *adversary.Structure, rule Rule) (*CertScheme, []*SecretKey) {
+	t.Helper()
+	s, keys, err := NewCertScheme("test", st, rule, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, keys
+}
+
+func TestCertSignCombineVerify(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	s, keys := newTestCert(t, st, RuleQuorum)
+	msg := []byte("hello cert")
+	shares := signAll(t, s, keys, msg, []int{0, 1, 3})
+	for _, sh := range shares {
+		if err := s.VerifyShare(msg, sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sig, err := s.Combine(msg, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(msg, sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify([]byte("other"), sig); err == nil {
+		t.Fatal("certificate verified for wrong message")
+	}
+}
+
+func TestCertRules(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	cases := []struct {
+		rule Rule
+		ok   adversary.Set
+		bad  adversary.Set
+	}{
+		{RuleQuorum, adversary.SetOf(0, 1, 2), adversary.SetOf(0, 1)},
+		{RuleCore, adversary.SetOf(0, 1, 2), adversary.SetOf(0, 1)},
+		{RuleHasHonest, adversary.SetOf(0, 1), adversary.SetOf(3)},
+		{RuleQualified, adversary.SetOf(0, 2), adversary.SetOf(2)},
+	}
+	for _, c := range cases {
+		s, keys := newTestCert(t, st, c.rule)
+		msg := []byte("m")
+		if !s.Sufficient(c.ok) || s.Sufficient(c.bad) {
+			t.Fatalf("rule %s: Sufficient broken", c.rule)
+		}
+		sig, err := s.Combine(msg, signAll(t, s, keys, msg, c.ok.Members()))
+		if err != nil {
+			t.Fatalf("rule %s: %v", c.rule, err)
+		}
+		if err := s.Verify(msg, sig); err != nil {
+			t.Fatalf("rule %s: %v", c.rule, err)
+		}
+		if _, err := s.Combine(msg, signAll(t, s, keys, msg, c.bad.Members())); err == nil {
+			t.Fatalf("rule %s: combined below rule", c.rule)
+		}
+	}
+}
+
+func TestCertWithExample2(t *testing.T) {
+	st := adversary.Example2()
+	s, keys := newTestCert(t, st, RuleQuorum)
+	msg := []byte("general adversary certificate")
+	// Quorum = complement of one maximal adversary set (site 1 + OS 2).
+	var corrupted adversary.Set
+	for i := 0; i < 4; i++ {
+		corrupted = corrupted.Add(adversary.Example2Party(1, i))
+		corrupted = corrupted.Add(adversary.Example2Party(i, 2))
+	}
+	honest := corrupted.Complement(16)
+	sig, err := s.Combine(msg, signAll(t, s, keys, msg, honest.Members()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(msg, sig); err != nil {
+		t.Fatal(err)
+	}
+	// The corrupted seven alone are not a quorum.
+	if _, err := s.Combine(msg, signAll(t, s, keys, msg, corrupted.Members())); err == nil {
+		t.Fatal("corruptible set formed a quorum certificate")
+	}
+}
+
+func TestCertVerifyRejectsForgery(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	s, keys := newTestCert(t, st, RuleQuorum)
+	msg := []byte("m")
+	sig, err := s.Combine(msg, signAll(t, s, keys, msg, []int{0, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit flip.
+	bad := append([]byte(nil), sig...)
+	bad[10] ^= 1
+	if err := s.Verify(msg, bad); err == nil {
+		t.Fatal("mangled certificate verified")
+	}
+	// Truncated.
+	if err := s.Verify(msg, sig[:len(sig)-1]); err == nil {
+		t.Fatal("truncated certificate verified")
+	}
+	if err := s.Verify(msg, nil); err == nil {
+		t.Fatal("nil certificate verified")
+	}
+	// A certificate claiming duplicate parties must be rejected: craft one
+	// by repeating the first entry.
+	entry := sig[2 : 2+2+64]
+	forged := make([]byte, 2)
+	forged[1] = 3
+	forged = append(forged, entry...)
+	forged = append(forged, entry...)
+	forged = append(forged, entry...)
+	if err := s.Verify(msg, forged); err == nil {
+		t.Fatal("duplicate-party certificate verified")
+	}
+}
+
+func TestCertShareForgery(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	s, keys := newTestCert(t, st, RuleQuorum)
+	msg := []byte("m")
+	good := signAll(t, s, keys, msg, []int{0})[0]
+	bad := good
+	bad.Party = 1
+	if err := s.VerifyShare(msg, bad); err == nil {
+		t.Fatal("share verified under wrong party")
+	}
+	bad = good
+	bad.Data = good.Data[:32]
+	if err := s.VerifyShare(msg, bad); err == nil {
+		t.Fatal("truncated share verified")
+	}
+}
+
+func TestCertDomainSeparation(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	s1, keys, err := NewCertScheme("one", st, RuleQuorum, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := &CertScheme{InstanceTag: "two", Structure: st, OpenRule: RuleQuorum, PubKeys: s1.PubKeys}
+	msg := []byte("m")
+	sig, err := s1.Combine(msg, signAll(t, s1, keys, msg, []int{0, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Verify(msg, sig); err == nil {
+		t.Fatal("certificate transferred across tags")
+	}
+}
+
+func TestCertCombineSkipsInvalidShares(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	s, keys := newTestCert(t, st, RuleQuorum)
+	msg := []byte("m")
+	shares := signAll(t, s, keys, msg, []int{0, 1, 2})
+	// Poison one share; combine must still succeed using the others plus
+	// a fourth honest share.
+	shares[1].Data = bytes.Repeat([]byte{0}, 64)
+	shares = append(shares, signAll(t, s, keys, msg, []int{3})...)
+	sig, err := s.Combine(msg, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(msg, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertUnknownRule(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	if _, _, err := NewCertScheme("t", st, Rule("bogus"), rand.Reader); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+}
+
+func TestCertGobRoundTrip(t *testing.T) {
+	st := adversary.Example1()
+	s, keys := newTestCert(t, st, RuleQuorum)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	var back CertScheme
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("round trip")
+	sig, err := back.Combine(msg, signAll(t, &back, keys, msg, []int{4, 5, 6, 7, 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(msg, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCertSignShare(b *testing.B) {
+	st := adversary.MustThreshold(4, 1)
+	s, keys := newTestCert(b, st, RuleQuorum)
+	msg := []byte("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SignShare(keys[0], msg, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCertVerify(b *testing.B) {
+	st := adversary.MustThreshold(4, 1)
+	s, keys := newTestCert(b, st, RuleQuorum)
+	msg := []byte("bench")
+	sig, err := s.Combine(msg, signAll(b, s, keys, msg, []int{0, 1, 2}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Verify(msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

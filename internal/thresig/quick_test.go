@@ -1,0 +1,91 @@
+package thresig
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+
+	"sintra/internal/adversary"
+)
+
+// Property: for random messages, sign→verify round-trips and any K-subset
+// combines to the same verifying signature.
+func TestQuickRSASignAnyMessage(t *testing.T) {
+	s, keys := newTestRSA(t, 4, 2)
+	f := func(msg []byte) bool {
+		sh0, err := s.SignShare(keys[0], msg, rand.Reader)
+		if err != nil || s.VerifyShare(msg, sh0) != nil {
+			return false
+		}
+		sh2, err := s.SignShare(keys[2], msg, rand.Reader)
+		if err != nil {
+			return false
+		}
+		sig, err := s.Combine(msg, []Share{sh0, sh2})
+		if err != nil {
+			return false
+		}
+		return s.Verify(msg, sig) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: certificates verify for the exact message only.
+func TestQuickCertMessageBinding(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	s, keys := newTestCert(t, st, RuleQuorum)
+	f := func(msg, other []byte) bool {
+		var shares []Share
+		for i := 0; i < 3; i++ {
+			sh, err := s.SignShare(keys[i], msg, rand.Reader)
+			if err != nil {
+				return false
+			}
+			shares = append(shares, sh)
+		}
+		sig, err := s.Combine(msg, shares)
+		if err != nil {
+			return false
+		}
+		if s.Verify(msg, sig) != nil {
+			return false
+		}
+		if !bytes.Equal(msg, other) && s.Verify(other, sig) == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: share encodings survive arbitrary prefix corruption without
+// panics, and never verify.
+func TestQuickRSAShareFuzz(t *testing.T) {
+	s, keys := newTestRSA(t, 4, 2)
+	msg := []byte("fuzzed")
+	good, err := s.SignShare(keys[1], msg, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(idx uint16, b byte) bool {
+		data := append([]byte(nil), good.Data...)
+		if len(data) == 0 {
+			return true
+		}
+		i := int(idx) % len(data)
+		if data[i] == b {
+			b ^= 0xFF
+		}
+		data[i] = b
+		bad := Share{Party: good.Party, Data: data}
+		return s.VerifyShare(msg, bad) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

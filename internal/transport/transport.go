@@ -1,0 +1,567 @@
+// Package transport implements the real network transport: length-prefixed
+// frames over TCP with per-link HMAC-SHA256 authentication, used to run a
+// SINTRA deployment as separate processes (one per server) on one box or
+// across machines.
+//
+// The paper's model assumes authenticated asynchronous point-to-point
+// channels between servers (§2); the dealer's pairwise link keys provide
+// the authentication. Server-to-server connections are mutually
+// authenticated with a nonce handshake and per-frame MACs; client
+// connections are unauthenticated at the transport layer — clients are
+// untrusted in the model, and all client-visible guarantees come from the
+// threshold cryptography above.
+//
+// Each direction uses its own connection (the dialer only writes, the
+// acceptor only reads), which keeps reconnect logic trivial: a failed
+// outbound connection is redialed with backoff on the next send.
+package transport
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sintra/internal/wire"
+)
+
+// maxFrame bounds a single frame; larger frames indicate corruption.
+const maxFrame = 64 << 20
+
+// redialBackoff is the pause between outbound connection attempts.
+const redialBackoff = 200 * time.Millisecond
+
+// dialAttempts bounds how many times a send retries establishing a
+// connection before dropping the message (the asynchronous model allows
+// message loss to crashed peers; protocols retransmit by design).
+const dialAttempts = 25
+
+// helloMagic starts every connection.
+const helloMagic = "sintra1"
+
+// hello is the first frame of a connection.
+type hello struct {
+	Magic string
+	From  int
+	Nonce []byte
+	MAC   []byte // HMAC(linkKey, magic|from|to|nonce); empty for clients
+}
+
+// Config configures a transport endpoint.
+type Config struct {
+	// Self is this endpoint's index: 0..N-1 for servers, >= N for clients.
+	Self int
+	// N is the number of servers.
+	N int
+	// Addrs holds the listen addresses of all servers (length N).
+	Addrs []string
+	// ListenAddr is this server's bind address (servers only).
+	ListenAddr string
+	// LinkKeys[j] authenticates the link to server j (servers only).
+	LinkKeys [][]byte
+}
+
+// Transport is a TCP implementation of wire.Transport.
+type Transport struct {
+	cfg Config
+
+	listener net.Listener
+
+	mu       sync.Mutex
+	writers  map[int]*peerWriter // outbound connections by destination
+	clients  map[int]*peerWriter // reply channels to connected clients
+	accepted map[net.Conn]bool   // inbound connections, closed on shutdown
+
+	inbox  chan wire.Message
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+var _ wire.Transport = (*Transport)(nil)
+
+// NewServer starts a server endpoint: it listens on cfg.ListenAddr and
+// lazily dials peers on first send.
+func NewServer(cfg Config) (*Transport, error) {
+	if cfg.Self < 0 || cfg.Self >= cfg.N {
+		return nil, fmt.Errorf("transport: server index %d out of range", cfg.Self)
+	}
+	if len(cfg.Addrs) != cfg.N || len(cfg.LinkKeys) != cfg.N {
+		return nil, errors.New("transport: need addresses and link keys for every server")
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	t := newTransport(cfg)
+	t.listener = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// NewClient starts a client endpoint with the given id (>= N). It holds no
+// listener; servers reply over the client's own connections.
+func NewClient(cfg Config) (*Transport, error) {
+	if cfg.Self < cfg.N {
+		return nil, fmt.Errorf("transport: client index %d must be >= n=%d", cfg.Self, cfg.N)
+	}
+	if len(cfg.Addrs) != cfg.N {
+		return nil, errors.New("transport: need addresses for every server")
+	}
+	return newTransport(cfg), nil
+}
+
+func newTransport(cfg Config) *Transport {
+	return &Transport{
+		cfg:      cfg,
+		writers:  make(map[int]*peerWriter),
+		clients:  make(map[int]*peerWriter),
+		accepted: make(map[net.Conn]bool),
+		inbox:    make(chan wire.Message, 1024),
+		closed:   make(chan struct{}),
+	}
+}
+
+// Self returns the endpoint index.
+func (t *Transport) Self() int { return t.cfg.Self }
+
+// N returns the number of servers.
+func (t *Transport) N() int { return t.cfg.N }
+
+// Addr returns the actual listen address (servers only).
+func (t *Transport) Addr() string {
+	if t.listener == nil {
+		return ""
+	}
+	return t.listener.Addr().String()
+}
+
+// Close shuts the endpoint down.
+func (t *Transport) Close() error {
+	t.once.Do(func() {
+		close(t.closed)
+		if t.listener != nil {
+			t.listener.Close()
+		}
+		t.mu.Lock()
+		for _, w := range t.writers {
+			w.close()
+		}
+		for _, w := range t.clients {
+			w.close()
+		}
+		for conn := range t.accepted {
+			conn.Close()
+		}
+		t.mu.Unlock()
+	})
+	t.wg.Wait()
+	return nil
+}
+
+// Recv blocks for the next inbound message.
+func (t *Transport) Recv() (wire.Message, bool) {
+	select {
+	case m := <-t.inbox:
+		return m, true
+	case <-t.closed:
+		// Drain anything already queued.
+		select {
+		case m := <-t.inbox:
+			return m, true
+		default:
+			return wire.Message{}, false
+		}
+	}
+}
+
+// Send enqueues a message. Messages to unreachable peers are dropped after
+// bounded retries (asynchronous model: protocols tolerate loss to faulty
+// peers).
+func (t *Transport) Send(m wire.Message) {
+	m.From = t.cfg.Self
+	if m.To == t.cfg.Self {
+		// Loopback without touching the network.
+		select {
+		case t.inbox <- m:
+		case <-t.closed:
+		}
+		return
+	}
+	w := t.writerFor(m.To)
+	if w == nil {
+		return
+	}
+	w.enqueue(m)
+}
+
+// writerFor returns (creating if needed) the outbound writer to dest.
+func (t *Transport) writerFor(dest int) *peerWriter {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case <-t.closed:
+		return nil
+	default:
+	}
+	if dest >= t.cfg.N {
+		// Reply to a client over its own connection, if still present.
+		return t.clients[dest]
+	}
+	if w, ok := t.writers[dest]; ok {
+		return w
+	}
+	w := newPeerWriter(t, dest)
+	t.writers[dest] = w
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		w.run()
+	}()
+	return w
+}
+
+// acceptLoop receives inbound connections.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn authenticates a peer and pumps its frames into the inbox.
+func (t *Transport) serveConn(conn net.Conn) {
+	t.mu.Lock()
+	select {
+	case <-t.closed:
+		t.mu.Unlock()
+		conn.Close()
+		return
+	default:
+	}
+	t.accepted[conn] = true
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
+	raw, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	var h hello
+	if wire.UnmarshalBody(raw, &h) != nil || h.Magic != helloMagic {
+		return
+	}
+	var session []byte
+	switch {
+	case h.From >= 0 && h.From < t.cfg.N:
+		// Server peer: verify the hello MAC under the shared link key.
+		key := t.cfg.LinkKeys[h.From]
+		if len(key) == 0 || !hmac.Equal(h.MAC, helloMAC(key, h.From, t.cfg.Self, h.Nonce)) {
+			return
+		}
+		session = sessionKey(key, h.Nonce)
+	case h.From >= t.cfg.N:
+		// Client: unauthenticated; remember the connection for replies.
+		w := newClientWriter(conn)
+		t.mu.Lock()
+		t.clients[h.From] = w
+		t.mu.Unlock()
+		defer func() {
+			t.mu.Lock()
+			if t.clients[h.From] == w {
+				delete(t.clients, h.From)
+			}
+			t.mu.Unlock()
+			w.close()
+		}()
+	default:
+		return
+	}
+
+	var counter uint64
+	for {
+		raw, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		payload := raw
+		if session != nil {
+			if len(raw) < sha256.Size {
+				return
+			}
+			payload = raw[:len(raw)-sha256.Size]
+			mac := raw[len(raw)-sha256.Size:]
+			if !hmac.Equal(mac, frameMAC(session, counter, payload)) {
+				return
+			}
+		}
+		counter++
+		var m wire.Message
+		if wire.UnmarshalBody(payload, &m) != nil {
+			continue
+		}
+		m.From = h.From // the channel authenticates the sender
+		select {
+		case t.inbox <- m:
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// peerWriter owns one outbound connection (dialing and redialing).
+type peerWriter struct {
+	t    *Transport
+	dest int
+
+	mu     sync.Mutex
+	queue  []wire.Message
+	cond   *sync.Cond
+	closed bool
+
+	// client-reply mode: write directly to an accepted connection.
+	direct net.Conn
+}
+
+func newPeerWriter(t *Transport, dest int) *peerWriter {
+	w := &peerWriter{t: t, dest: dest}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+func newClientWriter(conn net.Conn) *peerWriter {
+	w := &peerWriter{direct: conn}
+	w.cond = sync.NewCond(&w.mu)
+	go w.runDirect()
+	return w
+}
+
+func (w *peerWriter) enqueue(m wire.Message) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.queue = append(w.queue, m)
+	w.cond.Signal()
+}
+
+func (w *peerWriter) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	if w.direct != nil {
+		w.direct.Close()
+	}
+}
+
+func (w *peerWriter) next() (wire.Message, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.queue) == 0 && !w.closed {
+		w.cond.Wait()
+	}
+	if w.closed {
+		return wire.Message{}, false
+	}
+	m := w.queue[0]
+	w.queue = w.queue[1:]
+	return m, true
+}
+
+// runDirect serves replies to a connected client (no MAC).
+func (w *peerWriter) runDirect() {
+	for {
+		m, ok := w.next()
+		if !ok {
+			return
+		}
+		payload, err := wire.MarshalBody(&m)
+		if err != nil {
+			continue
+		}
+		if writeFrame(w.direct, payload) != nil {
+			return
+		}
+	}
+}
+
+// run dials the destination server and writes queued frames, redialing on
+// failure.
+func (w *peerWriter) run() {
+	var conn net.Conn
+	var session []byte
+	var counter uint64
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		m, ok := w.next()
+		if !ok {
+			return
+		}
+		payload, err := wire.MarshalBody(&m)
+		if err != nil {
+			continue
+		}
+		for attempt := 0; ; attempt++ {
+			if conn == nil {
+				conn, session, counter = w.dial()
+				if conn == nil {
+					if attempt >= dialAttempts {
+						break // drop the message
+					}
+					select {
+					case <-w.t.closed:
+						return
+					case <-time.After(redialBackoff):
+					}
+					continue
+				}
+			}
+			frame := payload
+			if session != nil {
+				frame = append(append([]byte{}, payload...), frameMAC(session, counter, payload)...)
+			}
+			if err := writeFrame(conn, frame); err != nil {
+				conn.Close()
+				conn = nil
+				continue
+			}
+			counter++
+			break
+		}
+	}
+}
+
+// dial establishes and authenticates an outbound connection.
+func (w *peerWriter) dial() (net.Conn, []byte, uint64) {
+	conn, err := net.DialTimeout("tcp", w.t.cfg.Addrs[w.dest], time.Second)
+	if err != nil {
+		return nil, nil, 0
+	}
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		conn.Close()
+		return nil, nil, 0
+	}
+	h := hello{Magic: helloMagic, From: w.t.cfg.Self, Nonce: nonce}
+	var session []byte
+	if w.t.cfg.Self < w.t.cfg.N {
+		key := w.t.cfg.LinkKeys[w.dest]
+		h.MAC = helloMAC(key, w.t.cfg.Self, w.dest, nonce)
+		session = sessionKey(key, nonce)
+	}
+	raw, err := wire.MarshalBody(&h)
+	if err != nil {
+		conn.Close()
+		return nil, nil, 0
+	}
+	if writeFrame(conn, raw) != nil {
+		conn.Close()
+		return nil, nil, 0
+	}
+	if w.t.cfg.Self >= w.t.cfg.N {
+		// Clients receive replies over their own outbound connection.
+		w.t.wg.Add(1)
+		go func() {
+			defer w.t.wg.Done()
+			w.t.readReplies(conn, w.dest)
+		}()
+	}
+	return conn, session, 0
+}
+
+// readReplies pumps a client's dialed connection into the inbox; the
+// sender identity is the dialed server (channel-bound).
+func (t *Transport) readReplies(conn net.Conn, server int) {
+	for {
+		raw, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		var m wire.Message
+		if wire.UnmarshalBody(raw, &m) != nil {
+			continue
+		}
+		m.From = server
+		select {
+		case t.inbox <- m:
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// Frame helpers.
+
+func readFrame(conn net.Conn) ([]byte, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(conn, lb[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lb[:])
+	if n > maxFrame {
+		return nil, errors.New("transport: oversized frame")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(conn net.Conn, payload []byte) error {
+	var lb [4]byte
+	binary.BigEndian.PutUint32(lb[:], uint32(len(payload)))
+	if _, err := conn.Write(lb[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+func helloMAC(key []byte, from, to int, nonce []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	fmt.Fprintf(mac, "%s|%d|%d|", helloMagic, from, to)
+	mac.Write(nonce)
+	return mac.Sum(nil)
+}
+
+func sessionKey(key, nonce []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte("session"))
+	mac.Write(nonce)
+	return mac.Sum(nil)
+}
+
+func frameMAC(session []byte, counter uint64, payload []byte) []byte {
+	mac := hmac.New(sha256.New, session)
+	var cb [8]byte
+	binary.BigEndian.PutUint64(cb[:], counter)
+	mac.Write(cb[:])
+	mac.Write(payload)
+	return mac.Sum(nil)
+}

@@ -1,0 +1,161 @@
+package sintra
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sintra/internal/core"
+	"sintra/internal/deal"
+	"sintra/internal/group"
+	"sintra/internal/netsim"
+)
+
+// SimOptions configures an in-process simulated deployment.
+type SimOptions struct {
+	// Structure is the adversary structure (required).
+	Structure *Structure
+	// ServiceName tags the replicated service (default "service").
+	ServiceName string
+	// NewService creates one state-machine replica per server (required).
+	NewService func() StateMachine
+	// Mode selects the dissemination protocol (default ModeAtomic).
+	Mode Mode
+	// Crashed lists servers that are never started — they stay silent for
+	// the whole run, modelling crash corruption.
+	Crashed []int
+	// Seed makes the adversarial network scheduler deterministic.
+	Seed int64
+	// MaxClients bounds the number of NewClient calls (default 8).
+	MaxClients int
+	// GroupName selects the group (default "test256": fast experiments).
+	GroupName string
+	// ForceCert selects certificate signatures even for thresholds.
+	ForceCert bool
+}
+
+// SimulatedDeployment runs a full deployment — dealer, adversarially
+// scheduled asynchronous network, and one replica per (non-crashed)
+// server — inside a single process. It is the quickest way to experience
+// the architecture and the substrate of the experiment harness.
+type SimulatedDeployment struct {
+	// Public is the dealer's public output.
+	Public *Public
+
+	opts  SimOptions
+	net   *netsim.Network
+	nodes []*core.Node
+
+	mu         sync.Mutex
+	clientNext int
+	clients    []*Client
+
+	stopOnce sync.Once
+}
+
+// NewSimulatedDeployment deals keys, builds the network, and starts the
+// replicas.
+func NewSimulatedDeployment(opts SimOptions) (*SimulatedDeployment, error) {
+	if opts.Structure == nil || opts.NewService == nil {
+		return nil, errors.New("sintra: Structure and NewService are required")
+	}
+	if opts.ServiceName == "" {
+		opts.ServiceName = "service"
+	}
+	if opts.Mode == 0 {
+		opts.Mode = ModeAtomic
+	}
+	if opts.MaxClients <= 0 {
+		opts.MaxClients = 8
+	}
+	if opts.GroupName == "" {
+		opts.GroupName = group.NameTest256
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	g, err := group.ByName(opts.GroupName)
+	if err != nil {
+		return nil, err
+	}
+	pub, secrets, err := deal.New(deal.Options{
+		Group:     g,
+		Structure: opts.Structure,
+		RSAPrimes: deal.TestPrimes256(),
+		ForceCert: opts.ForceCert,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	crashed := make(map[int]bool, len(opts.Crashed))
+	for _, i := range opts.Crashed {
+		crashed[i] = true
+	}
+	n := opts.Structure.N()
+	d := &SimulatedDeployment{
+		Public:     pub,
+		opts:       opts,
+		net:        netsim.New(n, opts.MaxClients, netsim.NewRandomScheduler(seed)),
+		clientNext: n,
+	}
+	for i := 0; i < n; i++ {
+		if crashed[i] {
+			continue
+		}
+		node, err := core.NewNode(core.NodeConfig{
+			Public:      pub,
+			Secret:      secrets[i],
+			Transport:   d.net.Endpoint(i),
+			ServiceName: opts.ServiceName,
+			Service:     opts.NewService(),
+			Mode:        opts.Mode,
+		})
+		if err != nil {
+			d.Stop()
+			return nil, err
+		}
+		d.nodes = append(d.nodes, node)
+		go node.Run()
+	}
+	return d, nil
+}
+
+// NewClient attaches a client endpoint to the simulated network.
+func (d *SimulatedDeployment) NewClient() (*Client, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.clientNext >= d.opts.Structure.N()+d.opts.MaxClients {
+		return nil, fmt.Errorf("sintra: more than %d clients", d.opts.MaxClients)
+	}
+	ep := d.net.Endpoint(d.clientNext)
+	d.clientNext++
+	c := core.NewClient(d.Public, ep, d.opts.ServiceName, d.opts.Mode)
+	d.clients = append(d.clients, c)
+	return c, nil
+}
+
+// TrafficSummary reports the messages and bytes delivered so far, per
+// protocol layer — the measurement hook of the experiment harness.
+func (d *SimulatedDeployment) TrafficSummary() (perProtocolMsgs map[string]int, totalMsgs, totalBytes int) {
+	st := d.net.Stats()
+	totalMsgs, totalBytes = st.Total()
+	return st.Messages, totalMsgs, totalBytes
+}
+
+// Stop shuts the deployment down.
+func (d *SimulatedDeployment) Stop() {
+	d.stopOnce.Do(func() {
+		d.net.Stop()
+		d.mu.Lock()
+		clients := d.clients
+		d.mu.Unlock()
+		for _, c := range clients {
+			c.Close()
+		}
+		for _, n := range d.nodes {
+			n.Stop()
+		}
+	})
+}

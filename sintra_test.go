@@ -1,0 +1,157 @@
+package sintra_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sintra"
+	"sintra/internal/service"
+)
+
+func TestSimulatedDeploymentQuickstart(t *testing.T) {
+	st, err := sintra.NewThresholdStructure(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := sintra.NewSimulatedDeployment(sintra.SimOptions{
+		Structure:  st,
+		NewService: func() sintra.StateMachine { return sintra.NewDirectory() },
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+	client, err := dep.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := json.Marshal(service.DirectoryRequest{Op: service.OpIssue, Name: "alice", PubKey: []byte{1}})
+	ans, err := client.Invoke(req, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp service.DirectoryResponse
+	if err := json.Unmarshal(ans.Result, &resp); err != nil || !resp.OK {
+		t.Fatalf("bad response %s: %v", ans.Result, err)
+	}
+	msgs, total, bytes := dep.TrafficSummary()
+	if total == 0 || bytes == 0 || len(msgs) == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}
+
+func TestSimulatedDeploymentWithCrashes(t *testing.T) {
+	st := sintra.Example1Structure()
+	dep, err := sintra.NewSimulatedDeployment(sintra.SimOptions{
+		Structure:  st,
+		NewService: func() sintra.StateMachine { return sintra.NewNotary() },
+		Crashed:    []int{0, 1, 2, 3}, // the whole class a
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+	client, err := dep.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := json.Marshal(service.NotaryRequest{Op: service.OpRegister, Document: []byte("doc")})
+	ans, err := client.Invoke(req, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp service.NotaryResponse
+	if err := json.Unmarshal(ans.Result, &resp); err != nil || !resp.OK || resp.Seq != 1 {
+		t.Fatalf("bad response %s: %v", ans.Result, err)
+	}
+}
+
+func TestSimOptionsValidation(t *testing.T) {
+	if _, err := sintra.NewSimulatedDeployment(sintra.SimOptions{}); err == nil {
+		t.Fatal("empty options accepted")
+	}
+	st, _ := sintra.NewThresholdStructure(4, 1)
+	if _, err := sintra.NewSimulatedDeployment(sintra.SimOptions{Structure: st}); err == nil {
+		t.Fatal("missing service factory accepted")
+	}
+	dep, err := sintra.NewSimulatedDeployment(sintra.SimOptions{
+		Structure:  st,
+		NewService: func() sintra.StateMachine { return sintra.NewNotary() },
+		MaxClients: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+	if _, err := dep.NewClient(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.NewClient(); err == nil {
+		t.Fatal("client limit not enforced")
+	}
+}
+
+func TestDealSaveLoadRoundTrip(t *testing.T) {
+	st, _ := sintra.NewThresholdStructure(4, 1)
+	pub, secrets, err := sintra.Deal(sintra.DealOptions{
+		Structure: st,
+		GroupName: "test256",
+		RSAPrimes: sintra.TestRSAPrimes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "deploy")
+	if err := sintra.SaveDeployment(dir, pub, secrets); err != nil {
+		t.Fatal(err)
+	}
+	pub2, err := sintra.LoadPublic(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub2.Structure.N() != 4 {
+		t.Fatal("bad structure after load")
+	}
+	sec2, err := sintra.LoadPartySecret(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec2.Party != 2 {
+		t.Fatal("wrong party file")
+	}
+	if _, err := sintra.LoadPartySecret(dir, 9); err == nil {
+		t.Fatal("missing party file accepted")
+	}
+	// Secret files must not be world readable.
+	info, err := os.Stat(filepath.Join(dir, "party-0.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm()&0o077 != 0 {
+		t.Fatalf("party file mode %v too permissive", info.Mode())
+	}
+}
+
+func TestStructureHelpers(t *testing.T) {
+	if sintra.Example2Structure().N() != 16 {
+		t.Fatal("Example2 size")
+	}
+	f := sintra.And(sintra.Leaf(0), sintra.Or(sintra.Leaf(1), sintra.Leaf(2)))
+	if !f.Eval(sintra.SetOf(0, 2)) || f.Eval(sintra.SetOf(1, 2)) {
+		t.Fatal("formula helpers broken")
+	}
+	st, err := sintra.NewGeneralStructure(4,
+		[]sintra.PartySet{sintra.SetOf(0), sintra.SetOf(1), sintra.SetOf(2), sintra.SetOf(3)},
+		sintra.ThresholdOf(2, []int{0, 1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Q3() {
+		t.Fatal("1-of-4 singleton structure should satisfy Q3")
+	}
+}
