@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"flag"
@@ -113,7 +114,9 @@ func run() error {
 	client := sintra.NewClientOverTransport(pub, tr, *svcName, m)
 	defer client.Close()
 
-	ans, err := client.Invoke(request, *timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	ans, err := client.InvokeContext(ctx, request)
 	if err != nil {
 		return err
 	}

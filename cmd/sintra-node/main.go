@@ -5,16 +5,27 @@
 //
 // Start one process per server (multi-process on one box, or spread over
 // machines). The node serves until interrupted.
+//
+// Observability: -debug-addr serves a plain-text /metrics endpoint, the
+// full metrics snapshot as expvar under /debug/vars, and the standard
+// /debug/pprof profiles; -metrics-interval periodically dumps the same
+// text snapshot to stderr. When neither flag is given, no registry is
+// created and the protocol hot path pays nothing.
 package main
 
 import (
+	"bytes"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"sintra"
 	"sintra/internal/transport"
@@ -47,6 +58,9 @@ func run() error {
 		svcKind = flag.String("service", "directory", "application: directory | notary")
 		mode    = flag.String("mode", "atomic", "dissemination: atomic | causal")
 		listen  = flag.String("listen", "", "listen address override (default: own entry of addrs.txt)")
+
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (empty: observability off)")
+		metricsEvery = flag.Duration("metrics-interval", 0, "dump metrics to stderr this often (0: off)")
 	)
 	flag.Parse()
 
@@ -100,6 +114,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// Observability is strictly opt-in: without a registry every
+	// instrument stays nil and the dispatch loop skips all bookkeeping.
+	var reg *sintra.Registry
+	if *debugAddr != "" || *metricsEvery > 0 {
+		reg = sintra.NewRegistry()
+		tr.SetObserver(reg)
+	}
+
 	node, err := sintra.NewNode(sintra.NodeConfig{
 		Public:      pub,
 		Secret:      secret,
@@ -107,9 +130,35 @@ func run() error {
 		ServiceName: *svcName,
 		Service:     svc,
 		Mode:        m,
+		Observer:    reg,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *debugAddr != "" {
+		expvar.Publish("sintra", expvar.Func(func() any { return reg.Snapshot() }))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			reg.Snapshot().WriteText(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "sintra-node: debug server:", err)
+			}
+		}()
+		fmt.Printf("debug server on %s (/metrics, /debug/vars, /debug/pprof)\n", *debugAddr)
+	}
+	if *metricsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*metricsEvery)
+			defer tick.Stop()
+			for range tick.C {
+				var buf bytes.Buffer
+				reg.Snapshot().WriteText(&buf)
+				fmt.Fprintf(os.Stderr, "--- metrics %s ---\n%s", time.Now().Format(time.RFC3339), buf.Bytes())
+			}
+		}()
 	}
 	fmt.Printf("server %d/%d serving %q (%s, %s) on %s\n", *index, n, *svcName, *svcKind, m, tr.Addr())
 

@@ -1,6 +1,7 @@
 package sintra_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -9,26 +10,28 @@ import (
 	"sintra/internal/service"
 )
 
-// ExampleNewSimulatedDeployment shows the complete lifecycle of an
-// in-process deployment: structure, dealer, replicas, client, and a
+// ExampleNewDeployment shows the complete lifecycle of an in-process
+// deployment: structure, dealer, replicas, client, and a
 // threshold-verified answer.
-func ExampleNewSimulatedDeployment() {
+func ExampleNewDeployment() {
 	st, _ := sintra.NewThresholdStructure(4, 1)
-	dep, err := sintra.NewSimulatedDeployment(sintra.SimOptions{
-		Structure:   st,
-		ServiceName: "directory",
-		NewService:  func() sintra.StateMachine { return sintra.NewDirectory() },
-		Seed:        1,
-	})
+	dep, err := sintra.NewDeployment(st,
+		func() sintra.StateMachine { return sintra.NewDirectory() },
+		sintra.WithServiceName("directory"),
+		sintra.WithSeed(1),
+	)
 	if err != nil {
 		fmt.Println("deploy:", err)
 		return
 	}
 	defer dep.Stop()
 
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
 	client, _ := dep.NewClient()
 	req, _ := json.Marshal(service.DirectoryRequest{Op: service.OpPut, Key: "k", Value: "v"})
-	ans, err := client.Invoke(req, 60*time.Second)
+	ans, err := client.InvokeContext(ctx, req)
 	if err != nil {
 		fmt.Println("invoke:", err)
 		return

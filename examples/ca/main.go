@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -34,13 +35,12 @@ func run() error {
 	crashed := []int{0, 1, 2, 3}
 	fmt.Printf("corrupting all of class a: servers %v (4 of 9 — any threshold scheme would need n > 12)\n\n", crashed)
 
-	dep, err := sintra.NewSimulatedDeployment(sintra.SimOptions{
-		Structure:   st,
-		ServiceName: "ca",
-		NewService:  func() sintra.StateMachine { return sintra.NewDirectory() },
-		Crashed:     crashed,
-		Seed:        5,
-	})
+	dep, err := sintra.NewDeployment(st,
+		func() sintra.StateMachine { return sintra.NewDirectory() },
+		sintra.WithServiceName("ca"),
+		sintra.WithCrashed(crashed...),
+		sintra.WithSeed(5),
+	)
 	if err != nil {
 		return err
 	}
@@ -51,12 +51,15 @@ func run() error {
 		return err
 	}
 
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
 	users := []string{"alice@example.com", "bob@example.com", "carol@example.com"}
 	for _, user := range users {
 		req, _ := json.Marshal(service.DirectoryRequest{
 			Op: service.OpIssue, Name: user, PubKey: []byte("pk-of-" + user),
 		})
-		ans, err := client.Invoke(req, 120*time.Second)
+		ans, err := client.InvokeContext(ctx, req)
 		if err != nil {
 			return fmt.Errorf("issue %s: %w", user, err)
 		}
@@ -73,7 +76,7 @@ func run() error {
 
 	// Tampering with an issued certificate must break verification.
 	req, _ := json.Marshal(service.DirectoryRequest{Op: service.OpIssue, Name: "mallory", PubKey: []byte("pk")})
-	ans, err := client.Invoke(req, 120*time.Second)
+	ans, err := client.InvokeContext(ctx, req)
 	if err != nil {
 		return err
 	}

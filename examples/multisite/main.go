@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -57,13 +58,12 @@ func run() error {
 		fmt.Printf("  server %2d — %s/%s\n", p, locations[p/4], systems[p%4])
 	}
 
-	dep, err := sintra.NewSimulatedDeployment(sintra.SimOptions{
-		Structure:   st,
-		ServiceName: "directory",
-		NewService:  func() sintra.StateMachine { return sintra.NewDirectory() },
-		Crashed:     crashed,
-		Seed:        11,
-	})
+	dep, err := sintra.NewDeployment(st,
+		func() sintra.StateMachine { return sintra.NewDirectory() },
+		sintra.WithServiceName("directory"),
+		sintra.WithCrashed(crashed...),
+		sintra.WithSeed(11),
+	)
 	if err != nil {
 		return err
 	}
@@ -74,13 +74,16 @@ func run() error {
 		return err
 	}
 
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
 	fmt.Println("\nwith 7 of 16 servers down, the directory still operates:")
 	req, _ := json.Marshal(service.DirectoryRequest{Op: service.OpPut, Key: "hr/payroll", Value: "ledger-v42"})
-	if _, err := client.Invoke(req, 120*time.Second); err != nil {
+	if _, err := client.InvokeContext(ctx, req); err != nil {
 		return fmt.Errorf("put: %w", err)
 	}
 	req, _ = json.Marshal(service.DirectoryRequest{Op: service.OpGet, Key: "hr/payroll"})
-	ans, err := client.Invoke(req, 120*time.Second)
+	ans, err := client.InvokeContext(ctx, req)
 	if err != nil {
 		return fmt.Errorf("get: %w", err)
 	}

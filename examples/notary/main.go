@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -28,13 +29,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	dep, err := sintra.NewSimulatedDeployment(sintra.SimOptions{
-		Structure:   st,
-		ServiceName: "notary",
-		NewService:  func() sintra.StateMachine { return sintra.NewNotary() },
-		Mode:        sintra.ModeSecureCausal,
-		Seed:        7,
-	})
+	dep, err := sintra.NewDeployment(st,
+		func() sintra.StateMachine { return sintra.NewNotary() },
+		sintra.WithServiceName("notary"),
+		sintra.WithMode(sintra.ModeSecureCausal),
+		sintra.WithSeed(7),
+	)
 	if err != nil {
 		return err
 	}
@@ -49,13 +49,16 @@ func run() error {
 		return err
 	}
 
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
 	patent := []byte("claim 1: a perpetual motion machine comprising ...")
 
 	// The inventor registers first. The request leaves the client as a
 	// TDH2 ciphertext; servers decrypt it only AFTER atomic broadcast has
 	// fixed its position, so its content cannot influence scheduling.
 	req, _ := json.Marshal(service.NotaryRequest{Op: service.OpRegister, Document: patent})
-	ans, err := inventor.Invoke(req, 60*time.Second)
+	ans, err := inventor.InvokeContext(ctx, req)
 	if err != nil {
 		return fmt.Errorf("register: %w", err)
 	}
@@ -72,7 +75,7 @@ func run() error {
 	// The competitor tries to register the same invention afterwards: the
 	// notary's state machine answers with the ORIGINAL sequence number and
 	// marks the registration as pre-existing.
-	late, err := competitor.Invoke(req, 60*time.Second)
+	late, err := competitor.InvokeContext(ctx, req)
 	if err != nil {
 		return fmt.Errorf("late register: %w", err)
 	}
@@ -85,7 +88,7 @@ func run() error {
 
 	// A lookup receipt is verifiable by anyone (e.g. a court).
 	req, _ = json.Marshal(service.NotaryRequest{Op: service.OpLookup, Document: patent})
-	look, err := inventor.Invoke(req, 60*time.Second)
+	look, err := inventor.InvokeContext(ctx, req)
 	if err != nil {
 		return err
 	}

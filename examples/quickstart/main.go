@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -47,11 +48,16 @@ func run() error {
 		return err
 	}
 
+	// One deadline bounds the whole walkthrough; every invocation inherits
+	// it through the context.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
 	// 3. Obtain a certificate from the distributed CA.
 	req, _ := json.Marshal(service.DirectoryRequest{
 		Op: service.OpIssue, Name: "alice@example.com", PubKey: []byte("alice-public-key"),
 	})
-	ans, err := client.Invoke(req, 30*time.Second)
+	ans, err := client.InvokeContext(ctx, req)
 	if err != nil {
 		return fmt.Errorf("issue: %w", err)
 	}
@@ -71,11 +77,11 @@ func run() error {
 
 	// 4. Use the directory: put then get.
 	req, _ = json.Marshal(service.DirectoryRequest{Op: service.OpPut, Key: "dns:example.com", Value: "192.0.2.7"})
-	if _, err := client.Invoke(req, 30*time.Second); err != nil {
+	if _, err := client.InvokeContext(ctx, req); err != nil {
 		return fmt.Errorf("put: %w", err)
 	}
 	req, _ = json.Marshal(service.DirectoryRequest{Op: service.OpGet, Key: "dns:example.com"})
-	ans, err = client.Invoke(req, 30*time.Second)
+	ans, err = client.InvokeContext(ctx, req)
 	if err != nil {
 		return fmt.Errorf("get: %w", err)
 	}

@@ -28,6 +28,7 @@ import (
 	"sintra/internal/adversary"
 	"sintra/internal/coin"
 	"sintra/internal/engine"
+	"sintra/internal/obs"
 	"sintra/internal/wire"
 )
 
@@ -110,11 +111,17 @@ type ABA struct {
 	decidedSent bool
 	decidedFrom [2]adversary.Set
 	terminated  bool
+
+	span *obs.Span
 }
 
 // New creates and registers an instance (dispatch goroutine or pre-Run).
 func New(cfg Config) *ABA {
-	a := &ABA{cfg: cfg, rounds: make(map[int]*roundState)}
+	a := &ABA{
+		cfg:    cfg,
+		rounds: make(map[int]*roundState),
+		span:   obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
+	}
 	cfg.Router.Register(Protocol, cfg.Instance, a.Handle)
 	return a
 }
@@ -342,6 +349,7 @@ func (a *ABA) decide(b bool) {
 	}
 	a.decided = true
 	a.decision = b
+	a.span.End(obs.StageDecide, int64(a.round))
 	if !a.decidedSent {
 		a.decidedSent = true
 		_ = a.cfg.Router.Broadcast(Protocol, a.cfg.Instance, typeDecided, decidedBody{Value: b})

@@ -22,12 +22,14 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sort"
+	"time"
 
 	"sintra/internal/adversary"
 	"sintra/internal/coin"
 	"sintra/internal/engine"
 	"sintra/internal/identity"
 	"sintra/internal/mvba"
+	"sintra/internal/obs"
 	"sintra/internal/thresig"
 	"sintra/internal/wire"
 )
@@ -107,6 +109,12 @@ type ABC struct {
 	queued    map[[32]byte]bool
 	delivered map[[32]byte]bool
 	seq       int64
+
+	span *obs.Span
+	// submitted stamps locally submitted payloads so their submit-to-
+	// deliver ordering latency can be measured (observer on only).
+	submitted map[[32]byte]time.Time
+	orderLat  *obs.Histogram
 }
 
 // New creates and registers an instance (dispatch goroutine or pre-Run).
@@ -121,6 +129,11 @@ func New(cfg Config) *ABC {
 		mvbas:     make(map[int64]*mvba.MVBA),
 		queued:    make(map[[32]byte]bool),
 		delivered: make(map[[32]byte]bool),
+		span:      obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
+	}
+	if reg := a.span.Registry(); reg != nil {
+		a.submitted = make(map[[32]byte]time.Time)
+		a.orderLat = reg.Histogram(Protocol + ".latency.order")
 	}
 	cfg.Router.Register(Protocol, cfg.Instance, a.Handle)
 	return a
@@ -174,6 +187,9 @@ func (a *ABC) onSubmit(payload []byte) {
 	}
 	a.queued[d] = true
 	a.queue = append(a.queue, payload)
+	if a.submitted != nil {
+		a.submitted[d] = time.Now()
+	}
 	a.maybeActivate()
 }
 
@@ -321,6 +337,13 @@ func (a *ABC) onDecide(round int64, value []byte) {
 		}
 		seq := a.seq
 		a.seq++
+		a.span.Event(obs.StageDeliver, seq, "")
+		if a.submitted != nil {
+			if start, ok := a.submitted[it.digest]; ok {
+				delete(a.submitted, it.digest)
+				a.orderLat.ObserveSince(start)
+			}
+		}
 		if a.cfg.Deliver != nil {
 			a.cfg.Deliver(seq, it.payload)
 		}

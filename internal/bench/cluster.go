@@ -14,6 +14,7 @@ import (
 	"sintra/internal/engine"
 	"sintra/internal/group"
 	"sintra/internal/netsim"
+	"sintra/internal/obs"
 )
 
 // defaultTimeout bounds each measured operation.
@@ -27,6 +28,9 @@ type cluster struct {
 	routers []*engine.Router
 	pub     *deal.Public
 	secrets []*deal.PartySecret
+	// reg aggregates metrics across every party: per-layer latency
+	// histograms for the report's percentile columns.
+	reg *obs.Registry
 
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -57,7 +61,9 @@ func newClusterForceCert(st *adversary.Structure, sched netsim.Scheduler, crashe
 		net:     netsim.New(st.N(), 2, sched),
 		pub:     pub,
 		secrets: secrets,
+		reg:     obs.NewRegistry(),
 	}
+	c.net.SetObserver(c.reg)
 	down := make(map[int]bool, len(crashed))
 	for _, i := range crashed {
 		down[i] = true
@@ -68,6 +74,7 @@ func newClusterForceCert(st *adversary.Structure, sched netsim.Scheduler, crashe
 			continue
 		}
 		r := engine.NewRouter(c.net.Endpoint(i))
+		r.SetObserver(c.reg)
 		c.routers[i] = r
 		c.wg.Add(1)
 		go func() {

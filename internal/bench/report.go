@@ -47,13 +47,18 @@ func PrintFigure1(w io.Writer, res F1Result) {
 	fmt.Fprintf(w, "%-34s %-12d %s\n", "randomized ABC / fair network", res.OursFairDelivered, "reference")
 }
 
-// PrintStack renders the protocol-stack cost table (experiment S3).
+// PrintStack renders the protocol-stack cost table (experiment S3). The
+// percentile columns come from the observability registry: p50/p99 of
+// the layer's own latency histogram, and p99 of single-message dispatch
+// in the router.
 func PrintStack(w io.Writer, rows []StackRow) {
 	fmt.Fprintln(w, "S3 — cost per delivered payload, by protocol layer (256 B payloads)")
-	fmt.Fprintf(w, "%-7s %4s %3s %12s %14s %12s\n", "layer", "n", "t", "msgs/op", "bytes/op", "latency/op")
+	fmt.Fprintf(w, "%-7s %4s %3s %12s %14s %12s %10s %10s %12s\n",
+		"layer", "n", "t", "msgs/op", "bytes/op", "latency/op", "p50", "p99", "dispatch-p99")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-7s %4d %3d %12.1f %14.0f %12v\n",
-			r.Layer, r.N, r.T, r.MsgsPer, r.BytesPerOp, r.LatencyPer.Round(10*1000))
+		fmt.Fprintf(w, "%-7s %4d %3d %12.1f %14.0f %12v %10v %10v %12v\n",
+			r.Layer, r.N, r.T, r.MsgsPer, r.BytesPerOp, r.LatencyPer.Round(10*1000),
+			r.LayerP50.Round(10*1000), r.LayerP99.Round(10*1000), r.DispatchP99.Round(1000))
 	}
 }
 

@@ -22,10 +22,30 @@ type StackRow struct {
 	MsgsPer    float64
 	BytesPerOp float64
 	LatencyPer time.Duration
+	// LayerP50/LayerP99 are percentiles of the layer's own latency
+	// histogram (instance start to deliver/decide, aggregated over all
+	// parties), from the observability registry.
+	LayerP50 time.Duration
+	LayerP99 time.Duration
+	// DispatchP99 is the 99th percentile of single-message dispatch time
+	// in the router, across all parties.
+	DispatchP99 time.Duration
 }
 
 // StackLayers lists the measured layers, bottom to top.
 var StackLayers = []string{"rbc", "cbc", "aba", "mvba", "abc", "scabc"}
+
+// layerHist names the latency histogram that characterizes each layer:
+// deliver for the broadcasts, decide for the agreements, submit-to-order
+// for atomic broadcast, order-to-plaintext for its secure causal variant.
+var layerHist = map[string]string{
+	"rbc":   "rbc.latency.deliver",
+	"cbc":   "cbc.latency.deliver",
+	"aba":   "aba.latency.decide",
+	"mvba":  "mvba.latency.decide",
+	"abc":   "abc.latency.order",
+	"scabc": "scabc.latency.decrypt",
+}
 
 // RunStack measures message/byte/latency cost per delivered payload for
 // every layer of the broadcast stack, at each system size in ns.
@@ -227,13 +247,19 @@ func runStackLayer(st *adversary.Structure, layer string, ops int) (StackRow, er
 	elapsed := time.Since(start)
 
 	msgs, bytes := c.net.Stats().Total()
+	snap := c.reg.Snapshot()
+	lh := snap.Histograms[layerHist[layer]]
+	dh := snap.Histograms["router.dispatch.latency"]
 	return StackRow{
-		Layer:      layer,
-		N:          n,
-		T:          st.Thresh,
-		Ops:        ops,
-		MsgsPer:    float64(msgs) / float64(ops),
-		BytesPerOp: float64(bytes) / float64(ops),
-		LatencyPer: elapsed / time.Duration(ops),
+		Layer:       layer,
+		N:           n,
+		T:           st.Thresh,
+		Ops:         ops,
+		MsgsPer:     float64(msgs) / float64(ops),
+		BytesPerOp:  float64(bytes) / float64(ops),
+		LatencyPer:  elapsed / time.Duration(ops),
+		LayerP50:    time.Duration(lh.Quantile(0.50)),
+		LayerP99:    time.Duration(lh.Quantile(0.99)),
+		DispatchP99: time.Duration(dh.Quantile(0.99)),
 	}, nil
 }

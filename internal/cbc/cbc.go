@@ -26,6 +26,7 @@ import (
 
 	"sintra/internal/adversary"
 	"sintra/internal/engine"
+	"sintra/internal/obs"
 	"sintra/internal/thresig"
 	"sintra/internal/wire"
 )
@@ -128,12 +129,17 @@ type CBC struct {
 	finalSent   bool
 
 	answered adversary.Set
+
+	span *obs.Span
 }
 
 // New creates and registers an instance on the router (dispatch goroutine
 // or pre-Run only).
 func New(cfg Config) *CBC {
-	c := &CBC{cfg: cfg}
+	c := &CBC{
+		cfg:  cfg,
+		span: obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
+	}
 	cfg.Router.Register(Protocol, cfg.Instance, c.Handle)
 	return c
 }
@@ -247,6 +253,7 @@ func (c *CBC) onFinal(payload, cert []byte) {
 	c.delivered = true
 	c.payload = payload
 	c.cert = cert
+	c.span.End(obs.StageDeliver, -1)
 	if c.cfg.Deliver != nil {
 		c.cfg.Deliver(payload, cert)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -10,17 +11,21 @@ import (
 
 	"sintra/internal/adversary"
 	"sintra/internal/deal"
+	"sintra/internal/obs"
 	"sintra/internal/scabc"
 	"sintra/internal/thresig"
 	"sintra/internal/wire"
 )
 
-// Client errors.
+// Client errors. InvokeContext wraps them so errors.Is works on both the
+// client-level cause (ErrTimeout, ErrClosed) and the context cause
+// (context.DeadlineExceeded, context.Canceled).
 var (
-	// ErrTimeout is returned when not enough consistent answers arrived in
-	// time.
+	// ErrTimeout is returned when not enough consistent answers arrived
+	// before the context deadline.
 	ErrTimeout = errors.New("core: request timed out")
-	// ErrClosed is returned after Close.
+	// ErrClosed is returned for requests on (or interrupted by) a closed
+	// client.
 	ErrClosed = errors.New("core: client closed")
 )
 
@@ -54,6 +59,14 @@ type Client struct {
 
 	done chan struct{}
 	once sync.Once
+
+	// Observability (nil instruments when off).
+	obsReg       *obs.Registry
+	invokeLat    *obs.Histogram
+	reqCount     *obs.Counter
+	okCount      *obs.Counter
+	badShares    *obs.Counter
+	timeoutCount *obs.Counter
 }
 
 type call struct {
@@ -61,8 +74,27 @@ type call struct {
 	ch        chan Answer
 }
 
+// Option configures a Client.
+type Option func(*Client)
+
+// WithObserver reports the client's metrics through reg: request counts,
+// end-to-end invoke latency, response-share verification failures.
+func WithObserver(reg *obs.Registry) Option {
+	return func(c *Client) {
+		if reg == nil {
+			return
+		}
+		c.obsReg = reg
+		c.invokeLat = reg.Histogram("client.invoke.latency")
+		c.reqCount = reg.Counter("client.requests")
+		c.okCount = reg.Counter("client.answers")
+		c.badShares = reg.Counter("client.responses.badshare")
+		c.timeoutCount = reg.Counter("client.timeouts")
+	}
+}
+
 // NewClient wraps a client transport endpoint. Close releases it.
-func NewClient(pub *deal.Public, tr wire.Transport, service string, mode Mode) *Client {
+func NewClient(pub *deal.Public, tr wire.Transport, service string, mode Mode, opts ...Option) *Client {
 	c := &Client{
 		pub:     pub,
 		tr:      tr,
@@ -70,6 +102,9 @@ func NewClient(pub *deal.Public, tr wire.Transport, service string, mode Mode) *
 		mode:    mode,
 		pending: make(map[[16]byte]*call),
 		done:    make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(c)
 	}
 	go c.recvLoop()
 	return c
@@ -86,9 +121,34 @@ func (c *Client) Close() {
 	})
 }
 
-// Invoke executes one request against the service and waits for a
-// trustworthy answer.
+// InvokeContext executes one request against the service and waits for a
+// trustworthy answer. It is the primary entry point: the context carries
+// the deadline and cancellation, so errors.Is(err,
+// context.DeadlineExceeded) and errors.Is(err, context.Canceled) report
+// the cause precisely; a deadline additionally matches ErrTimeout, and a
+// client closed mid-flight always reports ErrClosed.
+func (c *Client) InvokeContext(ctx context.Context, body []byte) (Answer, error) {
+	c.reqCount.Inc()
+	start := time.Now()
+	a, err := c.invoke(ctx, body)
+	if err == nil {
+		c.okCount.Inc()
+		c.invokeLat.ObserveSince(start)
+	}
+	return a, err
+}
+
+// Invoke executes one request with a plain timeout.
+//
+// Deprecated: Invoke survives as a thin compatibility wrapper around
+// InvokeContext; new code should pass a context instead of a timeout.
 func (c *Client) Invoke(body []byte, timeout time.Duration) (Answer, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.InvokeContext(ctx, body)
+}
+
+func (c *Client) invoke(ctx context.Context, body []byte) (Answer, error) {
 	var reqID [16]byte
 	if _, err := rand.Read(reqID[:]); err != nil {
 		return Answer{}, fmt.Errorf("core: %w", err)
@@ -141,8 +201,20 @@ func (c *Client) Invoke(body []byte, timeout time.Duration) (Answer, error) {
 	select {
 	case a := <-cl.ch:
 		return a, nil
-	case <-time.After(timeout):
-		return Answer{}, ErrTimeout
+	case <-ctx.Done():
+		// A concurrently closed client wins deterministically: closing is
+		// the more fundamental state, and reporting ErrTimeout for a dead
+		// client would send the caller into a pointless retry.
+		select {
+		case <-c.done:
+			return Answer{}, ErrClosed
+		default:
+		}
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			c.timeoutCount.Inc()
+			return Answer{}, fmt.Errorf("%w: %w", ErrTimeout, ctx.Err())
+		}
+		return Answer{}, fmt.Errorf("core: request canceled: %w", ctx.Err())
 	case <-c.done:
 		return Answer{}, ErrClosed
 	}
@@ -174,7 +246,13 @@ func (c *Client) onResponse(from int, resp responseBody) {
 	stmt := answerStatement(c.service, resp.ReqID, resp.Result)
 	scheme := c.pub.AnswerSig()
 	if scheme.VerifyShare(stmt, resp.Share) != nil {
-		return // corrupted server: invalid share
+		// Corrupted server: invalid share. The counter is the client-side
+		// view of server misbehavior.
+		c.badShares.Inc()
+		c.obsReg.Trace(obs.Event{Party: from, Protocol: clientProtocol,
+			Instance: c.service, Stage: obs.StageDrop, Seq: -1,
+			Note: "invalid response share"})
+		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -2,6 +2,8 @@ package core_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -296,13 +298,45 @@ func TestModeString(t *testing.T) {
 var _ netsim.Scheduler = (*netsim.RandomScheduler)(nil) // compile-time reference
 
 func TestClientTimeoutWhenServersDown(t *testing.T) {
-	// No nodes run at all: the client must time out, not hang.
+	// No nodes run at all: the client must time out, not hang. The error
+	// carries both the client-level cause and the context cause.
 	st := adversary.MustThreshold(4, 1)
 	c := coreCluster(t, st, testutil.Options{Seed: 15})
 	client := core.NewClient(c.Pub, c.Net.Endpoint(4), "test", core.ModeAtomic)
 	defer client.Close()
-	if _, err := client.Invoke([]byte("void"), 300*time.Millisecond); err != core.ErrTimeout {
+	_, err := client.Invoke([]byte("void"), 300*time.Millisecond)
+	if !errors.Is(err, core.ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want it to wrap context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, core.ErrClosed) || errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, must not match ErrClosed or Canceled", err)
+	}
+}
+
+func TestClientInvokeContextCanceled(t *testing.T) {
+	// Cancellation (not a deadline) must surface context.Canceled and must
+	// NOT be reported as a timeout.
+	st := adversary.MustThreshold(4, 1)
+	c := coreCluster(t, st, testutil.Options{Seed: 25})
+	client := core.NewClient(c.Pub, c.Net.Endpoint(4), "test", core.ModeAtomic)
+	defer client.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := client.InvokeContext(ctx, []byte("never answered"))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	err := <-errc
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("err = %v, cancellation must not look like a timeout", err)
 	}
 }
 
@@ -311,10 +345,37 @@ func TestClientClosed(t *testing.T) {
 	c := coreCluster(t, st, testutil.Options{Seed: 16})
 	client := core.NewClient(c.Pub, c.Net.Endpoint(4), "test", core.ModeAtomic)
 	client.Close()
-	if _, err := client.Invoke([]byte("x"), time.Second); err != core.ErrClosed {
+	if _, err := client.Invoke([]byte("x"), time.Second); !errors.Is(err, core.ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 	client.Close() // idempotent
+}
+
+func TestClientClosedBeatsTimeout(t *testing.T) {
+	// Regression: a client closed while a request is in flight must report
+	// ErrClosed even when the context fires at the same moment. Close
+	// always happens before the context here, so whichever ready select
+	// case wakes invoke, the answer must be ErrClosed — without the nested
+	// closed check the context branch would sometimes win and misreport.
+	st := adversary.MustThreshold(4, 1)
+	const rounds = 20
+	c := coreCluster(t, st, testutil.Options{Seed: 26, Clients: rounds})
+	for i := 0; i < rounds; i++ {
+		client := core.NewClient(c.Pub, c.Net.Endpoint(4+i), "test", core.ModeAtomic)
+		ctx, cancel := context.WithCancel(context.Background())
+		errc := make(chan error, 1)
+		go func() {
+			_, err := client.InvokeContext(ctx, []byte("racing"))
+			errc <- err
+		}()
+		time.Sleep(time.Millisecond) // let the request register and block
+		client.Close()
+		cancel()
+		err := <-errc
+		if !errors.Is(err, core.ErrClosed) {
+			t.Fatalf("iteration %d: err = %v, want ErrClosed to beat the context", i, err)
+		}
+	}
 }
 
 func TestVerifyAnswerRejectsForgery(t *testing.T) {

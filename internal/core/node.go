@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"sintra/internal/abc"
 	"sintra/internal/deal"
 	"sintra/internal/engine"
+	"sintra/internal/obs"
 	"sintra/internal/scabc"
 	"sintra/internal/wire"
 )
@@ -28,6 +30,13 @@ type NodeConfig struct {
 	Mode Mode
 	// BatchSize tunes the atomic broadcast batches.
 	BatchSize int
+	// Observer optionally wires the replica — its router, the whole
+	// broadcast stack beneath it, and the state-machine execution — into
+	// an observability registry. Nil leaves observability off.
+	Observer *obs.Registry
+	// Tracer optionally receives structured protocol-stage events; it is
+	// installed on Observer (and ignored when Observer is nil).
+	Tracer obs.Tracer
 }
 
 // Node is one replica of a distributed trusted service.
@@ -40,6 +49,9 @@ type Node struct {
 	reqClients map[[16]byte][]int
 
 	applied int64 // requests applied (dispatch goroutine only)
+
+	appliedCount *obs.Counter
+	applyLat     *obs.Histogram
 
 	runOnce  sync.Once
 	stopOnce sync.Once
@@ -60,6 +72,14 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		cfg:        cfg,
 		router:     engine.NewRouter(cfg.Transport),
 		reqClients: make(map[[16]byte][]int),
+	}
+	if cfg.Observer != nil {
+		if cfg.Tracer != nil {
+			cfg.Observer.SetTracer(cfg.Tracer)
+		}
+		n.router.SetObserver(cfg.Observer)
+		n.appliedCount = cfg.Observer.Counter("node.applied")
+		n.applyLat = cfg.Observer.Histogram("node.apply.latency")
 	}
 
 	switch cfg.Mode {
@@ -182,8 +202,14 @@ func (n *Node) onCausalDeliver(seq int64, request []byte) {
 
 // apply runs the state machine and answers the requesting clients.
 func (n *Node) apply(seq int64, env envelope) {
+	var start time.Time
+	if n.applyLat != nil {
+		start = time.Now()
+	}
 	result := n.cfg.Service.Apply(seq, env.Body)
 	n.applied++
+	n.appliedCount.Inc()
+	n.applyLat.ObserveSince(start)
 
 	scheme := n.cfg.Public.AnswerSig()
 	share, err := scheme.SignShare(n.cfg.Secret.SigAnswer,

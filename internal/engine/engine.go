@@ -20,7 +20,9 @@ package engine
 
 import (
 	"sync"
+	"time"
 
+	"sintra/internal/obs"
 	"sintra/internal/wire"
 )
 
@@ -64,6 +66,54 @@ type Router struct {
 	tasks chan func()
 	inCh  chan wire.Message
 	done  chan struct{}
+
+	mx *routerMetrics // nil when observability is off
+}
+
+// routerMetrics holds the router's instruments. The per-(protocol,type)
+// counter cache is touched only on the dispatch goroutine, so it needs no
+// lock; the counters themselves are atomic and read from anywhere.
+type routerMetrics struct {
+	reg             *obs.Registry
+	dispatchLatency *obs.Histogram
+	dispatched      *obs.Counter
+	taskDepth       *obs.Gauge
+	bufferDepth     *obs.Gauge
+	bufferDrops     *obs.Counter
+
+	counts map[ptKey]*obs.Counter
+}
+
+type ptKey struct{ protocol, msgType string }
+
+// count bumps the per-(protocol,type) message counter. Dispatch goroutine
+// only.
+func (m *routerMetrics) count(protocol, msgType string) {
+	k := ptKey{protocol, msgType}
+	c, ok := m.counts[k]
+	if !ok {
+		c = m.reg.Counter("router.recv." + protocol + "." + msgType)
+		m.counts[k] = c
+	}
+	c.Inc()
+}
+
+// SetObserver wires the router's metrics into reg. Call before Run (a nil
+// registry leaves observability off).
+func (r *Router) SetObserver(reg *obs.Registry) {
+	if reg == nil {
+		r.mx = nil
+		return
+	}
+	r.mx = &routerMetrics{
+		reg:             reg,
+		dispatchLatency: reg.Histogram("router.dispatch.latency"),
+		dispatched:      reg.Counter("router.dispatched"),
+		taskDepth:       reg.Gauge("router.tasks.depth"),
+		bufferDepth:     reg.Gauge("router.buffered.depth"),
+		bufferDrops:     reg.Counter("router.buffered.drops"),
+		counts:          make(map[ptKey]*obs.Counter),
+	}
 }
 
 // NewRouter wraps a transport. Call Run (usually in a goroutine) to start
@@ -81,6 +131,16 @@ func NewRouter(tr wire.Transport) *Router {
 
 // Self returns the local party index.
 func (r *Router) Self() int { return r.tr.Self() }
+
+// Observer returns the registry installed by SetObserver — the hook the
+// protocol layers use to report through the router they already hold. It
+// is nil (the no-op default) when observability is off.
+func (r *Router) Observer() *obs.Registry {
+	if r.mx == nil {
+		return nil
+	}
+	return r.mx.reg
+}
 
 // N returns the number of servers.
 func (r *Router) N() int { return r.tr.N() }
@@ -233,6 +293,9 @@ func (r *Router) Run() {
 			}
 			r.dispatch(m)
 		case f := <-r.tasks:
+			if r.mx != nil {
+				r.mx.taskDepth.Set(int64(len(r.tasks)) + 1)
+			}
 			f()
 		}
 	}
@@ -243,6 +306,12 @@ func (r *Router) Done() <-chan struct{} { return r.done }
 
 // dispatch routes one message. Dispatch goroutine only.
 func (r *Router) dispatch(m wire.Message) {
+	var start time.Time
+	if r.mx != nil {
+		start = time.Now()
+		r.mx.count(m.Protocol, m.Type)
+		r.mx.dispatched.Inc()
+	}
 	key := instanceKey{m.Protocol, m.Instance}
 	st := r.state(key)
 	if st.dead {
@@ -250,13 +319,27 @@ func (r *Router) dispatch(m wire.Message) {
 	}
 	if st.handler != nil {
 		st.handler(m.From, m.Type, m.Payload)
+		if r.mx != nil {
+			r.mx.dispatchLatency.ObserveSince(start)
+		}
 		return
 	}
 	// No handler yet: buffer the message so a factory-created handler (or
 	// a later Register) replays it in arrival order.
 	st.buffered = append(st.buffered, m)
 	if len(st.buffered) > maxBufferedPerInstance {
-		st.buffered = st.buffered[len(st.buffered)-maxBufferedPerInstance:]
+		dropped := len(st.buffered) - maxBufferedPerInstance
+		st.buffered = st.buffered[dropped:]
+		if r.mx != nil {
+			r.mx.bufferDrops.Add(int64(dropped))
+			r.mx.reg.Trace(obs.Event{
+				Party: r.Self(), Protocol: m.Protocol, Instance: m.Instance,
+				Stage: obs.StageDrop, Seq: -1, Note: "early-arrival buffer overflow",
+			})
+		}
+	}
+	if r.mx != nil {
+		r.mx.bufferDepth.Set(int64(len(st.buffered)))
 	}
 	r.factoryMu.Lock()
 	f, ok := r.factories[m.Protocol]
@@ -265,5 +348,8 @@ func (r *Router) dispatch(m wire.Message) {
 		if h := f(m.Instance); h != nil {
 			r.Register(m.Protocol, m.Instance, h)
 		}
+	}
+	if r.mx != nil {
+		r.mx.dispatchLatency.ObserveSince(start)
 	}
 }

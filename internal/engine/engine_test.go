@@ -7,6 +7,7 @@ import (
 
 	"sintra/internal/engine"
 	"sintra/internal/netsim"
+	"sintra/internal/obs"
 	"sintra/internal/wire"
 )
 
@@ -310,4 +311,140 @@ func TestBufferCapDropsOldest(t *testing.T) {
 		}
 		seen[k] = true
 	}
+}
+
+func TestRouterMetrics(t *testing.T) {
+	_, r0, r1, _ := pair(t)
+	reg := obs.NewRegistry()
+	// SetObserver is documented pre-Run, but the router only reads mx on
+	// the dispatch goroutine, so install it there.
+	r1.DoSync(func() { r1.SetObserver(reg) })
+	if r1.Observer() != reg {
+		t.Fatal("Observer() must return the installed registry")
+	}
+	got := make(chan struct{}, 8)
+	r1.DoSync(func() {
+		r1.Register("p", "i", func(int, string, []byte) { got <- struct{}{} })
+	})
+	const sends = 5
+	for k := 0; k < sends; k++ {
+		if err := r0.Send(1, "p", "i", "PING", struct{}{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < sends; k++ {
+		select {
+		case <-got:
+		case <-time.After(5 * time.Second):
+			t.Fatal("message never dispatched")
+		}
+	}
+	snap := reg.Snapshot()
+	if n := snap.Counter("router.recv.p.PING"); n != sends {
+		t.Fatalf("router.recv.p.PING = %d, want %d", n, sends)
+	}
+	if n := snap.Counter("router.dispatched"); n != sends {
+		t.Fatalf("router.dispatched = %d, want %d", n, sends)
+	}
+	if h := snap.Histograms["router.dispatch.latency"]; h.Count != sends {
+		t.Fatalf("dispatch latency observations = %d, want %d", h.Count, sends)
+	}
+}
+
+func TestBufferOverflowDropMetrics(t *testing.T) {
+	// Flood an unregistered instance beyond the 4096-message cap with an
+	// observer installed: the drop counter and the drop trace events must
+	// account for every evicted message.
+	nw, r0, r1, _ := pair(t)
+	reg := obs.NewRegistry()
+	col := obs.NewCollectTracer()
+	reg.SetTracer(col)
+	r1.DoSync(func() { r1.SetObserver(reg) })
+
+	const flood = 4200 // 104 past the cap
+	for k := 0; k < flood; k++ {
+		if err := r0.Send(1, "p", "over", "M", struct{ K int }{k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for nw.Stats().Messages["p"] < flood {
+		if time.Now().After(deadline) {
+			t.Fatalf("flood stuck at %d", nw.Stats().Messages["p"])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Fence the dispatcher (see TestBufferCapDropsOldest).
+	fence := make(chan struct{})
+	r1.DoSync(func() {
+		r1.Register("p", "fence", func(int, string, []byte) { close(fence) })
+	})
+	if err := r0.Send(1, "p", "fence", "F", struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fence:
+	case <-time.After(20 * time.Second):
+		t.Fatal("fence never dispatched")
+	}
+
+	snap := reg.Snapshot()
+	wantDrops := int64(flood - 4096)
+	if n := snap.Counter("router.buffered.drops"); n != wantDrops {
+		t.Fatalf("router.buffered.drops = %d, want %d", n, wantDrops)
+	}
+	if g := snap.Gauges["router.buffered.depth"]; g.Max != 4096 {
+		t.Fatalf("buffer depth high-water = %d, want 4096", g.Max)
+	}
+	var dropEvents int64
+	for _, ev := range col.Events() {
+		if ev.Stage == obs.StageDrop && ev.Protocol == "p" && ev.Instance == "over" {
+			dropEvents++
+		}
+	}
+	if dropEvents != wantDrops {
+		t.Fatalf("drop trace events = %d, want %d", dropEvents, wantDrops)
+	}
+}
+
+// feedTransport hands the router a fixed number of identical pre-marshaled
+// messages with no network in between — the dispatch hot path in isolation.
+type feedTransport struct {
+	remaining int
+	msg       wire.Message
+}
+
+func (f *feedTransport) Self() int         { return 0 }
+func (f *feedTransport) N() int            { return 4 }
+func (f *feedTransport) Send(wire.Message) {}
+func (f *feedTransport) Recv() (wire.Message, bool) {
+	if f.remaining == 0 {
+		return wire.Message{}, false
+	}
+	f.remaining--
+	return f.msg, true
+}
+func (f *feedTransport) Close() error { return nil }
+
+// benchmarkDispatch measures end-to-end dispatch of b.N messages into a
+// registered no-op handler, with or without an observer.
+func benchmarkDispatch(b *testing.B, reg *obs.Registry) {
+	payload, _ := wire.MarshalBody(struct{ X int }{1})
+	r := engine.NewRouter(&feedTransport{
+		remaining: b.N,
+		msg:       wire.Message{From: 1, To: 0, Protocol: "p", Instance: "i", Type: "T", Payload: payload},
+	})
+	r.SetObserver(reg)
+	r.Register("p", "i", func(int, string, []byte) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	r.Run() // returns once the feed is exhausted
+}
+
+// BenchmarkRouterDispatch guards the zero-overhead contract: the Off case
+// must not regress, and Off vs On shows the full cost of observability.
+// CI runs both as a smoke check.
+func BenchmarkRouterDispatch(b *testing.B) {
+	b.Run("Off", func(b *testing.B) { benchmarkDispatch(b, nil) })
+	b.Run("On", func(b *testing.B) { benchmarkDispatch(b, obs.NewRegistry()) })
 }

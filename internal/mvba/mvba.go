@@ -33,6 +33,7 @@ import (
 	"sintra/internal/cbc"
 	"sintra/internal/coin"
 	"sintra/internal/engine"
+	"sintra/internal/obs"
 	"sintra/internal/thresig"
 	"sintra/internal/wire"
 )
@@ -136,6 +137,8 @@ type MVBA struct {
 	decided  bool
 	decision []byte
 	halted   bool
+
+	span *obs.Span
 }
 
 // New creates and registers an instance, including the consistent
@@ -147,6 +150,7 @@ func New(cfg Config) *MVBA {
 		delivered: make(map[int][]byte),
 		certs:     make(map[int][]byte),
 		trials:    make(map[int]*trialState),
+		span:      obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
 	}
 	cfg.Router.Register(Protocol, cfg.Instance, m.Handle)
 	for j := 0; j < cfg.Router.N(); j++ {
@@ -475,6 +479,7 @@ func (m *MVBA) decide(value []byte) {
 	}
 	m.decided = true
 	m.decision = value
+	m.span.End(obs.StageDecide, int64(m.trial))
 	if m.cfg.Decide != nil {
 		m.cfg.Decide(value)
 	}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"sintra/internal/obs"
 	"sintra/internal/wire"
 )
 
@@ -123,6 +124,13 @@ type Network struct {
 	msgCount  map[string]int
 	byteCount map[string]int
 
+	// Observability (nil when off): per-protocol delivered messages and
+	// bytes, plus the depth of the adversary's pending pool.
+	obsMsgs      *obs.CounterVec
+	obsBytes     *obs.CounterVec
+	obsPending   *obs.Gauge
+	obsDelivered *obs.Counter
+
 	pumpDone chan struct{}
 }
 
@@ -151,6 +159,23 @@ func New(n, clients int, sched Scheduler) *Network {
 
 // N returns the number of server endpoints.
 func (nw *Network) N() int { return nw.n }
+
+// SetObserver reports the simulator's traffic through reg: counters
+// "net.msgs.<protocol>" / "net.bytes.<protocol>", the total
+// "net.delivered", and the gauge "net.pending.depth" (the adversary's
+// in-flight pool). A nil registry turns observability off.
+func (nw *Network) SetObserver(reg *obs.Registry) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if reg == nil {
+		nw.obsMsgs, nw.obsBytes, nw.obsPending, nw.obsDelivered = nil, nil, nil, nil
+		return
+	}
+	nw.obsMsgs = reg.CounterVec("net.msgs")
+	nw.obsBytes = reg.CounterVec("net.bytes")
+	nw.obsPending = reg.Gauge("net.pending.depth")
+	nw.obsDelivered = reg.Counter("net.delivered")
+}
 
 // pump moves messages from the pending pool to inboxes, one at a time, in
 // scheduler order.
@@ -183,6 +208,12 @@ func (nw *Network) pump() {
 			nw.inboxes[m.To] = append(nw.inboxes[m.To], m)
 			nw.msgCount[m.Protocol]++
 			nw.byteCount[m.Protocol] += m.Size()
+			if nw.obsDelivered != nil {
+				nw.obsDelivered.Inc()
+				nw.obsMsgs.With(m.Protocol).Inc()
+				nw.obsBytes.With(m.Protocol).Add(int64(m.Size()))
+				nw.obsPending.Set(int64(len(nw.pending)))
+			}
 			nw.inboxCond[m.To].Signal()
 		}
 	}

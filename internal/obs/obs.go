@@ -1,0 +1,462 @@
+// Package obs is the observability layer of the protocol stack: atomic
+// counters, gauges, and fixed-bucket log-scale latency histograms behind
+// a Registry, plus a pluggable Tracer emitting structured protocol-stage
+// events.
+//
+// The package is designed for the dispatch hot path of internal/engine:
+//
+//   - Every instrument is lock-free after creation (plain atomics).
+//   - Every method is nil-safe: a nil *Registry, *Counter, *Gauge, or
+//     *Histogram is the no-op default, so instrumented code needs no
+//     conditionals and pays only an inlined nil check when observability
+//     is off. BenchmarkRouterDispatch in internal/engine guards this.
+//   - Histograms use fixed power-of-two buckets indexed by bit length, so
+//     Observe is one atomic add with no allocation and no search.
+//
+// Instruments are named by dotted paths ("router.dispatch.latency",
+// "net.msgs.rbc"); Snapshot copies the whole registry for reporting. The
+// layer is generic over the deployment's adversary structure: nothing
+// here assumes thresholds, parties, or a particular transport.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous level (queue depth, buffered messages) that
+// also tracks its high-water mark. A nil *Gauge is a no-op.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set records the current level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	g.bumpMax(v)
+}
+
+// Add moves the level by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.bumpMax(g.v.Add(d))
+}
+
+func (g *Gauge) bumpMax(v int64) {
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark (0 for nil).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// histBuckets is the number of histogram buckets: bucket 0 counts zero
+// (and negative) observations, bucket i counts values whose bit length is
+// i, i.e. values in [2^(i-1), 2^i). 63 buckets cover the full int64
+// range; for nanosecond latencies bucket 35 is already ~34 s.
+const histBuckets = 64
+
+// Histogram is a fixed log-scale latency histogram. Observations are
+// dimensionless int64s; by convention the stack records nanoseconds. The
+// zero value is ready to use; a nil *Histogram is a no-op.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) // in [1, 63] for positive int64
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return 1 << i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the nanoseconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start).Nanoseconds())
+	}
+}
+
+// Snapshot copies the histogram state (zero value for nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			s.Buckets = append(s.Buckets, Bucket{Upper: BucketUpper(i), Count: n})
+		}
+	}
+	return s
+}
+
+// Bucket is one populated histogram bucket: Count observations below
+// Upper (and above the previous bucket's bound).
+type Bucket struct {
+	Upper int64
+	Count int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets []Bucket
+}
+
+// Mean returns the mean observation (0 when empty).
+func (s HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) from
+// the log-scale buckets: the bound of the first bucket at which the
+// cumulative count reaches q·Count. The true quantile lies within a
+// factor of two below the returned bound.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	want := int64(q * float64(s.Count))
+	if want >= s.Count {
+		return s.Max
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum > want {
+			if b.Upper > s.Max {
+				return s.Max
+			}
+			return b.Upper
+		}
+	}
+	return s.Max
+}
+
+// Registry holds a deployment's instruments by name. Instruments are
+// created on first use and live for the registry's lifetime; the returned
+// pointers are safe to retain and use from any goroutine. A nil *Registry
+// is the no-op default: it hands out nil instruments and drops trace
+// events, keeping instrumented hot paths at effectively zero overhead.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	tracer   atomic.Pointer[tracerBox]
+}
+
+// tracerBox wraps the interface so it can live in an atomic.Pointer.
+type tracerBox struct{ t Tracer }
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter; nil for a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil for a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram; nil for a
+// nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetTracer installs (or, with nil, removes) the event tracer.
+func (r *Registry) SetTracer(t Tracer) {
+	if r == nil {
+		return
+	}
+	if t == nil {
+		r.tracer.Store(nil)
+		return
+	}
+	r.tracer.Store(&tracerBox{t: t})
+}
+
+// Tracing reports whether a tracer is installed, so callers can skip
+// building events entirely on the common no-tracer path.
+func (r *Registry) Tracing() bool {
+	return r != nil && r.tracer.Load() != nil
+}
+
+// Trace emits one event to the installed tracer, stamping Time if unset.
+// It is a cheap no-op without a tracer (or on a nil registry).
+func (r *Registry) Trace(ev Event) {
+	if r == nil {
+		return
+	}
+	box := r.tracer.Load()
+	if box == nil {
+		return
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	box.t.Trace(ev)
+}
+
+// Snapshot copies every instrument's current value (empty for nil).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]GaugeValue{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeValue{Value: g.Value(), Max: g.Max()}
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// GaugeValue is a gauge's snapshot: current level and high-water mark.
+type GaugeValue struct {
+	Value int64
+	Max   int64
+}
+
+// Snapshot is a point-in-time copy of a registry — the metrics API
+// consumed by SimulatedDeployment, cmd/sintra-node, and the experiment
+// harness. Its fields marshal cleanly to JSON for expvar.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]GaugeValue
+	Histograms map[string]HistogramSnapshot
+}
+
+// Counter returns a counter by name (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// CountersWithPrefix returns every counter under "prefix." keyed by the
+// remainder of its name — e.g. per-protocol message counts under
+// "net.msgs.".
+func (s Snapshot) CountersWithPrefix(prefix string) map[string]int64 {
+	out := make(map[string]int64)
+	for name, v := range s.Counters {
+		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			out[name[len(prefix):]] = v
+		}
+	}
+	return out
+}
+
+// WriteText renders the snapshot as sorted "name value" lines — the
+// periodic dump format of cmd/sintra-node.
+func (s Snapshot) WriteText(w io.Writer) {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "counter %-46s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := s.Gauges[name]
+		fmt.Fprintf(w, "gauge   %-46s %d (max %d)\n", name, g.Value, g.Max)
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "hist    %-46s n=%d mean=%v p50<%v p99<%v max=%v\n",
+			name, h.Count,
+			time.Duration(h.Mean()), time.Duration(h.Quantile(0.50)),
+			time.Duration(h.Quantile(0.99)), time.Duration(h.Max))
+	}
+}
+
+// CounterVec hands out counters sharing a dotted prefix, caching them by
+// label so hot paths avoid the registry lock after first use. A nil
+// *CounterVec is a no-op.
+type CounterVec struct {
+	reg    *Registry
+	prefix string
+
+	mu      sync.Mutex
+	byLabel map[string]*Counter
+}
+
+// CounterVec returns a labeled counter family named "prefix.<label>";
+// nil for a nil registry.
+func (r *Registry) CounterVec(prefix string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{reg: r, prefix: prefix, byLabel: make(map[string]*Counter)}
+}
+
+// With returns the counter for one label.
+func (v *CounterVec) With(label string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	c, ok := v.byLabel[label]
+	if !ok {
+		c = v.reg.Counter(v.prefix + "." + label)
+		v.byLabel[label] = c
+	}
+	v.mu.Unlock()
+	return c
+}

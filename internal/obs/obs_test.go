@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	// The zero-overhead contract: every instrument method must be callable
+	// through nil without panicking, and report zeros.
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 || g.Max() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(7)
+	h.ObserveSince(time.Now())
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram has observations")
+	}
+
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry handed out instruments")
+	}
+	r.SetTracer(NewCollectTracer())
+	if r.Tracing() {
+		t.Fatal("nil registry claims to trace")
+	}
+	r.Trace(Event{})
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot non-empty")
+	}
+	if r.CounterVec("net").With("rbc") != nil {
+		t.Fatal("nil registry handed out a vec counter")
+	}
+
+	var sp *Span
+	sp.Event(StageDeliver, 1, "")
+	sp.End(StageDeliver, 1)
+	if sp.Registry() != nil {
+		t.Fatal("nil span has a registry")
+	}
+	if StartSpan(nil, 0, "rbc", "i") != nil {
+		t.Fatal("StartSpan(nil) must return nil")
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("same name must return the same counter")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(4)
+	g.Add(3)
+	g.Add(-5)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Value())
+	}
+	if g.Max() != 7 {
+		t.Fatalf("gauge max = %d, want 7", g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	// bucketOf: 0 and negatives land in bucket 0; positives by bit length.
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Fatalf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	// Every value must fall strictly below its bucket's upper bound.
+	for _, c := range cases {
+		if c.v > 0 && c.v >= BucketUpper(bucketOf(c.v)) {
+			t.Fatalf("value %d not below BucketUpper(%d) = %d",
+				c.v, bucketOf(c.v), BucketUpper(bucketOf(c.v)))
+		}
+	}
+}
+
+func TestHistogramSnapshotStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 1106 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max = %d", s.Max)
+	}
+	if s.Mean() != 1106/5 {
+		t.Fatalf("mean = %d", s.Mean())
+	}
+	// The quantile is an upper bound within a factor of two of the true
+	// value, and never exceeds the observed max.
+	if q := s.Quantile(0.5); q < 3 || q > 8 {
+		t.Fatalf("p50 = %d, want a bound in [3,8] for median 3", q)
+	}
+	if q := s.Quantile(0.99); q > s.Max {
+		t.Fatalf("p99 = %d exceeds max %d", q, s.Max)
+	}
+	if q := s.Quantile(1.0); q != s.Max {
+		t.Fatalf("p100 = %d, want max %d", q, s.Max)
+	}
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 || (HistogramSnapshot{}).Mean() != 0 {
+		t.Fatal("empty snapshot must report zeros")
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	// Exercised under -race in CI: concurrent writers on every instrument
+	// type plus snapshots in flight.
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c := r.Counter("hits")
+			g := r.Gauge("depth")
+			h := r.Histogram("lat")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(seed + int64(i))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counter("hits"); got != workers*perWorker {
+		t.Fatalf("hits = %d, want %d", got, workers*perWorker)
+	}
+	if hs := s.Histograms["lat"]; hs.Count != workers*perWorker {
+		t.Fatalf("lat count = %d, want %d", hs.Count, workers*perWorker)
+	}
+	if g := s.Gauges["depth"]; g.Value != 0 {
+		t.Fatalf("depth = %d, want 0 after balanced adds", g.Value)
+	}
+}
+
+func TestRegistryTracer(t *testing.T) {
+	r := NewRegistry()
+	if r.Tracing() {
+		t.Fatal("fresh registry must not trace")
+	}
+	r.Trace(Event{Protocol: "rbc"}) // dropped, no tracer
+
+	col := NewCollectTracer()
+	r.SetTracer(col)
+	if !r.Tracing() {
+		t.Fatal("tracer not installed")
+	}
+	r.Trace(Event{Party: 2, Protocol: "rbc", Instance: "i", Stage: StageDeliver, Seq: 4})
+	evs := col.Events()
+	if len(evs) != 1 {
+		t.Fatalf("collected %d events, want 1", len(evs))
+	}
+	if evs[0].Time.IsZero() {
+		t.Fatal("Trace must stamp the time")
+	}
+	if !strings.Contains(evs[0].String(), "rbc/i deliver seq=4") {
+		t.Fatalf("event renders as %q", evs[0].String())
+	}
+
+	r.SetTracer(nil)
+	if r.Tracing() {
+		t.Fatal("tracer not removed")
+	}
+	r.Trace(Event{Protocol: "rbc"})
+	if len(col.Events()) != 1 {
+		t.Fatal("removed tracer still receives events")
+	}
+}
+
+func TestMultiTracer(t *testing.T) {
+	a, b := NewCollectTracer(), NewCollectTracer()
+	if MultiTracer() != nil || MultiTracer(nil, nil) != nil {
+		t.Fatal("empty MultiTracer must be nil")
+	}
+	if MultiTracer(a) != Tracer(a) {
+		t.Fatal("single MultiTracer must unwrap")
+	}
+	m := MultiTracer(a, nil, b)
+	m.Trace(Event{Protocol: "x"})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatal("fan-out missed a tracer")
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("net.msgs")
+	v.With("rbc").Add(3)
+	v.With("aba").Inc()
+	v.With("rbc").Inc()
+	s := r.Snapshot()
+	per := s.CountersWithPrefix("net.msgs.")
+	if per["rbc"] != 4 || per["aba"] != 1 {
+		t.Fatalf("per-protocol counts = %v", per)
+	}
+	if s.Counter("net.msgs.rbc") != 4 {
+		t.Fatal("vec counters must live in the registry namespace")
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	r := NewRegistry()
+	col := NewCollectTracer()
+	r.SetTracer(col)
+
+	sp := StartSpan(r, 1, "rbc", "inst")
+	if sp.Registry() != r {
+		t.Fatal("span lost its registry")
+	}
+	sp.Event(StageDeliver, 0, "payload")
+	sp.End(StageDeliver, -1)
+	sp.End(StageDeliver, -1) // idempotent
+
+	s := r.Snapshot()
+	if s.Counter("rbc.instances") != 1 {
+		t.Fatalf("instances = %d", s.Counter("rbc.instances"))
+	}
+	if s.Counter("rbc.deliver") != 2 { // one Event + one End
+		t.Fatalf("deliver = %d", s.Counter("rbc.deliver"))
+	}
+	if h := s.Histograms["rbc.latency.deliver"]; h.Count != 1 {
+		t.Fatalf("latency observations = %d, want 1 (End must be once-only)", h.Count)
+	}
+	stages := make([]string, 0, 3)
+	for _, ev := range col.Events() {
+		stages = append(stages, ev.Stage)
+	}
+	want := []string{StageStart, StageDeliver, StageDeliver}
+	if len(stages) != len(want) {
+		t.Fatalf("stages = %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", stages, want)
+		}
+	}
+}
+
+func TestSnapshotWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("router.dispatched").Add(9)
+	r.Gauge("router.tasks.depth").Set(2)
+	r.Histogram("router.dispatch.latency").Observe(1500)
+	var b strings.Builder
+	r.Snapshot().WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"counter router.dispatched",
+		"gauge   router.tasks.depth",
+		"hist    router.dispatch.latency",
+		"n=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import "time"
+
+// Span tracks one protocol-instance lifecycle: StartSpan counts and
+// traces the instance's birth, End counts, traces, and records the
+// instance latency under "<protocol>.latency.<stage>". A nil *Span (from
+// a nil registry) is a no-op, so protocol code calls it unconditionally.
+type Span struct {
+	reg      *Registry
+	protocol string
+	instance string
+	party    int
+	start    time.Time
+	ended    bool
+}
+
+// StartSpan opens a lifecycle span, counting "<protocol>.instances" and
+// emitting a StageStart trace event. It returns nil for a nil registry.
+func StartSpan(reg *Registry, party int, protocol, instance string) *Span {
+	if reg == nil {
+		return nil
+	}
+	reg.Counter(protocol + ".instances").Inc()
+	if reg.Tracing() {
+		reg.Trace(Event{Party: party, Protocol: protocol, Instance: instance,
+			Stage: StageStart, Seq: -1})
+	}
+	return &Span{reg: reg, protocol: protocol, instance: instance,
+		party: party, start: time.Now()}
+}
+
+// Registry returns the span's registry (nil for a nil span).
+func (s *Span) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Event counts "<protocol>.<stage>" and traces a mid-life event without
+// closing the span — per-payload deliveries of a long-lived ordering
+// instance, for example.
+func (s *Span) Event(stage string, seq int64, note string) {
+	if s == nil {
+		return
+	}
+	s.reg.Counter(s.protocol + "." + stage).Inc()
+	if s.reg.Tracing() {
+		s.reg.Trace(Event{Party: s.party, Protocol: s.protocol,
+			Instance: s.instance, Stage: stage, Seq: seq, Note: note})
+	}
+}
+
+// End closes the span at the given terminal stage (StageDeliver,
+// StageDecide), recording the instance latency. Calls after the first
+// are ignored.
+func (s *Span) End(stage string, seq int64) {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.reg.Counter(s.protocol + "." + stage).Inc()
+	s.reg.Histogram(s.protocol + ".latency." + stage).ObserveSince(s.start)
+	if s.reg.Tracing() {
+		s.reg.Trace(Event{Party: s.party, Protocol: s.protocol,
+			Instance: s.instance, Stage: stage, Seq: seq})
+	}
+}

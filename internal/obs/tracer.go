@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Protocol stages traced by the stack. Each protocol emits the subset
+// that exists in its lifecycle: every instance emits StageStart; one-shot
+// broadcasts emit StageDeliver once; agreements emit StageDecide once;
+// ordering layers emit StageDeliver per ordered payload.
+const (
+	// StageStart marks an instance beginning to participate.
+	StageStart = "start"
+	// StageDeliver marks a payload delivery.
+	StageDeliver = "deliver"
+	// StageDecide marks an agreement decision.
+	StageDecide = "decide"
+	// StageDrop marks a discarded message or payload (buffer overflow,
+	// invalid ciphertext, bad signature share).
+	StageDrop = "drop"
+)
+
+// Event is one structured protocol-stage event.
+type Event struct {
+	// Time is the emission time (stamped by Registry.Trace if zero).
+	Time time.Time
+	// Party is the emitting party index (-1 for clients/unknown).
+	Party int
+	// Protocol is the protocol layer ("rbc", "aba", "abc", ...).
+	Protocol string
+	// Instance identifies the protocol execution.
+	Instance string
+	// Stage is one of the Stage* constants.
+	Stage string
+	// Seq is a sequence number where the layer has one (-1 otherwise).
+	Seq int64
+	// Note carries optional free-form detail.
+	Note string
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s party=%d %s/%s %s", e.Time.Format("15:04:05.000000"),
+		e.Party, e.Protocol, e.Instance, e.Stage)
+	if e.Seq >= 0 {
+		s += fmt.Sprintf(" seq=%d", e.Seq)
+	}
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
+}
+
+// Tracer consumes protocol-stage events. Implementations must be safe
+// for concurrent use: every party of an in-process deployment shares one
+// tracer.
+type Tracer interface {
+	Trace(Event)
+}
+
+// LogTracer writes events as text lines.
+type LogTracer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogTracer builds a tracer writing to w.
+func NewLogTracer(w io.Writer) *LogTracer { return &LogTracer{w: w} }
+
+// Trace writes one line.
+func (t *LogTracer) Trace(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintln(t.w, ev.String())
+}
+
+// CollectTracer retains events in memory — the assertion hook for tests
+// and experiments.
+type CollectTracer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewCollectTracer builds an empty collector.
+func NewCollectTracer() *CollectTracer { return &CollectTracer{} }
+
+// Trace appends the event.
+func (t *CollectTracer) Trace(ev Event) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events copies the collected events.
+func (t *CollectTracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// multiTracer fans events out to several tracers.
+type multiTracer []Tracer
+
+func (m multiTracer) Trace(ev Event) {
+	for _, t := range m {
+		t.Trace(ev)
+	}
+}
+
+// MultiTracer combines tracers; nils are skipped. It returns nil when
+// nothing remains.
+func MultiTracer(ts ...Tracer) Tracer {
+	var out multiTracer
+	for _, t := range ts {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	default:
+		return out
+	}
+}

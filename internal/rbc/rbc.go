@@ -24,6 +24,7 @@ import (
 
 	"sintra/internal/adversary"
 	"sintra/internal/engine"
+	"sintra/internal/obs"
 )
 
 // Protocol is the wire protocol name of reliable broadcast.
@@ -99,6 +100,8 @@ type RBC struct {
 	readies  map[[32]byte]adversary.Set
 	payloads map[[32]byte][]byte
 	answered adversary.Set
+
+	span *obs.Span
 }
 
 // New creates and registers a broadcast instance on the router.
@@ -108,6 +111,7 @@ func New(cfg Config) *RBC {
 		echoes:   make(map[[32]byte]adversary.Set),
 		readies:  make(map[[32]byte]adversary.Set),
 		payloads: make(map[[32]byte][]byte),
+		span:     obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
 	}
 	cfg.Router.Register(Protocol, cfg.Instance, r.Handle)
 	return r
@@ -227,6 +231,7 @@ func (r *RBC) tryDeliver(d [32]byte) {
 		return
 	}
 	r.delivered = true
+	r.span.End(obs.StageDeliver, -1)
 	if r.cfg.Deliver != nil {
 		r.cfg.Deliver(p)
 	}

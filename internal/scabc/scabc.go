@@ -18,12 +18,14 @@ import (
 	"bytes"
 	"crypto/rand"
 	"fmt"
+	"time"
 
 	"sintra/internal/abc"
 	"sintra/internal/adversary"
 	"sintra/internal/coin"
 	"sintra/internal/engine"
 	"sintra/internal/identity"
+	"sintra/internal/obs"
 	"sintra/internal/threnc"
 	"sintra/internal/thresig"
 	"sintra/internal/wire"
@@ -85,6 +87,7 @@ type pending struct {
 	plain    []byte
 	done     bool
 	invalid  bool
+	ordered  time.Time // when the position was fixed (observer on only)
 }
 
 // SCABC is one secure-causal instance; dispatch-goroutine only.
@@ -95,6 +98,11 @@ type SCABC struct {
 	byABCSeq map[int64]*pending
 	nextABC  int64 // next ABC sequence to flush
 	outSeq   int64 // next plaintext sequence to assign
+
+	span *obs.Span
+	// decryptLat measures order-fixed to plaintext-delivered: the cost of
+	// the decryption-share exchange on top of atomic broadcast.
+	decryptLat *obs.Histogram
 }
 
 // New creates and registers an instance together with its embedded atomic
@@ -103,6 +111,10 @@ func New(cfg Config) *SCABC {
 	s := &SCABC{
 		cfg:      cfg,
 		byABCSeq: make(map[int64]*pending),
+		span:     obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
+	}
+	if reg := s.span.Registry(); reg != nil {
+		s.decryptLat = reg.Histogram(Protocol + ".latency.decrypt")
 	}
 	s.abc = abc.New(abc.Config{
 		Router:    cfg.Router,
@@ -144,12 +156,16 @@ func (s *SCABC) Seq() int64 { return s.outSeq }
 // position.
 func (s *SCABC) onOrdered(seq int64, payload []byte) {
 	p := s.pendingFor(seq)
+	if s.decryptLat != nil {
+		p.ordered = time.Now()
+	}
 	var ct threnc.Ciphertext
 	if wire.UnmarshalBody(payload, &ct) != nil ||
 		!bytes.Equal(ct.Label, []byte(s.cfg.Instance)) ||
 		s.cfg.Enc.VerifyCiphertext(&ct) != nil {
 		p.invalid = true
 		p.done = true
+		s.span.Event(obs.StageDrop, seq, "invalid ciphertext")
 		s.flush()
 		return
 	}
@@ -244,6 +260,10 @@ func (s *SCABC) flush() {
 		} else {
 			seq := s.outSeq
 			s.outSeq++
+			s.span.Event(obs.StageDeliver, seq, "")
+			if s.decryptLat != nil && !p.ordered.IsZero() {
+				s.decryptLat.ObserveSince(p.ordered)
+			}
 			if s.cfg.Deliver != nil {
 				s.cfg.Deliver(seq, p.plain)
 			}

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"sintra/internal/obs"
 	"sintra/internal/wire"
 )
 
@@ -82,6 +83,75 @@ type Transport struct {
 	closed chan struct{}
 	once   sync.Once
 	wg     sync.WaitGroup
+
+	mx *transportMetrics // nil when observability is off
+}
+
+// transportMetrics holds the TCP transport's instruments: per-protocol
+// sent/received messages and bytes, outbound queue depth, and drops after
+// exhausted redials.
+type transportMetrics struct {
+	sentMsgs   *obs.CounterVec
+	sentBytes  *obs.CounterVec
+	recvMsgs   *obs.CounterVec
+	recvBytes  *obs.CounterVec
+	queueDepth *obs.Gauge
+	dropped    *obs.Counter
+	redials    *obs.Counter
+}
+
+// SetObserver reports the transport's traffic through reg: counters
+// "transport.sent.msgs.<protocol>" (and .bytes, and the recv twins),
+// "transport.dropped", "transport.redials", and the gauge
+// "transport.queue.depth" summing all outbound queues. Call before the
+// first Send; a nil registry turns observability off.
+func (t *Transport) SetObserver(reg *obs.Registry) {
+	if reg == nil {
+		t.mx = nil
+		return
+	}
+	t.mx = &transportMetrics{
+		sentMsgs:   reg.CounterVec("transport.sent.msgs"),
+		sentBytes:  reg.CounterVec("transport.sent.bytes"),
+		recvMsgs:   reg.CounterVec("transport.recv.msgs"),
+		recvBytes:  reg.CounterVec("transport.recv.bytes"),
+		queueDepth: reg.Gauge("transport.queue.depth"),
+		dropped:    reg.Counter("transport.dropped"),
+		redials:    reg.Counter("transport.redials"),
+	}
+}
+
+// countSent/countRecv record one message (nil-safe).
+func (m *transportMetrics) countSent(msg *wire.Message) {
+	if m != nil {
+		m.sentMsgs.With(msg.Protocol).Inc()
+		m.sentBytes.With(msg.Protocol).Add(int64(msg.Size()))
+	}
+}
+
+func (m *transportMetrics) countRecv(msg *wire.Message) {
+	if m != nil {
+		m.recvMsgs.With(msg.Protocol).Inc()
+		m.recvBytes.With(msg.Protocol).Add(int64(msg.Size()))
+	}
+}
+
+func (m *transportMetrics) queueAdd(d int64) {
+	if m != nil {
+		m.queueDepth.Add(d)
+	}
+}
+
+func (m *transportMetrics) drop() {
+	if m != nil {
+		m.dropped.Inc()
+	}
+}
+
+func (m *transportMetrics) redial() {
+	if m != nil {
+		m.redials.Inc()
+	}
 }
 
 var _ wire.Transport = (*Transport)(nil)
@@ -187,6 +257,7 @@ func (t *Transport) Recv() (wire.Message, bool) {
 // peers).
 func (t *Transport) Send(m wire.Message) {
 	m.From = t.cfg.Self
+	t.mx.countSent(&m)
 	if m.To == t.cfg.Self {
 		// Loopback without touching the network.
 		select {
@@ -281,7 +352,7 @@ func (t *Transport) serveConn(conn net.Conn) {
 		session = sessionKey(key, h.Nonce)
 	case h.From >= t.cfg.N:
 		// Client: unauthenticated; remember the connection for replies.
-		w := newClientWriter(conn)
+		w := newClientWriter(conn, t.mx)
 		t.mu.Lock()
 		t.clients[h.From] = w
 		t.mu.Unlock()
@@ -320,6 +391,7 @@ func (t *Transport) serveConn(conn net.Conn) {
 			continue
 		}
 		m.From = h.From // the channel authenticates the sender
+		t.mx.countRecv(&m)
 		select {
 		case t.inbox <- m:
 		case <-t.closed:
@@ -332,6 +404,7 @@ func (t *Transport) serveConn(conn net.Conn) {
 type peerWriter struct {
 	t    *Transport
 	dest int
+	mx   *transportMetrics
 
 	mu     sync.Mutex
 	queue  []wire.Message
@@ -343,13 +416,13 @@ type peerWriter struct {
 }
 
 func newPeerWriter(t *Transport, dest int) *peerWriter {
-	w := &peerWriter{t: t, dest: dest}
+	w := &peerWriter{t: t, dest: dest, mx: t.mx}
 	w.cond = sync.NewCond(&w.mu)
 	return w
 }
 
-func newClientWriter(conn net.Conn) *peerWriter {
-	w := &peerWriter{direct: conn}
+func newClientWriter(conn net.Conn, mx *transportMetrics) *peerWriter {
+	w := &peerWriter{direct: conn, mx: mx}
 	w.cond = sync.NewCond(&w.mu)
 	go w.runDirect()
 	return w
@@ -362,6 +435,7 @@ func (w *peerWriter) enqueue(m wire.Message) {
 		return
 	}
 	w.queue = append(w.queue, m)
+	w.mx.queueAdd(1)
 	w.cond.Signal()
 }
 
@@ -386,6 +460,7 @@ func (w *peerWriter) next() (wire.Message, bool) {
 	}
 	m := w.queue[0]
 	w.queue = w.queue[1:]
+	w.mx.queueAdd(-1)
 	return m, true
 }
 
@@ -428,9 +503,11 @@ func (w *peerWriter) run() {
 		}
 		for attempt := 0; ; attempt++ {
 			if conn == nil {
+				w.mx.redial()
 				conn, session, counter = w.dial()
 				if conn == nil {
 					if attempt >= dialAttempts {
+						w.mx.drop()
 						break // drop the message
 					}
 					select {
@@ -507,6 +584,7 @@ func (t *Transport) readReplies(conn net.Conn, server int) {
 			continue
 		}
 		m.From = server
+		t.mx.countRecv(&m)
 		select {
 		case t.inbox <- m:
 		case <-t.closed:

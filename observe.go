@@ -1,0 +1,57 @@
+package sintra
+
+import (
+	"sintra/internal/obs"
+)
+
+// Observability re-exports. The obs package instruments every layer of
+// the stack — the router, both transports, the broadcast protocols, and
+// the client/replica core — with allocation-conscious counters, gauges,
+// and log-scale latency histograms, plus a pluggable tracer for
+// structured protocol-stage events. A nil *Registry disables everything
+// at effectively zero cost, so observability is strictly opt-in outside
+// the simulated deployment.
+type (
+	// Registry holds named metrics and an optional tracer. Pass one via
+	// WithObserver (simulated deployment), NodeConfig.Observer, or
+	// WithClientObserver; read it back with Snapshot.
+	Registry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of every metric in a
+	// registry.
+	MetricsSnapshot = obs.Snapshot
+	// HistogramSnapshot is one latency distribution within a snapshot.
+	HistogramSnapshot = obs.HistogramSnapshot
+	// Tracer receives structured protocol-stage events.
+	Tracer = obs.Tracer
+	// TraceEvent is one protocol-stage event.
+	TraceEvent = obs.Event
+	// CollectTracer buffers trace events in memory (tests, experiments).
+	CollectTracer = obs.CollectTracer
+	// LogTracer writes trace events as text lines.
+	LogTracer = obs.LogTracer
+)
+
+// Trace-event stages.
+const (
+	// StageStart marks a protocol instance starting.
+	StageStart = obs.StageStart
+	// StageDeliver marks a payload delivery.
+	StageDeliver = obs.StageDeliver
+	// StageDecide marks an agreement decision.
+	StageDecide = obs.StageDecide
+	// StageDrop marks a discarded message or payload.
+	StageDrop = obs.StageDrop
+)
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// Tracer constructors.
+var (
+	// NewLogTracer writes events as text lines to w.
+	NewLogTracer = obs.NewLogTracer
+	// NewCollectTracer buffers events in memory.
+	NewCollectTracer = obs.NewCollectTracer
+	// MultiTracer fans events out to several tracers.
+	MultiTracer = obs.MultiTracer
+)

@@ -9,9 +9,12 @@ import (
 	"sintra/internal/deal"
 	"sintra/internal/group"
 	"sintra/internal/netsim"
+	"sintra/internal/obs"
 )
 
-// SimOptions configures an in-process simulated deployment.
+// SimOptions configures an in-process simulated deployment. New code
+// should prefer NewDeployment with functional options; this struct form
+// remains fully supported.
 type SimOptions struct {
 	// Structure is the adversary structure (required).
 	Structure *Structure
@@ -32,6 +35,64 @@ type SimOptions struct {
 	GroupName string
 	// ForceCert selects certificate signatures even for thresholds.
 	ForceCert bool
+	// Observer supplies the metrics registry shared by the network, every
+	// replica, and every client. Nil creates a fresh one (the simulated
+	// deployment always observes itself; read it via Metrics).
+	Observer *Registry
+	// Tracer optionally receives structured protocol-stage events from
+	// every layer of every replica.
+	Tracer Tracer
+}
+
+// SimOption is a functional option for NewDeployment.
+type SimOption func(*SimOptions)
+
+// WithServiceName tags the replicated service.
+func WithServiceName(name string) SimOption {
+	return func(o *SimOptions) { o.ServiceName = name }
+}
+
+// WithMode selects atomic or secure-causal request dissemination.
+func WithMode(m Mode) SimOption {
+	return func(o *SimOptions) { o.Mode = m }
+}
+
+// WithCrashed leaves the listed servers silent for the whole run,
+// modelling crash corruption.
+func WithCrashed(servers ...int) SimOption {
+	return func(o *SimOptions) { o.Crashed = append(o.Crashed, servers...) }
+}
+
+// WithSeed makes the adversarial network scheduler deterministic.
+func WithSeed(seed int64) SimOption {
+	return func(o *SimOptions) { o.Seed = seed }
+}
+
+// WithMaxClients bounds the number of NewClient calls.
+func WithMaxClients(n int) SimOption {
+	return func(o *SimOptions) { o.MaxClients = n }
+}
+
+// WithGroupName selects the discrete-log group by name.
+func WithGroupName(name string) SimOption {
+	return func(o *SimOptions) { o.GroupName = name }
+}
+
+// WithForceCert selects certificate signatures even for thresholds.
+func WithForceCert() SimOption {
+	return func(o *SimOptions) { o.ForceCert = true }
+}
+
+// WithObserver shares reg as the deployment's metrics registry instead
+// of creating a fresh one.
+func WithObserver(reg *Registry) SimOption {
+	return func(o *SimOptions) { o.Observer = reg }
+}
+
+// WithTracer streams structured protocol-stage events from every layer
+// of every replica to t.
+func WithTracer(t Tracer) SimOption {
+	return func(o *SimOptions) { o.Tracer = t }
 }
 
 // SimulatedDeployment runs a full deployment — dealer, adversarially
@@ -43,6 +104,7 @@ type SimulatedDeployment struct {
 	Public *Public
 
 	opts  SimOptions
+	reg   *obs.Registry
 	net   *netsim.Network
 	nodes []*core.Node
 
@@ -51,6 +113,17 @@ type SimulatedDeployment struct {
 	clients    []*Client
 
 	stopOnce sync.Once
+}
+
+// NewDeployment deals keys, builds the adversarially scheduled network,
+// and starts one replica per server. It is the primary constructor;
+// NewSimulatedDeployment accepts the same configuration as a struct.
+func NewDeployment(st *Structure, newService func() StateMachine, opts ...SimOption) (*SimulatedDeployment, error) {
+	o := SimOptions{Structure: st, NewService: newService}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return NewSimulatedDeployment(o)
 }
 
 // NewSimulatedDeployment deals keys, builds the network, and starts the
@@ -89,6 +162,14 @@ func NewSimulatedDeployment(opts SimOptions) (*SimulatedDeployment, error) {
 		return nil, err
 	}
 
+	reg := opts.Observer
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if opts.Tracer != nil {
+		reg.SetTracer(opts.Tracer)
+	}
+
 	crashed := make(map[int]bool, len(opts.Crashed))
 	for _, i := range opts.Crashed {
 		crashed[i] = true
@@ -97,9 +178,11 @@ func NewSimulatedDeployment(opts SimOptions) (*SimulatedDeployment, error) {
 	d := &SimulatedDeployment{
 		Public:     pub,
 		opts:       opts,
+		reg:        reg,
 		net:        netsim.New(n, opts.MaxClients, netsim.NewRandomScheduler(seed)),
 		clientNext: n,
 	}
+	d.net.SetObserver(reg)
 	for i := 0; i < n; i++ {
 		if crashed[i] {
 			continue
@@ -111,6 +194,7 @@ func NewSimulatedDeployment(opts SimOptions) (*SimulatedDeployment, error) {
 			ServiceName: opts.ServiceName,
 			Service:     opts.NewService(),
 			Mode:        opts.Mode,
+			Observer:    reg,
 		})
 		if err != nil {
 			d.Stop()
@@ -131,17 +215,38 @@ func (d *SimulatedDeployment) NewClient() (*Client, error) {
 	}
 	ep := d.net.Endpoint(d.clientNext)
 	d.clientNext++
-	c := core.NewClient(d.Public, ep, d.opts.ServiceName, d.opts.Mode)
+	c := core.NewClient(d.Public, ep, d.opts.ServiceName, d.opts.Mode,
+		core.WithObserver(d.reg))
 	d.clients = append(d.clients, c)
 	return c, nil
 }
 
+// Observer returns the deployment's shared metrics registry: the
+// network, every replica (router and broadcast stack included), and
+// every client report into it.
+func (d *SimulatedDeployment) Observer() *Registry { return d.reg }
+
+// Metrics snapshots every metric of the deployment — traffic per
+// protocol, dispatch and end-to-end latency distributions, instance
+// lifecycle counts, drops. It supersedes TrafficSummary.
+func (d *SimulatedDeployment) Metrics() MetricsSnapshot { return d.reg.Snapshot() }
+
 // TrafficSummary reports the messages and bytes delivered so far, per
-// protocol layer — the measurement hook of the experiment harness.
+// protocol layer — the measurement hook of the experiment harness. It is
+// a view of Metrics: per-protocol counters under "net.msgs." and
+// "net.bytes.".
 func (d *SimulatedDeployment) TrafficSummary() (perProtocolMsgs map[string]int, totalMsgs, totalBytes int) {
-	st := d.net.Stats()
-	totalMsgs, totalBytes = st.Total()
-	return st.Messages, totalMsgs, totalBytes
+	snap := d.Metrics()
+	msgs := snap.CountersWithPrefix("net.msgs.")
+	perProtocolMsgs = make(map[string]int, len(msgs))
+	for proto, v := range msgs {
+		perProtocolMsgs[proto] = int(v)
+		totalMsgs += int(v)
+	}
+	for _, v := range snap.CountersWithPrefix("net.bytes.") {
+		totalBytes += int(v)
+	}
+	return perProtocolMsgs, totalMsgs, totalBytes
 }
 
 // Stop shuts the deployment down.

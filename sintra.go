@@ -76,6 +76,8 @@ type (
 	StateMachine = core.StateMachine
 	// Client invokes a replicated trusted service.
 	Client = core.Client
+	// ClientOption configures a Client (see WithClientObserver).
+	ClientOption = core.Option
 	// Answer is a completed invocation with its threshold signature.
 	Answer = core.Answer
 	// Mode selects atomic or secure-causal request dissemination.
@@ -255,6 +257,21 @@ func NewWeightedThreshold(weights []int, maxWeight int) (*Structure, error) {
 // NewClientOverTransport attaches a client to an arbitrary transport
 // endpoint (the TCP transport of a multi-process deployment, or a
 // simulated endpoint).
-func NewClientOverTransport(pub *Public, tr Transport, serviceName string, mode Mode) *Client {
-	return core.NewClient(pub, tr, serviceName, mode)
+func NewClientOverTransport(pub *Public, tr Transport, serviceName string, mode Mode, opts ...ClientOption) *Client {
+	return core.NewClient(pub, tr, serviceName, mode, opts...)
 }
+
+// WithClientObserver reports a client's metrics — request counts,
+// end-to-end invoke latency, response-share verification failures —
+// through reg.
+var WithClientObserver = core.WithObserver
+
+// Client errors, re-exported for errors.Is.
+var (
+	// ErrTimeout marks an invocation that hit its deadline; it wraps
+	// context.DeadlineExceeded.
+	ErrTimeout = core.ErrTimeout
+	// ErrClosed marks an invocation on (or interrupted by) a closed
+	// client.
+	ErrClosed = core.ErrClosed
+)

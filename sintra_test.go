@@ -1,6 +1,7 @@
 package sintra_test
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -153,5 +154,88 @@ func TestStructureHelpers(t *testing.T) {
 	}
 	if !st.Q3() {
 		t.Fatal("1-of-4 singleton structure should satisfy Q3")
+	}
+}
+
+func TestDeploymentObservability(t *testing.T) {
+	// The end-to-end observability path through the public API: functional
+	// options, a shared tracer, the metrics snapshot, and the context-first
+	// client entry point.
+	st, err := sintra.NewThresholdStructure(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := sintra.NewCollectTracer()
+	dep, err := sintra.NewDeployment(st,
+		func() sintra.StateMachine { return sintra.NewDirectory() },
+		sintra.WithSeed(4),
+		sintra.WithTracer(col),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+	client, err := dep.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, _ := json.Marshal(service.DirectoryRequest{Op: service.OpPut, Key: "k", Value: "v"})
+	if _, err := client.InvokeContext(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := dep.Metrics()
+	// Every layer of the stack must have reported: network traffic, router
+	// dispatch, broadcast instances, agreement decisions, ordered
+	// deliveries, state-machine executions, and the client's own view.
+	for _, counter := range []string{
+		"net.delivered", "router.dispatched",
+		"cbc.instances", "mvba.instances", "aba.decide", "abc.deliver",
+		"node.applied", "client.requests", "client.answers",
+	} {
+		if snap.Counter(counter) == 0 {
+			t.Errorf("counter %q never incremented", counter)
+		}
+	}
+	for _, hist := range []string{
+		"router.dispatch.latency", "abc.latency.order",
+		"node.apply.latency", "client.invoke.latency",
+	} {
+		if snap.Histograms[hist].Count == 0 {
+			t.Errorf("histogram %q never observed", hist)
+		}
+	}
+	if len(snap.CountersWithPrefix("net.msgs.")) == 0 {
+		t.Error("no per-protocol traffic counters")
+	}
+
+	// TrafficSummary is now a view of the same snapshot.
+	msgs, total, bytes := dep.TrafficSummary()
+	if total == 0 || bytes == 0 || len(msgs) == 0 {
+		t.Fatal("TrafficSummary empty")
+	}
+	if int64(total) != snap.Counter("net.delivered") {
+		t.Fatalf("TrafficSummary total %d != net.delivered %d",
+			total, snap.Counter("net.delivered"))
+	}
+
+	// The tracer saw lifecycle events from the protocol stack.
+	var starts, delivers int
+	for _, ev := range col.Events() {
+		switch ev.Stage {
+		case sintra.StageStart:
+			starts++
+		case sintra.StageDeliver:
+			delivers++
+		}
+	}
+	if starts == 0 || delivers == 0 {
+		t.Fatalf("tracer saw %d starts, %d delivers; want both > 0", starts, delivers)
+	}
+
+	if dep.Observer() == nil {
+		t.Fatal("deployment must expose its registry")
 	}
 }
