@@ -135,8 +135,8 @@ func BenchmarkAB2SignatureSchemes(b *testing.B) {
 }
 
 // Experiment T1 — tightness of the optimal n > 3t resilience bound: one
-// iteration sweeps crash counts 0..t+1 and asserts progress exactly up to
-// t failures.
+// iteration sweeps crash counts 0..t+1 plus equivocating-Byzantine counts
+// 1..t and asserts progress exactly up to t faults.
 func BenchmarkT1ResilienceBoundary(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.RunToleranceSweep(4, 1, 1, 300*time.Millisecond)
@@ -144,8 +144,8 @@ func BenchmarkT1ResilienceBoundary(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, r := range rows {
-			if (r.Crashed <= r.T) != r.Live {
-				b.Fatalf("bound not tight at %d crashes", r.Crashed)
+			if (r.Faulty <= r.T) != r.Live {
+				b.Fatalf("bound not tight at %d %s faults", r.Faulty, r.Fault)
 			}
 		}
 	}

@@ -1,0 +1,61 @@
+package sintra
+
+import (
+	"sintra/internal/faultsim"
+	"sintra/internal/netsim"
+)
+
+// Byzantine fault-injection re-exports. The faultsim package turns chosen
+// parties actively malicious — the corruption model the paper's protocols
+// are designed for (§2) — by wrapping their transport with composable
+// attack behaviors. Pair with WithByzantine on the simulated deployment,
+// or wrap any wire.Transport directly with faultsim.Wrap in bespoke
+// harnesses. Attack activity is reported under the "faultsim.*" metric
+// names; replicas count survived garbage in "router.malformed".
+type (
+	// ByzantineBehavior is one composable attack applied to a corrupted
+	// party's outbound traffic.
+	ByzantineBehavior = faultsim.Behavior
+	// ByzantineParty is a transport wrapped with attack behaviors.
+	ByzantineParty = faultsim.Party
+
+	// NetworkScheduler decides the delivery order of the simulated
+	// asynchronous network — "the network is the adversary".
+	NetworkScheduler = netsim.Scheduler
+	// PartitionScheduler isolates a subset of parties until a configured
+	// number of deliveries has healed the partition.
+	PartitionScheduler = netsim.PartitionScheduler
+)
+
+// Byzantine behavior constructors.
+var (
+	// Equivocate sends different payloads of the same protocol step to
+	// different recipients.
+	Equivocate = faultsim.Equivocate
+	// Mutate flips payload bytes with the given probability.
+	Mutate = faultsim.Mutate
+	// Replay re-sends previously observed messages with the given
+	// probability.
+	Replay = faultsim.Replay
+	// Duplicate sends extra identical copies of every message.
+	Duplicate = faultsim.Duplicate
+	// Drop silences outbound traffic with the given probability.
+	Drop = faultsim.Drop
+	// DropTo silences outbound traffic to chosen recipients only.
+	DropTo = faultsim.DropTo
+	// Flood attaches junk envelopes with fresh instance names and unknown
+	// types to every outbound message.
+	Flood = faultsim.Flood
+)
+
+// Network scheduler constructors.
+var (
+	// NewRandomScheduler is a fair scheduler under a deterministic seed.
+	NewRandomScheduler = netsim.NewRandomScheduler
+	// NewDelayScheduler starves messages matching a predicate for as long
+	// as other traffic is pending.
+	NewDelayScheduler = netsim.NewDelayScheduler
+	// NewPartitionScheduler isolates the listed parties until healAfter
+	// deliveries have passed.
+	NewPartitionScheduler = netsim.NewPartitionScheduler
+)

@@ -1,0 +1,287 @@
+package sintra_test
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sintra"
+)
+
+// chainMachine is a deterministic state machine whose response IS its
+// state: a hash chain over every (seq, request) applied so far. Replicas
+// that diverge at any point return different answers forever after, and
+// the machine keeps its full (seq, state) history so the suite can compare
+// honest replicas' executions position by position.
+type chainMachine struct {
+	mu    sync.Mutex
+	state [32]byte
+	hist  []chainState
+}
+
+type chainState struct {
+	seq   int64
+	state [32]byte
+}
+
+func (m *chainMachine) Apply(seq int64, request []byte) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := sha256.New()
+	h.Write(m.state[:])
+	var sb [8]byte
+	binary.BigEndian.PutUint64(sb[:], uint64(seq))
+	h.Write(sb[:])
+	h.Write(request)
+	copy(m.state[:], h.Sum(nil))
+	m.hist = append(m.hist, chainState{seq: seq, state: m.state})
+	return append([]byte(nil), m.state[:]...)
+}
+
+func (m *chainMachine) history() []chainState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]chainState(nil), m.hist...)
+}
+
+// chainCluster is a deployment over chainMachine replicas, machines[i]
+// belonging to server i.
+type chainCluster struct {
+	dep      *sintra.SimulatedDeployment
+	machines []*chainMachine
+}
+
+func newChainCluster(t *testing.T, n, f int, opts ...sintra.SimOption) *chainCluster {
+	t.Helper()
+	st, err := sintra.NewThresholdStructure(n, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &chainCluster{}
+	// Replicas are constructed in ascending server order, so creation
+	// order maps machines to server indices (no servers are crashed in
+	// the chaos suite).
+	newService := func() sintra.StateMachine {
+		m := &chainMachine{}
+		c.machines = append(c.machines, m)
+		return m
+	}
+	c.dep, err = sintra.NewDeployment(st, newService, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.dep.Stop)
+	return c
+}
+
+// run drives requests through the cluster under attack and asserts the
+// paper's two claims end to end.
+//
+// Liveness: every request completes.
+//
+// Safety: each answer carries a valid threshold signature over the full
+// hash-chain state — a quorum of replicas attested to an identical
+// execution history, and quorum intersection extends that to every honest
+// replica. A Byzantine party may legitimately inject its own (garbage)
+// requests into the total order, so client sequence numbers are asserted
+// to be strictly increasing rather than gapless; replica-level equality is
+// checked separately by assertReplicasConsistent.
+func (c *chainCluster) run(t *testing.T, requests int) {
+	t.Helper()
+	client, err := c.dep.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastSeq := int64(-1)
+	for i := 0; i < requests; i++ {
+		req := []byte(fmt.Sprintf("chaos-request-%d", i))
+		ans, err := client.Invoke(req, 120*time.Second)
+		if err != nil {
+			t.Fatalf("request %d: liveness lost: %v", i, err)
+		}
+		if err := sintra.VerifyAnswer(c.dep.Public, "service", ans.ReqID, ans.Result, ans.Signature); err != nil {
+			t.Fatalf("request %d: answer does not verify: %v", i, err)
+		}
+		if ans.Seq <= lastSeq {
+			t.Fatalf("request %d ordered at seq %d, not after %d", i, ans.Seq, lastSeq)
+		}
+		lastSeq = ans.Seq
+		// No forged threshold output verifies: tampering one byte of the
+		// result must break the signature.
+		bad := append([]byte(nil), ans.Result...)
+		bad[0] ^= 0xff
+		if sintra.VerifyAnswer(c.dep.Public, "service", ans.ReqID, bad, ans.Signature) == nil {
+			t.Fatal("tampered answer still verifies")
+		}
+	}
+	// No replica goroutine may have panicked on attacker input, however
+	// hostile the run was.
+	if n := c.dep.Metrics().Counter("router.panics"); n != 0 {
+		t.Fatalf("router recovered %d handler panics; attacker input must not reach a panic", n)
+	}
+	c.assertReplicasConsistent(t)
+}
+
+// assertReplicasConsistent compares every honest pair of replicas'
+// (seq, state) histories over their common prefix: the total order must
+// have driven them through identical states. Corrupted parties are
+// excluded — their own transport lies to them, so their local state may
+// legitimately diverge. Replicas advance at different speeds, so only the
+// shared prefix is compared.
+func (c *chainCluster) assertReplicasConsistent(t *testing.T, corrupted ...int) {
+	t.Helper()
+	bad := make(map[int]bool, len(corrupted))
+	for _, i := range corrupted {
+		bad[i] = true
+	}
+	refIdx := -1
+	var ref []chainState
+	for i, m := range c.machines {
+		if bad[i] {
+			continue
+		}
+		h := m.history()
+		if refIdx < 0 {
+			refIdx, ref = i, h
+			continue
+		}
+		n := len(h)
+		if len(ref) < n {
+			n = len(ref)
+		}
+		for k := 0; k < n; k++ {
+			if h[k] != ref[k] {
+				t.Fatalf("replica %d diverged from replica %d at position %d: seq %d/%d",
+					i, refIdx, k, h[k].seq, ref[k].seq)
+			}
+		}
+	}
+}
+
+// TestChaosByzantineBehaviors runs the full stack — RBC, CBC, ABA, MVBA,
+// atomic broadcast, threshold signing, client invoke — against one
+// corrupted party per behavior, at the tolerance bound t=1 of n=4.
+func TestChaosByzantineBehaviors(t *testing.T) {
+	cases := []struct {
+		name      string
+		behaviors []sintra.ByzantineBehavior
+	}{
+		{"equivocate", []sintra.ByzantineBehavior{sintra.Equivocate()}},
+		{"mutate", []sintra.ByzantineBehavior{sintra.Mutate(0.7)}},
+		{"replay", []sintra.ByzantineBehavior{sintra.Replay(0.5)}},
+		{"duplicate", []sintra.ByzantineBehavior{sintra.Duplicate(2)}},
+		{"drop", []sintra.ByzantineBehavior{sintra.Drop(1)}},
+		{"drop-selective", []sintra.ByzantineBehavior{sintra.DropTo(1, 0, 2)}},
+		{"flood", []sintra.ByzantineBehavior{sintra.Flood(3)}},
+	}
+	for i, tc := range cases {
+		tc, i := tc, i
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			c := newChainCluster(t, 4, 1,
+				sintra.WithSeed(int64(100+i)),
+				sintra.WithByzantine(1, tc.behaviors...),
+			)
+			c.run(t, 3)
+			c.assertReplicasConsistent(t, 1)
+			snap := c.dep.Metrics()
+			if n := snap.Counter("faultsim.actions." + tc.behaviors[0].Name()); n == 0 {
+				t.Fatalf("behavior %q never fired — the run attacked nothing", tc.name)
+			}
+			// The mutate fleet must exercise the router's malformed-input
+			// guard: corrupted gob that fails to decode is counted and
+			// dropped rather than crashing a replica.
+			if tc.name == "mutate" {
+				if n := snap.Counter("router.malformed"); n == 0 {
+					t.Fatal("no malformed payloads counted under mutation")
+				}
+			}
+		})
+	}
+}
+
+// TestChaosMixedByzantineFleet corrupts a full fleet of t=2 parties out of
+// n=7, each with a different attack mix, and requires safety and liveness
+// to survive their combination.
+func TestChaosMixedByzantineFleet(t *testing.T) {
+	c := newChainCluster(t, 7, 2,
+		sintra.WithSeed(42),
+		sintra.WithByzantine(1, sintra.Equivocate(), sintra.Flood(2)),
+		sintra.WithByzantine(3, sintra.Mutate(0.5), sintra.Duplicate(1), sintra.Replay(0.3)),
+	)
+	c.run(t, 3)
+	c.assertReplicasConsistent(t, 1, 3)
+	snap := c.dep.Metrics()
+	for _, name := range []string{"equivocate", "flood", "mutate", "duplicate", "replay"} {
+		if snap.Counter("faultsim.actions."+name) == 0 {
+			t.Errorf("behavior %q never fired in the mixed fleet", name)
+		}
+	}
+}
+
+// TestChaosPartitionHeals isolates two of four parties — the remaining
+// pair is NOT a quorum, so ordering requires partition-crossing traffic —
+// and lets the partition heal after a fixed number of deliveries. The
+// request must still complete: the scheduler stays inside the
+// eventual-delivery model, and the protocols are asynchronous-safe.
+func TestChaosPartitionHeals(t *testing.T) {
+	sched := sintra.NewPartitionScheduler(7, 200, 0, 1)
+	c := newChainCluster(t, 4, 1,
+		sintra.WithSeed(7),
+		sintra.WithScheduler(sched),
+	)
+	c.run(t, 2)
+	if !sched.Healed() {
+		t.Fatal("run completed without the partition ever healing")
+	}
+}
+
+// TestChaosByzantineWithPartition combines an equivocating party with a
+// healing partition — the adversary controls both a replica and the
+// schedule, the paper's full threat model.
+func TestChaosByzantineWithPartition(t *testing.T) {
+	c := newChainCluster(t, 4, 1,
+		sintra.WithSeed(11),
+		sintra.WithScheduler(sintra.NewPartitionScheduler(11, 150, 2)),
+		sintra.WithByzantine(1, sintra.Equivocate(), sintra.Duplicate(1)),
+	)
+	c.run(t, 2)
+	c.assertReplicasConsistent(t, 1)
+}
+
+// TestChaosBeyondToleranceBoundary shows t is the boundary: with two
+// silenced parties in a 4-party deployment that tolerates one fault, the
+// remaining two honest parties are not a quorum and the client cannot
+// complete. (Safety still holds — there is simply no answer.)
+func TestChaosBeyondToleranceBoundary(t *testing.T) {
+	c := newChainCluster(t, 4, 1,
+		sintra.WithSeed(13),
+		sintra.WithByzantine(1, sintra.Drop(1)),
+		sintra.WithByzantine(2, sintra.Drop(1)),
+	)
+	client, err := c.dep.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Invoke([]byte("doomed"), 3*time.Second)
+	if !errors.Is(err, sintra.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout: 2 > t corruptions must stall the service", err)
+	}
+	c.assertReplicasConsistent(t, 1, 2)
+}
+
+// TestChaosSecureCausalUnderAttack runs the secure causal mode (threshold
+// decryption on the critical path) against a corrupted party.
+func TestChaosSecureCausalUnderAttack(t *testing.T) {
+	c := newChainCluster(t, 4, 1,
+		sintra.WithSeed(17),
+		sintra.WithMode(sintra.ModeSecureCausal),
+		sintra.WithByzantine(3, sintra.Mutate(0.3), sintra.Replay(0.3)),
+	)
+	c.run(t, 2)
+	c.assertReplicasConsistent(t, 3)
+}

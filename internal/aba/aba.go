@@ -29,7 +29,6 @@ import (
 	"sintra/internal/coin"
 	"sintra/internal/engine"
 	"sintra/internal/obs"
-	"sintra/internal/wire"
 )
 
 // Protocol is the wire protocol name of binary agreement.
@@ -167,31 +166,31 @@ func (a *ABA) Handle(from int, msgType string, payload []byte) {
 	switch msgType {
 	case typeStart:
 		var body decidedBody
-		if from != a.cfg.Router.Self() || wire.UnmarshalBody(payload, &body) != nil {
+		if from != a.cfg.Router.Self() || !a.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		a.onStart(body.Value)
 	case typeBval:
 		var body boolRoundBody
-		if wire.UnmarshalBody(payload, &body) != nil || body.Round < 1 {
+		if !a.cfg.Router.Decode(payload, &body) || body.Round < 1 {
 			return
 		}
 		a.onBval(from, body.Round, body.Value)
 	case typeAux:
 		var body boolRoundBody
-		if wire.UnmarshalBody(payload, &body) != nil || body.Round < 1 {
+		if !a.cfg.Router.Decode(payload, &body) || body.Round < 1 {
 			return
 		}
 		a.onAux(from, body.Round, body.Value)
 	case typeCoin:
 		var body coinBody
-		if wire.UnmarshalBody(payload, &body) != nil || body.Round < 1 {
+		if !a.cfg.Router.Decode(payload, &body) || body.Round < 1 {
 			return
 		}
 		a.onCoin(body.Round, body.Shares)
 	case typeDecided:
 		var body decidedBody
-		if wire.UnmarshalBody(payload, &body) != nil {
+		if !a.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		a.onDecided(from, body.Value)

@@ -167,13 +167,13 @@ func (a *ABC) Handle(from int, msgType string, payload []byte) {
 	switch msgType {
 	case typeSubmit:
 		var body submitBody
-		if from != a.cfg.Router.Self() || wire.UnmarshalBody(payload, &body) != nil {
+		if from != a.cfg.Router.Self() || !a.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		a.onSubmit(body.Payload)
 	case typeProposal:
 		var p SignedProposal
-		if wire.UnmarshalBody(payload, &p) != nil {
+		if !a.cfg.Router.Decode(payload, &p) {
 			return
 		}
 		a.onProposal(from, p)
@@ -282,7 +282,7 @@ func (a *ABC) maybeAgree() {
 // distinct parties.
 func (a *ABC) validList(round int64, value []byte) bool {
 	var list proposalList
-	if wire.UnmarshalBody(value, &list) != nil {
+	if !a.cfg.Router.Decode(value, &list) {
 		return false
 	}
 	var parties adversary.Set
@@ -306,7 +306,7 @@ func (a *ABC) onDecide(round int64, value []byte) {
 		return // stale (cannot happen: rounds are sequential)
 	}
 	var list proposalList
-	if wire.UnmarshalBody(value, &list) != nil {
+	if !a.cfg.Router.Decode(value, &list) {
 		return // cannot happen: the predicate validated the value
 	}
 	// Collect the union of batches, dedup by digest, order by digest.

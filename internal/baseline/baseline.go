@@ -204,38 +204,38 @@ func (n *Node) handle(instance string, from int, msgType string, payload []byte)
 	switch msgType {
 	case typeSubmit:
 		var body requestBody
-		if from != n.cfg.Router.Self() || wire.UnmarshalBody(payload, &body) != nil {
+		if from != n.cfg.Router.Self() || !n.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		n.onRequest(body.Payload)
 		_ = n.broadcast(typeRequest, requestBody{Payload: body.Payload})
 	case typeRequest:
 		var body requestBody
-		if wire.UnmarshalBody(payload, &body) != nil {
+		if !n.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		n.onRequest(body.Payload)
 	case typePrePrepare:
 		var body orderBody
-		if wire.UnmarshalBody(payload, &body) != nil {
+		if !n.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		n.onPrePrepare(view, from, body)
 	case typePrepare:
 		var body digestBody
-		if wire.UnmarshalBody(payload, &body) != nil {
+		if !n.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		n.onPrepare(view, from, body)
 	case typeCommit:
 		var body digestBody
-		if wire.UnmarshalBody(payload, &body) != nil {
+		if !n.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		n.onCommit(view, from, body)
 	case typeViewChange:
 		var body viewChangeBody
-		if wire.UnmarshalBody(payload, &body) != nil {
+		if !n.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		n.onViewChange(from, body.NewView)

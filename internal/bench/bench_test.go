@@ -117,13 +117,20 @@ func TestToleranceBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sawByzantine := false
 	for _, r := range rows {
-		if r.Crashed <= r.T && !r.Live {
-			t.Fatalf("stalled with %d <= t crashes", r.Crashed)
+		if r.Faulty <= r.T && !r.Live {
+			t.Fatalf("stalled with %d <= t %s faults", r.Faulty, r.Fault)
 		}
-		if r.Crashed > r.T && r.Live {
-			t.Fatalf("progressed with %d > t crashes — the n>3t bound should be tight", r.Crashed)
+		if r.Faulty > r.T && r.Live {
+			t.Fatalf("progressed with %d > t crashes — the n>3t bound should be tight", r.Faulty)
 		}
+		if r.Fault == "byzantine" {
+			sawByzantine = true
+		}
+	}
+	if !sawByzantine {
+		t.Fatal("sweep has no byzantine rows — active corruption must be measured too")
 	}
 	PrintToleranceSweep(bytes.NewBuffer(nil), rows)
 }

@@ -12,9 +12,11 @@ import (
 	"sintra/internal/adversary"
 	"sintra/internal/deal"
 	"sintra/internal/engine"
+	"sintra/internal/faultsim"
 	"sintra/internal/group"
 	"sintra/internal/netsim"
 	"sintra/internal/obs"
+	"sintra/internal/wire"
 )
 
 // defaultTimeout bounds each measured operation.
@@ -44,6 +46,17 @@ func newCluster(st *adversary.Structure, sched netsim.Scheduler, crashed []int) 
 // newClusterForceCert additionally selects the certificate signature
 // scheme even for threshold structures (ablations).
 func newClusterForceCert(st *adversary.Structure, sched netsim.Scheduler, crashed []int, forceCert bool) (*cluster, error) {
+	return newClusterFull(st, sched, crashed, forceCert, nil)
+}
+
+// newClusterByzantine starts every party but routes the listed parties'
+// traffic through faultsim attack behaviors — active corruption instead of
+// the silence of a crash.
+func newClusterByzantine(st *adversary.Structure, sched netsim.Scheduler, byz map[int][]faultsim.Behavior) (*cluster, error) {
+	return newClusterFull(st, sched, nil, false, byz)
+}
+
+func newClusterFull(st *adversary.Structure, sched netsim.Scheduler, crashed []int, forceCert bool, byz map[int][]faultsim.Behavior) (*cluster, error) {
 	pub, secrets, err := deal.New(deal.Options{
 		Group:     group.Test256(),
 		Structure: st,
@@ -73,7 +86,13 @@ func newClusterForceCert(st *adversary.Structure, sched netsim.Scheduler, crashe
 		if down[i] {
 			continue
 		}
-		r := engine.NewRouter(c.net.Endpoint(i))
+		var tr wire.Transport = c.net.Endpoint(i)
+		if bs := byz[i]; len(bs) > 0 {
+			p := faultsim.Wrap(tr, int64(1000003*(i+1)), bs...)
+			p.SetObserver(c.reg)
+			tr = p
+		}
+		r := engine.NewRouter(tr)
 		r.SetObserver(c.reg)
 		c.routers[i] = r
 		c.wg.Add(1)

@@ -28,7 +28,6 @@ import (
 	"sintra/internal/engine"
 	"sintra/internal/obs"
 	"sintra/internal/thresig"
-	"sintra/internal/wire"
 )
 
 // Protocol is the wire protocol name of consistent broadcast.
@@ -165,7 +164,7 @@ func (c *CBC) Handle(from int, msgType string, payload []byte) {
 	switch msgType {
 	case "START":
 		var body sendBody
-		if from != c.cfg.Router.Self() || wire.UnmarshalBody(payload, &body) != nil {
+		if from != c.cfg.Router.Self() || !c.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		if c.sentPayload != nil {
@@ -175,19 +174,19 @@ func (c *CBC) Handle(from int, msgType string, payload []byte) {
 		_ = c.cfg.Router.Broadcast(Protocol, c.cfg.Instance, typeSend, sendBody{Payload: body.Payload})
 	case typeSend:
 		var body sendBody
-		if from != c.cfg.Sender || wire.UnmarshalBody(payload, &body) != nil {
+		if from != c.cfg.Sender || !c.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		c.onSend(body.Payload)
 	case typeShare:
 		var body shareBody
-		if wire.UnmarshalBody(payload, &body) != nil {
+		if !c.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		c.onShare(from, body.Share)
 	case typeFinal:
 		var body finalBody
-		if wire.UnmarshalBody(payload, &body) != nil {
+		if !c.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		c.onFinal(body.Payload, body.Cert)
@@ -195,7 +194,7 @@ func (c *CBC) Handle(from int, msgType string, payload []byte) {
 		c.onReq(from)
 	case typeAns:
 		var body finalBody
-		if wire.UnmarshalBody(payload, &body) != nil {
+		if !c.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		c.onFinal(body.Payload, body.Cert)

@@ -67,6 +67,7 @@ type Client struct {
 	okCount      *obs.Counter
 	badShares    *obs.Counter
 	timeoutCount *obs.Counter
+	malformed    *obs.Counter
 }
 
 type call struct {
@@ -78,7 +79,8 @@ type call struct {
 type Option func(*Client)
 
 // WithObserver reports the client's metrics through reg: request counts,
-// end-to-end invoke latency, response-share verification failures.
+// end-to-end invoke latency, response-share verification failures, and
+// malformed responses from corrupted servers.
 func WithObserver(reg *obs.Registry) Option {
 	return func(c *Client) {
 		if reg == nil {
@@ -90,6 +92,7 @@ func WithObserver(reg *obs.Registry) Option {
 		c.okCount = reg.Counter("client.answers")
 		c.badShares = reg.Counter("client.responses.badshare")
 		c.timeoutCount = reg.Counter("client.timeouts")
+		c.malformed = reg.Counter("client.malformed")
 	}
 }
 
@@ -233,6 +236,9 @@ func (c *Client) recvLoop() {
 		}
 		var resp responseBody
 		if wire.UnmarshalBody(m.Payload, &resp) != nil {
+			// A corrupted server sent bytes that don't decode; drop and
+			// count, mirroring the replica-side router.malformed guard.
+			c.malformed.Inc()
 			continue
 		}
 		c.onResponse(m.From, resp)

@@ -160,7 +160,7 @@ func (n *Node) onClientMessage(from int, msgType string, payload []byte) {
 		return
 	}
 	var req requestBody
-	if wire.UnmarshalBody(payload, &req) != nil {
+	if !n.router.Decode(payload, &req) {
 		return
 	}
 	if from >= n.cfg.Transport.N() {
@@ -184,7 +184,7 @@ func (n *Node) onClientMessage(from int, msgType string, payload []byte) {
 // broadcast.
 func (n *Node) onAtomicDeliver(seq int64, payload []byte) {
 	var env envelope
-	if wire.UnmarshalBody(payload, &env) != nil {
+	if !n.router.Decode(payload, &env) {
 		return // malformed request: deterministic skip on every replica
 	}
 	n.apply(seq, env)
@@ -194,7 +194,7 @@ func (n *Node) onAtomicDeliver(seq int64, payload []byte) {
 // causal atomic broadcast.
 func (n *Node) onCausalDeliver(seq int64, request []byte) {
 	var env envelope
-	if wire.UnmarshalBody(request, &env) != nil {
+	if !n.router.Decode(request, &env) {
 		return
 	}
 	n.apply(seq, env)

@@ -19,6 +19,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -26,11 +27,22 @@ import (
 	"sintra/internal/wire"
 )
 
-// maxBufferedPerInstance bounds the early-arrival buffer of one instance;
-// beyond it the oldest messages are dropped. Honest traffic never comes
-// close: it exists to stop corrupted parties from exhausting memory with
-// messages for instances that never start.
+// maxBufferedPerInstance bounds the early-arrival buffer of one instance.
+// Honest traffic never comes close: it exists to stop corrupted parties
+// from exhausting memory with messages for instances that never start.
+//
+// The budget is split into per-sender quotas (maxBufferedPerInstance / n),
+// so one flooding party exhausts only its own share and cannot evict
+// honest parties' buffered messages. A sender over quota loses its own
+// oldest message; a sender over the instance total (possible only with
+// more distinct sender ids than servers, e.g. forged client ids) evicts
+// from whichever sender holds the most.
 const maxBufferedPerInstance = 4096
+
+// maxBufferedPerSenderTotal bounds one sender's buffered messages across
+// ALL unregistered instances of the router, so a corrupted party cannot
+// sidestep the per-instance quota by spamming fresh instance names.
+const maxBufferedPerSenderTotal = 4 * maxBufferedPerInstance
 
 // Handler processes one inbound message of an instance, on the dispatch
 // goroutine.
@@ -50,7 +62,10 @@ type instanceKey struct {
 type instanceState struct {
 	handler  Handler
 	buffered []wire.Message
-	dead     bool // tombstone: finished instance, drop further traffic
+	// perSender counts buffered messages by sender, enforcing the
+	// per-sender share of maxBufferedPerInstance.
+	perSender map[int]int
+	dead      bool // tombstone: finished instance, drop further traffic
 }
 
 // Router multiplexes a party's transport among protocol instances.
@@ -59,6 +74,9 @@ type Router struct {
 
 	// Dispatch-goroutine state; no lock needed.
 	instances map[instanceKey]*instanceState
+	// bufferedBySender counts buffered early-arrival messages per sender
+	// across all instances (the maxBufferedPerSenderTotal guard).
+	bufferedBySender map[int]int
 
 	factoryMu sync.Mutex
 	factories map[string]Factory
@@ -80,6 +98,8 @@ type routerMetrics struct {
 	taskDepth       *obs.Gauge
 	bufferDepth     *obs.Gauge
 	bufferDrops     *obs.Counter
+	malformed       *obs.Counter
+	panics          *obs.Counter
 
 	counts map[ptKey]*obs.Counter
 }
@@ -112,6 +132,8 @@ func (r *Router) SetObserver(reg *obs.Registry) {
 		taskDepth:       reg.Gauge("router.tasks.depth"),
 		bufferDepth:     reg.Gauge("router.buffered.depth"),
 		bufferDrops:     reg.Counter("router.buffered.drops"),
+		malformed:       reg.Counter("router.malformed"),
+		panics:          reg.Counter("router.panics"),
 		counts:          make(map[ptKey]*obs.Counter),
 	}
 }
@@ -120,12 +142,13 @@ func (r *Router) SetObserver(reg *obs.Registry) {
 // dispatching.
 func NewRouter(tr wire.Transport) *Router {
 	return &Router{
-		tr:        tr,
-		instances: make(map[instanceKey]*instanceState),
-		factories: make(map[string]Factory),
-		tasks:     make(chan func(), 256),
-		inCh:      make(chan wire.Message, 1),
-		done:      make(chan struct{}),
+		tr:               tr,
+		instances:        make(map[instanceKey]*instanceState),
+		bufferedBySender: make(map[int]int),
+		factories:        make(map[string]Factory),
+		tasks:            make(chan func(), 256),
+		inCh:             make(chan wire.Message, 1),
+		done:             make(chan struct{}),
 	}
 }
 
@@ -166,7 +189,7 @@ func (r *Router) Register(protocol, instance string, h Handler) {
 	}
 	st.handler = h
 	replay := st.buffered
-	st.buffered = nil
+	r.releaseBuffered(st)
 	for i := range replay {
 		m := &replay[i]
 		h(m.From, m.Type, m.Payload)
@@ -179,8 +202,27 @@ func (r *Router) Register(protocol, instance string, h Handler) {
 func (r *Router) Unregister(protocol, instance string) {
 	st := r.state(instanceKey{protocol, instance})
 	st.handler = nil
-	st.buffered = nil
+	r.releaseBuffered(st)
 	st.dead = true
+}
+
+// releaseBuffered empties an instance's early-arrival buffer, returning
+// the messages' slots to their senders' router-wide budgets. Dispatch
+// goroutine only.
+func (r *Router) releaseBuffered(st *instanceState) {
+	for _, m := range st.buffered {
+		r.creditSender(m.From)
+	}
+	st.buffered = nil
+	st.perSender = nil
+}
+
+func (r *Router) creditSender(from int) {
+	if n := r.bufferedBySender[from] - 1; n > 0 {
+		r.bufferedBySender[from] = n
+	} else {
+		delete(r.bufferedBySender, from)
+	}
 }
 
 // SetFactory installs an on-demand constructor for a protocol: the first
@@ -291,14 +333,48 @@ func (r *Router) Run() {
 			if !ok {
 				return
 			}
-			r.dispatch(m)
+			r.safely(func() { r.dispatch(m) })
 		case f := <-r.tasks:
 			if r.mx != nil {
 				r.mx.taskDepth.Set(int64(len(r.tasks)) + 1)
 			}
-			f()
+			r.safely(f)
 		}
 	}
+}
+
+// safely runs f on the dispatch goroutine, converting a panic — a protocol
+// handler tripped by attacker-supplied bytes — into a counted, traced
+// event instead of a dead replica. The Decode guards below make this a
+// backstop, not a crutch: the chaos suite asserts router.panics stays 0.
+func (r *Router) safely(f func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			if r.mx != nil {
+				r.mx.panics.Inc()
+				r.mx.reg.Trace(obs.Event{
+					Party: r.Self(), Protocol: "router", Stage: obs.StageDrop,
+					Seq: -1, Note: fmt.Sprint("recovered handler panic: ", p),
+				})
+			}
+		}
+	}()
+	f()
+}
+
+// Decode unmarshals an attacker-controlled message body on behalf of a
+// protocol handler. On failure — malformed bytes from a corrupted party —
+// it bumps the router.malformed counter and returns false; the handler
+// simply drops the message. Every protocol layer routes its payload
+// unmarshalling through this guard.
+func (r *Router) Decode(payload []byte, v any) bool {
+	if wire.UnmarshalBody(payload, v) == nil {
+		return true
+	}
+	if r.mx != nil {
+		r.mx.malformed.Inc()
+	}
+	return false
 }
 
 // Done is closed when Run returns.
@@ -326,21 +402,7 @@ func (r *Router) dispatch(m wire.Message) {
 	}
 	// No handler yet: buffer the message so a factory-created handler (or
 	// a later Register) replays it in arrival order.
-	st.buffered = append(st.buffered, m)
-	if len(st.buffered) > maxBufferedPerInstance {
-		dropped := len(st.buffered) - maxBufferedPerInstance
-		st.buffered = st.buffered[dropped:]
-		if r.mx != nil {
-			r.mx.bufferDrops.Add(int64(dropped))
-			r.mx.reg.Trace(obs.Event{
-				Party: r.Self(), Protocol: m.Protocol, Instance: m.Instance,
-				Stage: obs.StageDrop, Seq: -1, Note: "early-arrival buffer overflow",
-			})
-		}
-	}
-	if r.mx != nil {
-		r.mx.bufferDepth.Set(int64(len(st.buffered)))
-	}
+	r.buffer(st, m)
 	r.factoryMu.Lock()
 	f, ok := r.factories[m.Protocol]
 	r.factoryMu.Unlock()
@@ -351,5 +413,75 @@ func (r *Router) dispatch(m wire.Message) {
 	}
 	if r.mx != nil {
 		r.mx.dispatchLatency.ObserveSince(start)
+	}
+}
+
+// buffer queues one early-arrival message under the per-sender quotas.
+// Dispatch goroutine only.
+func (r *Router) buffer(st *instanceState, m wire.Message) {
+	if r.bufferedBySender[m.From] >= maxBufferedPerSenderTotal {
+		// The sender exhausted its router-wide budget (a flooder spamming
+		// fresh instances); its new message is dropped on arrival.
+		r.traceBufferDrop(&m, "router-wide early-arrival quota")
+		return
+	}
+	quota := maxBufferedPerInstance / r.tr.N()
+	if quota < 1 {
+		quota = 1
+	}
+	if st.perSender == nil {
+		st.perSender = make(map[int]int)
+	}
+	if st.perSender[m.From] >= quota {
+		// Over the per-sender share: the sender loses its own oldest
+		// message, never another party's.
+		r.evictOldest(st, m.From)
+	} else if len(st.buffered) >= maxBufferedPerInstance {
+		// Possible only with more distinct sender ids than servers (forged
+		// client ids): evict from whichever sender holds the most.
+		worst, worstN := m.From, 0
+		for s, c := range st.perSender {
+			if c > worstN {
+				worst, worstN = s, c
+			}
+		}
+		r.evictOldest(st, worst)
+	}
+	st.buffered = append(st.buffered, m)
+	st.perSender[m.From]++
+	r.bufferedBySender[m.From]++
+	if r.mx != nil {
+		r.mx.bufferDepth.Set(int64(len(st.buffered)))
+	}
+}
+
+// evictOldest drops the sender's oldest buffered message of one instance.
+// Dispatch goroutine only.
+func (r *Router) evictOldest(st *instanceState, sender int) {
+	for i := range st.buffered {
+		if st.buffered[i].From == sender {
+			m := st.buffered[i]
+			st.buffered = append(st.buffered[:i], st.buffered[i+1:]...)
+			st.perSender[sender]--
+			r.creditSender(sender)
+			r.traceBufferDrop(&m, "per-sender early-arrival quota")
+			return
+		}
+	}
+}
+
+// traceBufferDrop counts one buffered-message drop, noting the offending
+// sender in the trace event.
+func (r *Router) traceBufferDrop(m *wire.Message, reason string) {
+	if r.mx == nil {
+		return
+	}
+	r.mx.bufferDrops.Inc()
+	if r.mx.reg.Tracing() {
+		r.mx.reg.Trace(obs.Event{
+			Party: r.Self(), Protocol: m.Protocol, Instance: m.Instance,
+			Stage: obs.StageDrop, Seq: -1,
+			Note: fmt.Sprintf("%s (from %d)", reason, m.From),
+		})
 	}
 }

@@ -1,6 +1,8 @@
 package engine_test
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -251,10 +253,11 @@ func TestSendMarshalsBody(t *testing.T) {
 }
 
 func TestBufferCapDropsOldest(t *testing.T) {
-	// Flood an unregistered instance beyond the buffer cap; on register,
-	// only the newest messages replay, contiguously.
+	// Flood an unregistered instance beyond one sender's buffer share; on
+	// register, only the sender's newest messages replay, contiguously.
 	nw, r0, r1, _ := pair(t)
-	const flood = 5000 // cap is 4096
+	const quota = 4096 / 2 // maxBufferedPerInstance split across n=2 senders
+	const flood = 5000
 	for k := 0; k < flood; k++ {
 		if err := r0.Send(1, "p", "cap", "M", struct{ K int }{k}); err != nil {
 			t.Fatal(err)
@@ -300,9 +303,9 @@ func TestBufferCapDropsOldest(t *testing.T) {
 	var snapshot []int
 	r1.DoSync(func() { snapshot = append([]int(nil), replayed...) })
 	// The network randomizes delivery order, so the surviving messages are
-	// the last 4096 ARRIVALS: exactly the cap, all distinct.
-	if len(snapshot) != 4096 {
-		t.Fatalf("replayed %d, want exactly the 4096 cap", len(snapshot))
+	// the sender's last `quota` ARRIVALS: exactly its share, all distinct.
+	if len(snapshot) != quota {
+		t.Fatalf("replayed %d, want exactly the %d per-sender share", len(snapshot), quota)
 	}
 	seen := make(map[int]bool, len(snapshot))
 	for _, k := range snapshot {
@@ -352,16 +355,17 @@ func TestRouterMetrics(t *testing.T) {
 }
 
 func TestBufferOverflowDropMetrics(t *testing.T) {
-	// Flood an unregistered instance beyond the 4096-message cap with an
-	// observer installed: the drop counter and the drop trace events must
-	// account for every evicted message.
+	// Flood an unregistered instance beyond one sender's buffer share with
+	// an observer installed: the drop counter and the drop trace events
+	// must account for every evicted message.
 	nw, r0, r1, _ := pair(t)
 	reg := obs.NewRegistry()
 	col := obs.NewCollectTracer()
 	reg.SetTracer(col)
 	r1.DoSync(func() { r1.SetObserver(reg) })
 
-	const flood = 4200 // 104 past the cap
+	const quota = 4096 / 2 // per-sender share on n=2
+	const flood = 4200
 	for k := 0; k < flood; k++ {
 		if err := r0.Send(1, "p", "over", "M", struct{ K int }{k}); err != nil {
 			t.Fatal(err)
@@ -389,21 +393,194 @@ func TestBufferOverflowDropMetrics(t *testing.T) {
 	}
 
 	snap := reg.Snapshot()
-	wantDrops := int64(flood - 4096)
+	wantDrops := int64(flood - quota)
 	if n := snap.Counter("router.buffered.drops"); n != wantDrops {
 		t.Fatalf("router.buffered.drops = %d, want %d", n, wantDrops)
 	}
-	if g := snap.Gauges["router.buffered.depth"]; g.Max != 4096 {
-		t.Fatalf("buffer depth high-water = %d, want 4096", g.Max)
+	if g := snap.Gauges["router.buffered.depth"]; g.Max != quota {
+		t.Fatalf("buffer depth high-water = %d, want %d", g.Max, quota)
 	}
 	var dropEvents int64
 	for _, ev := range col.Events() {
 		if ev.Stage == obs.StageDrop && ev.Protocol == "p" && ev.Instance == "over" {
 			dropEvents++
+			if !strings.Contains(ev.Note, "(from 0)") {
+				t.Fatalf("drop trace note %q does not name the sender", ev.Note)
+			}
 		}
 	}
 	if dropEvents != wantDrops {
 		t.Fatalf("drop trace events = %d, want %d", dropEvents, wantDrops)
+	}
+}
+
+// TestBufferPerSenderQuota floods one instance from a corrupted party
+// while an honest party's early messages trickle in: the flooder must
+// exhaust only its own share, and every honest message must survive to
+// replay.
+func TestBufferPerSenderQuota(t *testing.T) {
+	nw := netsim.New(4, 0, netsim.NewRandomScheduler(7))
+	t.Cleanup(nw.Stop)
+	r := engine.NewRouter(nw.Endpoint(0))
+	go r.Run()
+	flooder, honest := nw.Endpoint(3), nw.Endpoint(1)
+
+	const flood = 3000 // far beyond the 4096/4 = 1024 per-sender share
+	const honestMsgs = 5
+	for k := 0; k < flood; k++ {
+		flooder.Send(wire.Message{To: 0, Protocol: "p", Instance: "q", Type: "M",
+			Payload: wire.MustMarshalBody(struct{ K int }{k})})
+		if k < honestMsgs {
+			honest.Send(wire.Message{To: 0, Protocol: "p", Instance: "q", Type: "H",
+				Payload: wire.MustMarshalBody(struct{ K int }{k})})
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for nw.Stats().Messages["p"] < flood+honestMsgs {
+		if time.Now().After(deadline) {
+			t.Fatalf("flood stuck at %d", nw.Stats().Messages["p"])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fence := make(chan struct{})
+	r.DoSync(func() {
+		r.Register("p", "fence", func(int, string, []byte) { close(fence) })
+	})
+	flooder.Send(wire.Message{To: 0, Protocol: "p", Instance: "fence", Type: "F"})
+	select {
+	case <-fence:
+	case <-time.After(20 * time.Second):
+		t.Fatal("fence never dispatched")
+	}
+
+	var fromHonest, fromFlooder int
+	r.DoSync(func() {
+		r.Register("p", "q", func(from int, msgType string, payload []byte) {
+			switch from {
+			case 1:
+				fromHonest++
+			case 3:
+				fromFlooder++
+			}
+		})
+	})
+	var gotHonest, gotFlooder int
+	r.DoSync(func() { gotHonest, gotFlooder = fromHonest, fromFlooder })
+	if gotHonest != honestMsgs {
+		t.Fatalf("honest messages replayed = %d, want all %d", gotHonest, honestMsgs)
+	}
+	if gotFlooder != 4096/4 {
+		t.Fatalf("flooder messages replayed = %d, want its %d share", gotFlooder, 4096/4)
+	}
+}
+
+// TestBufferRouterWideSenderCap spams fresh instances from one sender: the
+// router-wide budget must bound the total buffered regardless of how many
+// instance names the flooder invents.
+func TestBufferRouterWideSenderCap(t *testing.T) {
+	nw := netsim.New(2, 0, netsim.NewRandomScheduler(9))
+	t.Cleanup(nw.Stop)
+	reg := obs.NewRegistry()
+	r := engine.NewRouter(nw.Endpoint(0))
+	r.SetObserver(reg)
+	go r.Run()
+	flooder := nw.Endpoint(1)
+
+	const budget = 4 * 4096 // maxBufferedPerSenderTotal
+	const flood = budget + 500
+	for k := 0; k < flood; k++ {
+		flooder.Send(wire.Message{To: 0, Protocol: "p",
+			Instance: fmt.Sprintf("fresh-%d", k), Type: "M"})
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for nw.Stats().Messages["p"] < flood {
+		if time.Now().After(deadline) {
+			t.Fatalf("flood stuck at %d", nw.Stats().Messages["p"])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fence := make(chan struct{})
+	r.DoSync(func() {
+		r.Register("p", "fence", func(int, string, []byte) { close(fence) })
+	})
+	flooder.Send(wire.Message{To: 0, Protocol: "p", Instance: "fence", Type: "F"})
+	select {
+	case <-fence:
+	case <-time.After(20 * time.Second):
+		t.Fatal("fence never dispatched")
+	}
+	if n := reg.Snapshot().Counter("router.buffered.drops"); n != flood-budget {
+		t.Fatalf("router.buffered.drops = %d, want %d", n, flood-budget)
+	}
+}
+
+// TestDecodeMalformedCounted: the router-level decode guard must count
+// malformed payloads and report failure without disturbing dispatch.
+func TestDecodeMalformedCounted(t *testing.T) {
+	nw, r0, r1, _ := pair(t)
+	reg := obs.NewRegistry()
+	r1.DoSync(func() { r1.SetObserver(reg) })
+	got := make(chan bool, 4)
+	r1.DoSync(func() {
+		r1.Register("p", "i", func(from int, msgType string, payload []byte) {
+			var v struct{ K int }
+			got <- r1.Decode(payload, &v)
+		})
+	})
+	if err := r0.Send(1, "p", "i", "OK", struct{ K int }{7}); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage bytes straight onto the wire, bypassing Send's marshalling.
+	nw.Endpoint(0).Send(wire.Message{To: 1, Protocol: "p", Instance: "i",
+		Type: "EVIL", Payload: []byte{0xde, 0xad, 0xbe, 0xef}})
+	results := map[bool]int{}
+	for i := 0; i < 2; i++ {
+		select {
+		case ok := <-got:
+			results[ok]++
+		case <-time.After(5 * time.Second):
+			t.Fatal("message never dispatched")
+		}
+	}
+	if results[true] != 1 || results[false] != 1 {
+		t.Fatalf("decode results %v, want one success and one failure", results)
+	}
+	if n := reg.Snapshot().Counter("router.malformed"); n != 1 {
+		t.Fatalf("router.malformed = %d, want 1", n)
+	}
+}
+
+// TestRouterSurvivesHandlerPanic: a handler panic on attacker input is
+// recovered, counted, and the router keeps dispatching.
+func TestRouterSurvivesHandlerPanic(t *testing.T) {
+	_, r0, r1, _ := pair(t)
+	reg := obs.NewRegistry()
+	r1.DoSync(func() { r1.SetObserver(reg) })
+	got := make(chan string, 4)
+	r1.DoSync(func() {
+		r1.Register("p", "i", func(from int, msgType string, payload []byte) {
+			if msgType == "BOOM" {
+				panic("attacker payload")
+			}
+			got <- msgType
+		})
+	})
+	if err := r0.Send(1, "p", "i", "BOOM", struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r0.Send(1, "p", "i", "AFTER", struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case mt := <-got:
+		if mt != "AFTER" {
+			t.Fatalf("got %q, want AFTER", mt)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("router died after handler panic")
+	}
+	if n := reg.Snapshot().Counter("router.panics"); n != 1 {
+		t.Fatalf("router.panics = %d, want 1", n)
 	}
 }
 

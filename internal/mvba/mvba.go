@@ -35,7 +35,6 @@ import (
 	"sintra/internal/engine"
 	"sintra/internal/obs"
 	"sintra/internal/thresig"
-	"sintra/internal/wire"
 )
 
 // Protocol is the wire protocol name of multi-valued agreement.
@@ -231,31 +230,31 @@ func (m *MVBA) Handle(from int, msgType string, payload []byte) {
 	switch msgType {
 	case typeStart:
 		var body startBody
-		if from != m.cfg.Router.Self() || wire.UnmarshalBody(payload, &body) != nil {
+		if from != m.cfg.Router.Self() || !m.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		m.onStart(body.Proposal)
 	case typeLeadCoin:
 		var body leadCoinBody
-		if wire.UnmarshalBody(payload, &body) != nil || body.Trial < 1 {
+		if !m.cfg.Router.Decode(payload, &body) || body.Trial < 1 {
 			return
 		}
 		m.onLeadCoin(body.Trial, body.Shares)
 	case typeVote:
 		var body voteBody
-		if wire.UnmarshalBody(payload, &body) != nil || body.Trial < 1 {
+		if !m.cfg.Router.Decode(payload, &body) || body.Trial < 1 {
 			return
 		}
 		m.onVote(from, body)
 	case typeRecover:
 		var body recoverBody
-		if wire.UnmarshalBody(payload, &body) != nil || body.Trial < 1 {
+		if !m.cfg.Router.Decode(payload, &body) || body.Trial < 1 {
 			return
 		}
 		m.onRecover(from, body.Trial)
 	case typeRecAns:
 		var body voteBody
-		if wire.UnmarshalBody(payload, &body) != nil || body.Trial < 1 {
+		if !m.cfg.Router.Decode(payload, &body) || body.Trial < 1 {
 			return
 		}
 		m.onRecAns(body)

@@ -79,6 +79,57 @@ func (s *DelayScheduler) Next(pending []wire.Message) int {
 	return free[s.rng.Intn(len(free))]
 }
 
+// PartitionScheduler isolates a set of parties: while the partition holds,
+// messages crossing the boundary are starved whenever any same-side message
+// is pending. After healAfter deliveries the partition heals and the
+// scheduler becomes fair. If only crossing traffic is pending, the oldest
+// crossing message is delivered anyway — the partition bends rather than
+// break eventual delivery, keeping the run inside the asynchronous model.
+//
+// Endpoints not named in isolated (including clients, whose indices are
+// >= N) sit on the majority side.
+type PartitionScheduler struct {
+	rng       *rand.Rand
+	isolated  map[int]bool
+	healAfter int
+	delivered int
+}
+
+// NewPartitionScheduler builds a scheduler that cuts the isolated parties
+// off from everyone else for the first healAfter deliveries.
+func NewPartitionScheduler(seed int64, healAfter int, isolated ...int) *PartitionScheduler {
+	cut := make(map[int]bool, len(isolated))
+	for _, id := range isolated {
+		cut[id] = true
+	}
+	return &PartitionScheduler{
+		rng:       rand.New(rand.NewSource(seed)),
+		isolated:  cut,
+		healAfter: healAfter,
+	}
+}
+
+// Healed reports whether the partition has healed.
+func (s *PartitionScheduler) Healed() bool { return s.delivered >= s.healAfter }
+
+// Next starves crossing messages until the partition heals.
+func (s *PartitionScheduler) Next(pending []wire.Message) int {
+	s.delivered++
+	if s.delivered > s.healAfter {
+		return s.rng.Intn(len(pending))
+	}
+	var free []int
+	for i := range pending {
+		if s.isolated[pending[i].From] == s.isolated[pending[i].To] {
+			free = append(free, i)
+		}
+	}
+	if len(free) == 0 {
+		return 0
+	}
+	return free[s.rng.Intn(len(free))]
+}
+
 // Stats aggregates traffic per protocol layer.
 type Stats struct {
 	// Messages counts delivered envelopes per protocol.

@@ -137,31 +137,31 @@ func (r *RBC) Handle(from int, msgType string, payload []byte) {
 	switch msgType {
 	case typeSend:
 		var body payloadBody
-		if from != r.cfg.Sender || unmarshal(payload, &body) != nil {
+		if from != r.cfg.Sender || !r.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		r.onSend(body.Payload)
 	case typeEcho:
 		var body payloadBody
-		if unmarshal(payload, &body) != nil {
+		if !r.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		r.onEcho(from, body.Payload)
 	case typeReady:
 		var body digestBody
-		if unmarshal(payload, &body) != nil {
+		if !r.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		r.onReady(from, body.Digest)
 	case typeReq:
 		var body digestBody
-		if unmarshal(payload, &body) != nil {
+		if !r.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		r.onReq(from, body.Digest)
 	case typeAns:
 		var body payloadBody
-		if unmarshal(payload, &body) != nil {
+		if !r.cfg.Router.Decode(payload, &body) {
 			return
 		}
 		r.onAns(body.Payload)

@@ -160,7 +160,7 @@ func (s *SCABC) onOrdered(seq int64, payload []byte) {
 		p.ordered = time.Now()
 	}
 	var ct threnc.Ciphertext
-	if wire.UnmarshalBody(payload, &ct) != nil ||
+	if !s.cfg.Router.Decode(payload, &ct) ||
 		!bytes.Equal(ct.Label, []byte(s.cfg.Instance)) ||
 		s.cfg.Enc.VerifyCiphertext(&ct) != nil {
 		p.invalid = true
@@ -209,7 +209,7 @@ func (s *SCABC) Handle(from int, msgType string, payload []byte) {
 		return
 	}
 	var body sharesBody
-	if wire.UnmarshalBody(payload, &body) != nil {
+	if !s.cfg.Router.Decode(payload, &body) {
 		return
 	}
 	if body.Seq < s.nextABC || body.Seq > s.nextABC+maxPendingWindow {

@@ -35,13 +35,39 @@ import (
 // maxFrame bounds a single frame; larger frames indicate corruption.
 const maxFrame = 64 << 20
 
-// redialBackoff is the pause between outbound connection attempts.
-const redialBackoff = 200 * time.Millisecond
+// redialBase is the initial pause between outbound connection attempts;
+// redialMax caps the exponential growth. Both are variables so tests can
+// compress time.
+var (
+	redialBase = 200 * time.Millisecond
+	redialMax  = 5 * time.Second
+)
 
 // dialAttempts bounds how many times a send retries establishing a
 // connection before dropping the message (the asynchronous model allows
 // message loss to crashed peers; protocols retransmit by design).
 const dialAttempts = 25
+
+// redialDelay returns the pause before redial attempt n (n >= 1): the base
+// doubled per consecutive failure, capped at redialMax, jittered into
+// [d/2, d) so redialers across parties desynchronize. The jitter is a hash
+// of (attempt, self, dest) rather than a random draw, keeping runs
+// reproducible.
+func redialDelay(attempt, self, dest int) time.Duration {
+	d := redialBase
+	for i := 1; i < attempt && d < redialMax; i++ {
+		d *= 2
+	}
+	if d > redialMax {
+		d = redialMax
+	}
+	h := uint64(attempt)*0x9e3779b97f4a7c15 + uint64(self)*0xbf58476d1ce4e5b9 + uint64(dest)*0x94d049bb133111eb
+	half := uint64(d / 2)
+	if half == 0 {
+		return d
+	}
+	return time.Duration(half + h%half)
+}
 
 // helloMagic starts every connection.
 const helloMagic = "sintra1"
@@ -386,8 +412,8 @@ func (t *Transport) serveConn(conn net.Conn) {
 			}
 		}
 		counter++
-		var m wire.Message
-		if wire.UnmarshalBody(payload, &m) != nil {
+		m, err := wire.DecodeMessage(payload)
+		if err != nil {
 			continue
 		}
 		m.From = h.From // the channel authenticates the sender
@@ -471,7 +497,7 @@ func (w *peerWriter) runDirect() {
 		if !ok {
 			return
 		}
-		payload, err := wire.MarshalBody(&m)
+		payload, err := wire.EncodeMessage(&m)
 		if err != nil {
 			continue
 		}
@@ -482,11 +508,14 @@ func (w *peerWriter) runDirect() {
 }
 
 // run dials the destination server and writes queued frames, redialing on
-// failure.
+// failure with capped exponential backoff. The failure streak spans
+// messages — a peer that has been down for a while is probed gently even
+// as new sends queue up — and resets on a successful dial.
 func (w *peerWriter) run() {
 	var conn net.Conn
 	var session []byte
 	var counter uint64
+	failures := 0 // consecutive failed dials, across messages
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -497,7 +526,7 @@ func (w *peerWriter) run() {
 		if !ok {
 			return
 		}
-		payload, err := wire.MarshalBody(&m)
+		payload, err := wire.EncodeMessage(&m)
 		if err != nil {
 			continue
 		}
@@ -506,6 +535,7 @@ func (w *peerWriter) run() {
 				w.mx.redial()
 				conn, session, counter = w.dial()
 				if conn == nil {
+					failures++
 					if attempt >= dialAttempts {
 						w.mx.drop()
 						break // drop the message
@@ -513,10 +543,11 @@ func (w *peerWriter) run() {
 					select {
 					case <-w.t.closed:
 						return
-					case <-time.After(redialBackoff):
+					case <-time.After(redialDelay(failures, w.t.cfg.Self, w.dest)):
 					}
 					continue
 				}
+				failures = 0
 			}
 			frame := payload
 			if session != nil {
@@ -579,8 +610,8 @@ func (t *Transport) readReplies(conn net.Conn, server int) {
 		if err != nil {
 			return
 		}
-		var m wire.Message
-		if wire.UnmarshalBody(raw, &m) != nil {
+		m, err := wire.DecodeMessage(raw)
+		if err != nil {
 			continue
 		}
 		m.From = server

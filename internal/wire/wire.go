@@ -77,10 +77,31 @@ func MustMarshalBody(v any) []byte {
 	return b
 }
 
-// UnmarshalBody decodes a body produced by MarshalBody.
-func UnmarshalBody(data []byte, v any) error {
+// UnmarshalBody decodes a body produced by MarshalBody. The input is
+// attacker-controlled — a corrupted party chooses every payload byte — so
+// decoding failures, including any panic inside the gob decoder, surface
+// as errors and must never take down the replica.
+func UnmarshalBody(data []byte, v any) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("wire: unmarshal body: decoder panic: %v", p)
+		}
+	}()
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
 		return fmt.Errorf("wire: unmarshal body: %w", err)
 	}
 	return nil
+}
+
+// EncodeMessage encodes a full envelope into one transport frame.
+func EncodeMessage(m *Message) ([]byte, error) {
+	return MarshalBody(m)
+}
+
+// DecodeMessage decodes a transport frame produced by EncodeMessage. Like
+// UnmarshalBody it is safe on arbitrary attacker-supplied bytes.
+func DecodeMessage(data []byte) (Message, error) {
+	var m Message
+	err := UnmarshalBody(data, &m)
+	return m, err
 }

@@ -7,9 +7,11 @@ import (
 
 	"sintra/internal/core"
 	"sintra/internal/deal"
+	"sintra/internal/faultsim"
 	"sintra/internal/group"
 	"sintra/internal/netsim"
 	"sintra/internal/obs"
+	"sintra/internal/wire"
 )
 
 // SimOptions configures an in-process simulated deployment. New code
@@ -27,6 +29,14 @@ type SimOptions struct {
 	// Crashed lists servers that are never started — they stay silent for
 	// the whole run, modelling crash corruption.
 	Crashed []int
+	// Byzantine maps a server index to the attack behaviors applied to
+	// its outbound traffic: the party runs the honest code, but its
+	// transport lies for it. See WithByzantine.
+	Byzantine map[int][]ByzantineBehavior
+	// Scheduler overrides the network's delivery order (default: fair
+	// random under Seed). Use NewPartitionScheduler or NewDelayScheduler
+	// for targeted adversarial schedules.
+	Scheduler NetworkScheduler
 	// Seed makes the adversarial network scheduler deterministic.
 	Seed int64
 	// MaxClients bounds the number of NewClient calls (default 8).
@@ -61,6 +71,27 @@ func WithMode(m Mode) SimOption {
 // modelling crash corruption.
 func WithCrashed(servers ...int) SimOption {
 	return func(o *SimOptions) { o.Crashed = append(o.Crashed, servers...) }
+}
+
+// WithByzantine corrupts one server with the given attack behaviors,
+// applied in order to everything it sends. The replica still runs the
+// honest protocol code — the behaviors subvert its transport, modelling
+// an intruder who controls the party's network interface. Combine with
+// further WithByzantine calls for a mixed fleet; keep the corrupted set
+// inside the adversary structure for the protocol guarantees to hold.
+func WithByzantine(server int, behaviors ...ByzantineBehavior) SimOption {
+	return func(o *SimOptions) {
+		if o.Byzantine == nil {
+			o.Byzantine = make(map[int][]ByzantineBehavior)
+		}
+		o.Byzantine[server] = append(o.Byzantine[server], behaviors...)
+	}
+}
+
+// WithScheduler overrides the network's delivery schedule — e.g. a
+// PartitionScheduler that isolates parties until it heals.
+func WithScheduler(s NetworkScheduler) SimOption {
+	return func(o *SimOptions) { o.Scheduler = s }
 }
 
 // WithSeed makes the adversarial network scheduler deterministic.
@@ -175,11 +206,15 @@ func NewSimulatedDeployment(opts SimOptions) (*SimulatedDeployment, error) {
 		crashed[i] = true
 	}
 	n := opts.Structure.N()
+	sched := opts.Scheduler
+	if sched == nil {
+		sched = netsim.NewRandomScheduler(seed)
+	}
 	d := &SimulatedDeployment{
 		Public:     pub,
 		opts:       opts,
 		reg:        reg,
-		net:        netsim.New(n, opts.MaxClients, netsim.NewRandomScheduler(seed)),
+		net:        netsim.New(n, opts.MaxClients, sched),
 		clientNext: n,
 	}
 	d.net.SetObserver(reg)
@@ -187,10 +222,18 @@ func NewSimulatedDeployment(opts SimOptions) (*SimulatedDeployment, error) {
 		if crashed[i] {
 			continue
 		}
+		var tr wire.Transport = d.net.Endpoint(i)
+		if bs := opts.Byzantine[i]; len(bs) > 0 {
+			// Each corrupted party draws from its own seeded source so a
+			// run is reproducible regardless of goroutine interleaving.
+			p := faultsim.Wrap(tr, seed*1000003+int64(i), bs...)
+			p.SetObserver(reg)
+			tr = p
+		}
 		node, err := core.NewNode(core.NodeConfig{
 			Public:      pub,
 			Secret:      secrets[i],
-			Transport:   d.net.Endpoint(i),
+			Transport:   tr,
 			ServiceName: opts.ServiceName,
 			Service:     opts.NewService(),
 			Mode:        opts.Mode,
