@@ -37,6 +37,19 @@ func BenchmarkS3MultiValuedAgreement(b *testing.B) { benchLayer(b, "mvba") }
 func BenchmarkS3AtomicBroadcast(b *testing.B)      { benchLayer(b, "abc") }
 func BenchmarkS3SecureCausalABC(b *testing.B)      { benchLayer(b, "scabc") }
 
+// BenchmarkABC is the headline per-delivery latency number: atomic
+// broadcast at n=7 (t=2), the paper's mid-size deployment. It is the
+// benchmark the verification-pipeline work is measured against (see
+// EXPERIMENTS.md "Verification pipeline").
+func BenchmarkABC(b *testing.B) {
+	row, err := bench.RunLayer(7, "abc", b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(row.MsgsPer, "msgs/op")
+	b.ReportMetric(row.BytesPerOp, "wire-bytes/op")
+}
+
 // Experiment A8 — expected-constant-round binary agreement with split
 // inputs; reports the mean rounds per decision.
 func BenchmarkA8AgreementRounds(b *testing.B) {

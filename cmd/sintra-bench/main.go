@@ -7,6 +7,7 @@
 //	sintra-bench -exp aba          # expected-constant-rounds agreement
 //	sintra-bench -exp ex1 -exp ex2 # the §4.3 worked examples
 //	sintra-bench -exp apps         # §5.2 input causality
+//	sintra-bench -cpus 1,2,4       # stack scaling across GOMAXPROCS
 package main
 
 import (
@@ -38,10 +39,12 @@ func run() error {
 		trials = flag.Int("trials", 10, "agreement trials per system size (aba)")
 		sizes  = flag.String("sizes", "4,7,10,13,16", "system sizes for stack/aba sweeps")
 		window = flag.Duration("window", 1500*time.Millisecond, "observation window for the f1 liveness attack")
+		cpus   = flag.String("cpus", "", "comma list of GOMAXPROCS values: rerun the S3 stack per value with a scaling column")
+		scaleN = flag.Int("scale-n", 7, "system size for the -cpus scaling sweep")
 	)
 	flag.Var(&exps, "exp", "experiment: f1 | stack | aba | ex1 | ex2 | apps | tolerance | ablate | all (repeatable)")
 	flag.Parse()
-	if len(exps) == 0 {
+	if len(exps) == 0 && *cpus == "" {
 		exps = expList{"all"}
 	}
 
@@ -52,6 +55,17 @@ func run() error {
 			return fmt.Errorf("bad -sizes entry %q", s)
 		}
 		ns = append(ns, n)
+	}
+
+	var cpuList []int
+	if *cpus != "" {
+		for _, s := range strings.Split(*cpus, ",") {
+			var c int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &c); err != nil {
+				return fmt.Errorf("bad -cpus entry %q", s)
+			}
+			cpuList = append(cpuList, c)
+		}
 	}
 
 	want := map[string]bool{}
@@ -115,6 +129,14 @@ func run() error {
 			return err
 		}
 		bench.PrintToleranceSweep(out, rows)
+		bench.Separator(out)
+	}
+	if len(cpuList) > 0 {
+		rows, err := bench.RunStackScaling(*scaleN, cpuList, *ops)
+		if err != nil {
+			return err
+		}
+		bench.PrintStackScaling(out, *scaleN, rows)
 		bench.Separator(out)
 	}
 	if all || want["ablate"] {

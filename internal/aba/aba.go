@@ -29,6 +29,7 @@ import (
 	"sintra/internal/coin"
 	"sintra/internal/engine"
 	"sintra/internal/obs"
+	"sintra/internal/wire"
 )
 
 // Protocol is the wire protocol name of binary agreement.
@@ -121,8 +122,42 @@ func New(cfg Config) *ABA {
 		rounds: make(map[int]*roundState),
 		span:   obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
 	}
-	cfg.Router.Register(Protocol, cfg.Instance, a.Handle)
+	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
+		Verify:      a.verifyMsg,
+		Apply:       a.apply,
+		VerifyTypes: []string{typeCoin},
+	})
 	return a
+}
+
+// coinVerdict is the Verify-stage result for COIN messages: the decoded
+// round and the subset of shares whose DLEQ proofs checked out. It is
+// computed on a worker goroutine from the immutable coin parameters only.
+type coinVerdict struct {
+	round  int
+	shares []coin.Share
+}
+
+// verifyMsg is the parallel Verify stage: it checks COIN share proofs —
+// the instance's dominant public-key cost — without touching state.
+func (a *ABA) verifyMsg(from int, msgType string, payload []byte) any {
+	if msgType != typeCoin {
+		return nil
+	}
+	var body coinBody
+	// Plain unmarshal, not Router.Decode: the nil-verdict fallback would
+	// decode again and double-count router.malformed.
+	if wire.UnmarshalBody(payload, &body) != nil || body.Round < 1 {
+		return nil
+	}
+	name := a.coinName(body.Round)
+	valid := make([]coin.Share, 0, len(body.Shares))
+	for _, sh := range body.Shares {
+		if a.cfg.Coin.VerifyShare(name, sh) == nil {
+			valid = append(valid, sh)
+		}
+	}
+	return &coinVerdict{round: body.Round, shares: valid}
 }
 
 // Start proposes the initial value. Safe from any goroutine (loopback).
@@ -158,8 +193,16 @@ func b2i(v bool) int {
 	return 0
 }
 
-// Handle processes one protocol message.
+// Handle processes one protocol message without a pipeline verdict (the
+// legacy single-stage entry point, kept for tests and direct callers).
 func (a *ABA) Handle(from int, msgType string, payload []byte) {
+	a.apply(from, msgType, payload, nil)
+}
+
+// apply is the serialized Apply stage. A non-nil verdict carries the
+// Verify stage's result for COIN messages; a nil verdict means the shares
+// were not pre-verified and are checked inline.
+func (a *ABA) apply(from int, msgType string, payload []byte, verdict any) {
 	if a.terminated {
 		return
 	}
@@ -183,6 +226,10 @@ func (a *ABA) Handle(from int, msgType string, payload []byte) {
 		}
 		a.onAux(from, body.Round, body.Value)
 	case typeCoin:
+		if v, ok := verdict.(*coinVerdict); ok {
+			a.onCoinVerified(v.round, v.shares)
+			return
+		}
 		var body coinBody
 		if !a.cfg.Router.Decode(payload, &body) || body.Round < 1 {
 			return
@@ -297,6 +344,23 @@ func (a *ABA) onCoin(r int, shares []coin.Share) {
 	for _, sh := range shares {
 		_ = st.coinCombiner.Add(sh) // invalid shares are rejected inside
 	}
+	a.finishCoin(r, st)
+}
+
+// onCoinVerified consumes shares whose proofs the Verify stage already
+// checked, skipping re-verification on the dispatch goroutine.
+func (a *ABA) onCoinVerified(r int, shares []coin.Share) {
+	st := a.state(r)
+	if st.coinDone {
+		return
+	}
+	for _, sh := range shares {
+		st.coinCombiner.AddVerified(sh)
+	}
+	a.finishCoin(r, st)
+}
+
+func (a *ABA) finishCoin(r int, st *roundState) {
 	if !st.coinCombiner.Ready() {
 		return
 	}

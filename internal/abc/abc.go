@@ -135,7 +135,11 @@ func New(cfg Config) *ABC {
 		a.submitted = make(map[[32]byte]time.Time)
 		a.orderLat = reg.Histogram(Protocol + ".latency.order")
 	}
-	cfg.Router.Register(Protocol, cfg.Instance, a.Handle)
+	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
+		Verify:      a.verifyMsg,
+		Apply:       a.apply,
+		VerifyTypes: []string{typeProposal},
+	})
 	return a
 }
 
@@ -162,8 +166,41 @@ func (a *ABC) signStatement(p *SignedProposal) []byte {
 	return h.Sum(nil)
 }
 
-// Handle processes one protocol message.
+// proposalVerdict is the Verify-stage result for PROPOSAL messages: the
+// decoded proposal and whether the proposer's signature checked out.
+// Round-window and duplicate checks are stateful and stay in Apply.
+type proposalVerdict struct {
+	p     SignedProposal
+	valid bool
+}
+
+// verifyMsg is the parallel Verify stage: proposal signature checks only
+// read the immutable identity registry and the instance name, so they are
+// safe off the dispatch goroutine.
+func (a *ABC) verifyMsg(from int, msgType string, payload []byte) any {
+	if msgType != typeProposal {
+		return nil
+	}
+	var p SignedProposal
+	// Plain unmarshal, not Router.Decode: the nil-verdict fallback would
+	// decode again and double-count router.malformed.
+	if wire.UnmarshalBody(payload, &p) != nil {
+		return nil
+	}
+	valid := p.Party == from &&
+		a.cfg.Identity.Verify(from, "abc-prop", a.signStatement(&p), p.Sig) == nil
+	return &proposalVerdict{p: p, valid: valid}
+}
+
+// Handle processes one protocol message without a pipeline verdict (the
+// legacy single-stage entry point, kept for tests and direct callers).
 func (a *ABC) Handle(from int, msgType string, payload []byte) {
+	a.apply(from, msgType, payload, nil)
+}
+
+// apply is the serialized Apply stage; a non-nil verdict carries a
+// pre-checked proposal signature.
+func (a *ABC) apply(from int, msgType string, payload []byte, verdict any) {
 	switch msgType {
 	case typeSubmit:
 		var body submitBody
@@ -172,6 +209,12 @@ func (a *ABC) Handle(from int, msgType string, payload []byte) {
 		}
 		a.onSubmit(body.Payload)
 	case typeProposal:
+		if v, ok := verdict.(*proposalVerdict); ok {
+			if v.valid {
+				a.onProposalVerified(from, v.p)
+			}
+			return
+		}
 		var p SignedProposal
 		if !a.cfg.Router.Decode(payload, &p) {
 			return
@@ -227,6 +270,22 @@ func (a *ABC) onProposal(from int, p SignedProposal) {
 	if a.cfg.Identity.Verify(from, "abc-prop", a.signStatement(&p), p.Sig) != nil {
 		return
 	}
+	a.acceptProposal(from, p)
+}
+
+// onProposalVerified consumes a proposal whose signature the Verify stage
+// already checked; only the stateful round/duplicate filters remain.
+func (a *ABC) onProposalVerified(from int, p SignedProposal) {
+	if p.Round < a.round {
+		return
+	}
+	if _, dup := a.proposals[p.Round][from]; dup {
+		return
+	}
+	a.acceptProposal(from, p)
+}
+
+func (a *ABC) acceptProposal(from int, p SignedProposal) {
 	if a.proposals[p.Round] == nil {
 		a.proposals[p.Round] = make(map[int]SignedProposal)
 	}

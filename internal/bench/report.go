@@ -120,3 +120,17 @@ func PrintSigSchemeAblation(w io.Writer, rows []SigSchemeRow) {
 	}
 	fmt.Fprintln(w, "Shoup RSA: constant-size signatures, heavy arithmetic; certificates: linear size, cheap ops")
 }
+
+// PrintStackScaling renders the GOMAXPROCS scaling table: the S3 stack
+// rerun per CPU count, with speedup relative to the first count.
+func PrintStackScaling(w io.Writer, n int, rows []ScalingRow) {
+	fmt.Fprintf(w, "S3 scaling — latency per delivered payload vs GOMAXPROCS (n=%d)\n", n)
+	fmt.Fprintf(w, "%-7s %5s %12s %9s\n", "layer", "cpus", "latency/op", "scaling")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7s %5d %12v %8.2fx\n",
+			r.Layer, r.CPUs, r.LatencyPer.Round(10*1000), r.Scaling)
+	}
+	fmt.Fprintln(w, "scaling = first-row latency / row latency, per layer; the verify")
+	fmt.Fprintln(w, "pool moves signature/proof checks off the dispatch goroutine, so")
+	fmt.Fprintln(w, "headroom appears only when cpus > 1")
+}

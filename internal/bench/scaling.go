@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"sintra/internal/adversary"
+)
+
+// ScalingRow is one measurement of the S3 stack rerun at a fixed
+// GOMAXPROCS value: how much the verification pipeline buys as cores are
+// added (cf. the paper's observation that public-key operations dominate
+// the protocols' cost, §6).
+type ScalingRow struct {
+	Layer      string
+	CPUs       int
+	LatencyPer time.Duration
+	// Scaling is baseline latency / this latency, where the baseline is
+	// the first CPU count measured for the layer (1.00 for the baseline
+	// row; >1 means faster).
+	Scaling float64
+}
+
+// RunStackScaling reruns the S3 protocol-stack experiment once per CPU
+// count, setting GOMAXPROCS before each sweep so both the Go scheduler
+// and the routers' verification pools (sized from GOMAXPROCS at router
+// construction) see the configured parallelism. The previous GOMAXPROCS
+// value is restored on return.
+func RunStackScaling(n int, cpus []int, ops int) ([]ScalingRow, error) {
+	if len(cpus) == 0 {
+		return nil, fmt.Errorf("bench: no CPU counts given")
+	}
+	st, err := adversary.NewThreshold(n, (n-1)/3)
+	if err != nil {
+		return nil, err
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	baseline := make(map[string]time.Duration, len(StackLayers))
+	var rows []ScalingRow
+	for _, c := range cpus {
+		if c < 1 {
+			return nil, fmt.Errorf("bench: bad CPU count %d", c)
+		}
+		runtime.GOMAXPROCS(c)
+		for _, layer := range StackLayers {
+			row, err := runStackLayer(st, layer, ops)
+			if err != nil {
+				return nil, fmt.Errorf("layer %s cpus=%d: %w", layer, c, err)
+			}
+			scale := 1.0
+			if b, ok := baseline[layer]; ok {
+				scale = float64(b) / float64(row.LatencyPer)
+			} else {
+				baseline[layer] = row.LatencyPer
+			}
+			rows = append(rows, ScalingRow{
+				Layer:      layer,
+				CPUs:       c,
+				LatencyPer: row.LatencyPer,
+				Scaling:    scale,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -23,11 +23,13 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"sintra/internal/adversary"
 	"sintra/internal/engine"
 	"sintra/internal/obs"
 	"sintra/internal/thresig"
+	"sintra/internal/wire"
 )
 
 // Protocol is the wire protocol name of consistent broadcast.
@@ -127,6 +129,11 @@ type CBC struct {
 	shareFrom   adversary.Set
 	finalSent   bool
 
+	// stmt is the signed statement snapshot for the Verify stage: written
+	// once by the sender's START apply, read by verify workers checking
+	// SHARE messages. nil until the local payload is known.
+	stmt atomic.Pointer[[]byte]
+
 	answered adversary.Set
 
 	span *obs.Span
@@ -139,8 +146,61 @@ func New(cfg Config) *CBC {
 		cfg:  cfg,
 		span: obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
 	}
-	cfg.Router.Register(Protocol, cfg.Instance, c.Handle)
+	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
+		Verify:      c.verifyMsg,
+		Apply:       c.apply,
+		VerifyTypes: []string{typeShare, typeFinal, typeAns},
+	})
 	return c
+}
+
+// shareVerdict is the Verify-stage result for a SHARE message, checked
+// against the statement snapshot published by the sender's START.
+type shareVerdict struct {
+	share thresig.Share
+	valid bool
+}
+
+// finalVerdict is the Verify-stage result for FINAL and ANS messages:
+// the decoded body and whether its certificate checks out. Certificate
+// verification needs no protocol state, so the verdict is authoritative.
+type finalVerdict struct {
+	payload, cert []byte
+	valid         bool
+}
+
+// verifyMsg is the parallel Verify stage: signature-share checks (SHARE)
+// and certificate checks (FINAL/ANS) — the instance's dominant
+// public-key costs — run here, off the dispatch goroutine.
+func (c *CBC) verifyMsg(from int, msgType string, payload []byte) any {
+	switch msgType {
+	case typeShare:
+		stmt := c.stmt.Load()
+		if stmt == nil {
+			// The local START has not applied yet; defer to inline
+			// verification (the share would be dropped anyway).
+			return nil
+		}
+		var body shareBody
+		if wire.UnmarshalBody(payload, &body) != nil {
+			return nil
+		}
+		return &shareVerdict{
+			share: body.Share,
+			valid: c.cfg.Scheme.VerifyShare(*stmt, body.Share) == nil,
+		}
+	case typeFinal, typeAns:
+		var body finalBody
+		if wire.UnmarshalBody(payload, &body) != nil {
+			return nil
+		}
+		return &finalVerdict{
+			payload: body.Payload,
+			cert:    body.Cert,
+			valid:   VerifyCertificate(c.cfg.Scheme, c.cfg.Instance, body.Payload, body.Cert) == nil,
+		}
+	}
+	return nil
 }
 
 // Start c-broadcasts the payload; sender only. Safe from any goroutine
@@ -159,8 +219,15 @@ func (c *CBC) valid(payload []byte) bool {
 	return c.cfg.Predicate == nil || c.cfg.Predicate(payload)
 }
 
-// Handle processes one protocol message.
+// Handle processes one protocol message without a pipeline verdict (the
+// legacy single-stage entry point, kept for tests and direct callers).
 func (c *CBC) Handle(from int, msgType string, payload []byte) {
+	c.apply(from, msgType, payload, nil)
+}
+
+// apply is the serialized Apply stage; a non-nil verdict carries the
+// Verify stage's result and skips re-verification.
+func (c *CBC) apply(from int, msgType string, payload []byte, verdict any) {
 	switch msgType {
 	case "START":
 		var body sendBody
@@ -171,6 +238,9 @@ func (c *CBC) Handle(from int, msgType string, payload []byte) {
 			return
 		}
 		c.sentPayload = body.Payload
+		d := sha256.Sum256(body.Payload)
+		stmt := signedStatement(c.cfg.Instance, d)
+		c.stmt.Store(&stmt) // expose the statement to verify workers
 		_ = c.cfg.Router.Broadcast(Protocol, c.cfg.Instance, typeSend, sendBody{Payload: body.Payload})
 	case typeSend:
 		var body sendBody
@@ -179,12 +249,24 @@ func (c *CBC) Handle(from int, msgType string, payload []byte) {
 		}
 		c.onSend(body.Payload)
 	case typeShare:
+		if v, ok := verdict.(*shareVerdict); ok {
+			if v.valid {
+				c.onShare(from, v.share, true)
+			}
+			return
+		}
 		var body shareBody
 		if !c.cfg.Router.Decode(payload, &body) {
 			return
 		}
-		c.onShare(from, body.Share)
-	case typeFinal:
+		c.onShare(from, body.Share, false)
+	case typeFinal, typeAns:
+		if v, ok := verdict.(*finalVerdict); ok {
+			if v.valid {
+				c.onFinalVerified(v.payload, v.cert)
+			}
+			return
+		}
 		var body finalBody
 		if !c.cfg.Router.Decode(payload, &body) {
 			return
@@ -192,12 +274,6 @@ func (c *CBC) Handle(from int, msgType string, payload []byte) {
 		c.onFinal(body.Payload, body.Cert)
 	case typeReq:
 		c.onReq(from)
-	case typeAns:
-		var body finalBody
-		if !c.cfg.Router.Decode(payload, &body) {
-			return
-		}
-		c.onFinal(body.Payload, body.Cert)
 	}
 }
 
@@ -216,7 +292,9 @@ func (c *CBC) onSend(payload []byte) {
 }
 
 // onShare: sender collects shares until the quorum rule is met.
-func (c *CBC) onShare(from int, share thresig.Share) {
+// preVerified shares passed the Verify stage against the published
+// statement and skip re-verification.
+func (c *CBC) onShare(from int, share thresig.Share, preVerified bool) {
 	if c.cfg.Router.Self() != c.cfg.Sender || c.finalSent || c.sentPayload == nil {
 		return
 	}
@@ -225,8 +303,10 @@ func (c *CBC) onShare(from int, share thresig.Share) {
 	}
 	d := sha256.Sum256(c.sentPayload)
 	stmt := signedStatement(c.cfg.Instance, d)
-	if err := c.cfg.Scheme.VerifyShare(stmt, share); err != nil {
-		return
+	if !preVerified {
+		if err := c.cfg.Scheme.VerifyShare(stmt, share); err != nil {
+			return
+		}
 	}
 	c.shareFrom = c.shareFrom.Add(from)
 	c.shares = append(c.shares, share)
@@ -247,6 +327,15 @@ func (c *CBC) onFinal(payload, cert []byte) {
 		return
 	}
 	if VerifyCertificate(c.cfg.Scheme, c.cfg.Instance, payload, cert) != nil {
+		return
+	}
+	c.onFinalVerified(payload, cert)
+}
+
+// onFinalVerified delivers a payload whose certificate already checked
+// out (in onFinal or in the Verify stage).
+func (c *CBC) onFinalVerified(payload, cert []byte) {
+	if c.delivered {
 		return
 	}
 	c.delivered = true

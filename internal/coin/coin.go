@@ -123,7 +123,18 @@ func (p *Params) Init() error {
 	}
 	p.g = g
 	p.scheme = scheme
+	p.Precompute()
 	return nil
+}
+
+// Precompute registers fixed-base exponentiation tables for the dealt
+// verification keys: every DLEQ share verification exponentiates each
+// key, and the dealing lives for the whole deployment. Init calls this;
+// Deal-created params may call it explicitly.
+func (p *Params) Precompute() {
+	for _, vk := range p.VerifyKeys {
+		p.g.Precompute(vk)
+	}
 }
 
 // Group returns the group of the dealing.
@@ -166,9 +177,17 @@ func (p *Params) VerifyShare(name string, sh Share) error {
 	if err != nil || owner != sh.Party {
 		return ErrWrongParty
 	}
+	// The share value is the only statement element taken from the
+	// network: check its group membership here, then mark the statement
+	// trusted — generator, dealt verification key, and locally derived
+	// base need no re-check.
+	if !p.g.IsElement(sh.Value) {
+		return ErrInvalidShare
+	}
 	st := dleq.Statement{
 		G1: p.g.G, H1: p.VerifyKeys[sh.ID],
 		G2: p.base(name), H2: sh.Value,
+		Trusted: true,
 	}
 	if err := dleq.Verify(p.g, st, sh.Proof, proofContext(name, sh.ID)); err != nil {
 		return ErrInvalidShare
@@ -226,6 +245,17 @@ func (c *Combiner) Add(sh Share) error {
 	c.values[sh.ID] = sh.Value
 	c.parties = c.parties.Add(sh.Party)
 	return nil
+}
+
+// AddVerified stores a coin share that the caller has already checked
+// with VerifyShare — the engine's parallel Verify stage does exactly
+// that — skipping re-verification. Duplicates are ignored.
+func (c *Combiner) AddVerified(sh Share) {
+	if _, ok := c.values[sh.ID]; ok {
+		return
+	}
+	c.values[sh.ID] = sh.Value
+	c.parties = c.parties.Add(sh.Party)
 }
 
 // partiesWithAllShares returns the parties for which every owned share has

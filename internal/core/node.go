@@ -37,6 +37,11 @@ type NodeConfig struct {
 	// Tracer optionally receives structured protocol-stage events; it is
 	// installed on Observer (and ignored when Observer is nil).
 	Tracer obs.Tracer
+	// VerifyWorkers sizes the router's parallel message-verification
+	// pool: 0 keeps the engine default (GOMAXPROCS), a negative value
+	// disables the pool (all verification inline on the dispatch
+	// goroutine), a positive value sets the worker count.
+	VerifyWorkers int
 }
 
 // Node is one replica of a distributed trusted service.
@@ -72,6 +77,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		cfg:        cfg,
 		router:     engine.NewRouter(cfg.Transport),
 		reqClients: make(map[[16]byte][]int),
+	}
+	if cfg.VerifyWorkers != 0 {
+		workers := cfg.VerifyWorkers
+		if workers < 0 {
+			workers = 0
+		}
+		n.router.SetVerifyWorkers(workers)
 	}
 	if cfg.Observer != nil {
 		if cfg.Tracer != nil {

@@ -104,6 +104,44 @@ func TestProofsAreBoundPerStatement(t *testing.T) {
 	}
 }
 
+// TestVerifyMatchesSlowOracle cross-checks the fast verification path
+// (MulExp, Jacobi membership, optional Trusted skip) against the
+// original implementation on valid and corrupted proofs.
+func TestVerifyMatchesSlowOracle(t *testing.T) {
+	g, st, x := setup(t)
+	g.Precompute(st.H1)
+	valid, _ := Prove(g, st, x, "oracle", rand.Reader)
+	mangled := &Proof{C: valid.C, Z: g.AddScalar(valid.Z, big.NewInt(1))}
+	zero := &Proof{C: big.NewInt(0), Z: valid.Z}
+	trusted := st
+	trusted.Trusted = true
+	for i, p := range []*Proof{valid, mangled, zero} {
+		want := verifySlow(g, st, p, "oracle")
+		if got := Verify(g, st, p, "oracle"); (got == nil) != (want == nil) {
+			t.Fatalf("case %d: fast path %v, slow path %v", i, got, want)
+		}
+		if got := Verify(g, trusted, p, "oracle"); (got == nil) != (want == nil) {
+			t.Fatalf("case %d (trusted): fast path %v, slow path %v", i, got, want)
+		}
+	}
+}
+
+// TestTrustedSkipsOnlyMembership makes sure Trusted does not weaken
+// the algebraic check itself.
+func TestTrustedSkipsOnlyMembership(t *testing.T) {
+	g, st, x := setup(t)
+	st.Trusted = true
+	p, _ := Prove(g, st, x, "t", rand.Reader)
+	if err := Verify(g, st, p, "t"); err != nil {
+		t.Fatalf("trusted valid proof rejected: %v", err)
+	}
+	bad := st
+	bad.H2 = g.Mul(st.H2, g.G)
+	if err := Verify(g, bad, p, "t"); err == nil {
+		t.Fatal("trusted statement with unequal logs accepted")
+	}
+}
+
 func BenchmarkProve(b *testing.B) {
 	g := group.Test256()
 	x, _ := g.RandomScalar(rand.Reader)
@@ -131,4 +169,41 @@ func BenchmarkVerify(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDLEQVerify is the acceptance benchmark of the verification
+// pipeline work (EXPERIMENTS.md): "legacy" is the pre-pipeline
+// implementation, "precomp" the production configuration — a trusted
+// statement whose H1 is a dealt verification key with a registered
+// fixed-base table, exactly how internal/coin and internal/threnc
+// call it.
+func BenchmarkDLEQVerify(b *testing.B) {
+	g := group.Test256()
+	x, _ := g.RandomScalar(rand.Reader)
+	g2 := g.HashToElement("gen", []byte("b"))
+	st := Statement{G1: g.G, H1: g.BaseExp(x), G2: g2, H2: g.Exp(g2, x)}
+	p, _ := Prove(g, st, x, "bench", rand.Reader)
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := verifySlow(g, st, p, "bench"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("precomp", func(b *testing.B) {
+		g.Precompute(st.H1)
+		tst := st
+		tst.Trusted = true
+		if err := Verify(g, tst, p, "bench"); err != nil { // build tables untimed
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := Verify(g, tst, p, "bench"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -10,6 +10,23 @@
 // plain single-threaded state machines with no internal locking. Outbound
 // sends go through the thread-safe transport.
 //
+// # Verification pipeline
+//
+// Message processing is split into two stages. The Verify stage is a pure
+// function of the message bytes and public key material — decode, check a
+// DLEQ proof, a threshold signature share, a ciphertext consistency proof
+// — and runs on a pool of worker goroutines, so the expensive public-key
+// operations of concurrent protocol instances overlap on multicore
+// hardware. The Apply stage consumes the Verify stage's verdict and
+// mutates protocol state; it runs on the single dispatch goroutine, in
+// arrival order, preserving the single-threaded state machine model.
+// Handlers registered through Register are single-stage (Apply only);
+// RegisterSplit installs a two-stage handler for the message types whose
+// verification dominates. When the pool is disabled (SetVerifyWorkers(0))
+// every message is applied with a nil verdict and split handlers fall
+// back to verifying inline — the two paths are behaviorally identical,
+// which the equivalence tests at the repository root assert.
+//
 // External goroutines (clients, tests) interact with protocol state only
 // through Do/DoSync, which run a closure on the dispatch goroutine.
 // Messages that arrive before their instance is registered are buffered
@@ -20,6 +37,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -44,9 +62,40 @@ const maxBufferedPerInstance = 4096
 // sidestep the per-instance quota by spamming fresh instance names.
 const maxBufferedPerSenderTotal = 4 * maxBufferedPerInstance
 
+// verifyQueueCap bounds the number of messages waiting for a verify
+// worker. When the pool falls this far behind, further messages degrade
+// to apply-time verification instead of blocking the dispatch goroutine
+// (counted by engine.verify.degraded).
+const verifyQueueCap = 1024
+
 // Handler processes one inbound message of an instance, on the dispatch
 // goroutine.
 type Handler func(from int, msgType string, payload []byte)
+
+// VerifyFunc is the parallel first stage of a split handler. It must be a
+// pure function of the message and immutable key material: it runs on a
+// worker goroutine, concurrently with the dispatch goroutine and with
+// other verifications, and must not touch protocol state. It returns an
+// opaque verdict for the Apply stage; returning nil means "no verdict"
+// and obliges Apply to verify the message itself.
+type VerifyFunc func(from int, msgType string, payload []byte) any
+
+// ApplyFunc is the serialized second stage: it consumes the verdict and
+// mutates protocol state on the dispatch goroutine, in arrival order.
+// verdict is nil whenever the Verify stage did not run — replayed
+// early-arrival messages, a disabled or saturated worker pool, a panic in
+// Verify — so Apply must treat nil as "verify inline", never as valid.
+type ApplyFunc func(from int, msgType string, payload []byte, verdict any)
+
+// SplitHandler is a two-stage handler: Verify runs in parallel for the
+// message types listed in VerifyTypes, Apply runs serialized for every
+// message of the instance. Types not in VerifyTypes skip straight to
+// Apply with a nil verdict.
+type SplitHandler struct {
+	Verify      VerifyFunc
+	Apply       ApplyFunc
+	VerifyTypes []string
+}
 
 // Factory creates a handler on demand for an instance that receives its
 // first message before being registered explicitly. Factories run on the
@@ -58,15 +107,42 @@ type instanceKey struct {
 	instance string
 }
 
+// boundHandler is the installed form of a handler: single-stage handlers
+// have only apply; split handlers add verify and the type set.
+type boundHandler struct {
+	apply       ApplyFunc
+	verify      VerifyFunc
+	verifyTypes map[string]bool
+}
+
 // instanceState is the per-instance bookkeeping (dispatch goroutine only).
 type instanceState struct {
-	handler  Handler
+	handler  *boundHandler
 	buffered []wire.Message
 	// perSender counts buffered messages by sender, enforcing the
 	// per-sender share of maxBufferedPerInstance.
 	perSender map[int]int
 	dead      bool // tombstone: finished instance, drop further traffic
 }
+
+// applyCell is one admitted message waiting for its serialized apply.
+// done is closed when the verdict is available; cells that skip the
+// Verify stage share a pre-closed channel and allocate nothing extra.
+type applyCell struct {
+	m       wire.Message
+	key     instanceKey
+	verify  VerifyFunc
+	verdict any
+	done    chan struct{}
+	start   time.Time
+}
+
+// closedCh is the shared done channel of cells with no Verify stage.
+var closedCh = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // Router multiplexes a party's transport among protocol instances.
 type Router struct {
@@ -77,6 +153,10 @@ type Router struct {
 	// bufferedBySender counts buffered early-arrival messages per sender
 	// across all instances (the maxBufferedPerSenderTotal guard).
 	bufferedBySender map[int]int
+	// applyQ is the FIFO of admitted messages whose apply is pending;
+	// the head is applied as soon as its verdict is ready, so arrival
+	// order is preserved no matter how verifications reorder.
+	applyQ []*applyCell
 
 	factoryMu sync.Mutex
 	factories map[string]Factory
@@ -84,6 +164,12 @@ type Router struct {
 	tasks chan func()
 	inCh  chan wire.Message
 	done  chan struct{}
+
+	// verifyWorkers is the Verify-stage pool size; 0 disables the pool.
+	// Set before Run (SetVerifyWorkers); read only by Run.
+	verifyWorkers int
+	verifyCh      chan *applyCell
+	workerWg      sync.WaitGroup
 
 	mx *routerMetrics // nil when observability is off
 }
@@ -94,7 +180,13 @@ type Router struct {
 type routerMetrics struct {
 	reg             *obs.Registry
 	dispatchLatency *obs.Histogram
+	verifyLatency   *obs.Histogram
+	applyLatency    *obs.Histogram
+	parallelism     *obs.Gauge
 	dispatched      *obs.Counter
+	verified        *obs.Counter
+	degraded        *obs.Counter
+	verifyPanics    *obs.Counter
 	taskDepth       *obs.Gauge
 	bufferDepth     *obs.Gauge
 	bufferDrops     *obs.Counter
@@ -120,6 +212,12 @@ func (m *routerMetrics) count(protocol, msgType string) {
 
 // SetObserver wires the router's metrics into reg. Call before Run (a nil
 // registry leaves observability off).
+//
+// router.dispatch.latency spans admission to apply-completion of one
+// message; engine.verify.latency and engine.apply.latency time the two
+// pipeline stages separately, and the high-water mark of the
+// engine.verify.parallelism gauge records how many verifications actually
+// overlapped.
 func (r *Router) SetObserver(reg *obs.Registry) {
 	if reg == nil {
 		r.mx = nil
@@ -128,7 +226,13 @@ func (r *Router) SetObserver(reg *obs.Registry) {
 	r.mx = &routerMetrics{
 		reg:             reg,
 		dispatchLatency: reg.Histogram("router.dispatch.latency"),
+		verifyLatency:   reg.Histogram("engine.verify.latency"),
+		applyLatency:    reg.Histogram("engine.apply.latency"),
+		parallelism:     reg.Gauge("engine.verify.parallelism"),
 		dispatched:      reg.Counter("router.dispatched"),
+		verified:        reg.Counter("engine.verify.messages"),
+		degraded:        reg.Counter("engine.verify.degraded"),
+		verifyPanics:    reg.Counter("engine.verify.panics"),
 		taskDepth:       reg.Gauge("router.tasks.depth"),
 		bufferDepth:     reg.Gauge("router.buffered.depth"),
 		bufferDrops:     reg.Counter("router.buffered.drops"),
@@ -139,7 +243,10 @@ func (r *Router) SetObserver(reg *obs.Registry) {
 }
 
 // NewRouter wraps a transport. Call Run (usually in a goroutine) to start
-// dispatching.
+// dispatching. The Verify-stage worker pool defaults to GOMAXPROCS when
+// at least two processors are available; on a single processor the pool
+// cannot run verifications in parallel with dispatch, so its handoff
+// overhead buys nothing and the default is the inline (disabled) path.
 func NewRouter(tr wire.Transport) *Router {
 	return &Router{
 		tr:               tr,
@@ -149,7 +256,25 @@ func NewRouter(tr wire.Transport) *Router {
 		tasks:            make(chan func(), 256),
 		inCh:             make(chan wire.Message, 1),
 		done:             make(chan struct{}),
+		verifyWorkers:    defaultVerifyWorkers(),
 	}
+}
+
+// defaultVerifyWorkers sizes the pool off the available parallelism.
+func defaultVerifyWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 0
+}
+
+// SetVerifyWorkers sizes the Verify-stage worker pool; 0 disables it, in
+// which case split handlers verify inline during Apply. Call before Run.
+func (r *Router) SetVerifyWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.verifyWorkers = n
 }
 
 // Self returns the local party index.
@@ -179,20 +304,43 @@ func (r *Router) state(key instanceKey) *instanceState {
 	return st
 }
 
-// Register installs the handler for one instance and replays any buffered
-// messages for it. It must run on the dispatch goroutine (inside a
-// handler, a factory, or a Do task) or before Run starts.
+// Register installs a single-stage handler for one instance and replays
+// any buffered messages for it. It must run on the dispatch goroutine
+// (inside a handler, a factory, or a Do task) or before Run starts.
 func (r *Router) Register(protocol, instance string, h Handler) {
+	r.register(protocol, instance, &boundHandler{
+		apply: func(from int, msgType string, payload []byte, _ any) {
+			h(from, msgType, payload)
+		},
+	})
+}
+
+// RegisterSplit installs a two-stage handler: h.Verify runs on the worker
+// pool for the message types in h.VerifyTypes, h.Apply runs serialized on
+// the dispatch goroutine for every message. Buffered messages replay
+// through Apply with a nil verdict. Same calling rules as Register.
+func (r *Router) RegisterSplit(protocol, instance string, h SplitHandler) {
+	bh := &boundHandler{apply: h.Apply, verify: h.Verify}
+	if h.Verify != nil && len(h.VerifyTypes) > 0 {
+		bh.verifyTypes = make(map[string]bool, len(h.VerifyTypes))
+		for _, t := range h.VerifyTypes {
+			bh.verifyTypes[t] = true
+		}
+	}
+	r.register(protocol, instance, bh)
+}
+
+func (r *Router) register(protocol, instance string, bh *boundHandler) {
 	st := r.state(instanceKey{protocol, instance})
 	if st.dead {
 		return
 	}
-	st.handler = h
+	st.handler = bh
 	replay := st.buffered
 	r.releaseBuffered(st)
 	for i := range replay {
 		m := &replay[i]
-		h(m.From, m.Type, m.Payload)
+		bh.apply(m.From, m.Type, m.Payload, nil)
 	}
 }
 
@@ -317,6 +465,15 @@ func (r *Router) Broadcast(protocol, instance, msgType string, body any) error {
 // closes. It must be called exactly once.
 func (r *Router) Run() {
 	defer close(r.done)
+	if r.verifyWorkers > 0 {
+		r.verifyCh = make(chan *applyCell, verifyQueueCap)
+		for i := 0; i < r.verifyWorkers; i++ {
+			r.workerWg.Add(1)
+			go r.verifyWorker()
+		}
+		defer r.workerWg.Wait()
+		defer close(r.verifyCh)
+	}
 	go func() {
 		defer close(r.inCh)
 		for {
@@ -328,18 +485,126 @@ func (r *Router) Run() {
 		}
 	}()
 	for {
+		// The apply queue's head gates the select: the moment its verdict
+		// is ready the message is applied, while later arrivals keep
+		// being admitted (and verified) behind it.
+		var headDone chan struct{}
+		if len(r.applyQ) > 0 {
+			headDone = r.applyQ[0].done
+		}
 		select {
 		case m, ok := <-r.inCh:
 			if !ok {
+				r.drainApplyQueue()
 				return
 			}
-			r.safely(func() { r.dispatch(m) })
+			r.safely(func() { r.admit(m) })
+			r.applyReady()
 		case f := <-r.tasks:
 			if r.mx != nil {
 				r.mx.taskDepth.Set(int64(len(r.tasks)) + 1)
 			}
 			r.safely(f)
+			r.applyReady()
+		case <-headDone:
+			r.applyReady()
 		}
+	}
+}
+
+// applyReady applies queued messages from the head while their verdicts
+// are ready, preserving arrival order. Dispatch goroutine only.
+func (r *Router) applyReady() {
+	for len(r.applyQ) > 0 {
+		c := r.applyQ[0]
+		select {
+		case <-c.done:
+		default:
+			return
+		}
+		r.popApply(c)
+	}
+}
+
+// drainApplyQueue waits out and applies every pending message; it runs at
+// shutdown so no admitted message is silently lost mid-pipeline.
+func (r *Router) drainApplyQueue() {
+	for len(r.applyQ) > 0 {
+		c := r.applyQ[0]
+		<-c.done
+		r.popApply(c)
+	}
+}
+
+func (r *Router) popApply(c *applyCell) {
+	if len(r.applyQ) == 1 {
+		r.applyQ = nil // release the backing array between bursts
+	} else {
+		r.applyQ = r.applyQ[1:]
+	}
+	// Re-resolve the instance: it may have been tombstoned while the
+	// message waited for its verdict.
+	st, ok := r.instances[c.key]
+	if !ok || st.dead || st.handler == nil {
+		if r.mx != nil {
+			r.mx.dispatchLatency.ObserveSince(c.start)
+		}
+		return
+	}
+	r.applyNow(st.handler, &c.m, c.verdict, c.start)
+}
+
+// applyNow runs the Apply stage of one message and closes out its
+// metrics. Dispatch goroutine only.
+func (r *Router) applyNow(bh *boundHandler, m *wire.Message, verdict any, start time.Time) {
+	var t0 time.Time
+	if r.mx != nil {
+		t0 = time.Now()
+	}
+	r.safely(func() { bh.apply(m.From, m.Type, m.Payload, verdict) })
+	if r.mx != nil {
+		r.mx.applyLatency.ObserveSince(t0)
+		r.mx.dispatchLatency.ObserveSince(start)
+	}
+}
+
+// verifyWorker drains the verify queue until shutdown.
+func (r *Router) verifyWorker() {
+	defer r.workerWg.Done()
+	for c := range r.verifyCh {
+		r.runVerify(c)
+	}
+}
+
+// runVerify executes one cell's Verify stage on a worker goroutine. A
+// panic — attacker bytes slipping past a decode guard — leaves the
+// verdict nil, so Apply falls back to inline verification and the replica
+// stays alive.
+func (r *Router) runVerify(c *applyCell) {
+	defer close(c.done)
+	defer func() {
+		if p := recover(); p != nil {
+			c.verdict = nil
+			if r.mx != nil {
+				r.mx.verifyPanics.Inc()
+				r.mx.reg.Trace(obs.Event{
+					Party: r.Self(), Protocol: c.key.protocol, Instance: c.key.instance,
+					Stage: obs.StageDrop, Seq: -1,
+					Note: fmt.Sprint("recovered verify panic: ", p),
+				})
+			}
+		}
+	}()
+	var t0 time.Time
+	if r.mx != nil {
+		t0 = time.Now()
+		r.mx.parallelism.Add(1)
+	}
+	c.verdict = c.verify(c.m.From, c.m.Type, c.m.Payload)
+	if r.mx != nil {
+		r.mx.parallelism.Add(-1)
+		r.mx.verifyLatency.ObserveSince(t0)
+		r.mx.verified.Inc()
 	}
 }
 
@@ -380,8 +645,11 @@ func (r *Router) Decode(payload []byte, v any) bool {
 // Done is closed when Run returns.
 func (r *Router) Done() <-chan struct{} { return r.done }
 
-// dispatch routes one message. Dispatch goroutine only.
-func (r *Router) dispatch(m wire.Message) {
+// admit routes one inbound message: straight to Apply when possible,
+// through the verify pipeline when its handler asks for it, into the
+// early-arrival buffer when no handler exists yet. Dispatch goroutine
+// only.
+func (r *Router) admit(m wire.Message) {
 	var start time.Time
 	if r.mx != nil {
 		start = time.Now()
@@ -393,27 +661,48 @@ func (r *Router) dispatch(m wire.Message) {
 	if st.dead {
 		return
 	}
-	if st.handler != nil {
-		st.handler(m.From, m.Type, m.Payload)
+	if st.handler == nil {
+		// No handler yet: buffer the message so a factory-created handler
+		// (or a later Register) replays it in arrival order.
+		r.buffer(st, m)
+		r.factoryMu.Lock()
+		f, ok := r.factories[m.Protocol]
+		r.factoryMu.Unlock()
+		if ok {
+			if h := f(m.Instance); h != nil {
+				r.Register(m.Protocol, m.Instance, h)
+			}
+		}
 		if r.mx != nil {
 			r.mx.dispatchLatency.ObserveSince(start)
 		}
 		return
 	}
-	// No handler yet: buffer the message so a factory-created handler (or
-	// a later Register) replays it in arrival order.
-	r.buffer(st, m)
-	r.factoryMu.Lock()
-	f, ok := r.factories[m.Protocol]
-	r.factoryMu.Unlock()
-	if ok {
-		if h := f(m.Instance); h != nil {
-			r.Register(m.Protocol, m.Instance, h)
+	bh := st.handler
+	needsVerify := r.verifyCh != nil && bh.verifyTypes != nil && bh.verifyTypes[m.Type]
+	if !needsVerify && len(r.applyQ) == 0 {
+		// Fast path: nothing queued ahead, nothing to verify — apply in
+		// place with no cell allocation (the pre-pipeline hot path).
+		r.applyNow(bh, &m, nil, start)
+		return
+	}
+	c := &applyCell{m: m, key: key, start: start, done: closedCh}
+	if needsVerify {
+		c.verify = bh.verify
+		c.done = make(chan struct{})
+		select {
+		case r.verifyCh <- c:
+		default:
+			// Pool saturated: degrade this message to apply-time inline
+			// verification rather than blocking admission.
+			c.verify = nil
+			c.done = closedCh
+			if r.mx != nil {
+				r.mx.degraded.Inc()
+			}
 		}
 	}
-	if r.mx != nil {
-		r.mx.dispatchLatency.ObserveSince(start)
-	}
+	r.applyQ = append(r.applyQ, c)
 }
 
 // buffer queues one early-arrival message under the per-sender quotas.

@@ -625,3 +625,263 @@ func BenchmarkRouterDispatch(b *testing.B) {
 	b.Run("Off", func(b *testing.B) { benchmarkDispatch(b, nil) })
 	b.Run("On", func(b *testing.B) { benchmarkDispatch(b, obs.NewRegistry()) })
 }
+
+// splitPair is pair() with explicit verify-pool sizing on r1.
+func splitPair(t *testing.T, workers int) (*netsim.Network, *engine.Router, *engine.Router) {
+	t.Helper()
+	nw := netsim.New(2, 0, netsim.NewRandomScheduler(1))
+	r0 := engine.NewRouter(nw.Endpoint(0))
+	r1 := engine.NewRouter(nw.Endpoint(1))
+	r1.SetVerifyWorkers(workers)
+	var wg sync.WaitGroup
+	for _, r := range []*engine.Router{r0, r1} {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Run()
+		}()
+	}
+	t.Cleanup(func() {
+		nw.Stop()
+		wg.Wait()
+	})
+	return nw, r0, r1
+}
+
+// TestSplitHandlerVerdictFlows: the Verify stage's verdict must reach
+// Apply for listed types, and unlisted types must skip Verify with a nil
+// verdict.
+func TestSplitHandlerVerdictFlows(t *testing.T) {
+	_, r0, r1 := splitPair(t, 2)
+	type seen struct {
+		msgType string
+		verdict any
+	}
+	got := make(chan seen, 8)
+	r1.DoSync(func() {
+		r1.RegisterSplit("p", "i", engine.SplitHandler{
+			Verify: func(from int, msgType string, payload []byte) any {
+				return "verified:" + msgType
+			},
+			Apply: func(from int, msgType string, payload []byte, verdict any) {
+				got <- seen{msgType, verdict}
+			},
+			VerifyTypes: []string{"HEAVY"},
+		})
+	})
+	r0.Send(1, "p", "i", "HEAVY", struct{}{})
+	r0.Send(1, "p", "i", "LIGHT", struct{}{})
+	want := map[string]any{"HEAVY": "verified:HEAVY", "LIGHT": nil}
+	for len(want) > 0 {
+		select {
+		case s := <-got:
+			w, ok := want[s.msgType]
+			if !ok {
+				t.Fatalf("unexpected type %q", s.msgType)
+			}
+			if s.verdict != w {
+				t.Fatalf("%s: verdict %v, want %v", s.msgType, s.verdict, w)
+			}
+			delete(want, s.msgType)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("still waiting for %v", want)
+		}
+	}
+}
+
+// TestSplitHandlerDisabledPoolNilVerdict: with the pool off, Verify must
+// never run and Apply sees nil verdicts (the inline-verification path).
+func TestSplitHandlerDisabledPoolNilVerdict(t *testing.T) {
+	_, r0, r1 := splitPair(t, 0)
+	got := make(chan any, 4)
+	r1.DoSync(func() {
+		r1.RegisterSplit("p", "i", engine.SplitHandler{
+			Verify: func(int, string, []byte) any {
+				t.Error("Verify ran with pool disabled")
+				return "bad"
+			},
+			Apply: func(_ int, _ string, _ []byte, verdict any) {
+				got <- verdict
+			},
+			VerifyTypes: []string{"HEAVY"},
+		})
+	})
+	r0.Send(1, "p", "i", "HEAVY", struct{}{})
+	select {
+	case v := <-got:
+		if v != nil {
+			t.Fatalf("verdict %v, want nil", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message never applied")
+	}
+}
+
+// seqFeedTransport hands the router `count` numbered messages in strict
+// sequence — a deterministic arrival order, unlike the randomized netsim
+// schedulers.
+type seqFeedTransport struct {
+	next, count int
+}
+
+func (f *seqFeedTransport) Self() int         { return 0 }
+func (f *seqFeedTransport) N() int            { return 4 }
+func (f *seqFeedTransport) Send(wire.Message) {}
+func (f *seqFeedTransport) Recv() (wire.Message, bool) {
+	if f.next == f.count {
+		return wire.Message{}, false
+	}
+	k := f.next
+	f.next++
+	return wire.Message{From: 1, To: 0, Protocol: "p", Instance: "i", Type: "M",
+		Payload: wire.MustMarshalBody(struct{ K int }{k})}, true
+}
+func (f *seqFeedTransport) Close() error { return nil }
+
+// TestSplitApplyPreservesArrivalOrder: slow verifications must not
+// reorder applies — the pipeline's core ordering contract. The feed
+// closes after the last message, so this also covers the shutdown drain.
+func TestSplitApplyPreservesArrivalOrder(t *testing.T) {
+	const msgs = 64
+	r := engine.NewRouter(&seqFeedTransport{count: msgs})
+	r.SetVerifyWorkers(4)
+	var order []int
+	r.RegisterSplit("p", "i", engine.SplitHandler{
+		Verify: func(from int, msgType string, payload []byte) any {
+			var b struct{ K int }
+			if !r.Decode(payload, &b) {
+				return nil
+			}
+			// Early messages verify slowest: without the ordered apply
+			// queue they would finish (and apply) last.
+			time.Sleep(time.Duration(msgs-b.K) * 100 * time.Microsecond)
+			return b.K
+		},
+		Apply: func(_ int, _ string, _ []byte, verdict any) {
+			order = append(order, verdict.(int))
+		},
+		VerifyTypes: []string{"M"},
+	})
+	r.Run() // returns after draining every admitted message
+	if len(order) != msgs {
+		t.Fatalf("applied %d messages, want %d", len(order), msgs)
+	}
+	for i, k := range order {
+		if i != k {
+			t.Fatalf("apply order %v diverges from arrival order at %d", order[:i+1], i)
+		}
+	}
+}
+
+// TestSplitVerifyPanicFallsBack: a panic in Verify must leave the router
+// alive and hand Apply a nil verdict.
+func TestSplitVerifyPanicFallsBack(t *testing.T) {
+	_, r0, r1 := splitPair(t, 2)
+	reg := obs.NewRegistry()
+	r1.DoSync(func() { r1.SetObserver(reg) })
+	got := make(chan any, 4)
+	r1.DoSync(func() {
+		r1.RegisterSplit("p", "i", engine.SplitHandler{
+			Verify: func(int, string, []byte) any { panic("attacker bytes") },
+			Apply: func(_ int, _ string, _ []byte, verdict any) {
+				got <- verdict
+			},
+			VerifyTypes: []string{"BOOM"},
+		})
+	})
+	r0.Send(1, "p", "i", "BOOM", struct{}{})
+	select {
+	case v := <-got:
+		if v != nil {
+			t.Fatalf("verdict %v after verify panic, want nil", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message lost after verify panic")
+	}
+	snap := reg.Snapshot()
+	if n := snap.Counter("engine.verify.panics"); n != 1 {
+		t.Fatalf("engine.verify.panics = %d, want 1", n)
+	}
+	if n := snap.Counter("router.panics"); n != 0 {
+		t.Fatalf("router.panics = %d, want 0 (verify panics are counted separately)", n)
+	}
+}
+
+// TestSplitUnregisterDropsPending: tombstoning an instance while messages
+// wait for verdicts must drop those applies.
+func TestSplitUnregisterDropsPending(t *testing.T) {
+	_, r0, r1 := splitPair(t, 1)
+	release := make(chan struct{})
+	applied := make(chan string, 8)
+	r1.DoSync(func() {
+		r1.RegisterSplit("p", "i", engine.SplitHandler{
+			Verify: func(_ int, msgType string, _ []byte) any {
+				<-release
+				return msgType
+			},
+			Apply: func(_ int, msgType string, _ []byte, _ any) {
+				applied <- msgType
+			},
+			VerifyTypes: []string{"SLOW"},
+		})
+	})
+	r0.Send(1, "p", "i", "SLOW", struct{}{})
+	time.Sleep(50 * time.Millisecond) // let the message reach the verify stage
+	r1.DoSync(func() { r1.Unregister("p", "i") })
+	close(release)
+	select {
+	case mt := <-applied:
+		t.Fatalf("tombstoned instance applied %q", mt)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+// TestSplitPipelineMetrics: the engine.verify.* instruments must account
+// for every verified message, and dispatch latency must still be observed
+// exactly once per message.
+func TestSplitPipelineMetrics(t *testing.T) {
+	_, r0, r1 := splitPair(t, 2)
+	reg := obs.NewRegistry()
+	r1.DoSync(func() { r1.SetObserver(reg) })
+	got := make(chan struct{}, 16)
+	r1.DoSync(func() {
+		r1.RegisterSplit("p", "i", engine.SplitHandler{
+			Verify: func(int, string, []byte) any {
+				time.Sleep(2 * time.Millisecond)
+				return true
+			},
+			Apply:       func(int, string, []byte, any) { got <- struct{}{} },
+			VerifyTypes: []string{"V"},
+		})
+	})
+	const sends = 10
+	for k := 0; k < sends; k++ {
+		if err := r0.Send(1, "p", "i", "V", struct{}{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < sends; k++ {
+		select {
+		case <-got:
+		case <-time.After(5 * time.Second):
+			t.Fatal("message never applied")
+		}
+	}
+	snap := reg.Snapshot()
+	if n := snap.Counter("engine.verify.messages"); n != sends {
+		t.Fatalf("engine.verify.messages = %d, want %d", n, sends)
+	}
+	if h := snap.Histograms["engine.verify.latency"]; h.Count != sends {
+		t.Fatalf("verify latency observations = %d, want %d", h.Count, sends)
+	}
+	if h := snap.Histograms["engine.apply.latency"]; h.Count != sends {
+		t.Fatalf("apply latency observations = %d, want %d", h.Count, sends)
+	}
+	if h := snap.Histograms["router.dispatch.latency"]; h.Count != sends {
+		t.Fatalf("dispatch latency observations = %d, want %d", h.Count, sends)
+	}
+	if g := snap.Gauges["engine.verify.parallelism"]; g.Max < 1 {
+		t.Fatalf("engine.verify.parallelism high-water = %d, want >= 1", g.Max)
+	}
+}

@@ -1,0 +1,78 @@
+package group
+
+import (
+	"math/big"
+
+	"sintra/internal/modexp"
+)
+
+// FixedBase holds a windowed precomputation table for one fixed base
+// (see internal/modexp). Exponentiations with a fixed base — the
+// generator, a dealt verification key — then cost ~|Q|/w table
+// multiplications and no squarings. The table is built lazily on
+// first use and immutable afterwards, so a FixedBase is safe for
+// concurrent use — the engine's verify workers hammer these tables
+// from many goroutines.
+type FixedBase struct {
+	g   *Group
+	tab *modexp.Table
+}
+
+func newFixedBase(g *Group, base *big.Int) *FixedBase {
+	return &FixedBase{g: g, tab: modexp.NewTable(base, g.P, g.Q.BitLen())}
+}
+
+// Base returns a copy of the base this table was built for.
+func (t *FixedBase) Base() *big.Int { return t.tab.Base() }
+
+// Exp returns base^exp mod P using the precomputed table.
+func (t *FixedBase) Exp(exp *big.Int) *big.Int { return t.tab.Exp(exp) }
+
+// Precompute registers a windowed precomputation table for base, used
+// transparently by Exp and MulExp whenever the *same *big.Int pointer*
+// is passed as the base. Intended for dealt long-lived public values —
+// verification keys, public keys, secondary generators — whose
+// pointers live as long as the Params that hold them. The table
+// itself is built lazily on first use; registration is cheap.
+//
+// The registry is keyed by pointer identity, not value: registering an
+// ephemeral value leaks a table slot, so callers should only register
+// keys with deployment lifetime. The registered value must never be
+// mutated (see TestNoArgumentMutation).
+func (g *Group) Precompute(base *big.Int) {
+	if base == nil || base.Sign() <= 0 || base == g.G {
+		return // G has its own always-on table; see BaseExp.
+	}
+	if _, loaded := g.precomp.LoadOrStore(base, newFixedBase(g, base)); !loaded {
+		g.nPrecomp.Add(1)
+	}
+}
+
+// fixed returns the precomputation table registered for base, if any.
+// The generator always has one (built on first use).
+func (g *Group) fixed(base *big.Int) *FixedBase {
+	if base == g.G {
+		g.baseOnce.Do(func() { g.baseTab = newFixedBase(g, g.G) })
+		return g.baseTab
+	}
+	if g.nPrecomp.Load() == 0 {
+		return nil
+	}
+	if t, ok := g.precomp.Load(base); ok {
+		return t.(*FixedBase)
+	}
+	return nil
+}
+
+// MulExp returns a^x · b^y mod P, the simultaneous double
+// exponentiation at the heart of the Chaum–Pedersen verification in
+// internal/dleq. Bases with precomputed tables (the generator, or
+// anything registered with Precompute) take the fixed-base path; the
+// rest fall back to the generic ladder. A joint-window Shamir variant
+// was measured and rejected: math/big's internal Montgomery ladder
+// beats any externally-reduced shared squaring chain on amd64, so the
+// simultaneous win comes from the tables eliminating squarings
+// altogether, not from sharing them.
+func (g *Group) MulExp(a, x, b, y *big.Int) *big.Int {
+	return g.Mul(g.Exp(a, x), g.Exp(b, y))
+}

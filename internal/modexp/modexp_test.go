@@ -1,0 +1,68 @@
+package modexp
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+func TestTableMatchesGenericLadder(t *testing.T) {
+	mods := []string{
+		"f9dd6f1cb24a78a4ee9083323dd56189b2c5b0d4cabe82493b01bb22301345a3", // 256-bit prime
+		"e3a1b2c5d4f60789", // small odd modulus
+	}
+	for _, mh := range mods {
+		m, _ := new(big.Int).SetString(mh, 16)
+		base, _ := rand.Int(rand.Reader, m)
+		for _, bits := range []int{64, 256, 700, 1100} {
+			tab := NewTable(base, m, bits)
+			exps := []*big.Int{
+				big.NewInt(0), big.NewInt(1), big.NewInt(255), big.NewInt(256),
+				new(big.Int).Lsh(big.NewInt(1), uint(bits-1)),
+				new(big.Int).Lsh(big.NewInt(1), uint(bits+8)), // over-wide: fallback
+			}
+			for i := 0; i < 12; i++ {
+				e, _ := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), uint(bits)))
+				exps = append(exps, e)
+			}
+			for _, e := range exps {
+				want := new(big.Int).Exp(base, e, m)
+				if got := tab.Exp(e); got.Cmp(want) != 0 {
+					t.Fatalf("bits=%d: base^%v mod %s mismatch", bits, e, mh)
+				}
+			}
+		}
+	}
+}
+
+func TestTableDoesNotMutateOperands(t *testing.T) {
+	m, _ := new(big.Int).SetString("f9dd6f1cb24a78a4ee9083323dd56189b2c5b0d4cabe82493b01bb22301345a3", 16)
+	base, _ := rand.Int(rand.Reader, m)
+	e, _ := rand.Int(rand.Reader, m)
+	baseSnap, eSnap, mSnap := new(big.Int).Set(base), new(big.Int).Set(e), new(big.Int).Set(m)
+	tab := NewTable(base, m, 256)
+	tab.Exp(e)
+	if base.Cmp(baseSnap) != 0 || e.Cmp(eSnap) != 0 || m.Cmp(mSnap) != 0 {
+		t.Fatal("Table.Exp mutated an operand")
+	}
+}
+
+func TestTableConcurrentFirstUse(t *testing.T) {
+	m, _ := new(big.Int).SetString("f9dd6f1cb24a78a4ee9083323dd56189b2c5b0d4cabe82493b01bb22301345a3", 16)
+	base, _ := rand.Int(rand.Reader, m)
+	e, _ := rand.Int(rand.Reader, m)
+	want := new(big.Int).Exp(base, e, m)
+	tab := NewTable(base, m, 256)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if tab.Exp(e).Cmp(want) != 0 {
+				panic("concurrent table exp diverged")
+			}
+		}()
+	}
+	wg.Wait()
+}

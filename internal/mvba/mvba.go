@@ -35,6 +35,7 @@ import (
 	"sintra/internal/engine"
 	"sintra/internal/obs"
 	"sintra/internal/thresig"
+	"sintra/internal/wire"
 )
 
 // Protocol is the wire protocol name of multi-valued agreement.
@@ -151,7 +152,11 @@ func New(cfg Config) *MVBA {
 		trials:    make(map[int]*trialState),
 		span:      obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
 	}
-	cfg.Router.Register(Protocol, cfg.Instance, m.Handle)
+	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
+		Verify:      m.verifyMsg,
+		Apply:       m.apply,
+		VerifyTypes: []string{typeLeadCoin},
+	})
 	for j := 0; j < cfg.Router.N(); j++ {
 		j := j
 		m.cbcs[j] = cbc.New(cbc.Config{
@@ -222,8 +227,46 @@ func (m *MVBA) valid(payload []byte) bool {
 	return m.cfg.Predicate == nil || m.cfg.Predicate(payload)
 }
 
-// Handle processes one protocol message.
+// leadCoinVerdict is the Verify-stage result for LEADCOIN messages: the
+// decoded trial and the subset of shares whose DLEQ proofs checked out.
+type leadCoinVerdict struct {
+	trial  int
+	shares []coin.Share
+}
+
+// verifyMsg is the parallel Verify stage: leader-election coin shares —
+// the instance's own dominant public-key cost (vote certificates depend
+// on the elected leader and stay inline) — are checked off the dispatch
+// goroutine.
+func (m *MVBA) verifyMsg(from int, msgType string, payload []byte) any {
+	if msgType != typeLeadCoin {
+		return nil
+	}
+	var body leadCoinBody
+	// Plain unmarshal, not Router.Decode: the nil-verdict fallback would
+	// decode again and double-count router.malformed.
+	if wire.UnmarshalBody(payload, &body) != nil || body.Trial < 1 {
+		return nil
+	}
+	name := m.coinName(body.Trial)
+	valid := make([]coin.Share, 0, len(body.Shares))
+	for _, sh := range body.Shares {
+		if m.cfg.Coin.VerifyShare(name, sh) == nil {
+			valid = append(valid, sh)
+		}
+	}
+	return &leadCoinVerdict{trial: body.Trial, shares: valid}
+}
+
+// Handle processes one protocol message without a pipeline verdict (the
+// legacy single-stage entry point, kept for tests and direct callers).
 func (m *MVBA) Handle(from int, msgType string, payload []byte) {
+	m.apply(from, msgType, payload, nil)
+}
+
+// apply is the serialized Apply stage; a non-nil verdict carries
+// pre-verified coin shares for LEADCOIN messages.
+func (m *MVBA) apply(from int, msgType string, payload []byte, verdict any) {
 	if m.halted {
 		return
 	}
@@ -235,6 +278,10 @@ func (m *MVBA) Handle(from int, msgType string, payload []byte) {
 		}
 		m.onStart(body.Proposal)
 	case typeLeadCoin:
+		if v, ok := verdict.(*leadCoinVerdict); ok {
+			m.onLeadCoinVerified(v.trial, v.shares)
+			return
+		}
 		var body leadCoinBody
 		if !m.cfg.Router.Decode(payload, &body) || body.Trial < 1 {
 			return
@@ -317,6 +364,16 @@ func (m *MVBA) onLeadCoin(a int, shares []coin.Share) {
 	ts := m.trialState(a)
 	for _, sh := range shares {
 		_ = ts.coinCombiner.Add(sh)
+	}
+	m.maybeElect(a)
+}
+
+// onLeadCoinVerified consumes shares whose proofs the Verify stage
+// already checked, skipping re-verification on the dispatch goroutine.
+func (m *MVBA) onLeadCoinVerified(a int, shares []coin.Share) {
+	ts := m.trialState(a)
+	for _, sh := range shares {
+		ts.coinCombiner.AddVerified(sh)
 	}
 	m.maybeElect(a)
 }

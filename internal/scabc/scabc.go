@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"crypto/rand"
 	"fmt"
+	"sync"
 	"time"
 
 	"sintra/internal/abc"
@@ -99,6 +100,13 @@ type SCABC struct {
 	nextABC  int64 // next ABC sequence to flush
 	outSeq   int64 // next plaintext sequence to assign
 
+	// cts publishes ordered, validated ciphertexts (ABC seq -> immutable
+	// *threnc.Ciphertext) for the parallel Verify stage: share proofs can
+	// only be checked against the ciphertext they decrypt, which becomes
+	// known at apply time. Written on the dispatch goroutine, read by
+	// verify workers.
+	cts sync.Map
+
 	span *obs.Span
 	// decryptLat measures order-fixed to plaintext-delivered: the cost of
 	// the decryption-share exchange on top of atomic broadcast.
@@ -129,7 +137,11 @@ func New(cfg Config) *SCABC {
 		BatchSize: cfg.BatchSize,
 		Deliver:   s.onOrdered,
 	})
-	cfg.Router.Register(Protocol, cfg.Instance, s.Handle)
+	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
+		Verify:      s.verifyMsg,
+		Apply:       s.apply,
+		VerifyTypes: []string{typeShares},
+	})
 	return s
 }
 
@@ -178,6 +190,7 @@ func (s *SCABC) onOrdered(seq int64, payload []byte) {
 		return
 	}
 	p.combiner = combiner
+	s.cts.Store(seq, p.ct)
 	// Release our decryption shares only now — after the position is
 	// fixed — and feed any early-arrived shares from faster parties.
 	if !p.sent {
@@ -203,9 +216,57 @@ func (s *SCABC) pendingFor(seq int64) *pending {
 	return p
 }
 
-// Handle processes decryption-share messages.
-func (s *SCABC) Handle(from int, msgType string, payload []byte) {
+// sharesVerdict is the Verify-stage result for SHARES messages: the
+// sequence number and the subset of decryption shares whose proofs
+// checked out against the published ciphertext.
+type sharesVerdict struct {
+	seq    int64
+	shares []threnc.Share
+}
+
+// verifyMsg is the parallel Verify stage: decryption-share proofs are
+// checked against the ciphertext snapshot published when the position
+// was fixed. A share arriving before its ciphertext is ordered locally
+// defers (nil verdict) and is buffered by Apply as before.
+func (s *SCABC) verifyMsg(from int, msgType string, payload []byte) any {
 	if msgType != typeShares {
+		return nil
+	}
+	var body sharesBody
+	// Plain unmarshal, not Router.Decode: the nil-verdict fallback would
+	// decode again and double-count router.malformed.
+	if wire.UnmarshalBody(payload, &body) != nil {
+		return nil
+	}
+	ctv, ok := s.cts.Load(body.Seq)
+	if !ok {
+		return nil
+	}
+	ct := ctv.(*threnc.Ciphertext)
+	valid := make([]threnc.Share, 0, len(body.Shares))
+	for _, sh := range body.Shares {
+		if s.cfg.Enc.VerifyShare(ct, sh) == nil {
+			valid = append(valid, sh)
+		}
+	}
+	return &sharesVerdict{seq: body.Seq, shares: valid}
+}
+
+// Handle processes decryption-share messages without a pipeline verdict
+// (the legacy single-stage entry point, kept for tests and direct
+// callers).
+func (s *SCABC) Handle(from int, msgType string, payload []byte) {
+	s.apply(from, msgType, payload, nil)
+}
+
+// apply is the serialized Apply stage; a non-nil verdict carries shares
+// already checked against the ordered ciphertext.
+func (s *SCABC) apply(from int, msgType string, payload []byte, verdict any) {
+	if msgType != typeShares {
+		return
+	}
+	if v, ok := verdict.(*sharesVerdict); ok {
+		s.onSharesVerified(v.seq, v.shares)
 		return
 	}
 	var body sharesBody
@@ -230,6 +291,31 @@ func (s *SCABC) Handle(from int, msgType string, payload []byte) {
 		_ = p.combiner.Add(sh) // invalid shares rejected inside
 	}
 	s.tryDecrypt(body.Seq)
+}
+
+// onSharesVerified consumes shares the Verify stage already checked.
+// Because the ciphertext snapshot is published at apply time and applies
+// are serialized, a verdict implies onOrdered already ran for this seq;
+// the defensive combiner-nil path re-buffers (shares are then re-checked
+// by Combiner.Add).
+func (s *SCABC) onSharesVerified(seq int64, shares []threnc.Share) {
+	if seq < s.nextABC || seq > s.nextABC+maxPendingWindow {
+		return
+	}
+	p := s.pendingFor(seq)
+	if p.done {
+		return
+	}
+	if p.combiner == nil {
+		if len(p.early) < 4*s.cfg.Router.N() {
+			p.early = append(p.early, shares...)
+		}
+		return
+	}
+	for _, sh := range shares {
+		p.combiner.AddVerified(sh)
+	}
+	s.tryDecrypt(seq)
 }
 
 func (s *SCABC) tryDecrypt(seq int64) {
@@ -269,6 +355,7 @@ func (s *SCABC) flush() {
 			}
 		}
 		delete(s.byABCSeq, s.nextABC)
+		s.cts.Delete(s.nextABC)
 		s.nextABC++
 	}
 }

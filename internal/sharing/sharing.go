@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"sintra/internal/adversary"
 	"sintra/internal/group"
@@ -51,7 +52,22 @@ type Scheme struct {
 	n      int
 	access *adversary.Formula
 	leaves []int // leaf index -> party
+
+	// planMu guards planCache, the memoized recombination plans keyed
+	// by qualified set. The same few party sets recur for every coin
+	// flip and threshold decryption of a run, and a plan costs a full
+	// formula walk plus Lagrange interpolation with modular inverses —
+	// worth caching. Cached plans are shared read-only snapshots; both
+	// value maps and coefficient values must never be mutated.
+	planMu    sync.RWMutex
+	planCache map[adversary.Set]map[int]*big.Int
 }
+
+// maxCachedPlans bounds the plan cache; there is one possible entry
+// per subset of at most 64 parties, so an adversary feeding unusual
+// quorums must not grow it without bound. Resetting (rather than LRU)
+// keeps the hot path a plain map read.
+const maxCachedPlans = 1024
 
 // NewScheme builds a scheme for the given monotone access formula over n
 // parties.
@@ -186,6 +202,41 @@ func (s *Scheme) Qualified(parties adversary.Set) bool {
 // is deterministic (first satisfied children win) so all honest parties
 // derive the same plan for the same set.
 func (s *Scheme) Coefficients(parties adversary.Set) (map[int]*big.Int, error) {
+	plan, err := s.plan(parties)
+	if err != nil {
+		return nil, err
+	}
+	// Hand out a copy: callers may mutate, the cached plan must not.
+	out := make(map[int]*big.Int, len(plan))
+	for id, c := range plan {
+		out[id] = new(big.Int).Set(c)
+	}
+	return out, nil
+}
+
+// plan returns the shared, read-only recombination plan for a
+// qualified set, computing and caching it on first use.
+func (s *Scheme) plan(parties adversary.Set) (map[int]*big.Int, error) {
+	s.planMu.RLock()
+	plan, ok := s.planCache[parties]
+	s.planMu.RUnlock()
+	if ok {
+		return plan, nil
+	}
+	plan, err := s.computePlan(parties)
+	if err != nil {
+		return nil, err
+	}
+	s.planMu.Lock()
+	if s.planCache == nil || len(s.planCache) >= maxCachedPlans {
+		s.planCache = make(map[adversary.Set]map[int]*big.Int)
+	}
+	s.planCache[parties] = plan
+	s.planMu.Unlock()
+	return plan, nil
+}
+
+func (s *Scheme) computePlan(parties adversary.Set) (map[int]*big.Int, error) {
 	if !s.Qualified(parties) {
 		return nil, ErrUnqualified
 	}
@@ -270,7 +321,7 @@ func (s *Scheme) lagrangeAtZero(chosen []int) []*big.Int {
 // values maps share ID to share value; extra entries are ignored, missing
 // planned entries are an error.
 func (s *Scheme) Reconstruct(parties adversary.Set, values map[int]*big.Int) (*big.Int, error) {
-	plan, err := s.Coefficients(parties)
+	plan, err := s.plan(parties)
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +344,7 @@ func (s *Scheme) Reconstruct(parties adversary.Set, values map[int]*big.Int) (*b
 //
 // elements maps share ID to the group element; extra entries are ignored.
 func (s *Scheme) ReconstructExponent(parties adversary.Set, elements map[int]*big.Int) (*big.Int, error) {
-	plan, err := s.Coefficients(parties)
+	plan, err := s.plan(parties)
 	if err != nil {
 		return nil, err
 	}

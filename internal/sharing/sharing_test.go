@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"math/big"
 	mrand "math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -438,4 +439,119 @@ func TestQuickRandomFormulas(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestCoefficientsCachedAndCopied checks the recombination-plan cache:
+// repeated qualified sets reuse the cached plan internally, while the
+// exported Coefficients hands out independent copies that callers may
+// mutate freely.
+func TestCoefficientsCachedAndCopied(t *testing.T) {
+	g := group.Test256()
+	s, err := NewThresholdScheme(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := adversary.SetOf(0, 1)
+	p1, err := s.Coefficients(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := s.plan(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the exported copy; the cached plan must be unaffected.
+	for id := range p1 {
+		p1[id].Add(p1[id], big.NewInt(7))
+	}
+	p2, err := s.Coefficients(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, c := range p2 {
+		if c.Cmp(p1[id]) == 0 {
+			t.Fatal("cached plan was mutated through the exported copy")
+		}
+		if c.Cmp(cached[id]) != 0 {
+			t.Fatal("second Coefficients call diverges from cached plan")
+		}
+	}
+	if _, err := s.Coefficients(adversary.SetOf(3)); err == nil {
+		t.Fatal("unqualified set accepted")
+	}
+}
+
+// TestPlanCacheConcurrent hammers the plan cache from many goroutines
+// (the verify-pool sharing pattern) under the race detector.
+func TestPlanCacheConcurrent(t *testing.T) {
+	g := group.Test256()
+	s, err := NewThresholdScheme(g, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := big.NewInt(1234)
+	shares, err := s.Deal(secret, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make(map[int]*big.Int)
+	for _, sh := range shares {
+		values[sh.ID] = sh.Value
+	}
+	sets := []adversary.Set{
+		adversary.SetOf(0, 1, 2), adversary.SetOf(1, 2, 3),
+		adversary.SetOf(4, 5, 6), adversary.SetOf(0, 3, 6),
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				for _, set := range sets {
+					got, err := s.Reconstruct(set, values)
+					if err != nil {
+						panic(err)
+					}
+					if got.Cmp(secret) != 0 {
+						panic("reconstruction diverged under concurrency")
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkLagrangeCached shows the recombination-plan cache: "cold"
+// recomputes the formula walk and Lagrange inversion every time (the
+// pre-pipeline behavior), "warm" is a cache hit (the steady state of a
+// run, where the same quorum recurs for every coin flip).
+func BenchmarkLagrangeCached(b *testing.B) {
+	g := group.Test256()
+	s, err := NewThresholdScheme(g, 16, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := adversary.SetOf(0, 2, 4, 6, 8, 10)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.computePlan(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if _, err := s.plan(set); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.plan(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -147,7 +147,21 @@ func (p *Params) Init() error {
 	p.g = g
 	p.gbar = gbarOf(g)
 	p.scheme = scheme
+	p.Precompute()
 	return nil
+}
+
+// Precompute registers fixed-base exponentiation tables for the bases
+// every TDH2 operation exponentiates: the second generator ḡ (ciphertext
+// consistency checks), the public key (encryption), and the dealt
+// verification keys (decryption-share DLEQ checks). Init calls this;
+// Deal-created params may call it explicitly.
+func (p *Params) Precompute() {
+	p.g.Precompute(p.gbar)
+	p.g.Precompute(p.PubKey)
+	for _, vk := range p.VerifyKeys {
+		p.g.Precompute(vk)
+	}
 }
 
 // Group returns the group of the dealing.
@@ -243,7 +257,9 @@ func (p *Params) VerifyCiphertext(ct *Ciphertext) error {
 	if !p.g.IsElement(ct.U) || !p.g.IsElement(ct.Ubar) {
 		return ErrInvalidCiphertext
 	}
-	st := dleq.Statement{G1: p.g.G, H1: ct.U, G2: p.gbar, H2: ct.Ubar}
+	// U and Ubar were just membership-checked and the generators are
+	// local, so the statement is trusted: Verify skips re-checking.
+	st := dleq.Statement{G1: p.g.G, H1: ct.U, G2: p.gbar, H2: ct.Ubar, Trusted: true}
 	if err := dleq.Verify(p.g, st, ct.Proof, "tdh2|"+ctxDigest(ct.Payload, ct.Label)); err != nil {
 		return ErrInvalidCiphertext
 	}
@@ -285,9 +301,16 @@ func (p *Params) VerifyShare(ct *Ciphertext, sh Share) error {
 	if err != nil || owner != sh.Party {
 		return ErrWrongParty
 	}
+	// The share value is the only statement element not already
+	// validated: the verification key is dealt, and ct.U passed
+	// VerifyCiphertext before any share of it is checked.
+	if !p.g.IsElement(sh.Value) {
+		return ErrInvalidShare
+	}
 	st := dleq.Statement{
 		G1: p.g.G, H1: p.VerifyKeys[sh.ID],
 		G2: ct.U, H2: sh.Value,
+		Trusted: true,
 	}
 	if err := dleq.Verify(p.g, st, sh.Proof, shareContext(ct, sh.ID)); err != nil {
 		return ErrInvalidShare
@@ -323,6 +346,17 @@ func (c *Combiner) Add(sh Share) error {
 	c.values[sh.ID] = sh.Value
 	c.parties = c.parties.Add(sh.Party)
 	return nil
+}
+
+// AddVerified stores a decryption share the caller has already checked
+// with VerifyShare — the engine's parallel Verify stage does exactly
+// that — skipping re-verification. Duplicates are ignored.
+func (c *Combiner) AddVerified(sh Share) {
+	if _, ok := c.values[sh.ID]; ok {
+		return
+	}
+	c.values[sh.ID] = sh.Value
+	c.parties = c.parties.Add(sh.Party)
 }
 
 func (c *Combiner) partiesWithAllShares() adversary.Set {

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"sintra/internal/adversary"
+	"sintra/internal/modexp"
 )
 
 // RSAScheme is Shoup's practical threshold RSA signature scheme
@@ -34,12 +36,36 @@ type RSAScheme struct {
 	VKeys []*big.Int
 	// Delta is NParties! — Shoup's denominator-clearing factor.
 	Delta *big.Int
+
+	// Fixed-base exponentiation tables for V and the verification keys:
+	// every share signature and verification exponentiates them, and the
+	// scheme lives for the whole deployment. Built lazily on first use so
+	// deserialized schemes need no explicit init.
+	precompOnce sync.Once
+	vTab        *modexp.Table
+	vkTabs      []*modexp.Table
 }
 
 var _ Scheme = (*RSAScheme)(nil)
 
 // rsaProofHashBits is the bit length of the Fiat-Shamir challenge (L1).
 const rsaProofHashBits = 128
+
+// zBits bounds the proof response z = s_i·c + r: r has |N|+2·L1+64 bits
+// and s_i·c at most |N|+L1, so the sum fits in |N|+2·L1+65 bits. Honest
+// provers never exceed it; VerifyShare rejects anything longer.
+func (s *RSAScheme) zBits() int { return s.N.BitLen() + 2*rsaProofHashBits + 65 }
+
+// precompute builds the fixed-base tables (idempotent, concurrency-safe).
+func (s *RSAScheme) precompute() {
+	s.precompOnce.Do(func() {
+		s.vTab = modexp.NewTable(s.V, s.N, s.zBits())
+		s.vkTabs = make([]*modexp.Table, len(s.VKeys))
+		for i, vk := range s.VKeys {
+			s.vkTabs[i] = modexp.NewTable(vk, s.N, rsaProofHashBits)
+		}
+	})
+}
 
 // NewRSAScheme deals a fresh Shoup threshold RSA key over the safe primes
 // p and q: K-of-n opening, public exponent 65537. It returns the public
@@ -214,7 +240,8 @@ func (s *RSAScheme) SignShare(sk *SecretKey, msg []byte, rnd io.Reader) (Share, 
 	if err != nil {
 		return Share{}, fmt.Errorf("thresig: %w", err)
 	}
-	vPrime := new(big.Int).Exp(s.V, r, s.N)
+	s.precompute()
+	vPrime := s.vTab.Exp(r)
 	xPrime := new(big.Int).Exp(xTilde, r, s.N)
 	c := s.challenge(s.VKeys[sk.Party], xTilde, xi2, vPrime, xPrime)
 	z := new(big.Int).Mul(si, c)
@@ -236,22 +263,28 @@ func (s *RSAScheme) VerifyShare(msg []byte, sh Share) error {
 	if xi.Sign() <= 0 || xi.Cmp(s.N) >= 0 {
 		return ErrInvalidShare
 	}
+	if z.Sign() < 0 || z.BitLen() > s.zBits() {
+		return ErrInvalidShare
+	}
+	s.precompute()
 	x := s.digest(msg)
 	xTilde := new(big.Int).Exp(x, new(big.Int).Lsh(s.Delta, 2), s.N)
 	xi2 := new(big.Int).Mod(new(big.Int).Mul(xi, xi), s.N)
 	vk := s.VKeys[sh.Party]
 
-	// v' = v^z · v_i^{-c}, x' = x̃^z · (x_i²)^{-c}
-	vkInv := new(big.Int).ModInverse(vk, s.N)
-	if vkInv == nil {
+	// v' = v^z · (v_i^c)^{-1}, x' = x̃^z · (x_i²)^{-c}; v^z and v_i^c
+	// take the fixed-base tables, inverting after the exponentiation.
+	vkC := s.vkTabs[sh.Party].Exp(c)
+	vkCInv := new(big.Int).ModInverse(vkC, s.N)
+	if vkCInv == nil {
 		return ErrInvalidShare
 	}
 	xi2Inv := new(big.Int).ModInverse(xi2, s.N)
 	if xi2Inv == nil {
 		return ErrInvalidShare
 	}
-	vPrime := new(big.Int).Exp(s.V, z, s.N)
-	vPrime.Mul(vPrime, new(big.Int).Exp(vkInv, c, s.N)).Mod(vPrime, s.N)
+	vPrime := s.vTab.Exp(z)
+	vPrime.Mul(vPrime, vkCInv).Mod(vPrime, s.N)
 	xPrime := new(big.Int).Exp(xTilde, z, s.N)
 	xPrime.Mul(xPrime, new(big.Int).Exp(xi2Inv, c, s.N)).Mod(xPrime, s.N)
 

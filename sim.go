@@ -52,6 +52,13 @@ type SimOptions struct {
 	// Tracer optionally receives structured protocol-stage events from
 	// every layer of every replica.
 	Tracer Tracer
+	// VerifyWorkers sizes each replica's parallel message-verification
+	// pool: 0 keeps the engine default (GOMAXPROCS), negative disables
+	// the pool. Per-server overrides in VerifyWorkersFor win.
+	VerifyWorkers int
+	// VerifyWorkersFor overrides VerifyWorkers per server index,
+	// allowing mixed fleets (some replicas pipelined, some single-stage).
+	VerifyWorkersFor map[int]int
 }
 
 // SimOption is a functional option for NewDeployment.
@@ -124,6 +131,25 @@ func WithObserver(reg *Registry) SimOption {
 // of every replica to t.
 func WithTracer(t Tracer) SimOption {
 	return func(o *SimOptions) { o.Tracer = t }
+}
+
+// WithVerifyWorkers sizes every replica's parallel message-verification
+// pool: 0 keeps the engine default (GOMAXPROCS), negative disables the
+// pool so all verification runs inline on the dispatch goroutine.
+func WithVerifyWorkers(n int) SimOption {
+	return func(o *SimOptions) { o.VerifyWorkers = n }
+}
+
+// WithVerifyWorkersFor overrides the verification pool size for one
+// server, allowing mixed fleets of pipelined and single-stage replicas
+// (the two are protocol-compatible by construction).
+func WithVerifyWorkersFor(server, n int) SimOption {
+	return func(o *SimOptions) {
+		if o.VerifyWorkersFor == nil {
+			o.VerifyWorkersFor = make(map[int]int)
+		}
+		o.VerifyWorkersFor[server] = n
+	}
 }
 
 // SimulatedDeployment runs a full deployment — dealer, adversarially
@@ -230,14 +256,19 @@ func NewSimulatedDeployment(opts SimOptions) (*SimulatedDeployment, error) {
 			p.SetObserver(reg)
 			tr = p
 		}
+		workers := opts.VerifyWorkers
+		if w, ok := opts.VerifyWorkersFor[i]; ok {
+			workers = w
+		}
 		node, err := core.NewNode(core.NodeConfig{
-			Public:      pub,
-			Secret:      secrets[i],
-			Transport:   tr,
-			ServiceName: opts.ServiceName,
-			Service:     opts.NewService(),
-			Mode:        opts.Mode,
-			Observer:    reg,
+			Public:        pub,
+			Secret:        secrets[i],
+			Transport:     tr,
+			ServiceName:   opts.ServiceName,
+			Service:       opts.NewService(),
+			Mode:          opts.Mode,
+			Observer:      reg,
+			VerifyWorkers: workers,
 		})
 		if err != nil {
 			d.Stop()
