@@ -34,6 +34,10 @@ var (
 	Equivocate = faultsim.Equivocate
 	// Mutate flips payload bytes with the given probability.
 	Mutate = faultsim.Mutate
+	// TamperTail flips a bit in the payload's trailing value bytes with
+	// the given probability, yielding messages that usually still decode
+	// but carry cryptographically wrong shares.
+	TamperTail = faultsim.TamperTail
 	// Replay re-sends previously observed messages with the given
 	// probability.
 	Replay = faultsim.Replay

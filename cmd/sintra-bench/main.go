@@ -40,11 +40,12 @@ func run() error {
 		sizes  = flag.String("sizes", "4,7,10,13,16", "system sizes for stack/aba sweeps")
 		window = flag.Duration("window", 1500*time.Millisecond, "observation window for the f1 liveness attack")
 		cpus   = flag.String("cpus", "", "comma list of GOMAXPROCS values: rerun the S3 stack per value with a scaling column")
-		scaleN = flag.Int("scale-n", 7, "system size for the -cpus scaling sweep")
+		scaleN = flag.Int("scale-n", 7, "system size for the -cpus scaling and -batch sweeps")
 	)
+	batch := flag.String("batch", "", "batch-verification sweep: 'on', 'off', or 'on,off' to compare (runs the AB3 table)")
 	flag.Var(&exps, "exp", "experiment: f1 | stack | aba | ex1 | ex2 | apps | tolerance | ablate | all (repeatable)")
 	flag.Parse()
-	if len(exps) == 0 && *cpus == "" {
+	if len(exps) == 0 && *cpus == "" && *batch == "" {
 		exps = expList{"all"}
 	}
 
@@ -137,6 +138,18 @@ func run() error {
 			return err
 		}
 		bench.PrintStackScaling(out, *scaleN, rows)
+		bench.Separator(out)
+	}
+	if *batch != "" {
+		var modes []string
+		for _, m := range strings.Split(*batch, ",") {
+			modes = append(modes, strings.TrimSpace(m))
+		}
+		rows, err := bench.RunBatchVerifySweep(*scaleN, 16, modes)
+		if err != nil {
+			return err
+		}
+		bench.PrintBatchVerifySweep(out, rows)
 		bench.Separator(out)
 	}
 	if all || want["ablate"] {

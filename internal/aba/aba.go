@@ -124,6 +124,7 @@ func New(cfg Config) *ABA {
 	}
 	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
 		Verify:      a.verifyMsg,
+		BatchVerify: a.batchVerify,
 		Apply:       a.apply,
 		VerifyTypes: []string{typeCoin},
 	})
@@ -158,6 +159,47 @@ func (a *ABA) verifyMsg(from int, msgType string, payload []byte) any {
 		}
 	}
 	return &coinVerdict{round: body.Round, shares: valid}
+}
+
+// batchVerify is the coalescing Verify stage for COIN bursts: the
+// shares of all drained messages fold into one DLEQ batch — a single
+// random-linear-combination multi-exponentiation instead of one
+// four-exponentiation proof check per share — with each round's coin
+// base derived once. Messages that fail to decode keep a nil verdict
+// and fall back to inline apply-time handling, exactly like verifyMsg.
+func (a *ABA) batchVerify(msgs []*wire.Message) ([]any, int) {
+	verdicts := make([]any, len(msgs))
+	bodies := make([]*coinBody, len(msgs))
+	bv := a.cfg.Coin.NewBatchVerifier()
+	for i, m := range msgs {
+		var body coinBody
+		if wire.UnmarshalBody(m.Payload, &body) != nil || body.Round < 1 {
+			continue
+		}
+		bodies[i] = &body
+		name := a.coinName(body.Round)
+		for _, sh := range body.Shares {
+			bv.Add(name, sh)
+		}
+	}
+	ok := bv.Verify()
+	culprits, k := 0, 0
+	for i, body := range bodies {
+		if body == nil {
+			continue
+		}
+		valid := make([]coin.Share, 0, len(body.Shares))
+		for _, sh := range body.Shares {
+			if ok[k] {
+				valid = append(valid, sh)
+			} else {
+				culprits++
+			}
+			k++
+		}
+		verdicts[i] = &coinVerdict{round: body.Round, shares: valid}
+	}
+	return verdicts, culprits
 }
 
 // Start proposes the initial value. Safe from any goroutine (loopback).

@@ -22,6 +22,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"sintra/internal/adversary"
@@ -39,6 +40,10 @@ const Protocol = "abc"
 
 // DefaultBatchSize bounds how many queued payloads one proposal carries.
 const DefaultBatchSize = 8
+
+// DefaultMaxBatchFactor is the default adaptive headroom: under queue
+// pressure the batch bound may grow up to this multiple of BatchSize.
+const DefaultMaxBatchFactor = 8
 
 // Message types.
 const (
@@ -91,15 +96,26 @@ type Config struct {
 	// for every a-delivered payload, in the same order on every honest
 	// party.
 	Deliver func(seq int64, payload []byte)
-	// BatchSize bounds proposal batches (default DefaultBatchSize).
+	// BatchSize bounds proposal batches (default DefaultBatchSize). It
+	// is the floor of the adaptive bound: a backlog grows the bound
+	// toward MaxBatchSize, an idle queue shrinks it back to BatchSize.
 	BatchSize int
+	// MaxBatchSize caps adaptive batch growth (default
+	// DefaultMaxBatchFactor × BatchSize; values below BatchSize clamp
+	// to BatchSize, fixing the batch bound).
+	MaxBatchSize int
 }
 
-// ABC is one atomic-broadcast instance; dispatch-goroutine only.
+// ABC is one atomic-broadcast instance; dispatch-goroutine only, except
+// for the atomic progress metrics Round and Seq.
 type ABC struct {
 	cfg Config
 
-	round  int64
+	// round and seq are written on the dispatch goroutine but read by
+	// Round/Seq from harness and experiment goroutines, so they are
+	// atomics rather than plain fields.
+	round  atomic.Int64
+	seq    atomic.Int64
 	active bool
 
 	proposals map[int64]map[int]SignedProposal
@@ -108,13 +124,15 @@ type ABC struct {
 	queue     [][]byte
 	queued    map[[32]byte]bool
 	delivered map[[32]byte]bool
-	seq       int64
+	// curBatch is the adaptive batch bound, in [BatchSize, MaxBatchSize].
+	curBatch int
 
 	span *obs.Span
 	// submitted stamps locally submitted payloads so their submit-to-
 	// deliver ordering latency can be measured (observer on only).
 	submitted map[[32]byte]time.Time
 	orderLat  *obs.Histogram
+	batchSize *obs.Gauge
 }
 
 // New creates and registers an instance (dispatch goroutine or pre-Run).
@@ -122,18 +140,25 @@ func New(cfg Config) *ABC {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = DefaultBatchSize
 	}
+	if cfg.MaxBatchSize <= 0 {
+		cfg.MaxBatchSize = DefaultMaxBatchFactor * cfg.BatchSize
+	}
+	cfg.MaxBatchSize = max(cfg.MaxBatchSize, cfg.BatchSize)
 	a := &ABC{
 		cfg:       cfg,
-		round:     1,
+		curBatch:  cfg.BatchSize,
 		proposals: make(map[int64]map[int]SignedProposal),
 		mvbas:     make(map[int64]*mvba.MVBA),
 		queued:    make(map[[32]byte]bool),
 		delivered: make(map[[32]byte]bool),
 		span:      obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
 	}
+	a.round.Store(1)
 	if reg := a.span.Registry(); reg != nil {
 		a.submitted = make(map[[32]byte]time.Time)
 		a.orderLat = reg.Histogram(Protocol + ".latency.order")
+		a.batchSize = reg.Gauge(Protocol + ".batch.size")
+		a.batchSize.Set(int64(a.curBatch))
 	}
 	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
 		Verify:      a.verifyMsg,
@@ -150,10 +175,12 @@ func (a *ABC) Broadcast(payload []byte) error {
 }
 
 // Seq returns the number of payloads delivered so far (progress metric).
-func (a *ABC) Seq() int64 { return a.seq }
+// Safe from any goroutine.
+func (a *ABC) Seq() int64 { return a.seq.Load() }
 
-// Round returns the current round (progress metric).
-func (a *ABC) Round() int64 { return a.round }
+// Round returns the current round (progress metric). Safe from any
+// goroutine.
+func (a *ABC) Round() int64 { return a.round.Load() }
 
 // signStatement is the byte string a proposal signature covers.
 func (a *ABC) signStatement(p *SignedProposal) []byte {
@@ -243,17 +270,22 @@ func (a *ABC) maybeActivate() {
 	if a.active {
 		return
 	}
-	if len(a.queue) == 0 && len(a.proposals[a.round]) == 0 {
+	round := a.round.Load()
+	if len(a.queue) == 0 && len(a.proposals[round]) == 0 {
 		return
 	}
 	a.active = true
+	a.curBatch = adaptBatch(a.curBatch, len(a.queue), a.cfg.BatchSize, a.cfg.MaxBatchSize)
+	if a.batchSize != nil {
+		a.batchSize.Set(int64(a.curBatch))
+	}
 	batch := a.queue
-	if len(batch) > a.cfg.BatchSize {
-		batch = batch[:a.cfg.BatchSize]
+	if len(batch) > a.curBatch {
+		batch = batch[:a.curBatch]
 	}
 	p := SignedProposal{
 		Party: a.cfg.Router.Self(),
-		Round: a.round,
+		Round: round,
 		Batch: batch,
 	}
 	p.Sig = a.cfg.IDKey.Sign("abc-prop", a.signStatement(&p))
@@ -261,7 +293,7 @@ func (a *ABC) maybeActivate() {
 }
 
 func (a *ABC) onProposal(from int, p SignedProposal) {
-	if p.Party != from || p.Round < a.round {
+	if p.Party != from || p.Round < a.round.Load() {
 		return
 	}
 	if _, dup := a.proposals[p.Round][from]; dup {
@@ -276,7 +308,7 @@ func (a *ABC) onProposal(from int, p SignedProposal) {
 // onProposalVerified consumes a proposal whose signature the Verify stage
 // already checked; only the stateful round/duplicate filters remain.
 func (a *ABC) onProposalVerified(from int, p SignedProposal) {
-	if p.Round < a.round {
+	if p.Round < a.round.Load() {
 		return
 	}
 	if _, dup := a.proposals[p.Round][from]; dup {
@@ -290,7 +322,7 @@ func (a *ABC) acceptProposal(from int, p SignedProposal) {
 		a.proposals[p.Round] = make(map[int]SignedProposal)
 	}
 	a.proposals[p.Round][from] = p
-	if p.Round == a.round {
+	if p.Round == a.round.Load() {
 		a.maybeActivate()
 		a.maybeAgree()
 	}
@@ -299,28 +331,28 @@ func (a *ABC) acceptProposal(from int, p SignedProposal) {
 // maybeAgree starts the round's multi-valued agreement once a quorum of
 // signed proposals has been collected.
 func (a *ABC) maybeAgree() {
+	round := a.round.Load()
 	if !a.active {
 		return
 	}
-	if _, started := a.mvbas[a.round]; started {
+	if _, started := a.mvbas[round]; started {
 		return
 	}
 	var parties adversary.Set
-	for j := range a.proposals[a.round] {
+	for j := range a.proposals[round] {
 		parties = parties.Add(j)
 	}
 	if !a.cfg.Struct.IsQuorum(parties) {
 		return
 	}
-	list := proposalList{Proposals: make([]SignedProposal, 0, len(a.proposals[a.round]))}
+	list := proposalList{Proposals: make([]SignedProposal, 0, len(a.proposals[round]))}
 	for _, j := range parties.Members() {
-		list.Proposals = append(list.Proposals, a.proposals[a.round][j])
+		list.Proposals = append(list.Proposals, a.proposals[round][j])
 	}
 	value, err := wire.MarshalBody(list)
 	if err != nil {
 		return
 	}
-	round := a.round
 	inst := mvba.New(mvba.Config{
 		Router:    a.cfg.Router,
 		Struct:    a.cfg.Struct,
@@ -361,7 +393,7 @@ func (a *ABC) validList(round int64, value []byte) bool {
 // onDecide delivers the decided round's payloads in a deterministic order
 // and advances to the next round.
 func (a *ABC) onDecide(round int64, value []byte) {
-	if round != a.round {
+	if round != a.round.Load() {
 		return // stale (cannot happen: rounds are sequential)
 	}
 	var list proposalList
@@ -394,8 +426,7 @@ func (a *ABC) onDecide(round int64, value []byte) {
 			delete(a.queued, it.digest)
 			a.removeFromQueue(it.digest)
 		}
-		seq := a.seq
-		a.seq++
+		seq := a.seq.Add(1) - 1
 		a.span.Event(obs.StageDeliver, seq, "")
 		if a.submitted != nil {
 			if start, ok := a.submitted[it.digest]; ok {
@@ -414,10 +445,26 @@ func (a *ABC) onDecide(round int64, value []byte) {
 		old.Halt()
 		delete(a.mvbas, round-2)
 	}
-	a.round = round + 1
+	a.round.Store(round + 1)
 	a.active = false
 	a.maybeActivate()
 	a.maybeAgree()
+}
+
+// adaptBatch moves the adaptive batch bound one step per round opening:
+// a backlog beyond the current bound doubles it toward the cap (fewer
+// agreement rounds per request under load), while a queue that no
+// longer fills half the bound halves it back toward the configured
+// floor (no oversized bound lingering after a burst). In between, the
+// bound holds steady.
+func adaptBatch(cur, queued, floor, cap int) int {
+	switch {
+	case queued > cur:
+		return min(2*cur, cap)
+	case queued <= cur/2:
+		return max(cur/2, floor)
+	}
+	return cur
 }
 
 func (a *ABC) removeFromQueue(d [32]byte) {

@@ -26,6 +26,12 @@ type harness struct {
 }
 
 func newHarness(t *testing.T, c *testutil.Cluster, parties []int) *harness {
+	return newHarnessCfg(t, c, parties, nil)
+}
+
+// newHarnessCfg is newHarness with a hook to adjust each party's config
+// (e.g. batch-size knobs) before the instance is created.
+func newHarnessCfg(t *testing.T, c *testutil.Cluster, parties []int, adjust func(*abc.Config)) *harness {
 	t.Helper()
 	h := &harness{
 		c:     c,
@@ -36,7 +42,7 @@ func newHarness(t *testing.T, c *testutil.Cluster, parties []int) *harness {
 	for _, i := range parties {
 		i := i
 		c.Routers[i].DoSync(func() {
-			h.insts[i] = abc.New(abc.Config{
+			cfg := abc.Config{
 				Router:   c.Routers[i],
 				Struct:   c.Struct,
 				Instance: "svc",
@@ -55,7 +61,11 @@ func newHarness(t *testing.T, c *testutil.Cluster, parties []int) *harness {
 					h.logs[i] = append(h.logs[i], payload)
 					h.cond.Broadcast()
 				},
-			})
+			}
+			if adjust != nil {
+				adjust(&cfg)
+			}
+			h.insts[i] = abc.New(cfg)
 		})
 	}
 	return h
@@ -301,5 +311,50 @@ func TestSustainedLoad(t *testing.T) {
 	}
 	if len(seen) < total {
 		t.Fatalf("only %d distinct of %d", len(seen), total)
+	}
+}
+
+func TestAdaptiveBatchBurst(t *testing.T) {
+	// A burst far beyond BatchSize on one party: the adaptive bound must
+	// grow toward MaxBatchSize to drain it, and every payload still
+	// delivers exactly once in the same total order. Round() being read
+	// here while the dispatch goroutines advance rounds also exercises
+	// the atomic progress metrics under the race detector.
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 29})
+	parties := []int{0, 1, 2, 3}
+	h := newHarnessCfg(t, c, parties, func(cfg *abc.Config) {
+		cfg.BatchSize = 2
+		cfg.MaxBatchSize = 16
+	})
+	const total = 24
+	for k := 0; k < total; k++ {
+		if err := h.insts[0].Broadcast([]byte(fmt.Sprintf("burst-%03d", k))); err != nil {
+			t.Fatal(err)
+		}
+		if k%5 == 0 {
+			_ = h.insts[0].Round() // cross-goroutine read during the run
+		}
+	}
+	h.waitLogs(t, parties, total, 300*time.Second)
+	h.assertSameOrder(t, parties, total)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	seen := make(map[string]bool, total)
+	for _, p := range h.logs[0] {
+		if seen[string(p)] {
+			t.Fatalf("duplicate %q", p)
+		}
+		seen[string(p)] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("delivered %d distinct of %d", len(seen), total)
+	}
+	// With a fixed bound of 2 the burst needs >= 12 rounds; adaptation
+	// must have finished in strictly fewer.
+	for _, i := range parties {
+		if r := h.insts[i].Round(); r >= 12 {
+			t.Fatalf("party %d still at round %d: batch bound did not grow", i, r)
+		}
 	}
 }

@@ -1,0 +1,41 @@
+package abc
+
+import "testing"
+
+func TestAdaptBatch(t *testing.T) {
+	const floor, cap = 8, 64
+	cases := []struct {
+		name        string
+		cur, queued int
+		want        int
+	}{
+		{"grows under pressure", 8, 20, 16},
+		{"growth saturates at cap", 64, 1000, 64},
+		{"growth step clamps to cap", 48, 100, 64},
+		{"holds in the comfortable band", 16, 12, 16},
+		{"holds at exactly the bound", 16, 16, 16},
+		{"shrinks when idle", 32, 4, 16},
+		{"shrinks on empty queue", 16, 0, 8},
+		{"shrink stops at floor", 8, 0, 8},
+	}
+	for _, tc := range cases {
+		if got := adaptBatch(tc.cur, tc.queued, floor, cap); got != tc.want {
+			t.Errorf("%s: adaptBatch(%d, %d) = %d, want %d", tc.name, tc.cur, tc.queued, got, tc.want)
+		}
+	}
+	// A sustained backlog walks the bound from floor to cap...
+	cur := floor
+	for i := 0; i < 10; i++ {
+		cur = adaptBatch(cur, 1000, floor, cap)
+	}
+	if cur != cap {
+		t.Errorf("sustained pressure reached %d, want cap %d", cur, cap)
+	}
+	// ...and a drained queue walks it back to the floor.
+	for i := 0; i < 10; i++ {
+		cur = adaptBatch(cur, 0, floor, cap)
+	}
+	if cur != floor {
+		t.Errorf("sustained idle reached %d, want floor %d", cur, floor)
+	}
+}

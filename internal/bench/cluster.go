@@ -94,6 +94,12 @@ func newClusterFull(st *adversary.Structure, sched netsim.Scheduler, crashed []i
 		}
 		r := engine.NewRouter(tr)
 		r.SetObserver(c.reg)
+		if verifyBatchOverride != 0 {
+			r.SetVerifyBatch(verifyBatchOverride)
+		}
+		if verifyWorkersOverride != 0 {
+			r.SetVerifyWorkers(verifyWorkersOverride)
+		}
 		c.routers[i] = r
 		c.wg.Add(1)
 		go func() {

@@ -110,6 +110,25 @@ func PrintBatchAblation(w io.Writer, rows []BatchRow) {
 	fmt.Fprintln(w, "larger batches amortize one agreement over many requests (§6 optimizations)")
 }
 
+// PrintBatchVerifySweep renders the batch-verification sweep: the same
+// atomic-broadcast load with coalesced share verification on and off.
+func PrintBatchVerifySweep(w io.Writer, rows []BatchVerifyRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "AB3 — batch-verification sweep (atomic broadcast, n=%d)\n", rows[0].N)
+	fmt.Fprintf(w, "%-10s %9s %12s %9s %13s %11s\n", "mode", "requests", "total time", "batches", "batched msgs", "mean batch")
+	for _, r := range rows {
+		mean := 0.0
+		if r.Batches > 0 {
+			mean = float64(r.BatchedMsgs) / float64(r.Batches)
+		}
+		fmt.Fprintf(w, "%-10s %9d %12v %9d %13d %11.1f\n",
+			r.Mode, r.Requests, r.LatencyAll.Round(10*1000), r.Batches, r.BatchedMsgs, mean)
+	}
+	fmt.Fprintln(w, "one random-linear-combination multi-exp checks a whole share burst; culprits isolated by binary split")
+}
+
 // PrintSigSchemeAblation renders the signature-scheme ablation.
 func PrintSigSchemeAblation(w io.Writer, rows []SigSchemeRow) {
 	fmt.Fprintln(w, "AB2 — threshold-signature ablation (same atomic-broadcast workload)")

@@ -148,6 +148,7 @@ func New(cfg Config) *CBC {
 	}
 	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
 		Verify:      c.verifyMsg,
+		BatchVerify: c.batchVerify,
 		Apply:       c.apply,
 		VerifyTypes: []string{typeShare, typeFinal, typeAns},
 	})
@@ -201,6 +202,48 @@ func (c *CBC) verifyMsg(from int, msgType string, payload []byte) any {
 		}
 	}
 	return nil
+}
+
+// batchVerify is the coalescing Verify stage. A SHARE burst — the
+// sender collecting one signature share from every party — folds into
+// one thresig batch check against the published statement. FINAL and
+// ANS certificates have no share structure to fold and are verified
+// per message.
+func (c *CBC) batchVerify(msgs []*wire.Message) ([]any, int) {
+	if msgs[0].Type != typeShare {
+		verdicts := make([]any, len(msgs))
+		for i, m := range msgs {
+			verdicts[i] = c.verifyMsg(m.From, m.Type, m.Payload)
+		}
+		return verdicts, 0
+	}
+	stmt := c.stmt.Load()
+	if stmt == nil {
+		// The local START has not applied yet; defer to inline
+		// verification (the shares would be dropped anyway).
+		return make([]any, len(msgs)), 0
+	}
+	verdicts := make([]any, len(msgs))
+	shares := make([]thresig.Share, 0, len(msgs))
+	slots := make([]int, 0, len(msgs))
+	for i, m := range msgs {
+		var body shareBody
+		if wire.UnmarshalBody(m.Payload, &body) != nil {
+			continue
+		}
+		verdicts[i] = &shareVerdict{share: body.Share}
+		slots = append(slots, i)
+		shares = append(shares, body.Share)
+	}
+	bad := thresig.BatchVerify(c.cfg.Scheme, *stmt, shares)
+	badSet := make(map[int]bool, len(bad))
+	for _, j := range bad {
+		badSet[j] = true
+	}
+	for j, i := range slots {
+		verdicts[i].(*shareVerdict).valid = !badSet[j]
+	}
+	return verdicts, len(bad)
 }
 
 // Start c-broadcasts the payload; sender only. Safe from any goroutine

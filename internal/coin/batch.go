@@ -1,0 +1,99 @@
+package coin
+
+import (
+	"math/big"
+
+	"sintra/internal/dleq"
+)
+
+// BatchVerifier collects coin shares — possibly for several named coins
+// at once, as when an agreement instance drains a backlog spanning
+// rounds — and checks them together with one folded DLEQ batch: one
+// random-linear-combination multi-exponentiation instead of four
+// exponentiations per share (see dleq.BatchVerify for the soundness
+// argument). The coin-specific base G(name) is derived once per name
+// and shared by every item that uses it, so its exponents aggregate
+// into a single term of the product.
+//
+// Add performs the same structural checks as VerifyShare (share ID
+// range, sender ownership, group membership of the value); Verify runs
+// the batch and reports per-share validity. A BatchVerifier is for one
+// use by one goroutine; the Params it came from may be shared.
+type BatchVerifier struct {
+	p     *Params
+	bases map[string]*big.Int
+	items []dleq.BatchItem
+	// slot maps add order to batch item index; -1 marks shares that
+	// failed the structural checks and skip the batch.
+	slot []int
+}
+
+// NewBatchVerifier starts an empty batch over the dealing.
+func (p *Params) NewBatchVerifier() *BatchVerifier {
+	return &BatchVerifier{p: p, bases: make(map[string]*big.Int)}
+}
+
+// Add queues one share of the named coin for verification.
+func (b *BatchVerifier) Add(name string, sh Share) {
+	p := b.p
+	ok := sh.ID >= 0 && sh.ID < len(p.VerifyKeys)
+	if ok {
+		owner, err := p.scheme.PartyOf(sh.ID)
+		ok = err == nil && owner == sh.Party && p.g.IsElement(sh.Value)
+	}
+	if !ok {
+		b.slot = append(b.slot, -1)
+		return
+	}
+	base, cached := b.bases[name]
+	if !cached {
+		// base returns a fresh value per call; caching it both saves the
+		// hash-to-element work and lets the batch aggregate exponents of
+		// same-coin shares on one pointer.
+		base = p.base(name)
+		b.bases[name] = base
+	}
+	b.slot = append(b.slot, len(b.items))
+	b.items = append(b.items, dleq.BatchItem{
+		St: dleq.Statement{
+			G1: p.g.G, H1: p.VerifyKeys[sh.ID],
+			G2: base, H2: sh.Value,
+			Trusted: true,
+		},
+		P:       sh.Proof,
+		Context: proofContext(name, sh.ID),
+	})
+}
+
+// Verify checks every added share; out[i] reports whether the i-th Add
+// verified. Byzantine shares are isolated by the batch's binary split,
+// so they never taint honest shares.
+func (b *BatchVerifier) Verify() []bool {
+	bad := dleq.BatchVerify(b.p.g, b.items, nil)
+	badSet := make(map[int]bool, len(bad))
+	for _, i := range bad {
+		badSet[i] = true
+	}
+	out := make([]bool, len(b.slot))
+	for i, s := range b.slot {
+		out[i] = s >= 0 && !badSet[s]
+	}
+	return out
+}
+
+// BatchVerifyShares checks the shares of one named coin together and
+// returns the indexes of the invalid ones (nil when all verify) —
+// equivalent to calling VerifyShare on each, at batch cost.
+func (p *Params) BatchVerifyShares(name string, shares []Share) []int {
+	bv := p.NewBatchVerifier()
+	for _, sh := range shares {
+		bv.Add(name, sh)
+	}
+	var bad []int
+	for i, ok := range bv.Verify() {
+		if !ok {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}

@@ -1,0 +1,89 @@
+package coin
+
+import (
+	"crypto/rand"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"sintra/internal/adversary"
+)
+
+func TestCoinBatchVerifyAllValid(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	p, keys := dealTest(t, st)
+	shares := releaseAll(t, p, keys, "round-1", []int{0, 1, 2, 3})
+	if bad := p.BatchVerifyShares("round-1", shares); bad != nil {
+		t.Fatalf("valid batch flagged %v", bad)
+	}
+}
+
+func TestCoinBatchIsolatesCulprits(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	p, keys := dealTest(t, st)
+	shares := releaseAll(t, p, keys, "round-1", []int{0, 1, 2, 3})
+	// A value consistent with nothing: the proof equations fail while
+	// every structural check passes.
+	shares[1].Value = p.g.Exp(shares[1].Value, big.NewInt(2))
+	// A share claimed for an ID the sender does not own.
+	shares[3].Party = shares[0].Party
+	bad := p.BatchVerifyShares("round-1", shares)
+	if !reflect.DeepEqual(bad, []int{1, 3}) {
+		t.Fatalf("batch flagged %v, want [1 3]", bad)
+	}
+	// The honest shares must still combine despite the Byzantine ones.
+	var honest []Share
+	for i, sh := range shares {
+		if i != 1 && i != 3 {
+			honest = append(honest, sh)
+		}
+	}
+	combineFrom(t, p, honest, "round-1")
+}
+
+func TestCoinBatchMatchesVerifyShare(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	p, keys := dealTest(t, st)
+	shares := releaseAll(t, p, keys, "round-1", []int{0, 1, 2, 3})
+	shares[0].Proof.Z = new(big.Int).Add(shares[0].Proof.Z, big.NewInt(1))
+	shares[2].ID = len(p.VerifyKeys) + 7
+	var want []int
+	for i, sh := range shares {
+		if p.VerifyShare("round-1", sh) != nil {
+			want = append(want, i)
+		}
+	}
+	got := p.BatchVerifyShares("round-1", shares)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batch flagged %v, per-share %v", got, want)
+	}
+}
+
+// TestCoinBatchAcrossNames drives one BatchVerifier over shares of two
+// different coins — the shape of an agreement instance draining a
+// backlog that spans rounds.
+func TestCoinBatchAcrossNames(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	p, keys := dealTest(t, st)
+	bv := p.NewBatchVerifier()
+	var want []bool
+	for _, name := range []string{"round-1", "round-2"} {
+		shares := releaseAll(t, p, keys, name, []int{0, 1, 2, 3})
+		shares[2].Value = p.g.Exp(shares[2].Value, big.NewInt(2))
+		for i, sh := range shares {
+			bv.Add(name, sh)
+			want = append(want, i != 2)
+		}
+	}
+	// A share verified under the wrong coin name must fail even though
+	// its proof is internally valid.
+	wrong, err := p.ReleaseShares(keys[0], "round-3", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv.Add("round-1", wrong[0])
+	want = append(want, false)
+	if got := bv.Verify(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("batch verdicts %v, want %v", got, want)
+	}
+}

@@ -28,8 +28,12 @@ type NodeConfig struct {
 	Service StateMachine
 	// Mode selects atomic or secure-causal request dissemination.
 	Mode Mode
-	// BatchSize tunes the atomic broadcast batches.
+	// BatchSize tunes the atomic broadcast batches (the adaptive floor).
 	BatchSize int
+	// MaxBatchSize caps the atomic broadcast's adaptive batch growth:
+	// 0 defaults to 8x the batch size; values below BatchSize clamp to
+	// BatchSize, pinning the batch (adaptation off).
+	MaxBatchSize int
 	// Observer optionally wires the replica — its router, the whole
 	// broadcast stack beneath it, and the state-machine execution — into
 	// an observability registry. Nil leaves observability off.
@@ -42,6 +46,11 @@ type NodeConfig struct {
 	// disables the pool (all verification inline on the dispatch
 	// goroutine), a positive value sets the worker count.
 	VerifyWorkers int
+	// VerifyBatch caps how many queued same-kind messages one verify
+	// worker coalesces into a single batch-verification call: 0 keeps
+	// the engine default, a negative value disables coalescing (every
+	// share proof checked individually), a positive value sets the cap.
+	VerifyBatch int
 }
 
 // Node is one replica of a distributed trusted service.
@@ -85,6 +94,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		}
 		n.router.SetVerifyWorkers(workers)
 	}
+	if cfg.VerifyBatch != 0 {
+		n.router.SetVerifyBatch(cfg.VerifyBatch)
+	}
 	if cfg.Observer != nil {
 		if cfg.Tracer != nil {
 			cfg.Observer.SetTracer(cfg.Tracer)
@@ -97,33 +109,35 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	switch cfg.Mode {
 	case ModeAtomic:
 		abc.New(abc.Config{
-			Router:    n.router,
-			Struct:    cfg.Public.Structure,
-			Instance:  "svc/" + cfg.ServiceName,
-			Identity:  cfg.Public.Identity,
-			IDKey:     cfg.Secret.Identity,
-			Coin:      cfg.Public.Coin,
-			CoinKey:   cfg.Secret.Coin,
-			Scheme:    cfg.Public.QuorumSig(),
-			Key:       cfg.Secret.SigQuorum,
-			BatchSize: cfg.BatchSize,
-			Deliver:   n.onAtomicDeliver,
+			Router:       n.router,
+			Struct:       cfg.Public.Structure,
+			Instance:     "svc/" + cfg.ServiceName,
+			Identity:     cfg.Public.Identity,
+			IDKey:        cfg.Secret.Identity,
+			Coin:         cfg.Public.Coin,
+			CoinKey:      cfg.Secret.Coin,
+			Scheme:       cfg.Public.QuorumSig(),
+			Key:          cfg.Secret.SigQuorum,
+			BatchSize:    cfg.BatchSize,
+			MaxBatchSize: cfg.MaxBatchSize,
+			Deliver:      n.onAtomicDeliver,
 		})
 	case ModeSecureCausal:
 		scabc.New(scabc.Config{
-			Router:    n.router,
-			Struct:    cfg.Public.Structure,
-			Instance:  "svc/" + cfg.ServiceName,
-			Identity:  cfg.Public.Identity,
-			IDKey:     cfg.Secret.Identity,
-			Coin:      cfg.Public.Coin,
-			CoinKey:   cfg.Secret.Coin,
-			Scheme:    cfg.Public.QuorumSig(),
-			Key:       cfg.Secret.SigQuorum,
-			Enc:       cfg.Public.Enc,
-			EncKey:    cfg.Secret.Enc,
-			BatchSize: cfg.BatchSize,
-			Deliver:   n.onCausalDeliver,
+			Router:       n.router,
+			Struct:       cfg.Public.Structure,
+			Instance:     "svc/" + cfg.ServiceName,
+			Identity:     cfg.Public.Identity,
+			IDKey:        cfg.Secret.Identity,
+			Coin:         cfg.Public.Coin,
+			CoinKey:      cfg.Secret.Coin,
+			Scheme:       cfg.Public.QuorumSig(),
+			Key:          cfg.Secret.SigQuorum,
+			Enc:          cfg.Public.Enc,
+			EncKey:       cfg.Secret.Enc,
+			BatchSize:    cfg.BatchSize,
+			MaxBatchSize: cfg.MaxBatchSize,
+			Deliver:      n.onCausalDeliver,
 		})
 	}
 	n.router.Register(clientProtocol, cfg.ServiceName, n.onClientMessage)

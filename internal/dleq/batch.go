@@ -1,0 +1,200 @@
+package dleq
+
+import (
+	"crypto/rand"
+	"io"
+	"math/big"
+	"sort"
+
+	"sintra/internal/group"
+)
+
+// BatchItem pairs one DLEQ statement and proof with its context string
+// for batch verification.
+type BatchItem struct {
+	St      Statement
+	P       *Proof
+	Context string
+}
+
+// randomizerBits sizes the small random exponents of the batch check.
+// Each invalid item survives the product test with probability at most
+// 2^-randomizerBits (the test is linear in each δ over the prime-order
+// group, so at most one of the 2^128 choices can cancel a non-identity
+// error term), matching the ≥128-bit soundness of the proofs themselves.
+const randomizerBits = 128
+
+// BatchVerify checks k proofs with one random-linear-combination
+// product test and returns the indexes of the invalid items (nil when
+// every proof verifies). A batch accepts if and only if every item's
+// statement is provable — the same guarantee per-item Verify gives —
+// up to the 2^-128 soundness error of the randomized test:
+//
+//   - per item, the Fiat-Shamir challenge is recomputed over the
+//     carried commitments (C = H(st, A1, A2, ctx)) — a cheap hash;
+//   - the two verification equations g1^z = A1·h1^c and g2^z = A2·h2^c
+//     of all items are folded, each raised to an independent 128-bit
+//     random exponent, into a single product evaluated with one shared
+//     multi-exponentiation (group.MultiExp), aggregating exponents for
+//     repeated bases such as the generator and per-round coin bases.
+//
+// The commitments are only range-checked, not membership-checked — a
+// Jacobi symbol per commitment would cost a large slice of the batch's
+// saving. This is sound because Z_p* for the safe prime p splits as
+// {±1} × QR: a commitment smuggled into the order-2 component can only
+// flip the sign of the folded product — a spurious failure that the
+// binary split resolves with deterministic per-item Verify — while a
+// false statement's error lives in the prime-order component, where
+// signs cannot cancel it and the standard small-exponent argument
+// bounds survival at 2^-128. Statement elements are membership-checked
+// as usual (here when untrusted, by the caller's IsElement checks when
+// Trusted). See DESIGN.md for the full argument.
+//
+// On product failure the batch is binary-split and re-randomized to
+// isolate the culprit(s), ending in deterministic per-item Verify at
+// the leaves, so one Byzantine share cannot poison honest shares.
+// Items whose proofs lack commitments (from pre-batching peers) are
+// verified individually. If rnd fails, everything falls back to
+// per-item Verify.
+func BatchVerify(g *group.Group, items []BatchItem, rnd io.Reader) []int {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	var bad []int
+	var cand []int // indexes eligible for the folded product test
+	for i, it := range items {
+		p := it.P
+		if p == nil || p.C == nil || p.Z == nil ||
+			p.C.Sign() < 0 || p.C.Cmp(g.Q) >= 0 || p.Z.Sign() < 0 || p.Z.Cmp(g.Q) >= 0 {
+			bad = append(bad, i)
+			continue
+		}
+		if !it.St.Trusted {
+			ok := true
+			for _, e := range []*big.Int{it.St.G1, it.St.H1, it.St.G2, it.St.H2} {
+				if !g.IsElement(e) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				bad = append(bad, i)
+				continue
+			}
+		}
+		if p.A1 == nil || p.A2 == nil {
+			// Legacy compact proof: no commitments to fold.
+			if verifyTrusted(g, it) != nil {
+				bad = append(bad, i)
+			}
+			continue
+		}
+		// Range checks only: the sign-blind folded test tolerates
+		// non-residues here, and bounded values keep the challenge
+		// encoding total. Full membership would cost a Jacobi symbol
+		// per commitment — a large slice of the batch's saving.
+		if p.A1.Sign() <= 0 || p.A1.Cmp(g.P) >= 0 ||
+			p.A2.Sign() <= 0 || p.A2.Cmp(g.P) >= 0 ||
+			challenge(g, it.St, p.A1, p.A2, it.Context).Cmp(p.C) != 0 {
+			bad = append(bad, i)
+			continue
+		}
+		cand = append(cand, i)
+	}
+	bad = append(bad, splitVerify(g, items, cand, rnd)...)
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Ints(bad)
+	return bad
+}
+
+// verifyTrusted runs the per-item path, skipping the membership checks
+// BatchVerify has already performed.
+func verifyTrusted(g *group.Group, it BatchItem) error {
+	st := it.St
+	st.Trusted = true
+	return Verify(g, st, it.P, it.Context)
+}
+
+// splitVerify checks the items at the given indexes with one folded
+// product test, recursively halving (with fresh randomizers) on
+// failure until per-item verification isolates the culprits.
+func splitVerify(g *group.Group, items []BatchItem, idx []int, rnd io.Reader) []int {
+	switch len(idx) {
+	case 0:
+		return nil
+	case 1:
+		if verifyTrusted(g, items[idx[0]]) != nil {
+			return idx
+		}
+		return nil
+	}
+	ok, err := foldedCheck(g, items, idx, rnd)
+	if err != nil {
+		// Randomness failure: deterministic per-item fallback.
+		var bad []int
+		for _, i := range idx {
+			if verifyTrusted(g, items[i]) != nil {
+				bad = append(bad, i)
+			}
+		}
+		return bad
+	}
+	if ok {
+		return nil
+	}
+	mid := len(idx) / 2
+	bad := splitVerify(g, items, idx[:mid], rnd)
+	return append(bad, splitVerify(g, items, idx[mid:], rnd)...)
+}
+
+// foldedCheck evaluates the random-linear-combination product for the
+// items at the given indexes:
+//
+//	Π_j (A1_j^{δ_j} · h1_j^{c_j δ_j}) (A2_j^{δ'_j} · h2_j^{c_j δ'_j})
+//	    · g1^{-Σ δ_j z_j} · g2^{-Σ δ'_j z_j}  ==  1
+//
+// with independent uniform randomizers δ, δ' of randomizerBits bits.
+// Exponents are accumulated per base pointer (mod Q at the end), so
+// shared bases — the generator, a common secondary base, repeated
+// verification keys — each contribute a single term to the
+// multi-exponentiation.
+func foldedCheck(g *group.Group, items []BatchItem, idx []int, rnd io.Reader) (bool, error) {
+	// One read supplies every randomizer: 2 per item, 16 bytes each.
+	buf := make([]byte, 2*len(idx)*randomizerBits/8)
+	if _, err := io.ReadFull(rnd, buf); err != nil {
+		return false, err
+	}
+	nextDelta := func() *big.Int {
+		d := new(big.Int).SetBytes(buf[:randomizerBits/8])
+		buf = buf[randomizerBits/8:]
+		return d
+	}
+	exps := make(map[*big.Int]*big.Int, 4*len(idx))
+	add := func(base, e *big.Int) {
+		if acc, ok := exps[base]; ok {
+			acc.Add(acc, e)
+		} else {
+			exps[base] = new(big.Int).Set(e)
+		}
+	}
+	tmp := new(big.Int)
+	for _, i := range idx {
+		it, p := items[i], items[i].P
+		d1, d2 := nextDelta(), nextDelta()
+		add(p.A1, d1)
+		add(p.A2, d2)
+		add(it.St.H1, tmp.Mul(p.C, d1))
+		add(it.St.H2, tmp.Mul(p.C, d2))
+		add(it.St.G1, tmp.Neg(tmp.Mul(p.Z, d1)))
+		add(it.St.G2, tmp.Neg(tmp.Mul(p.Z, d2)))
+	}
+	terms := make([]group.Term, 0, len(exps))
+	for base, e := range exps {
+		terms = append(terms, group.Term{Base: base, Exp: e.Mod(e, g.Q)})
+	}
+	return g.MultiExp(terms).Cmp(bigOne) == 0, nil
+}
+
+var bigOne = big.NewInt(1)

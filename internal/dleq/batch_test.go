@@ -1,0 +1,177 @@
+package dleq
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"sintra/internal/group"
+)
+
+// batchSetup builds k coin-style items: shared generator and shared
+// secondary base, per-party verification keys and share values.
+func batchSetup(t testing.TB, g *group.Group, k int, trusted bool) ([]BatchItem, []*big.Int) {
+	t.Helper()
+	base := g.HashToElement("batch-base", []byte("t"))
+	items := make([]BatchItem, k)
+	secrets := make([]*big.Int, k)
+	for i := 0; i < k; i++ {
+		x, err := g.RandomScalar(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secrets[i] = x
+		st := Statement{
+			G1: g.G, H1: g.BaseExp(x),
+			G2: base, H2: g.Exp(base, x),
+			Trusted: trusted,
+		}
+		ctx := fmt.Sprintf("batch|%d", i)
+		p, err := Prove(g, st, x, ctx, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = BatchItem{St: st, P: p, Context: ctx}
+	}
+	return items, secrets
+}
+
+func TestBatchVerifyAllValid(t *testing.T) {
+	g := group.Test256()
+	for _, k := range []int{0, 1, 2, 7, 16} {
+		items, _ := batchSetup(t, g, k, false)
+		if bad := BatchVerify(g, items, rand.Reader); bad != nil {
+			t.Fatalf("k=%d: valid batch flagged %v", k, bad)
+		}
+	}
+}
+
+func TestBatchVerifyIsolatesCulprits(t *testing.T) {
+	g := group.Test256()
+	for _, culprits := range [][]int{{0}, {6}, {3}, {0, 6}, {1, 2, 5}, {0, 1, 2, 3, 4, 5, 6}} {
+		items, _ := batchSetup(t, g, 7, false)
+		for _, c := range culprits {
+			// A mutated share value: the proof no longer matches the
+			// statement, exactly what a Byzantine sender produces.
+			items[c].St.H2 = g.Mul(items[c].St.H2, g.G)
+		}
+		bad := BatchVerify(g, items, rand.Reader)
+		if !reflect.DeepEqual(bad, culprits) {
+			t.Fatalf("culprits %v: batch flagged %v", culprits, bad)
+		}
+	}
+}
+
+// TestBatchVerifyLegacyProofs strips the commitments from a subset of
+// proofs — the shape of shares produced by pre-batching peers — and
+// checks the fallback verifies them individually.
+func TestBatchVerifyLegacyProofs(t *testing.T) {
+	g := group.Test256()
+	items, _ := batchSetup(t, g, 5, false)
+	items[1].P = &Proof{C: items[1].P.C, Z: items[1].P.Z}
+	items[3].P = &Proof{C: items[3].P.C, Z: items[3].P.Z}
+	if bad := BatchVerify(g, items, rand.Reader); bad != nil {
+		t.Fatalf("legacy-mixed valid batch flagged %v", bad)
+	}
+	items[3].P = &Proof{C: items[3].P.C, Z: g.AddScalar(items[3].P.Z, big.NewInt(1))}
+	if bad := BatchVerify(g, items, rand.Reader); !reflect.DeepEqual(bad, []int{3}) {
+		t.Fatalf("bad legacy proof: batch flagged %v", bad)
+	}
+}
+
+func TestBatchVerifyRejectsMangled(t *testing.T) {
+	g := group.Test256()
+	items, _ := batchSetup(t, g, 6, false)
+	items[0].P = nil
+	items[1].P = &Proof{C: new(big.Int).Set(g.Q), Z: items[1].P.Z, A1: items[1].P.A1, A2: items[1].P.A2}
+	items[2].P.A1 = big.NewInt(0) // non-element commitment
+	// Valid (C, Z) with forged commitments: the challenge recompute
+	// catches the inconsistency even though Verify alone would accept.
+	items[3].P.A1, items[3].P.A2 = items[3].P.A2, items[3].P.A1
+	items[4].St.H1 = new(big.Int).Set(g.P) // out-of-range element
+	bad := BatchVerify(g, items, rand.Reader)
+	if !reflect.DeepEqual(bad, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("mangled batch flagged %v", bad)
+	}
+}
+
+// TestBatchVerifyMatchesVerify cross-checks batch and per-item results
+// over randomized corruption patterns of (C, Z, H2).
+func TestBatchVerifyMatchesVerify(t *testing.T) {
+	g := group.Test256()
+	for trial := 0; trial < 10; trial++ {
+		items, _ := batchSetup(t, g, 8, trial%2 == 0)
+		for i := range items {
+			switch (trial + i) % 4 {
+			case 1:
+				items[i].P.Z = g.AddScalar(items[i].P.Z, big.NewInt(1))
+			case 2:
+				items[i].St.H2 = g.Mul(items[i].St.H2, g.G)
+			}
+		}
+		var want []int
+		for i, it := range items {
+			if Verify(g, it.St, it.P, it.Context) != nil {
+				want = append(want, i)
+			}
+		}
+		got := BatchVerify(g, items, rand.Reader)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: batch flagged %v, per-item %v", trial, got, want)
+		}
+	}
+}
+
+// TestBatchVerifyTrustedStillChecksEquations mirrors the single-proof
+// Trusted semantics: membership checks are skipped, the algebra is not.
+func TestBatchVerifyTrustedStillChecksEquations(t *testing.T) {
+	g := group.Test256()
+	items, _ := batchSetup(t, g, 4, true)
+	items[2].St.H2 = g.Mul(items[2].St.H2, g.G)
+	if bad := BatchVerify(g, items, rand.Reader); !reflect.DeepEqual(bad, []int{2}) {
+		t.Fatalf("trusted batch flagged %v", bad)
+	}
+}
+
+// BenchmarkDLEQBatchVerify is the acceptance benchmark of the batching
+// work (EXPERIMENTS.md): per-share verification of a k=7 burst against
+// one folded product check, in the production configuration (trusted
+// statements, registered verification keys, shared coin base).
+func BenchmarkDLEQBatchVerify(b *testing.B) {
+	g := group.Test256()
+	for _, k := range []int{4, 7, 16} {
+		items, _ := batchSetup(b, g, k, true)
+		for i := range items {
+			g.Precompute(items[i].St.H1)
+		}
+		// Build every fixed-base table outside the timed loops.
+		if bad := BatchVerify(g, items, rand.Reader); bad != nil {
+			b.Fatal("valid batch rejected")
+		}
+		for _, it := range items {
+			if err := Verify(g, it.St, it.P, it.Context); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("k=%d/pershare", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, it := range items {
+					if err := Verify(g, it.St, it.P, it.Context); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("k=%d/batch", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if bad := BatchVerify(g, items, rand.Reader); bad != nil {
+					b.Fatal("valid batch rejected")
+				}
+			}
+		})
+	}
+}

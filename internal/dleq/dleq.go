@@ -22,12 +22,20 @@ import (
 // ErrInvalidProof is returned by Verify for proofs that do not check out.
 var ErrInvalidProof = errors.New("dleq: invalid proof")
 
-// Proof is a compact (challenge, response) Chaum-Pedersen proof.
+// Proof is a (challenge, response) Chaum-Pedersen proof, optionally
+// carrying the prover's commitments for batch verification.
 type Proof struct {
 	// C is the Fiat-Shamir challenge.
 	C *big.Int
 	// Z is the prover's response.
 	Z *big.Int
+	// A1, A2 are the prover's commitments g1^w, g2^w. Verify
+	// recomputes them from (C, Z) and ignores these fields, so the
+	// compact form stays sufficient; BatchVerify needs them to fold
+	// many proofs into one product check and falls back to per-proof
+	// verification when they are absent (proofs from pre-batching
+	// peers gob-decode with A1 = A2 = nil).
+	A1, A2 *big.Int
 }
 
 // Statement captures the public values of a DLEQ claim:
@@ -58,7 +66,7 @@ func Prove(g *group.Group, st Statement, x *big.Int, context string, rnd io.Read
 	c := challenge(g, st, a1, a2, context)
 	// z = w + c*x mod q
 	z := g.AddScalar(w, g.MulScalar(c, x))
-	return &Proof{C: c, Z: z}, nil
+	return &Proof{C: c, Z: z, A1: a1, A2: a2}, nil
 }
 
 // Verify checks a proof against the statement and context. Bases with

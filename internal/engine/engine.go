@@ -87,12 +87,26 @@ type VerifyFunc func(from int, msgType string, payload []byte) any
 // Verify — so Apply must treat nil as "verify inline", never as valid.
 type ApplyFunc func(from int, msgType string, payload []byte, verdict any)
 
+// BatchVerifyFunc is the coalescing variant of VerifyFunc: it checks a
+// burst of same-type messages of one instance in a single call — e.g.
+// one folded product test over k coin shares instead of k independent
+// proof verifications. It returns one verdict per message (parallel to
+// msgs, nil = "no verdict, Apply verifies inline") plus the number of
+// invalid messages found, which feeds the engine.verify.batch.culprits
+// metric. The same purity rules as VerifyFunc apply.
+type BatchVerifyFunc func(msgs []*wire.Message) ([]any, int)
+
 // SplitHandler is a two-stage handler: Verify runs in parallel for the
 // message types listed in VerifyTypes, Apply runs serialized for every
 // message of the instance. Types not in VerifyTypes skip straight to
-// Apply with a nil verdict.
+// Apply with a nil verdict. An optional BatchVerify lets a verify
+// worker coalesce a backlog burst of one type into a single call;
+// handlers must remain correct without it (single messages and
+// saturated or disabled batching still go through Verify or inline
+// apply-time verification).
 type SplitHandler struct {
 	Verify      VerifyFunc
+	BatchVerify BatchVerifyFunc
 	Apply       ApplyFunc
 	VerifyTypes []string
 }
@@ -112,6 +126,7 @@ type instanceKey struct {
 type boundHandler struct {
 	apply       ApplyFunc
 	verify      VerifyFunc
+	batchVerify BatchVerifyFunc
 	verifyTypes map[string]bool
 }
 
@@ -132,6 +147,7 @@ type applyCell struct {
 	m       wire.Message
 	key     instanceKey
 	verify  VerifyFunc
+	bh      *boundHandler // for batch grouping by (handler, type)
 	verdict any
 	done    chan struct{}
 	start   time.Time
@@ -168,8 +184,11 @@ type Router struct {
 	// verifyWorkers is the Verify-stage pool size; 0 disables the pool.
 	// Set before Run (SetVerifyWorkers); read only by Run.
 	verifyWorkers int
-	verifyCh      chan *applyCell
-	workerWg      sync.WaitGroup
+	// verifyBatch is the coalescing cap of one verify-worker drain
+	// (SetVerifyBatch); immutable once the workers start.
+	verifyBatch int
+	verifyCh    chan *applyCell
+	workerWg    sync.WaitGroup
 
 	mx *routerMetrics // nil when observability is off
 }
@@ -187,6 +206,9 @@ type routerMetrics struct {
 	verified        *obs.Counter
 	degraded        *obs.Counter
 	verifyPanics    *obs.Counter
+	batchBatches    *obs.Counter
+	batchMessages   *obs.Counter
+	batchCulprits   *obs.Counter
 	taskDepth       *obs.Gauge
 	bufferDepth     *obs.Gauge
 	bufferDrops     *obs.Counter
@@ -233,6 +255,9 @@ func (r *Router) SetObserver(reg *obs.Registry) {
 		verified:        reg.Counter("engine.verify.messages"),
 		degraded:        reg.Counter("engine.verify.degraded"),
 		verifyPanics:    reg.Counter("engine.verify.panics"),
+		batchBatches:    reg.Counter("engine.verify.batch.batches"),
+		batchMessages:   reg.Counter("engine.verify.batch.messages"),
+		batchCulprits:   reg.Counter("engine.verify.batch.culprits"),
 		taskDepth:       reg.Gauge("router.tasks.depth"),
 		bufferDepth:     reg.Gauge("router.buffered.depth"),
 		bufferDrops:     reg.Counter("router.buffered.drops"),
@@ -275,6 +300,37 @@ func (r *Router) SetVerifyWorkers(n int) {
 		n = 0
 	}
 	r.verifyWorkers = n
+}
+
+// defaultVerifyBatch caps one verify-worker drain. Under queue pressure
+// a worker coalesces up to this many pending messages into one pass;
+// bursts in the protocols here are share floods of n-party instances,
+// so the default comfortably covers realistic n while bounding how much
+// work one batch holds back from the other workers.
+const defaultVerifyBatch = 16
+
+// SetVerifyBatch sets how many queued messages one verify worker may
+// coalesce into a single BatchVerify call: 0 selects the default,
+// a negative value disables coalescing (every message verifies
+// individually — the always-correct fallback path), and a positive
+// value caps the batch. Call before Run.
+func (r *Router) SetVerifyBatch(n int) {
+	switch {
+	case n == 0:
+		r.verifyBatch = 0
+	case n < 0:
+		r.verifyBatch = 1
+	default:
+		r.verifyBatch = n
+	}
+}
+
+// verifyBatchCap resolves the knob at Run time.
+func (r *Router) verifyBatchCap() int {
+	if r.verifyBatch == 0 {
+		return defaultVerifyBatch
+	}
+	return r.verifyBatch
 }
 
 // Self returns the local party index.
@@ -320,7 +376,7 @@ func (r *Router) Register(protocol, instance string, h Handler) {
 // the dispatch goroutine for every message. Buffered messages replay
 // through Apply with a nil verdict. Same calling rules as Register.
 func (r *Router) RegisterSplit(protocol, instance string, h SplitHandler) {
-	bh := &boundHandler{apply: h.Apply, verify: h.Verify}
+	bh := &boundHandler{apply: h.Apply, verify: h.Verify, batchVerify: h.BatchVerify}
 	if h.Verify != nil && len(h.VerifyTypes) > 0 {
 		bh.verifyTypes = make(map[string]bool, len(h.VerifyTypes))
 		for _, t := range h.VerifyTypes {
@@ -568,11 +624,122 @@ func (r *Router) applyNow(bh *boundHandler, m *wire.Message, verdict any, start 
 	}
 }
 
-// verifyWorker drains the verify queue until shutdown.
+// verifyWorker drains the verify queue until shutdown. With coalescing
+// enabled, a worker that finds a backlog pulls up to verifyBatch more
+// cells without blocking — batching is purely adaptive: an idle system
+// verifies every message individually at minimum latency, while queue
+// pressure grows the drained bursts toward the cap, exactly when the
+// per-batch saving matters.
 func (r *Router) verifyWorker() {
 	defer r.workerWg.Done()
+	limit := r.verifyBatchCap()
 	for c := range r.verifyCh {
-		r.runVerify(c)
+		if limit <= 1 {
+			r.runVerify(c)
+			continue
+		}
+		cells := []*applyCell{c}
+		for len(cells) < limit {
+			var c2 *applyCell
+			var ok bool
+			select {
+			case c2, ok = <-r.verifyCh:
+			default:
+			}
+			if !ok || c2 == nil {
+				break
+			}
+			cells = append(cells, c2)
+		}
+		r.verifyGroups(cells)
+	}
+}
+
+// verifyGroups partitions one drained burst by (handler, message type)
+// and runs each group of 2+ same-kind messages through the handler's
+// BatchVerify; everything else takes the per-message path. Verdict
+// completion order is irrelevant — the apply queue replays in arrival
+// order regardless.
+func (r *Router) verifyGroups(cells []*applyCell) {
+	if len(cells) == 1 {
+		r.runVerify(cells[0])
+		return
+	}
+	type groupKey struct {
+		bh  *boundHandler
+		typ string
+	}
+	var groups map[groupKey][]*applyCell
+	for _, c := range cells {
+		if c.bh == nil || c.bh.batchVerify == nil {
+			r.runVerify(c)
+			continue
+		}
+		if groups == nil {
+			groups = make(map[groupKey][]*applyCell, 4)
+		}
+		k := groupKey{c.bh, c.m.Type}
+		groups[k] = append(groups[k], c)
+	}
+	for _, g := range groups {
+		if len(g) == 1 {
+			r.runVerify(g[0])
+		} else {
+			r.runVerifyBatch(g)
+		}
+	}
+}
+
+// runVerifyBatch executes one coalesced BatchVerify call on a worker
+// goroutine. Panics and malformed results (wrong verdict count) leave
+// every verdict nil, so Apply falls back to inline verification — the
+// same containment contract as runVerify, batched.
+func (r *Router) runVerifyBatch(cells []*applyCell) {
+	var verdicts []any
+	culprits := 0
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				verdicts = nil
+				if r.mx != nil {
+					r.mx.verifyPanics.Inc()
+					r.mx.reg.Trace(obs.Event{
+						Party: r.Self(), Protocol: cells[0].key.protocol, Instance: cells[0].key.instance,
+						Stage: obs.StageDrop, Seq: -1,
+						Note: fmt.Sprint("recovered batch-verify panic: ", p),
+					})
+				}
+			}
+		}()
+		var t0 time.Time
+		if r.mx != nil {
+			t0 = time.Now()
+			r.mx.parallelism.Add(1)
+			defer func() {
+				r.mx.parallelism.Add(-1)
+				r.mx.verifyLatency.ObserveSince(t0)
+			}()
+		}
+		msgs := make([]*wire.Message, len(cells))
+		for i, c := range cells {
+			msgs[i] = &c.m
+		}
+		verdicts, culprits = cells[0].bh.batchVerify(msgs)
+	}()
+	if len(verdicts) != len(cells) {
+		verdicts, culprits = nil, 0
+	}
+	for i, c := range cells {
+		if verdicts != nil {
+			c.verdict = verdicts[i]
+		}
+		close(c.done)
+	}
+	if r.mx != nil {
+		r.mx.verified.Add(int64(len(cells)))
+		r.mx.batchBatches.Inc()
+		r.mx.batchMessages.Add(int64(len(cells)))
+		r.mx.batchCulprits.Add(int64(culprits))
 	}
 }
 
@@ -689,6 +856,7 @@ func (r *Router) admit(m wire.Message) {
 	c := &applyCell{m: m, key: key, start: start, done: closedCh}
 	if needsVerify {
 		c.verify = bh.verify
+		c.bh = bh
 		c.done = make(chan struct{})
 		select {
 		case r.verifyCh <- c:

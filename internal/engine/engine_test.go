@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -883,5 +884,317 @@ func TestSplitPipelineMetrics(t *testing.T) {
 	}
 	if g := snap.Gauges["engine.verify.parallelism"]; g.Max < 1 {
 		t.Fatalf("engine.verify.parallelism high-water = %d, want >= 1", g.Max)
+	}
+}
+
+// batchPair builds a two-party network whose receiving router runs one
+// verify worker with the given coalescing cap — a single worker makes
+// the backlog (and therefore the batch drain) controllable from tests.
+func batchPair(t *testing.T, batch int) (*engine.Router, *engine.Router, *obs.Registry) {
+	t.Helper()
+	nw := netsim.New(2, 0, netsim.NewRandomScheduler(1))
+	r0 := engine.NewRouter(nw.Endpoint(0))
+	r1 := engine.NewRouter(nw.Endpoint(1))
+	r1.SetVerifyWorkers(1)
+	r1.SetVerifyBatch(batch)
+	reg := obs.NewRegistry()
+	r1.SetObserver(reg)
+	var wg sync.WaitGroup
+	for _, r := range []*engine.Router{r0, r1} {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Run()
+		}()
+	}
+	t.Cleanup(func() {
+		nw.Stop()
+		wg.Wait()
+	})
+	return r0, r1, reg
+}
+
+// batchBody is the payload of the coalescing tests.
+type batchBody struct{ K int }
+
+// waitCounter polls a registry counter until it reaches want.
+func waitCounter(t *testing.T, reg *obs.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Counter(name) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want >= %d", name, reg.Snapshot().Counter(name), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatchVerifyCoalescesBacklog: while the single verify worker is
+// stuck in message 0's Verify, the following same-type messages pile up
+// and must drain as one BatchVerify call, with the batch metrics
+// accounting for every coalesced message and reported culprit.
+func TestBatchVerifyCoalescesBacklog(t *testing.T) {
+	r0, r1, reg := batchPair(t, 0)
+	release := make(chan struct{})
+	type seen struct {
+		k       int
+		verdict any
+	}
+	got := make(chan seen, 16)
+	var mu sync.Mutex
+	var batchSizes []int
+	r1.DoSync(func() {
+		r1.RegisterSplit("p", "i", engine.SplitHandler{
+			Verify: func(_ int, _ string, payload []byte) any {
+				var b batchBody
+				if !r1.Decode(payload, &b) {
+					return nil
+				}
+				if b.K == 0 {
+					<-release
+				}
+				return fmt.Sprintf("single:%d", b.K)
+			},
+			BatchVerify: func(msgs []*wire.Message) ([]any, int) {
+				mu.Lock()
+				batchSizes = append(batchSizes, len(msgs))
+				mu.Unlock()
+				verdicts := make([]any, len(msgs))
+				for i, m := range msgs {
+					var b batchBody
+					if !r1.Decode(m.Payload, &b) {
+						continue
+					}
+					verdicts[i] = fmt.Sprintf("batch:%d", b.K)
+				}
+				return verdicts, 1 // one pretend culprit per call
+			},
+			Apply: func(_ int, _ string, payload []byte, verdict any) {
+				var b batchBody
+				if !r1.Decode(payload, &b) {
+					return
+				}
+				got <- seen{b.K, verdict}
+			},
+			VerifyTypes: []string{"V"},
+		})
+	})
+	const sends = 7
+	r0.Send(1, "p", "i", "V", batchBody{K: 0})
+	waitCounter(t, reg, "engine.verify.messages", 0) // r1 running
+	for k := 1; k < sends; k++ {
+		r0.Send(1, "p", "i", "V", batchBody{K: k})
+	}
+	// All trailing sends must be admitted (queued behind the blocked
+	// worker) before it wakes up and drains them in one pass.
+	waitCounter(t, reg, "router.dispatched", sends)
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	for k := 0; k < sends; k++ {
+		select {
+		case s := <-got:
+			single := fmt.Sprintf("single:%d", s.k)
+			batched := fmt.Sprintf("batch:%d", s.k)
+			if s.verdict != single && s.verdict != batched {
+				t.Fatalf("message %d: verdict %v", s.k, s.verdict)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("message never applied")
+		}
+	}
+	mu.Lock()
+	calls, total := len(batchSizes), 0
+	for _, n := range batchSizes {
+		total += n
+	}
+	mu.Unlock()
+	if calls == 0 {
+		t.Fatal("backlog never coalesced into a BatchVerify call")
+	}
+	snap := reg.Snapshot()
+	if n := snap.Counter("engine.verify.batch.batches"); n != int64(calls) {
+		t.Fatalf("engine.verify.batch.batches = %d, want %d", n, calls)
+	}
+	if n := snap.Counter("engine.verify.batch.messages"); n != int64(total) {
+		t.Fatalf("engine.verify.batch.messages = %d, want %d", n, total)
+	}
+	if n := snap.Counter("engine.verify.batch.culprits"); n != int64(calls) {
+		t.Fatalf("engine.verify.batch.culprits = %d, want %d", n, calls)
+	}
+	if n := snap.Counter("engine.verify.messages"); n != sends {
+		t.Fatalf("engine.verify.messages = %d, want %d", n, sends)
+	}
+}
+
+// TestBatchVerifyDisabledKnob: SetVerifyBatch(-1) must route every
+// message through per-message Verify even under a backlog.
+func TestBatchVerifyDisabledKnob(t *testing.T) {
+	r0, r1, reg := batchPair(t, -1)
+	release := make(chan struct{})
+	got := make(chan any, 16)
+	r1.DoSync(func() {
+		r1.RegisterSplit("p", "i", engine.SplitHandler{
+			Verify: func(_ int, _ string, payload []byte) any {
+				var b batchBody
+				if !r1.Decode(payload, &b) {
+					return nil
+				}
+				if b.K == 0 {
+					<-release
+				}
+				return b.K
+			},
+			BatchVerify: func(msgs []*wire.Message) ([]any, int) {
+				t.Error("BatchVerify ran with batching disabled")
+				return make([]any, len(msgs)), 0
+			},
+			Apply: func(_ int, _ string, _ []byte, verdict any) {
+				got <- verdict
+			},
+			VerifyTypes: []string{"V"},
+		})
+	})
+	const sends = 5
+	for k := 0; k < sends; k++ {
+		r0.Send(1, "p", "i", "V", batchBody{K: k})
+	}
+	waitCounter(t, reg, "router.dispatched", sends)
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	for k := 0; k < sends; k++ {
+		select {
+		case v := <-got:
+			if v == nil {
+				t.Fatal("nil verdict on the per-message path")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("message never applied")
+		}
+	}
+	if n := reg.Snapshot().Counter("engine.verify.batch.batches"); n != 0 {
+		t.Fatalf("engine.verify.batch.batches = %d, want 0", n)
+	}
+}
+
+// TestBatchVerifyPanicFallsBack: a panic inside BatchVerify must leave
+// the router alive and every coalesced message applying with a nil
+// verdict (the inline-verification fallback), counted like a verify
+// panic — router.panics stays 0.
+func TestBatchVerifyPanicFallsBack(t *testing.T) {
+	r0, r1, reg := batchPair(t, 0)
+	release := make(chan struct{})
+	type seen struct {
+		k       int
+		verdict any
+	}
+	got := make(chan seen, 16)
+	r1.DoSync(func() {
+		r1.RegisterSplit("p", "i", engine.SplitHandler{
+			Verify: func(_ int, _ string, payload []byte) any {
+				var b batchBody
+				if !r1.Decode(payload, &b) {
+					return nil
+				}
+				if b.K == 0 {
+					<-release
+				}
+				return fmt.Sprintf("single:%d", b.K)
+			},
+			BatchVerify: func(msgs []*wire.Message) ([]any, int) {
+				panic("attacker bytes in a batch")
+			},
+			Apply: func(_ int, _ string, payload []byte, verdict any) {
+				var b batchBody
+				if !r1.Decode(payload, &b) {
+					return
+				}
+				got <- seen{b.K, verdict}
+			},
+			VerifyTypes: []string{"V"},
+		})
+	})
+	const sends = 6
+	r0.Send(1, "p", "i", "V", batchBody{K: 0})
+	for k := 1; k < sends; k++ {
+		r0.Send(1, "p", "i", "V", batchBody{K: k})
+	}
+	waitCounter(t, reg, "router.dispatched", sends)
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	sawNil := false
+	for k := 0; k < sends; k++ {
+		select {
+		case s := <-got:
+			if s.verdict == nil {
+				sawNil = true
+			} else if s.verdict != fmt.Sprintf("single:%d", s.k) {
+				t.Fatalf("message %d: verdict %v", s.k, s.verdict)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("message lost after batch-verify panic")
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("engine.verify.panics") >= 1 && !sawNil {
+		t.Fatal("batch panicked but no message fell back to a nil verdict")
+	}
+	if n := snap.Counter("router.panics"); n != 0 {
+		t.Fatalf("router.panics = %d, want 0", n)
+	}
+}
+
+// TestBatchVerifyWrongVerdictCount: a BatchVerify returning the wrong
+// number of verdicts must degrade every message of the batch to the
+// nil-verdict fallback rather than misassigning verdicts.
+func TestBatchVerifyWrongVerdictCount(t *testing.T) {
+	r0, r1, reg := batchPair(t, 0)
+	release := make(chan struct{})
+	got := make(chan any, 16)
+	var batched int64
+	r1.DoSync(func() {
+		r1.RegisterSplit("p", "i", engine.SplitHandler{
+			Verify: func(_ int, _ string, payload []byte) any {
+				var b batchBody
+				if !r1.Decode(payload, &b) {
+					return nil
+				}
+				if b.K == 0 {
+					<-release
+				}
+				return "single"
+			},
+			BatchVerify: func(msgs []*wire.Message) ([]any, int) {
+				atomic.AddInt64(&batched, 1)
+				return []any{"only-one"}, 0 // wrong length on purpose
+			},
+			Apply: func(_ int, _ string, _ []byte, verdict any) {
+				got <- verdict
+			},
+			VerifyTypes: []string{"V"},
+		})
+	})
+	const sends = 6
+	r0.Send(1, "p", "i", "V", batchBody{K: 0})
+	for k := 1; k < sends; k++ {
+		r0.Send(1, "p", "i", "V", batchBody{K: k})
+	}
+	waitCounter(t, reg, "router.dispatched", sends)
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	for k := 0; k < sends; k++ {
+		select {
+		case v := <-got:
+			if v != nil && v != "single" {
+				t.Fatalf("verdict %v leaked from a mismatched batch", v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("message never applied")
+		}
+	}
+	if atomic.LoadInt64(&batched) > 0 {
+		if n := reg.Snapshot().Counter("engine.verify.batch.culprits"); n != 0 {
+			t.Fatalf("culprits = %d from a discarded batch result", n)
+		}
 	}
 }

@@ -260,6 +260,32 @@ func (b mutate) Apply(ctx *Context, m wire.Message) []wire.Message {
 	return []wire.Message{m}
 }
 
+// tamperTail flips one bit late in the payload.
+type tamperTail struct{ rate float64 }
+
+// TamperTail corrupts each outbound payload with the given probability by
+// flipping a single bit in its final quarter — where gob keeps the
+// trailing value bytes, e.g. the group elements and proof scalars of a
+// share burst. Unlike Mutate's byte inversion anywhere (which usually
+// breaks the gob framing outright), a tail bit-flip tends to survive
+// decoding: the recipient sees a structurally valid share whose proof is
+// cryptographically wrong, the input that coalesced batch verification
+// must isolate by binary split rather than let poison the whole batch.
+func TamperTail(rate float64) Behavior { return tamperTail{rate: rate} }
+
+func (tamperTail) Name() string { return "tamper-tail" }
+
+func (b tamperTail) Apply(ctx *Context, m wire.Message) []wire.Message {
+	if len(m.Payload) == 0 || ctx.Rand.Float64() >= b.rate {
+		return []wire.Message{m}
+	}
+	out := append([]byte(nil), m.Payload...)
+	start := len(out) * 3 / 4
+	out[start+ctx.Rand.Intn(len(out)-start)] ^= 0x01
+	m.Payload = out
+	return []wire.Message{m}
+}
+
 // replay re-sends previously observed messages.
 type replay struct{ rate float64 }
 

@@ -76,3 +76,37 @@ func (g *Group) fixed(base *big.Int) *FixedBase {
 func (g *Group) MulExp(a, x, b, y *big.Int) *big.Int {
 	return g.Mul(g.Exp(a, x), g.Exp(b, y))
 }
+
+// Term is one base^exp factor of a MultiExp product.
+type Term struct {
+	Base, Exp *big.Int
+}
+
+// MultiExp returns Π base^exp mod P over the given terms, the workhorse
+// of random-linear-combination batch verification (internal/dleq).
+// Terms whose base has a precomputation table — the generator, dealt
+// verification keys — are evaluated through their tables (no squarings
+// at all); the remaining terms share a single interleaved squaring
+// chain (modexp.MultiExp), so k transient bases cost max|e| squarings
+// once instead of k times. Exponents must be non-negative; callers
+// reduce mod Q first.
+func (g *Group) MultiExp(terms []Term) *big.Int {
+	acc := big.NewInt(1)
+	tmp := new(big.Int)
+	var bases, exps []*big.Int
+	for _, t := range terms {
+		if t.Exp != nil && t.Exp.Sign() == 0 {
+			continue
+		}
+		if tab := g.fixed(t.Base); tab != nil {
+			acc.Mod(tmp.Mul(acc, tab.Exp(t.Exp)), g.P)
+			continue
+		}
+		bases = append(bases, t.Base)
+		exps = append(exps, t.Exp)
+	}
+	if len(bases) > 0 {
+		acc.Mod(tmp.Mul(acc, modexp.MultiExp(g.P, bases, exps)), g.P)
+	}
+	return acc
+}

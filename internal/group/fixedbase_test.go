@@ -97,6 +97,42 @@ func TestMulExpMatchesGeneric(t *testing.T) {
 	}
 }
 
+// TestMultiExpMatchesGeneric checks the batch product Π base^exp over
+// mixes of fixed-base and ad-hoc terms against independent generic
+// exponentiations.
+func TestMultiExpMatchesGeneric(t *testing.T) {
+	g := Test256()
+	pre, _ := g.RandomElement(rand.Reader)
+	g.Precompute(pre)
+	adhoc := []*big.Int{
+		g.HashToElement("multiexp-test", []byte("a")),
+		g.HashToElement("multiexp-test", []byte("b")),
+		g.HashToElement("multiexp-test", []byte("c")),
+	}
+	for trial := 0; trial < 8; trial++ {
+		var terms []Term
+		want := big.NewInt(1)
+		add := func(base *big.Int, bits uint) {
+			e, _ := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), bits))
+			terms = append(terms, Term{Base: base, Exp: e})
+			want = g.Mul(want, g.expGeneric(base, e))
+		}
+		add(g.G, 256)
+		add(pre, 256)
+		for _, b := range adhoc {
+			add(b, 128) // small batch randomizers
+			add(b, 256)
+		}
+		terms = append(terms, Term{Base: adhoc[0], Exp: big.NewInt(0)}) // zero exp skipped
+		if got := g.MultiExp(terms); got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: MultiExp diverges from generic product", trial)
+		}
+	}
+	if g.MultiExp(nil).Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("empty MultiExp should be the identity")
+	}
+}
+
 // TestIsElementMatchesExpOracle cross-checks the Jacobi-symbol
 // membership test against the original x^Q ≡ 1 exponentiation on
 // residues, non-residues, and boundary values.

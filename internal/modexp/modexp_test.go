@@ -36,6 +36,73 @@ func TestTableMatchesGenericLadder(t *testing.T) {
 	}
 }
 
+func TestMultiExpMatchesSequential(t *testing.T) {
+	m, _ := new(big.Int).SetString("f9dd6f1cb24a78a4ee9083323dd56189b2c5b0d4cabe82493b01bb22301345a3", 16)
+	for _, k := range []int{0, 1, 2, 3, 7, 14} {
+		for _, bits := range []int{1, 64, 128, 256, 700} {
+			bases := make([]*big.Int, k)
+			exps := make([]*big.Int, k)
+			want := big.NewInt(1)
+			for i := 0; i < k; i++ {
+				bases[i], _ = rand.Int(rand.Reader, m)
+				exps[i], _ = rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), uint(bits)))
+				if i == 0 {
+					exps[i].SetInt64(0) // exercise the zero-exponent skip
+				}
+				want.Mul(want, new(big.Int).Exp(bases[i], exps[i], m)).Mod(want, m)
+			}
+			if got := MultiExp(m, bases, exps); got.Cmp(want) != 0 {
+				t.Fatalf("k=%d bits=%d: MultiExp mismatch", k, bits)
+			}
+		}
+	}
+}
+
+func TestMultiExpMixedWidths(t *testing.T) {
+	m, _ := new(big.Int).SetString("f9dd6f1cb24a78a4ee9083323dd56189b2c5b0d4cabe82493b01bb22301345a3", 16)
+	bases := make([]*big.Int, 4)
+	exps := make([]*big.Int, 4)
+	want := big.NewInt(1)
+	for i, bits := range []int{3, 130, 257, 900} {
+		bases[i], _ = rand.Int(rand.Reader, m)
+		exps[i], _ = rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), uint(bits)))
+		want.Mul(want, new(big.Int).Exp(bases[i], exps[i], m)).Mod(want, m)
+	}
+	if got := MultiExp(m, bases, exps); got.Cmp(want) != 0 {
+		t.Fatal("MultiExp mismatch across mixed exponent widths")
+	}
+}
+
+func TestMultiExpNegativeFallback(t *testing.T) {
+	m := big.NewInt(0x1_0001)
+	bases := []*big.Int{big.NewInt(3), big.NewInt(5)}
+	exps := []*big.Int{big.NewInt(-7), big.NewInt(11)}
+	want := new(big.Int).Exp(bases[0], exps[0], m)
+	want.Mul(want, new(big.Int).Exp(bases[1], exps[1], m)).Mod(want, m)
+	if got := MultiExp(m, bases, exps); got.Cmp(want) != 0 {
+		t.Fatal("MultiExp negative-exponent fallback mismatch")
+	}
+}
+
+func TestMultiExpDoesNotMutateOperands(t *testing.T) {
+	m, _ := new(big.Int).SetString("f9dd6f1cb24a78a4ee9083323dd56189b2c5b0d4cabe82493b01bb22301345a3", 16)
+	bases := make([]*big.Int, 3)
+	exps := make([]*big.Int, 3)
+	snaps := make([]*big.Int, 6)
+	for i := range bases {
+		bases[i], _ = rand.Int(rand.Reader, m)
+		exps[i], _ = rand.Int(rand.Reader, m)
+		snaps[i] = new(big.Int).Set(bases[i])
+		snaps[3+i] = new(big.Int).Set(exps[i])
+	}
+	MultiExp(m, bases, exps)
+	for i := range bases {
+		if bases[i].Cmp(snaps[i]) != 0 || exps[i].Cmp(snaps[3+i]) != 0 {
+			t.Fatal("MultiExp mutated an operand")
+		}
+	}
+}
+
 func TestTableDoesNotMutateOperands(t *testing.T) {
 	m, _ := new(big.Int).SetString("f9dd6f1cb24a78a4ee9083323dd56189b2c5b0d4cabe82493b01bb22301345a3", 16)
 	base, _ := rand.Int(rand.Reader, m)

@@ -154,6 +154,7 @@ func New(cfg Config) *MVBA {
 	}
 	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
 		Verify:      m.verifyMsg,
+		BatchVerify: m.batchVerify,
 		Apply:       m.apply,
 		VerifyTypes: []string{typeLeadCoin},
 	})
@@ -256,6 +257,45 @@ func (m *MVBA) verifyMsg(from int, msgType string, payload []byte) any {
 		}
 	}
 	return &leadCoinVerdict{trial: body.Trial, shares: valid}
+}
+
+// batchVerify is the coalescing Verify stage for LEADCOIN bursts: the
+// shares of all drained messages fold into one DLEQ batch, with each
+// trial's coin base derived once. Messages that fail to decode keep a
+// nil verdict and fall back to inline apply-time handling.
+func (m *MVBA) batchVerify(msgs []*wire.Message) ([]any, int) {
+	verdicts := make([]any, len(msgs))
+	bodies := make([]*leadCoinBody, len(msgs))
+	bv := m.cfg.Coin.NewBatchVerifier()
+	for i, msg := range msgs {
+		var body leadCoinBody
+		if wire.UnmarshalBody(msg.Payload, &body) != nil || body.Trial < 1 {
+			continue
+		}
+		bodies[i] = &body
+		name := m.coinName(body.Trial)
+		for _, sh := range body.Shares {
+			bv.Add(name, sh)
+		}
+	}
+	ok := bv.Verify()
+	culprits, k := 0, 0
+	for i, body := range bodies {
+		if body == nil {
+			continue
+		}
+		valid := make([]coin.Share, 0, len(body.Shares))
+		for _, sh := range body.Shares {
+			if ok[k] {
+				valid = append(valid, sh)
+			} else {
+				culprits++
+			}
+			k++
+		}
+		verdicts[i] = &leadCoinVerdict{trial: body.Trial, shares: valid}
+	}
+	return verdicts, culprits
 }
 
 // Handle processes one protocol message without a pipeline verdict (the

@@ -77,6 +77,9 @@ type Config struct {
 	OnInvalid func(abcSeq int64)
 	// BatchSize is passed to the embedded atomic broadcast.
 	BatchSize int
+	// MaxBatchSize is passed to the embedded atomic broadcast as the
+	// adaptive batching ceiling; see abc.Config.MaxBatchSize.
+	MaxBatchSize int
 }
 
 // pending tracks one ordered ciphertext awaiting decryption.
@@ -125,20 +128,22 @@ func New(cfg Config) *SCABC {
 		s.decryptLat = reg.Histogram(Protocol + ".latency.decrypt")
 	}
 	s.abc = abc.New(abc.Config{
-		Router:    cfg.Router,
-		Struct:    cfg.Struct,
-		Instance:  cfg.Instance + "/ord",
-		Identity:  cfg.Identity,
-		IDKey:     cfg.IDKey,
-		Coin:      cfg.Coin,
-		CoinKey:   cfg.CoinKey,
-		Scheme:    cfg.Scheme,
-		Key:       cfg.Key,
-		BatchSize: cfg.BatchSize,
-		Deliver:   s.onOrdered,
+		Router:       cfg.Router,
+		Struct:       cfg.Struct,
+		Instance:     cfg.Instance + "/ord",
+		Identity:     cfg.Identity,
+		IDKey:        cfg.IDKey,
+		Coin:         cfg.Coin,
+		CoinKey:      cfg.CoinKey,
+		Scheme:       cfg.Scheme,
+		Key:          cfg.Key,
+		BatchSize:    cfg.BatchSize,
+		MaxBatchSize: cfg.MaxBatchSize,
+		Deliver:      s.onOrdered,
 	})
 	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
 		Verify:      s.verifyMsg,
+		BatchVerify: s.batchVerify,
 		Apply:       s.apply,
 		VerifyTypes: []string{typeShares},
 	})
@@ -250,6 +255,52 @@ func (s *SCABC) verifyMsg(from int, msgType string, payload []byte) any {
 		}
 	}
 	return &sharesVerdict{seq: body.Seq, shares: valid}
+}
+
+// batchVerify is the coalescing Verify stage for SHARES bursts: the
+// decryption shares of all drained messages — possibly for several
+// ordered ciphertexts — fold into one DLEQ batch, with each
+// ciphertext's context digest computed once. Messages whose ciphertext
+// is not ordered locally yet keep a nil verdict and are buffered by
+// Apply as before.
+func (s *SCABC) batchVerify(msgs []*wire.Message) ([]any, int) {
+	verdicts := make([]any, len(msgs))
+	bodies := make([]*sharesBody, len(msgs))
+	cts := make([]*threnc.Ciphertext, len(msgs))
+	bv := s.cfg.Enc.NewBatchVerifier()
+	for i, m := range msgs {
+		var body sharesBody
+		if wire.UnmarshalBody(m.Payload, &body) != nil {
+			continue
+		}
+		ctv, ok := s.cts.Load(body.Seq)
+		if !ok {
+			continue
+		}
+		bodies[i] = &body
+		cts[i] = ctv.(*threnc.Ciphertext)
+		for _, sh := range body.Shares {
+			bv.Add(cts[i], sh)
+		}
+	}
+	ok := bv.Verify()
+	culprits, k := 0, 0
+	for i, body := range bodies {
+		if body == nil {
+			continue
+		}
+		valid := make([]threnc.Share, 0, len(body.Shares))
+		for _, sh := range body.Shares {
+			if ok[k] {
+				valid = append(valid, sh)
+			} else {
+				culprits++
+			}
+			k++
+		}
+		verdicts[i] = &sharesVerdict{seq: body.Seq, shares: valid}
+	}
+	return verdicts, culprits
 }
 
 // Handle processes decryption-share messages without a pipeline verdict

@@ -1,0 +1,98 @@
+package threnc
+
+import (
+	"fmt"
+
+	"sintra/internal/dleq"
+)
+
+// BatchVerifier collects decryption shares — possibly for several
+// ciphertexts at once, as when the share exchange drains a backlog
+// spanning sequence numbers — and checks them together with one folded
+// DLEQ batch (see dleq.BatchVerify for the soundness argument). The
+// ciphertext context digest, a hash over the full payload, is computed
+// once per ciphertext instead of once per share, and ct.U's exponents
+// aggregate on one pointer for same-ciphertext shares.
+//
+// Every ciphertext passed to Add must already have passed
+// VerifyCiphertext — the same precondition VerifyShare documents — so
+// its U component is a known group element. Add performs the remaining
+// structural checks (share ID range, sender ownership, membership of
+// the share value); Verify runs the batch and reports per-share
+// validity. A BatchVerifier is for one use by one goroutine.
+type BatchVerifier struct {
+	p       *Params
+	digests map[*Ciphertext]string
+	items   []dleq.BatchItem
+	// slot maps add order to batch item index; -1 marks shares that
+	// failed the structural checks and skip the batch.
+	slot []int
+}
+
+// NewBatchVerifier starts an empty batch over the key material.
+func (p *Params) NewBatchVerifier() *BatchVerifier {
+	return &BatchVerifier{p: p, digests: make(map[*Ciphertext]string)}
+}
+
+// Add queues one decryption share of the (pre-verified) ciphertext.
+func (b *BatchVerifier) Add(ct *Ciphertext, sh Share) {
+	p := b.p
+	ok := sh.ID >= 0 && sh.ID < len(p.VerifyKeys)
+	if ok {
+		owner, err := p.scheme.PartyOf(sh.ID)
+		ok = err == nil && owner == sh.Party && p.g.IsElement(sh.Value)
+	}
+	if !ok {
+		b.slot = append(b.slot, -1)
+		return
+	}
+	digest, cached := b.digests[ct]
+	if !cached {
+		digest = ctxDigest(ct.Payload, ct.Label)
+		b.digests[ct] = digest
+	}
+	b.slot = append(b.slot, len(b.items))
+	b.items = append(b.items, dleq.BatchItem{
+		St: dleq.Statement{
+			G1: p.g.G, H1: p.VerifyKeys[sh.ID],
+			G2: ct.U, H2: sh.Value,
+			Trusted: true,
+		},
+		P:       sh.Proof,
+		Context: fmt.Sprintf("tdh2share|%s|%d", digest, sh.ID),
+	})
+}
+
+// Verify checks every added share; out[i] reports whether the i-th Add
+// verified. Byzantine shares are isolated by the batch's binary split,
+// so they never taint honest shares.
+func (b *BatchVerifier) Verify() []bool {
+	bad := dleq.BatchVerify(b.p.g, b.items, nil)
+	badSet := make(map[int]bool, len(bad))
+	for _, i := range bad {
+		badSet[i] = true
+	}
+	out := make([]bool, len(b.slot))
+	for i, s := range b.slot {
+		out[i] = s >= 0 && !badSet[s]
+	}
+	return out
+}
+
+// BatchVerifyShares checks the decryption shares of one (pre-verified)
+// ciphertext together and returns the indexes of the invalid ones (nil
+// when all verify) — equivalent to calling VerifyShare on each, at
+// batch cost.
+func (p *Params) BatchVerifyShares(ct *Ciphertext, shares []Share) []int {
+	bv := p.NewBatchVerifier()
+	for _, sh := range shares {
+		bv.Add(ct, sh)
+	}
+	var bad []int
+	for i, ok := range bv.Verify() {
+		if !ok {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}

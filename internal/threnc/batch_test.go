@@ -1,0 +1,97 @@
+package threnc
+
+import (
+	"crypto/rand"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"sintra/internal/adversary"
+)
+
+func batchCiphertext(t testing.TB, p *Params, label string) *Ciphertext {
+	t.Helper()
+	ct, err := p.Encrypt([]byte("batch plaintext"), []byte(label), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.VerifyCiphertext(ct); err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func sharesFor(t testing.TB, p *Params, keys []*SecretKey, ct *Ciphertext, parties []int) []Share {
+	t.Helper()
+	var out []Share
+	for _, i := range parties {
+		shares, err := p.DecryptShares(keys[i], ct, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, shares...)
+	}
+	return out
+}
+
+func TestThrencBatchVerifyAllValid(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	p, keys := dealTest(t, st)
+	ct := batchCiphertext(t, p, "label-1")
+	shares := sharesFor(t, p, keys, ct, []int{0, 1, 2, 3})
+	if bad := p.BatchVerifyShares(ct, shares); bad != nil {
+		t.Fatalf("valid batch flagged %v", bad)
+	}
+}
+
+func TestThrencBatchMatchesVerifyShare(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	p, keys := dealTest(t, st)
+	ct := batchCiphertext(t, p, "label-1")
+	shares := sharesFor(t, p, keys, ct, []int{0, 1, 2, 3})
+	// The proof equations fail while every structural check passes.
+	shares[1].Value = p.g.Exp(shares[1].Value, big.NewInt(2))
+	// Wrong claimed owner.
+	shares[3].Party = 0
+	var want []int
+	for i, sh := range shares {
+		if p.VerifyShare(ct, sh) != nil {
+			want = append(want, i)
+		}
+	}
+	if !reflect.DeepEqual(want, []int{1, 3}) {
+		t.Fatalf("per-share rejected %v, corruption expected [1 3]", want)
+	}
+	got := p.BatchVerifyShares(ct, shares)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batch flagged %v, per-share %v", got, want)
+	}
+}
+
+// TestThrencBatchAcrossCiphertexts drives one BatchVerifier over shares
+// of two ciphertexts — the shape of the share exchange draining a
+// backlog spanning sequence numbers.
+func TestThrencBatchAcrossCiphertexts(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	p, keys := dealTest(t, st)
+	ct1 := batchCiphertext(t, p, "label-1")
+	ct2 := batchCiphertext(t, p, "label-2")
+	bv := p.NewBatchVerifier()
+	var want []bool
+	for _, ct := range []*Ciphertext{ct1, ct2} {
+		shares := sharesFor(t, p, keys, ct, []int{0, 1, 2, 3})
+		shares[2].Proof.Z = new(big.Int).Add(shares[2].Proof.Z, big.NewInt(1))
+		for i, sh := range shares {
+			bv.Add(ct, sh)
+			want = append(want, i != 2)
+		}
+	}
+	// A share of ct1 presented against ct2 must fail even though its
+	// proof is internally valid.
+	cross := sharesFor(t, p, keys, ct1, []int{0})
+	bv.Add(ct2, cross[0])
+	want = append(want, false)
+	if got := bv.Verify(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("batch verdicts %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,214 @@
+package thresig
+
+import (
+	"crypto/rand"
+	"io"
+	"math/big"
+	"sort"
+
+	"sintra/internal/modexp"
+)
+
+// rsaBatchItem is one parsed signature share plus the commitments
+// carried in Aux, ready for the folded product test.
+type rsaBatchItem struct {
+	party          int
+	xi, c, z       *big.Int
+	xi2            *big.Int
+	vPrime, xPrime *big.Int
+}
+
+// BatchVerifyShares checks k signature shares on one message with a
+// random-linear-combination product test and returns the indexes of
+// the invalid shares (nil when all verify). Per item it recomputes the
+// Fiat-Shamir challenge over the carried commitments — a hash — and
+// folds the two verification equations
+//
+//	v^{z_j} = v'_j · vk_j^{c_j}     x̃^{z_j} = x'_j · (x_j²)^{c_j}
+//
+// of every item, each raised to an independent 128-bit randomizer and
+// squared, into one equality of two multi-exponentiations. The message
+// digest and x̃ = x̂^{4Δ} are computed once per batch instead of once
+// per share, and the common bases v and x̃ aggregate their exponents
+// into single terms — together the bulk of the batch saving.
+//
+// Squaring moves the check into QR_N, the cyclic odd-order subgroup
+// where the small-exponent soundness argument holds: Z_N* also has
+// elements of order 2, whose contribution a linear combination cannot
+// bound. The squared test therefore accepts a share whose proof is off
+// by a square root of unity where strict VerifyShare would reject —
+// harmless, because Combine raises every share to an even power 2λ_j,
+// which erases exactly that order-2 component, and the combined
+// signature is verified against the public key regardless (Shoup's own
+// squaring argument; see DESIGN.md). On product failure the batch is
+// binary-split with fresh randomizers, ending in deterministic
+// per-share checks, so Byzantine shares are isolated and honest ones
+// still combine. Shares without Aux (from pre-batching peers) are
+// verified individually.
+func (s *RSAScheme) BatchVerifyShares(msg []byte, shares []Share) []int {
+	s.precompute()
+	x := s.digest(msg)
+	xTilde := new(big.Int).Exp(x, new(big.Int).Lsh(s.Delta, 2), s.N)
+
+	var bad, cand []int
+	items := make([]*rsaBatchItem, len(shares))
+	for i, sh := range shares {
+		it, ok := s.parseBatchItem(sh, xTilde)
+		if !ok {
+			bad = append(bad, i)
+			continue
+		}
+		if it.vPrime == nil {
+			// Legacy share without commitments: check it individually.
+			if s.verifyParsed(it, xTilde) {
+				continue
+			}
+			bad = append(bad, i)
+			continue
+		}
+		items[i] = it
+		cand = append(cand, i)
+	}
+	bad = append(bad, s.splitVerify(items, cand, xTilde, rand.Reader)...)
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Ints(bad)
+	return bad
+}
+
+// parseBatchItem decodes and range-checks one share. A share with no
+// Aux parses with nil commitments (the legacy marker); a share whose
+// Aux is present but malformed, or whose challenge does not match the
+// carried commitments, fails outright.
+func (s *RSAScheme) parseBatchItem(sh Share, xTilde *big.Int) (*rsaBatchItem, bool) {
+	if sh.Party < 0 || sh.Party >= s.NParties {
+		return nil, false
+	}
+	parts, err := decodeBigs(sh.Data, 3)
+	if err != nil {
+		return nil, false
+	}
+	it := &rsaBatchItem{party: sh.Party, xi: parts[0], c: parts[1], z: parts[2]}
+	if it.xi.Sign() <= 0 || it.xi.Cmp(s.N) >= 0 ||
+		it.c.BitLen() > rsaProofHashBits ||
+		it.z.Sign() < 0 || it.z.BitLen() > s.zBits() {
+		return nil, false
+	}
+	it.xi2 = new(big.Int).Mul(it.xi, it.xi)
+	it.xi2.Mod(it.xi2, s.N)
+	if len(sh.Aux) == 0 {
+		return it, true
+	}
+	aux, err := decodeBigs(sh.Aux, 2)
+	if err != nil {
+		return nil, false
+	}
+	it.vPrime, it.xPrime = aux[0], aux[1]
+	if it.vPrime.Sign() <= 0 || it.vPrime.Cmp(s.N) >= 0 ||
+		it.xPrime.Sign() <= 0 || it.xPrime.Cmp(s.N) >= 0 {
+		return nil, false
+	}
+	if s.challenge(s.VKeys[it.party], xTilde, it.xi2, it.vPrime, it.xPrime).Cmp(it.c) != 0 {
+		return nil, false
+	}
+	return it, true
+}
+
+// verifyParsed is the strict per-share check (VerifyShare's equations)
+// over an already-parsed item, reusing the per-batch x̃.
+func (s *RSAScheme) verifyParsed(it *rsaBatchItem, xTilde *big.Int) bool {
+	vkC := s.vkTabs[it.party].Exp(it.c)
+	vkCInv := new(big.Int).ModInverse(vkC, s.N)
+	if vkCInv == nil {
+		return false
+	}
+	xi2Inv := new(big.Int).ModInverse(it.xi2, s.N)
+	if xi2Inv == nil {
+		return false
+	}
+	vPrime := s.vTab.Exp(it.z)
+	vPrime.Mul(vPrime, vkCInv).Mod(vPrime, s.N)
+	xPrime := new(big.Int).Exp(xTilde, it.z, s.N)
+	xPrime.Mul(xPrime, new(big.Int).Exp(xi2Inv, it.c, s.N)).Mod(xPrime, s.N)
+	return s.challenge(s.VKeys[it.party], xTilde, it.xi2, vPrime, xPrime).Cmp(it.c) == 0
+}
+
+// splitVerify checks the items at the given indexes with one folded
+// product test, recursively halving (with fresh randomizers) on
+// failure until per-share verification isolates the culprits.
+func (s *RSAScheme) splitVerify(items []*rsaBatchItem, idx []int, xTilde *big.Int, rnd io.Reader) []int {
+	switch len(idx) {
+	case 0:
+		return nil
+	case 1:
+		if !s.verifyParsed(items[idx[0]], xTilde) {
+			return idx
+		}
+		return nil
+	}
+	ok, err := s.foldedCheck(items, idx, xTilde, rnd)
+	if err != nil {
+		// Randomness failure: deterministic per-share fallback.
+		var bad []int
+		for _, i := range idx {
+			if !s.verifyParsed(items[i], xTilde) {
+				bad = append(bad, i)
+			}
+		}
+		return bad
+	}
+	if ok {
+		return nil
+	}
+	mid := len(idx) / 2
+	bad := s.splitVerify(items, idx[:mid], xTilde, rnd)
+	return append(bad, s.splitVerify(items, idx[mid:], xTilde, rnd)...)
+}
+
+// foldedCheck evaluates the squared random-linear-combination product
+// for the items at the given indexes:
+//
+//	v^{2Σδ_j z_j} · x̃^{2Σδ'_j z_j}
+//	    == Π_j v'_j^{2δ_j} · vk_j^{2c_jδ_j} · x'_j^{2δ'_j} · (x_j²)^{2c_jδ'_j}
+//
+// All exponents are positive integers (the group order is unknown, so
+// nothing reduces), v rides its deployment-lifetime fixed-base table
+// and so do the verification keys; the remaining per-item terms share
+// one interleaved multi-exponentiation chain.
+func (s *RSAScheme) foldedCheck(items []*rsaBatchItem, idx []int, xTilde *big.Int, rnd io.Reader) (bool, error) {
+	const db = rsaProofHashBits / 8
+	buf := make([]byte, 2*len(idx)*db)
+	if _, err := io.ReadFull(rnd, buf); err != nil {
+		return false, err
+	}
+	nextDelta := func() *big.Int {
+		d := new(big.Int).SetBytes(buf[:db])
+		buf = buf[db:]
+		return d
+	}
+	sumV, sumX := new(big.Int), new(big.Int)
+	bases := make([]*big.Int, 0, 3*len(idx))
+	exps := make([]*big.Int, 0, 3*len(idx))
+	rhs := big.NewInt(1)
+	tmp := new(big.Int)
+	for _, i := range idx {
+		it := items[i]
+		d1, d2 := nextDelta(), nextDelta()
+		sumV.Add(sumV, tmp.Mul(d1, it.z))
+		sumX.Add(sumX, tmp.Mul(d2, it.z))
+		// vk_j^{2c_jδ_j} on the fixed-base table, straight into rhs.
+		e := new(big.Int).Mul(it.c, d1)
+		rhs.Mul(rhs, s.vkTabs[it.party].Exp(e.Lsh(e, 1))).Mod(rhs, s.N)
+		bases = append(bases, it.vPrime, it.xPrime, it.xi2)
+		exps = append(exps,
+			new(big.Int).Lsh(d1, 1),
+			new(big.Int).Lsh(d2, 1),
+			new(big.Int).Lsh(new(big.Int).Mul(it.c, d2), 1),
+		)
+	}
+	rhs.Mul(rhs, modexp.MultiExp(s.N, bases, exps)).Mod(rhs, s.N)
+	lhs := s.vTab.Exp(sumV.Lsh(sumV, 1))
+	lhs.Mul(lhs, new(big.Int).Exp(xTilde, sumX.Lsh(sumX, 1), s.N)).Mod(lhs, s.N)
+	return lhs.Cmp(rhs) == 0, nil
+}

@@ -57,12 +57,16 @@ const rsaProofHashBits = 128
 func (s *RSAScheme) zBits() int { return s.N.BitLen() + 2*rsaProofHashBits + 65 }
 
 // precompute builds the fixed-base tables (idempotent, concurrency-safe).
+// The tables are sized past the per-share exponent widths so the batch
+// path's aggregated exponents (Σ 2δ_j z_j over up to 2^8 shares, and
+// doubled c·δ products) stay on the fixed-base fast path; the window
+// choice, and with it the per-share cost, is unchanged.
 func (s *RSAScheme) precompute() {
 	s.precompOnce.Do(func() {
-		s.vTab = modexp.NewTable(s.V, s.N, s.zBits())
+		s.vTab = modexp.NewTable(s.V, s.N, s.zBits()+rsaProofHashBits+10)
 		s.vkTabs = make([]*modexp.Table, len(s.VKeys))
 		for i, vk := range s.VKeys {
-			s.vkTabs[i] = modexp.NewTable(vk, s.N, rsaProofHashBits)
+			s.vkTabs[i] = modexp.NewTable(vk, s.N, 2*rsaProofHashBits+2)
 		}
 	})
 }
@@ -247,7 +251,14 @@ func (s *RSAScheme) SignShare(sk *SecretKey, msg []byte, rnd io.Reader) (Share, 
 	z := new(big.Int).Mul(si, c)
 	z.Add(z, r)
 
-	return Share{Party: sk.Party, Data: encodeBigs(xi, c, z)}, nil
+	// Aux ships the commitments so BatchVerifyShares can fold many
+	// proofs into one product check; VerifyShare recomputes them from
+	// (c, z) and never reads Aux, keeping Data's legacy encoding.
+	return Share{
+		Party: sk.Party,
+		Data:  encodeBigs(xi, c, z),
+		Aux:   encodeBigs(vPrime, xPrime),
+	}, nil
 }
 
 // VerifyShare checks a signature share's proof of correctness.

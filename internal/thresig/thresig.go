@@ -48,6 +48,36 @@ type Share struct {
 	Party int
 	// Data is the scheme-specific share encoding.
 	Data []byte
+	// Aux carries optional batch-verification material — for RSAScheme
+	// the proof commitments (v', x') that VerifyShare otherwise
+	// recomputes. Per-share verification and Combine ignore it, and
+	// Data keeps its exact legacy encoding, so shares with and without
+	// Aux interoperate in both directions across protocol versions
+	// (gob drops the field on old decoders and zeroes it on new ones).
+	Aux []byte
+}
+
+// BatchVerifier is implemented by schemes that can check many shares
+// on one message with a single folded product test, returning the
+// indexes of the invalid shares (nil when all verify).
+type BatchVerifier interface {
+	BatchVerifyShares(msg []byte, shares []Share) []int
+}
+
+// BatchVerify checks every share on msg, taking the scheme's batch
+// path when it has one and falling back to per-share verification
+// otherwise, so callers can batch unconditionally.
+func BatchVerify(s Scheme, msg []byte, shares []Share) []int {
+	if bv, ok := s.(BatchVerifier); ok {
+		return bv.BatchVerifyShares(msg, shares)
+	}
+	var bad []int
+	for i, sh := range shares {
+		if s.VerifyShare(msg, sh) != nil {
+			bad = append(bad, i)
+		}
+	}
+	return bad
 }
 
 // SecretKey is a party's signing key for either scheme. Exactly one of the

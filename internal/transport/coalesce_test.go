@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"testing"
+
+	"sintra/internal/wire"
+)
+
+// TestAppendFrameRoundTrip pins the receive-path compatibility of write
+// coalescing: a buffer of frames assembled by appendFrame must parse as a
+// sequence of individually MAC'd frames, indistinguishable from the same
+// frames sent by separate writeFrame calls.
+func TestAppendFrameRoundTrip(t *testing.T) {
+	session := bytes.Repeat([]byte{0x5a}, 32)
+	payloads := [][]byte{
+		[]byte("first"),
+		{},
+		bytes.Repeat([]byte{0xab}, 4096),
+		[]byte("last"),
+	}
+	var out []byte
+	for i, p := range payloads {
+		out = appendFrame(out, session, uint64(i), p)
+	}
+	r := bytes.NewReader(out)
+	for i, want := range payloads {
+		raw, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(raw) < sha256.Size {
+			t.Fatalf("frame %d too short for a MAC: %d bytes", i, len(raw))
+		}
+		payload := raw[:len(raw)-sha256.Size]
+		mac := raw[len(raw)-sha256.Size:]
+		if !hmac.Equal(mac, frameMAC(session, uint64(i), payload)) {
+			t.Fatalf("frame %d: MAC mismatch", i)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("frame %d: payload %x, want %x", i, payload, want)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d trailing bytes after all frames", r.Len())
+	}
+}
+
+// TestAppendFrameNoMAC covers the client path: with a nil session the frame
+// is the bare length-prefixed payload.
+func TestAppendFrameNoMAC(t *testing.T) {
+	out := appendFrame(nil, nil, 0, []byte("reply"))
+	raw, err := readFrame(bytes.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, []byte("reply")) {
+		t.Fatalf("payload %q, want %q", raw, "reply")
+	}
+}
+
+// TestDrainCoalesces pins the batching contract of drain: everything queued
+// comes out in one swap, in order, capped at maxCoalesce.
+func TestDrainCoalesces(t *testing.T) {
+	w := &peerWriter{}
+	w.cond = sync.NewCond(&w.mu)
+	total := maxCoalesce + 10
+	for k := 0; k < total; k++ {
+		w.enqueue(wire.Message{Type: fmt.Sprintf("m%d", k)})
+	}
+	batch, ok := w.drain()
+	if !ok || len(batch) != maxCoalesce {
+		t.Fatalf("first drain: %d messages (ok=%v), want %d", len(batch), ok, maxCoalesce)
+	}
+	rest, ok := w.drain()
+	if !ok || len(rest) != total-maxCoalesce {
+		t.Fatalf("second drain: %d messages (ok=%v), want %d", len(rest), ok, total-maxCoalesce)
+	}
+	for k, m := range append(batch, rest...) {
+		if m.Type != fmt.Sprintf("m%d", k) {
+			t.Fatalf("message %d out of order: %q", k, m.Type)
+		}
+	}
+	w.close()
+	if _, ok := w.drain(); ok {
+		t.Fatal("drain succeeded on a closed writer")
+	}
+}

@@ -48,6 +48,30 @@ var (
 // message loss to crashed peers; protocols retransmit by design).
 const dialAttempts = 25
 
+// maxCoalesce caps how many queued messages one flush drains. A slow link
+// accumulates a backlog while a write is in flight; draining it in one
+// syscall amortizes the per-write cost, but an unbounded drain could pin an
+// arbitrarily large assembly buffer, so bursts beyond the cap simply take
+// another flush.
+const maxCoalesce = 128
+
+// maxPooledWriteBuf bounds the capacity of write buffers returned to
+// writeBufs; outlier bursts fall back to the garbage collector.
+const maxPooledWriteBuf = 1 << 20
+
+// writeBufs recycles the per-flush frame assembly buffers across all links.
+var writeBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+func getWriteBuf() *[]byte { return writeBufs.Get().(*[]byte) }
+
+func putWriteBuf(b *[]byte) {
+	if cap(*b) > maxPooledWriteBuf {
+		return
+	}
+	*b = (*b)[:0]
+	writeBufs.Put(b)
+}
+
 // redialDelay returns the pause before redial attempt n (n >= 1): the base
 // doubled per consecutive failure, capped at redialMax, jittered into
 // [d/2, d) so redialers across parties desynchronize. The jitter is a hash
@@ -124,13 +148,15 @@ type transportMetrics struct {
 	queueDepth *obs.Gauge
 	dropped    *obs.Counter
 	redials    *obs.Counter
+	flushes    *obs.Counter
 }
 
 // SetObserver reports the transport's traffic through reg: counters
 // "transport.sent.msgs.<protocol>" (and .bytes, and the recv twins),
-// "transport.dropped", "transport.redials", and the gauge
-// "transport.queue.depth" summing all outbound queues. Call before the
-// first Send; a nil registry turns observability off.
+// "transport.dropped", "transport.redials", "transport.flushes" (one per
+// coalesced write, so sent.msgs/flushes is the mean batch per syscall), and
+// the gauge "transport.queue.depth" summing all outbound queues. Call
+// before the first Send; a nil registry turns observability off.
 func (t *Transport) SetObserver(reg *obs.Registry) {
 	if reg == nil {
 		t.mx = nil
@@ -144,6 +170,7 @@ func (t *Transport) SetObserver(reg *obs.Registry) {
 		queueDepth: reg.Gauge("transport.queue.depth"),
 		dropped:    reg.Counter("transport.dropped"),
 		redials:    reg.Counter("transport.redials"),
+		flushes:    reg.Counter("transport.flushes"),
 	}
 }
 
@@ -177,6 +204,12 @@ func (m *transportMetrics) drop() {
 func (m *transportMetrics) redial() {
 	if m != nil {
 		m.redials.Inc()
+	}
+}
+
+func (m *transportMetrics) flush() {
+	if m != nil {
+		m.flushes.Inc()
 	}
 }
 
@@ -475,33 +508,83 @@ func (w *peerWriter) close() {
 	}
 }
 
-func (w *peerWriter) next() (wire.Message, bool) {
+// drain blocks until the queue is non-empty, then takes up to maxCoalesce
+// messages in one swap. A writer that fell behind its queue — a slow link,
+// a redial in progress — therefore flushes its whole backlog with a single
+// write on the next pass, while an idle link still flushes every message
+// the moment it arrives (the swap never waits for a batch to fill).
+func (w *peerWriter) drain() ([]wire.Message, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for len(w.queue) == 0 && !w.closed {
 		w.cond.Wait()
 	}
 	if w.closed {
-		return wire.Message{}, false
+		return nil, false
 	}
-	m := w.queue[0]
-	w.queue = w.queue[1:]
-	w.mx.queueAdd(-1)
-	return m, true
+	batch := w.queue
+	if len(batch) > maxCoalesce {
+		batch = batch[:maxCoalesce:maxCoalesce]
+		w.queue = w.queue[maxCoalesce:]
+	} else {
+		w.queue = nil
+	}
+	w.mx.queueAdd(-int64(len(batch)))
+	return batch, true
 }
 
-// runDirect serves replies to a connected client (no MAC).
-func (w *peerWriter) runDirect() {
-	for {
-		m, ok := w.next()
-		if !ok {
-			return
-		}
-		payload, err := wire.EncodeMessage(&m)
+// encodeBatch serializes a drained batch into per-message envelope frames.
+// Bodies that fail to encode are skipped (a programming error on our own
+// side, never attacker input).
+func encodeBatch(batch []wire.Message) [][]byte {
+	payloads := make([][]byte, 0, len(batch))
+	for i := range batch {
+		p, err := wire.EncodeMessage(&batch[i])
 		if err != nil {
 			continue
 		}
-		if writeFrame(w.direct, payload) != nil {
+		payloads = append(payloads, p)
+	}
+	return payloads
+}
+
+// appendFrame appends one length-prefixed frame carrying payload to dst and
+// returns the extended buffer. With a non-nil session the frame gains the
+// per-frame counter MAC, exactly as a standalone writeFrame would send it —
+// the receive path cannot tell coalesced frames from individual ones.
+func appendFrame(dst []byte, session []byte, counter uint64, payload []byte) []byte {
+	flen := len(payload)
+	if session != nil {
+		flen += sha256.Size
+	}
+	var lb [4]byte
+	binary.BigEndian.PutUint32(lb[:], uint32(flen))
+	dst = append(dst, lb[:]...)
+	dst = append(dst, payload...)
+	if session != nil {
+		dst = append(dst, frameMAC(session, counter, payload)...)
+	}
+	return dst
+}
+
+// runDirect serves replies to a connected client (no MAC): drain the
+// backlog, assemble every frame into one pooled buffer, write once.
+func (w *peerWriter) runDirect() {
+	for {
+		batch, ok := w.drain()
+		if !ok {
+			return
+		}
+		buf := getWriteBuf()
+		out := (*buf)[:0]
+		for _, p := range encodeBatch(batch) {
+			out = appendFrame(out, nil, 0, p)
+		}
+		*buf = out
+		_, err := w.direct.Write(out)
+		w.mx.flush()
+		putWriteBuf(buf)
+		if err != nil {
 			return
 		}
 	}
@@ -509,25 +592,28 @@ func (w *peerWriter) runDirect() {
 
 // run dials the destination server and writes queued frames, redialing on
 // failure with capped exponential backoff. The failure streak spans
-// messages — a peer that has been down for a while is probed gently even
-// as new sends queue up — and resets on a successful dial.
+// batches — a peer that has been down for a while is probed gently even
+// as new sends queue up — and resets on a successful dial. All frames of a
+// drained batch are assembled into one pooled buffer and written with a
+// single syscall; on a write error the whole batch is re-framed for the
+// next connection, whose MAC counter restarts at zero.
 func (w *peerWriter) run() {
 	var conn net.Conn
 	var session []byte
 	var counter uint64
-	failures := 0 // consecutive failed dials, across messages
+	failures := 0 // consecutive failed dials, across batches
 	defer func() {
 		if conn != nil {
 			conn.Close()
 		}
 	}()
 	for {
-		m, ok := w.next()
+		batch, ok := w.drain()
 		if !ok {
 			return
 		}
-		payload, err := wire.EncodeMessage(&m)
-		if err != nil {
+		payloads := encodeBatch(batch)
+		if len(payloads) == 0 {
 			continue
 		}
 		for attempt := 0; ; attempt++ {
@@ -537,8 +623,10 @@ func (w *peerWriter) run() {
 				if conn == nil {
 					failures++
 					if attempt >= dialAttempts {
-						w.mx.drop()
-						break // drop the message
+						for range payloads {
+							w.mx.drop()
+						}
+						break // drop the batch
 					}
 					select {
 					case <-w.t.closed:
@@ -549,16 +637,23 @@ func (w *peerWriter) run() {
 				}
 				failures = 0
 			}
-			frame := payload
-			if session != nil {
-				frame = append(append([]byte{}, payload...), frameMAC(session, counter, payload)...)
+			buf := getWriteBuf()
+			out := (*buf)[:0]
+			next := counter
+			for _, p := range payloads {
+				out = appendFrame(out, session, next, p)
+				next++
 			}
-			if err := writeFrame(conn, frame); err != nil {
+			*buf = out
+			_, err := conn.Write(out)
+			putWriteBuf(buf)
+			if err != nil {
 				conn.Close()
 				conn = nil
 				continue
 			}
-			counter++
+			w.mx.flush()
+			counter = next
 			break
 		}
 	}
@@ -626,9 +721,9 @@ func (t *Transport) readReplies(conn net.Conn, server int) {
 
 // Frame helpers.
 
-func readFrame(conn net.Conn) ([]byte, error) {
+func readFrame(r io.Reader) ([]byte, error) {
 	var lb [4]byte
-	if _, err := io.ReadFull(conn, lb[:]); err != nil {
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(lb[:])
@@ -636,7 +731,7 @@ func readFrame(conn net.Conn) ([]byte, error) {
 		return nil, errors.New("transport: oversized frame")
 	}
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(conn, buf); err != nil {
+	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil

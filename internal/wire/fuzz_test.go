@@ -2,6 +2,7 @@ package wire_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"sync"
 	"testing"
 	"time"
@@ -95,6 +96,43 @@ func liveTraffic(tb testing.TB) []wire.Message {
 // deduplicated by message type first so every shape is represented.
 const seedLimit = 64
 
+// coalesced concatenates frames in the transport's coalesced-write shape:
+// each frame preceded by its 4-byte big-endian length, several frames per
+// blob. The decoders see exactly this byte layout if a buggy or Byzantine
+// peer hands a whole burst where one frame is expected.
+func coalesced(frames ...[]byte) []byte {
+	var out []byte
+	for _, fr := range frames {
+		var lb [4]byte
+		binary.BigEndian.PutUint32(lb[:], uint32(len(fr)))
+		out = append(out, lb[:]...)
+		out = append(out, fr...)
+	}
+	return out
+}
+
+// burstSeeds builds coalesced multi-frame blobs from live traffic: pairs
+// and triples of real envelope frames, plus a burst with a truncated tail.
+func burstSeeds(tb testing.TB, msgs []wire.Message) [][]byte {
+	var frames [][]byte
+	for i := range msgs {
+		fr, err := wire.EncodeMessage(&msgs[i])
+		if err != nil {
+			tb.Fatal(err)
+		}
+		frames = append(frames, fr)
+		if len(frames) == 3 {
+			break
+		}
+	}
+	if len(frames) < 3 {
+		tb.Fatal("not enough live traffic for burst seeds")
+	}
+	pair := coalesced(frames[0], frames[1])
+	triple := coalesced(frames[0], frames[1], frames[2])
+	return [][]byte{pair, triple, triple[:len(triple)-len(frames[2])/2]}
+}
+
 func uniqueByType(msgs []wire.Message) []wire.Message {
 	seen := map[string]int{}
 	var out []wire.Message
@@ -116,12 +154,16 @@ func uniqueByType(msgs []wire.Message) []wire.Message {
 // same concrete target shapes the protocol stack uses. The decoder must
 // never panic — a corrupted party chooses these bytes.
 func FuzzUnmarshalBody(f *testing.F) {
-	for _, m := range uniqueByType(liveTraffic(f)) {
+	traffic := liveTraffic(f)
+	for _, m := range uniqueByType(traffic) {
 		f.Add(m.Payload)
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00, 0xff})
 	f.Add(wire.MustMarshalBody(struct{ Payload []byte }{Payload: []byte("x")}))
+	for _, blob := range burstSeeds(f, traffic) {
+		f.Add(blob)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var full struct {
 			Payload []byte
@@ -148,7 +190,8 @@ func FuzzUnmarshalBody(f *testing.F) {
 // Valid frames must round-trip exactly; everything else must error without
 // panicking.
 func FuzzMessageDecode(f *testing.F) {
-	for _, m := range uniqueByType(liveTraffic(f)) {
+	traffic := liveTraffic(f)
+	for _, m := range uniqueByType(traffic) {
 		m := m
 		frame, err := wire.EncodeMessage(&m)
 		if err != nil {
@@ -158,6 +201,9 @@ func FuzzMessageDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0x01})
+	for _, blob := range burstSeeds(f, traffic) {
+		f.Add(blob)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := wire.DecodeMessage(data)
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 )
 
 // Message is the envelope routed between parties. Payload bytes must be
@@ -58,13 +59,32 @@ type Transport interface {
 	Close() error
 }
 
-// MarshalBody gob-encodes a protocol message body.
+// encodeBufs recycles the scratch buffers behind MarshalBody. Gob grows its
+// output incrementally, so a fresh bytes.Buffer per body pays one allocation
+// per doubling; reusing a grown buffer makes the steady state a single
+// exact-size copy. Buffers that ballooned on an outlier body are dropped
+// rather than pinned in the pool.
+var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf bounds the capacity of buffers returned to encodeBufs.
+const maxPooledBuf = 1 << 20
+
+// MarshalBody gob-encodes a protocol message body. The returned slice is
+// freshly allocated and owned by the caller.
 func MarshalBody(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := encodeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	err := gob.NewEncoder(buf).Encode(v)
+	if err != nil {
+		encodeBufs.Put(buf)
 		return nil, fmt.Errorf("wire: marshal body: %w", err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		encodeBufs.Put(buf)
+	}
+	return out, nil
 }
 
 // MustMarshalBody is MarshalBody for bodies that cannot fail (fixed

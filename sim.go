@@ -59,6 +59,17 @@ type SimOptions struct {
 	// VerifyWorkersFor overrides VerifyWorkers per server index,
 	// allowing mixed fleets (some replicas pipelined, some single-stage).
 	VerifyWorkersFor map[int]int
+	// VerifyBatch caps how many queued same-kind messages one verify
+	// worker coalesces into a single batch-verification call on every
+	// replica: 0 keeps the engine default, negative disables coalescing
+	// (per-share verification), positive sets the cap.
+	VerifyBatch int
+	// BatchSize sets every replica's atomic broadcast batch floor
+	// (0 keeps the protocol default).
+	BatchSize int
+	// MaxBatchSize caps the adaptive batch growth; see
+	// core.NodeConfig.MaxBatchSize.
+	MaxBatchSize int
 }
 
 // SimOption is a functional option for NewDeployment.
@@ -149,6 +160,23 @@ func WithVerifyWorkersFor(server, n int) SimOption {
 			o.VerifyWorkersFor = make(map[int]int)
 		}
 		o.VerifyWorkersFor[server] = n
+	}
+}
+
+// WithVerifyBatch caps batch-verification coalescing on every replica:
+// 0 keeps the engine default, negative disables coalescing so every
+// share proof is checked individually, positive sets the cap.
+func WithVerifyBatch(n int) SimOption {
+	return func(o *SimOptions) { o.VerifyBatch = n }
+}
+
+// WithBatchSize sets the atomic broadcast batch floor and the adaptive
+// ceiling (maxBatch <= batch pins the batch size, disabling adaptation;
+// maxBatch 0 defaults to 8x the floor).
+func WithBatchSize(batch, maxBatch int) SimOption {
+	return func(o *SimOptions) {
+		o.BatchSize = batch
+		o.MaxBatchSize = maxBatch
 	}
 }
 
@@ -269,6 +297,9 @@ func NewSimulatedDeployment(opts SimOptions) (*SimulatedDeployment, error) {
 			Mode:          opts.Mode,
 			Observer:      reg,
 			VerifyWorkers: workers,
+			VerifyBatch:   opts.VerifyBatch,
+			BatchSize:     opts.BatchSize,
+			MaxBatchSize:  opts.MaxBatchSize,
 		})
 		if err != nil {
 			d.Stop()
