@@ -43,9 +43,10 @@ func run() error {
 		scaleN = flag.Int("scale-n", 7, "system size for the -cpus scaling and -batch sweeps")
 	)
 	batch := flag.String("batch", "", "batch-verification sweep: 'on', 'off', or 'on,off' to compare (runs the AB3 table)")
+	ckpt := flag.String("ckpt", "", "checkpoint/GC sweep: 'on', 'off', or 'on,off' to compare end-to-end cost")
 	flag.Var(&exps, "exp", "experiment: f1 | stack | aba | ex1 | ex2 | apps | tolerance | ablate | all (repeatable)")
 	flag.Parse()
-	if len(exps) == 0 && *cpus == "" && *batch == "" {
+	if len(exps) == 0 && *cpus == "" && *batch == "" && *ckpt == "" {
 		exps = expList{"all"}
 	}
 
@@ -150,6 +151,18 @@ func run() error {
 			return err
 		}
 		bench.PrintBatchVerifySweep(out, rows)
+		bench.Separator(out)
+	}
+	if *ckpt != "" {
+		var modes []string
+		for _, m := range strings.Split(*ckpt, ",") {
+			modes = append(modes, strings.TrimSpace(m))
+		}
+		rows, err := bench.RunCheckpointSweep(*scaleN, 64, modes)
+		if err != nil {
+			return err
+		}
+		bench.PrintCheckpointSweep(out, rows)
 		bench.Separator(out)
 	}
 	if all || want["ablate"] {

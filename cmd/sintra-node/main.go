@@ -59,6 +59,8 @@ func run() error {
 		mode    = flag.String("mode", "atomic", "dissemination: atomic | causal")
 		listen  = flag.String("listen", "", "listen address override (default: own entry of addrs.txt)")
 
+		ckptInterval = flag.Int64("checkpoint-interval", 0, "checkpoint/GC period in delivered requests (0: default, negative: disabled; atomic mode)")
+
 		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (empty: observability off)")
 		metricsEvery = flag.Duration("metrics-interval", 0, "dump metrics to stderr this often (0: off)")
 	)
@@ -124,13 +126,14 @@ func run() error {
 	}
 
 	node, err := sintra.NewNode(sintra.NodeConfig{
-		Public:      pub,
-		Secret:      secret,
-		Transport:   tr,
-		ServiceName: *svcName,
-		Service:     svc,
-		Mode:        m,
-		Observer:    reg,
+		Public:             pub,
+		Secret:             secret,
+		Transport:          tr,
+		ServiceName:        *svcName,
+		Service:            svc,
+		Mode:               m,
+		Observer:           reg,
+		CheckpointInterval: *ckptInterval,
 	})
 	if err != nil {
 		return err

@@ -45,6 +45,26 @@ const DefaultBatchSize = 8
 // pressure the batch bound may grow up to this multiple of BatchSize.
 const DefaultMaxBatchFactor = 8
 
+// DefaultRetentionWindow is the default dedup-history bound: delivered
+// digests more than this many deliveries below the frontier are pruned
+// at round boundaries even without a checkpoint certificate. The prune
+// rule reads only decided values and the deterministic delivered map, so
+// identically configured honest replicas prune identically.
+const DefaultRetentionWindow = 8192
+
+// roundWindow bounds how far ahead of the current round a proposal may
+// be buffered; beyond it the proposals map would grow without bound
+// under a Byzantine future-round flood.
+const roundWindow = 32
+
+// submittedTTL expires submit timestamps of payloads that never deliver
+// (e.g. dropped under a Byzantine flood), bounding the latency map.
+const submittedTTL = 2 * time.Minute
+
+// maxRecent caps the retained post-checkpoint suffix log; a gap simply
+// downgrades catch-up replies to snapshot-only.
+const maxRecent = 8192
+
 // Message types.
 const (
 	typeSubmit   = "SUBMIT"
@@ -65,7 +85,13 @@ type SignedProposal struct {
 	// Batch holds the proposed payloads (possibly empty for parties that
 	// join a round without pending requests).
 	Batch [][]byte
-	// Sig is the proposer's individual signature over (round, batch).
+	// Ckpt optionally piggybacks the proposer's latest stable checkpoint
+	// certificate (wire-encoded). Folding it into the decided value makes
+	// the garbage-collection horizon part of the agreed round output, so
+	// every honest replica prunes at the same point.
+	Ckpt []byte
+	// Sig is the proposer's individual signature over (round, batch,
+	// checkpoint).
 	Sig []byte
 }
 
@@ -104,6 +130,28 @@ type Config struct {
 	// DefaultMaxBatchFactor × BatchSize; values below BatchSize clamp
 	// to BatchSize, fixing the batch bound).
 	MaxBatchSize int
+	// RetentionWindow bounds the delivered-digest dedup history: entries
+	// more than this many deliveries below the frontier are pruned at
+	// round boundaries. 0 selects DefaultRetentionWindow; negative
+	// disables retention pruning (checkpoint certificates still prune).
+	// Must be configured identically on every replica — the prune rule is
+	// deterministic only under a uniform window. A payload replayed after
+	// its digest ages out is delivered again (at-most-once within the
+	// window, the standard watermark trade-off).
+	RetentionWindow int64
+	// ProvideCheckpoint, if set, returns the encoded latest stable
+	// checkpoint certificate to piggyback on this party's proposals (nil
+	// when none yet).
+	ProvideCheckpoint func() []byte
+	// VerifyCheckpoint validates a piggybacked certificate and returns
+	// the checkpointed sequence number. It must be deterministic in the
+	// bytes alone; the maximum over a decided round's valid certificates
+	// advances the GC horizon identically on every honest replica.
+	VerifyCheckpoint func(enc []byte) (seq int64, ok bool)
+	// RoundEnd, if set, fires after each round's deliveries with the new
+	// frontier, the round about to open, and the GC horizon — the hook
+	// the checkpoint tracker and request bookkeeping hang off.
+	RoundEnd func(seq, nextRound, horizon int64)
 }
 
 // ABC is one atomic-broadcast instance; dispatch-goroutine only, except
@@ -121,18 +169,39 @@ type ABC struct {
 	proposals map[int64]map[int]SignedProposal
 	mvbas     map[int64]*mvba.MVBA
 
-	queue     [][]byte
-	queued    map[[32]byte]bool
-	delivered map[[32]byte]bool
+	queue  [][]byte
+	queued map[[32]byte]bool
+	// delivered maps each delivered payload digest to its sequence
+	// number; entries below the GC horizon are pruned.
+	delivered map[[32]byte]int64
+	// gcHorizon is the stable prune point: every delivered digest below
+	// it has been dropped. Advances deterministically at round ends.
+	gcHorizon int64
+	// recent retains the (seq, payload) delivery suffix above the GC
+	// horizon for serving checkpoint catch-up; nil unless checkpointing
+	// is wired (VerifyCheckpoint set).
+	recent []recentEntry
 	// curBatch is the adaptive batch bound, in [BatchSize, MaxBatchSize].
 	curBatch int
 
 	span *obs.Span
 	// submitted stamps locally submitted payloads so their submit-to-
-	// deliver ordering latency can be measured (observer on only).
-	submitted map[[32]byte]time.Time
-	orderLat  *obs.Histogram
-	batchSize *obs.Gauge
+	// deliver ordering latency can be measured (observer on only);
+	// entries expire after submittedTTL so payloads that never deliver
+	// cannot grow it without bound.
+	submitted    map[[32]byte]time.Time
+	submitsSince int
+	orderLat     *obs.Histogram
+	batchSize    *obs.Gauge
+
+	gcFreed       *obs.Counter
+	deliveredSize *obs.Gauge
+	horizonGauge  *obs.Gauge
+}
+
+type recentEntry struct {
+	seq     int64
+	payload []byte
 }
 
 // New creates and registers an instance (dispatch goroutine or pre-Run).
@@ -144,13 +213,16 @@ func New(cfg Config) *ABC {
 		cfg.MaxBatchSize = DefaultMaxBatchFactor * cfg.BatchSize
 	}
 	cfg.MaxBatchSize = max(cfg.MaxBatchSize, cfg.BatchSize)
+	if cfg.RetentionWindow == 0 {
+		cfg.RetentionWindow = DefaultRetentionWindow
+	}
 	a := &ABC{
 		cfg:       cfg,
 		curBatch:  cfg.BatchSize,
 		proposals: make(map[int64]map[int]SignedProposal),
 		mvbas:     make(map[int64]*mvba.MVBA),
 		queued:    make(map[[32]byte]bool),
-		delivered: make(map[[32]byte]bool),
+		delivered: make(map[[32]byte]int64),
 		span:      obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
 	}
 	a.round.Store(1)
@@ -159,6 +231,9 @@ func New(cfg Config) *ABC {
 		a.orderLat = reg.Histogram(Protocol + ".latency.order")
 		a.batchSize = reg.Gauge(Protocol + ".batch.size")
 		a.batchSize.Set(int64(a.curBatch))
+		a.gcFreed = reg.Counter("checkpoint.gc.freed")
+		a.deliveredSize = reg.Gauge(Protocol + ".delivered.size")
+		a.horizonGauge = reg.Gauge(Protocol + ".gc.horizon")
 	}
 	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
 		Verify:      a.verifyMsg,
@@ -185,9 +260,13 @@ func (a *ABC) Round() int64 { return a.round.Load() }
 // signStatement is the byte string a proposal signature covers.
 func (a *ABC) signStatement(p *SignedProposal) []byte {
 	h := sha256.New()
-	fmt.Fprintf(h, "abc|%s|%d|%d|%d|", a.cfg.Instance, p.Party, p.Round, len(p.Batch))
+	fmt.Fprintf(h, "abc|%s|%d|%d|%d|%d|", a.cfg.Instance, p.Party, p.Round, len(p.Batch), len(p.Ckpt))
 	for _, m := range p.Batch {
 		d := sha256.Sum256(m)
+		h.Write(d[:])
+	}
+	if len(p.Ckpt) > 0 {
+		d := sha256.Sum256(p.Ckpt)
 		h.Write(d[:])
 	}
 	return h.Sum(nil)
@@ -252,15 +331,33 @@ func (a *ABC) apply(from int, msgType string, payload []byte, verdict any) {
 
 func (a *ABC) onSubmit(payload []byte) {
 	d := sha256.Sum256(payload)
-	if a.delivered[d] || a.queued[d] {
+	if _, done := a.delivered[d]; done || a.queued[d] {
 		return
 	}
 	a.queued[d] = true
 	a.queue = append(a.queue, payload)
 	if a.submitted != nil {
 		a.submitted[d] = time.Now()
+		// Sweep periodically on the submit path too: under a flood of
+		// payloads that never deliver, no round boundary would otherwise
+		// expire the stamps.
+		if a.submitsSince++; a.submitsSince >= 256 {
+			a.submitsSince = 0
+			a.sweepSubmitted(time.Now())
+		}
 	}
 	a.maybeActivate()
+}
+
+// sweepSubmitted drops latency stamps older than submittedTTL — payloads
+// that never a-delivered (dropped under Byzantine pressure) must not
+// grow the map without bound.
+func (a *ABC) sweepSubmitted(now time.Time) {
+	for d, at := range a.submitted {
+		if now.Sub(at) > submittedTTL {
+			delete(a.submitted, d)
+		}
+	}
 }
 
 // maybeActivate enters the current round by broadcasting a signed
@@ -288,12 +385,15 @@ func (a *ABC) maybeActivate() {
 		Round: round,
 		Batch: batch,
 	}
+	if a.cfg.ProvideCheckpoint != nil {
+		p.Ckpt = a.cfg.ProvideCheckpoint()
+	}
 	p.Sig = a.cfg.IDKey.Sign("abc-prop", a.signStatement(&p))
 	_ = a.cfg.Router.Broadcast(Protocol, a.cfg.Instance, typeProposal, p)
 }
 
 func (a *ABC) onProposal(from int, p SignedProposal) {
-	if p.Party != from || p.Round < a.round.Load() {
+	if p.Party != from || !a.roundInWindow(p.Round) {
 		return
 	}
 	if _, dup := a.proposals[p.Round][from]; dup {
@@ -308,7 +408,7 @@ func (a *ABC) onProposal(from int, p SignedProposal) {
 // onProposalVerified consumes a proposal whose signature the Verify stage
 // already checked; only the stateful round/duplicate filters remain.
 func (a *ABC) onProposalVerified(from int, p SignedProposal) {
-	if p.Round < a.round.Load() {
+	if !a.roundInWindow(p.Round) {
 		return
 	}
 	if _, dup := a.proposals[p.Round][from]; dup {
@@ -390,6 +490,15 @@ func (a *ABC) validList(round int64, value []byte) bool {
 	return a.cfg.Struct.IsQuorum(parties)
 }
 
+// roundInWindow accepts proposals for the current round up to roundWindow
+// rounds ahead: older rounds are settled, and buffering arbitrarily far
+// futures would let a Byzantine flood grow the proposals map without
+// bound.
+func (a *ABC) roundInWindow(round int64) bool {
+	cur := a.round.Load()
+	return round >= cur && round <= cur+roundWindow
+}
+
 // onDecide delivers the decided round's payloads in a deterministic order
 // and advances to the next round.
 func (a *ABC) onDecide(round int64, value []byte) {
@@ -410,7 +519,7 @@ func (a *ABC) onDecide(round int64, value []byte) {
 	for i := range list.Proposals {
 		for _, payload := range list.Proposals[i].Batch {
 			d := sha256.Sum256(payload)
-			if seen[d] || a.delivered[d] {
+			if _, done := a.delivered[d]; done || seen[d] {
 				continue
 			}
 			seen[d] = true
@@ -421,25 +530,34 @@ func (a *ABC) onDecide(round int64, value []byte) {
 		return string(items[i].digest[:]) < string(items[j].digest[:])
 	})
 	for _, it := range items {
-		a.delivered[it.digest] = true
-		if a.queued[it.digest] {
-			delete(a.queued, it.digest)
-			a.removeFromQueue(it.digest)
-		}
-		seq := a.seq.Add(1) - 1
-		a.span.Event(obs.StageDeliver, seq, "")
-		if a.submitted != nil {
-			if start, ok := a.submitted[it.digest]; ok {
-				delete(a.submitted, it.digest)
-				a.orderLat.ObserveSince(start)
+		a.deliverPayload(it.digest, it.payload)
+	}
+	// Advance the GC horizon: the maximum certified checkpoint carried by
+	// the decided proposals, floored by the retention window. Both inputs
+	// are functions of the decided value and the (deterministic) local
+	// frontier, so every honest replica prunes identically.
+	horizon := a.gcHorizon
+	if a.cfg.VerifyCheckpoint != nil {
+		for i := range list.Proposals {
+			if ck := list.Proposals[i].Ckpt; len(ck) > 0 {
+				if s, ok := a.cfg.VerifyCheckpoint(ck); ok && s > horizon {
+					horizon = s
+				}
 			}
 		}
-		if a.cfg.Deliver != nil {
-			a.cfg.Deliver(seq, it.payload)
-		}
 	}
-	// Advance: garbage-collect an old round's agreement, then open the
-	// next round if there is anything to do.
+	seq := a.seq.Load()
+	if w := a.cfg.RetentionWindow; w >= 0 && seq-w > horizon {
+		horizon = seq - w
+	}
+	if horizon > a.gcHorizon {
+		a.pruneBelow(horizon)
+	}
+	if a.submitted != nil {
+		a.sweepSubmitted(time.Now())
+	}
+	// Garbage-collect an old round's agreement, then open the next round
+	// if there is anything to do.
 	delete(a.proposals, round)
 	if old, ok := a.mvbas[round-2]; ok {
 		old.Halt()
@@ -447,8 +565,178 @@ func (a *ABC) onDecide(round int64, value []byte) {
 	}
 	a.round.Store(round + 1)
 	a.active = false
+	// Payloads left over from this round (submitted but not in the decided
+	// union) are re-proposed next round in digest order, so retransmission
+	// order is deterministic across replicas regardless of arrival order.
+	a.sortQueueByDigest()
+	if a.cfg.RoundEnd != nil {
+		a.cfg.RoundEnd(a.seq.Load(), round+1, a.gcHorizon)
+	}
 	a.maybeActivate()
 	a.maybeAgree()
+}
+
+// deliverPayload hands one payload to the application at the next
+// sequence number, maintaining the dedup and suffix bookkeeping.
+func (a *ABC) deliverPayload(digest [32]byte, payload []byte) {
+	seq := a.seq.Add(1) - 1
+	a.delivered[digest] = seq
+	if a.queued[digest] {
+		delete(a.queued, digest)
+		a.removeFromQueue(digest)
+	}
+	if a.cfg.VerifyCheckpoint != nil {
+		a.recent = append(a.recent, recentEntry{seq: seq, payload: payload})
+		if len(a.recent) > maxRecent {
+			a.recent = a.recent[len(a.recent)-maxRecent:]
+		}
+	}
+	a.span.Event(obs.StageDeliver, seq, "")
+	if a.submitted != nil {
+		if start, ok := a.submitted[digest]; ok {
+			delete(a.submitted, digest)
+			a.orderLat.ObserveSince(start)
+		}
+	}
+	if a.deliveredSize != nil {
+		a.deliveredSize.Set(int64(len(a.delivered)))
+	}
+	if a.cfg.Deliver != nil {
+		a.cfg.Deliver(seq, payload)
+	}
+}
+
+// pruneBelow advances the GC horizon, dropping delivered-digest history
+// and retained suffix entries below it.
+func (a *ABC) pruneBelow(horizon int64) {
+	a.gcHorizon = horizon
+	freed := 0
+	for d, s := range a.delivered {
+		if s < horizon {
+			delete(a.delivered, d)
+			freed++
+		}
+	}
+	cut := 0
+	for cut < len(a.recent) && a.recent[cut].seq < horizon {
+		cut++
+	}
+	if cut > 0 {
+		a.recent = append(a.recent[:0:0], a.recent[cut:]...)
+	}
+	if a.gcFreed != nil {
+		a.gcFreed.Add(int64(freed))
+		a.deliveredSize.Set(int64(len(a.delivered)))
+		a.horizonGauge.Set(horizon)
+	}
+}
+
+// SuffixSince returns the retained payloads delivered at sequences
+// [from, Seq()) and the current round, or nil when the retention log no
+// longer reaches back to from. Dispatch goroutine only.
+func (a *ABC) SuffixSince(from int64) ([][]byte, int64) {
+	round := a.round.Load()
+	if from >= a.seq.Load() {
+		return nil, round
+	}
+	if len(a.recent) == 0 || a.recent[0].seq > from {
+		return nil, round
+	}
+	var payloads [][]byte
+	for _, e := range a.recent {
+		if e.seq >= from {
+			payloads = append(payloads, e.payload)
+		}
+	}
+	return payloads, round
+}
+
+// Install adopts a certified checkpoint fetched from a peer: install (if
+// non-nil) replaces the application state at sequence base, the suffix
+// payloads then re-deliver in order through the normal Deliver path, and
+// the round jumps forward to liveRound. A nil install means the local
+// state already covers base and only the missing suffix tail replays.
+// Returns false when nothing advanced. Dispatch goroutine only.
+func (a *ABC) Install(base int64, install func() bool, suffix [][]byte, liveRound int64) bool {
+	cur := a.seq.Load()
+	live := base + int64(len(suffix))
+	if live <= cur && liveRound <= a.round.Load() {
+		return false
+	}
+	skip := int64(0)
+	if install != nil {
+		if base < cur {
+			return false // would rewind state
+		}
+		if !install() {
+			return false
+		}
+		// The snapshot subsumes all history below base: reset the dedup
+		// and suffix bookkeeping wholesale.
+		a.delivered = make(map[[32]byte]int64)
+		a.recent = nil
+		a.seq.Store(base)
+		a.gcHorizon = base
+		if a.horizonGauge != nil {
+			a.horizonGauge.Set(base)
+			a.deliveredSize.Set(0)
+		}
+	} else {
+		if base > cur {
+			return false // gap: suffix does not reach our frontier
+		}
+		skip = cur - base
+		if skip >= int64(len(suffix)) && liveRound <= a.round.Load() {
+			return false
+		}
+	}
+	for _, payload := range suffix[min(skip, int64(len(suffix))):] {
+		d := sha256.Sum256(payload)
+		if _, done := a.delivered[d]; done {
+			continue
+		}
+		a.deliverPayload(d, payload)
+	}
+	a.adoptRound(liveRound)
+	return true
+}
+
+// adoptRound jumps the round counter forward after a checkpoint install,
+// discarding agreement state of the skipped rounds. The pending queue is
+// re-sorted into ascending-digest order first, so the retransmission of
+// still-undelivered payloads proposes them in a deterministic order —
+// reproducible across runs under a fixed sim seed.
+func (a *ABC) adoptRound(round int64) {
+	if round <= a.round.Load() {
+		a.maybeActivate()
+		a.maybeAgree()
+		return
+	}
+	for r, inst := range a.mvbas {
+		if r < round {
+			inst.Halt()
+			delete(a.mvbas, r)
+		}
+	}
+	for r := range a.proposals {
+		if r < round {
+			delete(a.proposals, r)
+		}
+	}
+	a.sortQueueByDigest()
+	a.round.Store(round)
+	a.active = false
+	a.maybeActivate()
+	a.maybeAgree()
+}
+
+// sortQueueByDigest orders the pending queue by payload digest, the same
+// order deliveries use.
+func (a *ABC) sortQueueByDigest() {
+	sort.Slice(a.queue, func(i, j int) bool {
+		di, dj := sha256.Sum256(a.queue[i]), sha256.Sum256(a.queue[j])
+		return string(di[:]) < string(dj[:])
+	})
 }
 
 // adaptBatch moves the adaptive batch bound one step per round opening:

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"sintra"
+)
+
+// ckptMachine is the sweep's Snapshotter service: a constant-size hash
+// chain, so checkpointing cost is protocol overhead (snapshot, shares,
+// certificate, GC), not application serialization.
+type ckptMachine struct {
+	mu    sync.Mutex
+	state [32]byte
+}
+
+func (m *ckptMachine) Apply(seq int64, request []byte) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := sha256.New()
+	h.Write(m.state[:])
+	var sb [8]byte
+	binary.BigEndian.PutUint64(sb[:], uint64(seq))
+	h.Write(sb[:])
+	h.Write(request)
+	copy(m.state[:], h.Sum(nil))
+	return append([]byte(nil), m.state[:]...)
+}
+
+func (m *ckptMachine) Snapshot() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.state[:]...)
+}
+
+func (m *ckptMachine) Restore(snapshot []byte) error {
+	if len(snapshot) != 32 {
+		return fmt.Errorf("bad snapshot length %d", len(snapshot))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	copy(m.state[:], snapshot)
+	return nil
+}
+
+// CkptRow is one end-to-end measurement of the full service stack with
+// checkpointing on (certify + GC every interval) or off.
+type CkptRow struct {
+	Mode        string
+	N, Requests int
+	LatencyAll  time.Duration
+	// StableSeq is the final stable checkpoint; Freed counts pruned
+	// delivered-digest entries summed over replicas; DeliveredMax is the
+	// dedup set's high-water mark (all zero with checkpointing off).
+	StableSeq    int64
+	Freed        int64
+	DeliveredMax int64
+}
+
+// ckptSweepInterval keeps checkpoints frequent relative to the short
+// request load so the "on" rows actually exercise certify + GC.
+const ckptSweepInterval = 16
+
+// RunCheckpointSweep orders the same request load through the full
+// replicated-service stack once per mode — "on" checkpoints every 16
+// deliveries, "off" disables the subsystem — under the identical seeded
+// schedule, measuring what the checkpoint protocol costs end to end.
+func RunCheckpointSweep(n, requests int, modes []string) ([]CkptRow, error) {
+	st, err := sintra.NewThresholdStructure(n, (n-1)/3)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CkptRow
+	for _, mode := range modes {
+		var interval int64
+		var name string
+		switch mode {
+		case "on":
+			interval = ckptSweepInterval
+			name = "checkpointed"
+		case "off":
+			interval = -1
+			name = "no-checkpoint"
+		default:
+			return nil, fmt.Errorf("bench: unknown ckpt mode %q (want on or off)", mode)
+		}
+		row, err := runCheckpointOnce(st, name, requests, interval)
+		if err != nil {
+			return nil, fmt.Errorf("bench: ckpt sweep %s: %w", name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runCheckpointOnce(st *sintra.Structure, mode string, requests int, interval int64) (CkptRow, error) {
+	dep, err := sintra.NewDeployment(st,
+		func() sintra.StateMachine { return &ckptMachine{} },
+		sintra.WithSeed(23),
+		sintra.WithCheckpointInterval(interval),
+	)
+	if err != nil {
+		return CkptRow{}, err
+	}
+	defer dep.Stop()
+	client, err := dep.NewClient()
+	if err != nil {
+		return CkptRow{}, err
+	}
+	start := time.Now()
+	for k := 0; k < requests; k++ {
+		if _, err := client.Invoke(fmt.Appendf(nil, "ckpt-%03d", k), defaultTimeout); err != nil {
+			return CkptRow{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	snap := dep.Metrics()
+	return CkptRow{
+		Mode:         mode,
+		N:            st.N(),
+		Requests:     requests,
+		LatencyAll:   elapsed,
+		StableSeq:    snap.Gauges["checkpoint.stable.seq"].Value,
+		Freed:        snap.Counter("checkpoint.gc.freed"),
+		DeliveredMax: snap.Gauges["abc.delivered.size"].Max,
+	}, nil
+}
+
+// PrintCheckpointSweep renders the sweep and, when both modes ran, the
+// relative cost of checkpointing (the acceptance target is < 5%).
+func PrintCheckpointSweep(w io.Writer, rows []CkptRow) {
+	fmt.Fprintf(w, "Checkpoint/GC cost (full service stack, interval %d)\n", ckptSweepInterval)
+	fmt.Fprintf(w, "%-14s %3s %9s %12s %11s %8s %14s\n",
+		"mode", "n", "requests", "total", "stable.seq", "freed", "delivered.max")
+	var on, off *CkptRow
+	for i := range rows {
+		r := &rows[i]
+		fmt.Fprintf(w, "%-14s %3d %9d %12s %11d %8d %14d\n",
+			r.Mode, r.N, r.Requests, r.LatencyAll.Round(time.Millisecond),
+			r.StableSeq, r.Freed, r.DeliveredMax)
+		switch r.Mode {
+		case "checkpointed":
+			on = r
+		case "no-checkpoint":
+			off = r
+		}
+	}
+	if on != nil && off != nil && off.LatencyAll > 0 {
+		pct := 100 * (float64(on.LatencyAll) - float64(off.LatencyAll)) / float64(off.LatencyAll)
+		fmt.Fprintf(w, "checkpoint overhead: %+.1f%% end-to-end\n", pct)
+	}
+}

@@ -57,6 +57,18 @@ type StateMachine interface {
 	Apply(seq int64, request []byte) (response []byte)
 }
 
+// Snapshotter is the optional state-transfer extension of StateMachine:
+// services that implement it participate in checkpointing and can be
+// caught up (or restarted) from a certified peer snapshot. Snapshot must
+// be a deterministic encoding of the state — every honest replica at the
+// same sequence number must produce byte-identical snapshots, since the
+// checkpoint certificate signs their hash. Restore replaces the state
+// wholesale with a decoded snapshot.
+type Snapshotter interface {
+	Snapshot() []byte
+	Restore(snapshot []byte) error
+}
+
 // envelope is the unit a client submits: a request body plus the client's
 // correlation ID. It travels in plaintext for ModeAtomic and inside a
 // TDH2 ciphertext for ModeSecureCausal.

@@ -3,6 +3,7 @@ package core_test
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"strings"
@@ -403,6 +404,54 @@ func TestVerifyAnswerRejectsForgery(t *testing.T) {
 	otherID[5] = 9
 	if err := core.VerifyAnswer(c.Pub, "test", otherID, ans.Result, ans.Signature); err == nil {
 		t.Fatal("signature transferred across requests")
+	}
+}
+
+func TestRequestFloodBounded(t *testing.T) {
+	// A single replica (no quorum, so nothing ever delivers or answers)
+	// is flooded with distinct undeliverable requests. Before the
+	// bounded-memory work, every request grew reqClients forever; now the
+	// bookkeeping must cap at the hard pending-request bound, evicting
+	// oldest entries.
+	st := adversary.MustThreshold(4, 1)
+	c := coreCluster(t, st, testutil.Options{Seed: 21})
+	nodes := nodesFor(t, c, []int{0}, core.ModeAtomic, func() core.StateMachine { return &echoService{} })
+	node := nodes[0]
+
+	const flood = 6000
+	ep := c.Net.Endpoint(4)
+	for i := 0; i < flood; i++ {
+		var reqID [16]byte
+		binary.BigEndian.PutUint64(reqID[:8], uint64(i)+1)
+		ep.Send(wire.Message{
+			To: 0, Protocol: "client", Instance: "test", Type: "REQUEST",
+			Payload: wire.MustMarshalBody(struct {
+				ReqID   [16]byte
+				Payload []byte
+			}{ReqID: reqID, Payload: []byte("flood")}),
+		})
+	}
+
+	// Wait until the node has chewed through the flood (pending plateaus),
+	// then assert the cap held.
+	var pending, last int
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		pending = node.PendingRequests()
+		if pending == last && pending > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flood never settled: %d pending", pending)
+		}
+		last = pending
+		time.Sleep(100 * time.Millisecond)
+	}
+	if pending > 4096 {
+		t.Fatalf("pending requests = %d, hard bound is 4096", pending)
+	}
+	if pending < 1000 {
+		t.Fatalf("pending requests = %d: the flood never reached the node", pending)
 	}
 }
 

@@ -4,16 +4,34 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"sintra/internal/abc"
+	"sintra/internal/checkpoint"
 	"sintra/internal/deal"
 	"sintra/internal/engine"
 	"sintra/internal/obs"
 	"sintra/internal/scabc"
 	"sintra/internal/wire"
 )
+
+// DefaultCheckpointInterval is the checkpoint period (in delivered
+// payloads) used when the service implements Snapshotter and no explicit
+// interval is configured.
+const DefaultCheckpointInterval = 256
+
+// defaultRequestTTL is the fallback expiry for request bookkeeping of
+// payloads that never a-deliver; the stable-checkpoint horizon usually
+// clears them first.
+const defaultRequestTTL = 2 * time.Minute
+
+// maxPendingRequests hard-caps the request-bookkeeping map; beyond it
+// the oldest entries are evicted (a flood of undeliverable requests
+// costs the flooder its own response routing, never memory).
+const maxPendingRequests = 4096
 
 // NodeConfig configures one replica.
 type NodeConfig struct {
@@ -51,6 +69,19 @@ type NodeConfig struct {
 	// the engine default, a negative value disables coalescing (every
 	// share proof checked individually), a positive value sets the cap.
 	VerifyBatch int
+	// CheckpointInterval is the checkpoint/GC period in delivered
+	// payloads: 0 selects DefaultCheckpointInterval, negative disables
+	// checkpointing. Effective only in ModeAtomic with a Service that
+	// implements Snapshotter; otherwise the node falls back to the
+	// ordering layer's deterministic retention-window pruning.
+	CheckpointInterval int64
+	// RetentionWindow overrides the ordering layer's delivered-digest
+	// dedup bound (see abc.Config.RetentionWindow). Must be identical on
+	// every replica.
+	RetentionWindow int64
+	// RequestTTL overrides the fallback expiry of request bookkeeping
+	// for payloads that never deliver (0 selects defaultRequestTTL).
+	RequestTTL time.Duration
 }
 
 // Node is one replica of a distributed trusted service.
@@ -59,16 +90,37 @@ type Node struct {
 	router *engine.Router
 
 	// reqClients maps a request correlation ID to the client endpoints
-	// that asked for it (dispatch goroutine only).
-	reqClients map[[16]byte][]int
+	// that asked for it, plus enough position/age bookkeeping to expire
+	// entries whose request never delivers (dispatch goroutine only).
+	reqClients map[[16]byte]*reqEntry
+	// reqOrder is the FIFO of live correlation IDs (head-indexed), the
+	// eviction order of the maxPendingRequests cap.
+	reqOrder     [][16]byte
+	reqHead      int
+	reqSinceScan int
+	reqTTL       time.Duration
 
 	applied int64 // requests applied (dispatch goroutine only)
 
+	// Atomic-mode checkpointing (nil when disabled or not applicable).
+	abc      *abc.ABC
+	ckpt     *checkpoint.Tracker
+	snapper  Snapshotter
+	interval int64
+
 	appliedCount *obs.Counter
 	applyLat     *obs.Histogram
+	reqSize      *obs.Gauge
 
 	runOnce  sync.Once
 	stopOnce sync.Once
+}
+
+// reqEntry records who to answer for one in-flight request.
+type reqEntry struct {
+	clients []int
+	seq     int64 // delivery frontier when the request was first seen
+	at      time.Time
 }
 
 // NewNode builds a replica. Call Run to start serving; Stop to shut down.
@@ -85,7 +137,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	n := &Node{
 		cfg:        cfg,
 		router:     engine.NewRouter(cfg.Transport),
-		reqClients: make(map[[16]byte][]int),
+		reqClients: make(map[[16]byte]*reqEntry),
+		reqTTL:     cfg.RequestTTL,
+	}
+	if n.reqTTL <= 0 {
+		n.reqTTL = defaultRequestTTL
 	}
 	if cfg.VerifyWorkers != 0 {
 		workers := cfg.VerifyWorkers
@@ -104,43 +160,93 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		n.router.SetObserver(cfg.Observer)
 		n.appliedCount = cfg.Observer.Counter("node.applied")
 		n.applyLat = cfg.Observer.Histogram("node.apply.latency")
+		n.reqSize = cfg.Observer.Gauge("node.reqclients.size")
 	}
+
+	// Checkpointing engages in atomic mode when the service can snapshot
+	// itself and the interval is not explicitly disabled.
+	n.interval = cfg.CheckpointInterval
+	if n.interval == 0 {
+		n.interval = DefaultCheckpointInterval
+	}
+	snapper, canSnap := cfg.Service.(Snapshotter)
+	useCkpt := cfg.Mode == ModeAtomic && canSnap && n.interval > 0
 
 	switch cfg.Mode {
 	case ModeAtomic:
-		abc.New(abc.Config{
-			Router:       n.router,
-			Struct:       cfg.Public.Structure,
-			Instance:     "svc/" + cfg.ServiceName,
-			Identity:     cfg.Public.Identity,
-			IDKey:        cfg.Secret.Identity,
-			Coin:         cfg.Public.Coin,
-			CoinKey:      cfg.Secret.Coin,
-			Scheme:       cfg.Public.QuorumSig(),
-			Key:          cfg.Secret.SigQuorum,
-			BatchSize:    cfg.BatchSize,
-			MaxBatchSize: cfg.MaxBatchSize,
-			Deliver:      n.onAtomicDeliver,
-		})
+		abcCfg := abc.Config{
+			Router:          n.router,
+			Struct:          cfg.Public.Structure,
+			Instance:        "svc/" + cfg.ServiceName,
+			Identity:        cfg.Public.Identity,
+			IDKey:           cfg.Secret.Identity,
+			Coin:            cfg.Public.Coin,
+			CoinKey:         cfg.Secret.Coin,
+			Scheme:          cfg.Public.QuorumSig(),
+			Key:             cfg.Secret.SigQuorum,
+			BatchSize:       cfg.BatchSize,
+			MaxBatchSize:    cfg.MaxBatchSize,
+			RetentionWindow: cfg.RetentionWindow,
+			Deliver:         n.onAtomicDeliver,
+			RoundEnd:        n.onRoundEnd,
+		}
+		if useCkpt {
+			// Late binding through the node fields: the tracker needs the
+			// abc frontier and the abc needs the tracker's certificates.
+			abcCfg.ProvideCheckpoint = func() []byte {
+				if n.ckpt == nil {
+					return nil
+				}
+				return n.ckpt.EncodedStable()
+			}
+			abcCfg.VerifyCheckpoint = func(enc []byte) (int64, bool) {
+				if n.ckpt == nil {
+					return 0, false
+				}
+				return n.ckpt.VerifyEncoded(enc)
+			}
+		}
+		n.abc = abc.New(abcCfg)
+		if useCkpt {
+			n.snapper = snapper
+			n.ckpt = checkpoint.New(checkpoint.Config{
+				Router:     n.router,
+				Instance:   "svc/" + cfg.ServiceName,
+				Scheme:     cfg.Public.AnswerSig(),
+				Key:        cfg.Secret.SigAnswer,
+				Interval:   n.interval,
+				Snapshot:   snapper.Snapshot,
+				CurrentSeq: n.abc.Seq,
+				Suffix:     n.abc.SuffixSince,
+				Install:    n.installCheckpoint,
+				OnStable:   n.onStableCheckpoint,
+			})
+		}
 	case ModeSecureCausal:
 		scabc.New(scabc.Config{
-			Router:       n.router,
-			Struct:       cfg.Public.Structure,
-			Instance:     "svc/" + cfg.ServiceName,
-			Identity:     cfg.Public.Identity,
-			IDKey:        cfg.Secret.Identity,
-			Coin:         cfg.Public.Coin,
-			CoinKey:      cfg.Secret.Coin,
-			Scheme:       cfg.Public.QuorumSig(),
-			Key:          cfg.Secret.SigQuorum,
-			Enc:          cfg.Public.Enc,
-			EncKey:       cfg.Secret.Enc,
-			BatchSize:    cfg.BatchSize,
-			MaxBatchSize: cfg.MaxBatchSize,
-			Deliver:      n.onCausalDeliver,
+			Router:          n.router,
+			Struct:          cfg.Public.Structure,
+			Instance:        "svc/" + cfg.ServiceName,
+			Identity:        cfg.Public.Identity,
+			IDKey:           cfg.Secret.Identity,
+			Coin:            cfg.Public.Coin,
+			CoinKey:         cfg.Secret.Coin,
+			Scheme:          cfg.Public.QuorumSig(),
+			Key:             cfg.Secret.SigQuorum,
+			Enc:             cfg.Public.Enc,
+			EncKey:          cfg.Secret.Enc,
+			BatchSize:       cfg.BatchSize,
+			MaxBatchSize:    cfg.MaxBatchSize,
+			RetentionWindow: cfg.RetentionWindow,
+			Deliver:         n.onCausalDeliver,
 		})
 	}
 	n.router.Register(clientProtocol, cfg.ServiceName, n.onClientMessage)
+	if n.ckpt != nil {
+		// A (re)started replica immediately asks peers for the latest
+		// stable checkpoint; live peers simply won't have a newer one.
+		n.ckpt.RequestCatchUp()
+	}
 	return n, nil
 }
 
@@ -165,6 +271,23 @@ func (n *Node) Router() *engine.Router { return n.router }
 // read via Router().DoSync from outside the dispatch loop; the experiment
 // harness uses it as a progress metric.
 func (n *Node) Applied() int64 { return n.applied }
+
+// Seq reports the atomic-broadcast delivery frontier (0 in secure-causal
+// mode). Safe from any goroutine; the restart/catch-up harness polls it.
+func (n *Node) Seq() int64 {
+	if n.abc == nil {
+		return 0
+	}
+	return n.abc.Seq()
+}
+
+// PendingRequests reports the request-bookkeeping map size (blocking
+// DoSync; tests and the soak harness assert it stays bounded).
+func (n *Node) PendingRequests() int {
+	var size int
+	n.router.DoSync(func() { size = len(n.reqClients) })
+	return size
+}
 
 // submitter resolves the ordering layer's submit entry point.
 func (n *Node) submit(payload []byte) error {
@@ -191,19 +314,148 @@ func (n *Node) onClientMessage(from int, msgType string, payload []byte) {
 	}
 	if from >= n.cfg.Transport.N() {
 		// Remember which client endpoint to answer (bounded fan-in).
-		clients := n.reqClients[req.ReqID]
+		e := n.reqClients[req.ReqID]
+		if e == nil {
+			n.sweepRequests()
+			e = &reqEntry{seq: n.Seq(), at: time.Now()}
+			n.reqClients[req.ReqID] = e
+			n.reqOrder = append(n.reqOrder, req.ReqID)
+			if n.reqSize != nil {
+				n.reqSize.Set(int64(len(n.reqClients)))
+			}
+		}
 		seen := false
-		for _, c := range clients {
+		for _, c := range e.clients {
 			if c == from {
 				seen = true
 				break
 			}
 		}
-		if !seen && len(clients) < 8 {
-			n.reqClients[req.ReqID] = append(clients, from)
+		if !seen && len(e.clients) < 8 {
+			e.clients = append(e.clients, from)
 		}
 	}
 	_ = n.submit(req.Payload)
+}
+
+// sweepRequests bounds the request bookkeeping on the insert path: a
+// periodic TTL scan expires entries whose request never delivered (the
+// checkpoint horizon usually clears them first, but a flood of
+// undeliverable requests sees no round progress), and a hard cap evicts
+// oldest-first. Dispatch goroutine only.
+func (n *Node) sweepRequests() {
+	if n.reqSinceScan++; n.reqSinceScan >= 256 {
+		n.reqSinceScan = 0
+		now := time.Now()
+		for id, e := range n.reqClients {
+			if now.Sub(e.at) > n.reqTTL {
+				delete(n.reqClients, id)
+			}
+		}
+	}
+	for len(n.reqClients) >= maxPendingRequests && n.reqHead < len(n.reqOrder) {
+		id := n.reqOrder[n.reqHead]
+		n.reqHead++
+		delete(n.reqClients, id) // no-op when already answered
+	}
+	n.compactReqOrder()
+}
+
+// compactReqOrder rebuilds the eviction FIFO once its consumed-or-dead
+// prefix dominates, keeping the backing array bounded. Dispatch
+// goroutine only.
+func (n *Node) compactReqOrder() {
+	if len(n.reqOrder)-n.reqHead > 2*len(n.reqClients)+1024 || (n.reqHead > 1024 && n.reqHead*2 >= len(n.reqOrder)) {
+		kept := n.reqOrder[:0]
+		for _, id := range n.reqOrder[n.reqHead:] {
+			if _, live := n.reqClients[id]; live {
+				kept = append(kept, id)
+			}
+		}
+		n.reqOrder = kept
+		n.reqHead = 0
+	}
+}
+
+// onRoundEnd is the ordering layer's round-boundary hook: it drives the
+// checkpoint tracker and expires request bookkeeping below the GC
+// horizon. Dispatch goroutine only.
+func (n *Node) onRoundEnd(seq, nextRound, horizon int64) {
+	if n.ckpt != nil {
+		n.ckpt.RoundEnd(seq, nextRound)
+	}
+	if horizon <= 0 {
+		return
+	}
+	// Entries whose request was first seen a full interval below the
+	// horizon have had every chance to deliver; expire them. The age
+	// guard keeps a just-inserted entry alive when the horizon races
+	// right up to the frontier.
+	grace := n.interval
+	if grace <= 0 {
+		grace = DefaultCheckpointInterval
+	}
+	now := time.Now()
+	removed := false
+	for id, e := range n.reqClients {
+		if e.seq+grace <= horizon && now.Sub(e.at) > 5*time.Second {
+			delete(n.reqClients, id)
+			removed = true
+		}
+	}
+	if removed {
+		n.compactReqOrder()
+		if n.reqSize != nil {
+			n.reqSize.Set(int64(len(n.reqClients)))
+		}
+	}
+}
+
+// installCheckpoint adopts a certified checkpoint fetched from a peer:
+// restore the service snapshot when it is ahead of the local frontier,
+// then replay the delivery suffix through the ordering layer so dedup
+// bookkeeping, sequence numbers, and client answers all take the normal
+// path. Dispatch goroutine only (called by the tracker's STATE handler).
+func (n *Node) installCheckpoint(cp checkpoint.Checkpoint, snapshot []byte, suffix [][]byte, liveRound int64) bool {
+	var install func() bool
+	if cp.Seq >= n.abc.Seq() {
+		install = func() bool {
+			if n.snapper.Restore(snapshot) != nil {
+				return false
+			}
+			n.applied = cp.Seq
+			return true
+		}
+	}
+	return n.abc.Install(cp.Seq, install, suffix, liveRound)
+}
+
+// onStableCheckpoint reacts to a newly certified checkpoint: tombstoned
+// protocol instances of rounds entirely below the certified round are
+// compacted away. Dispatch goroutine only.
+func (n *Node) onStableCheckpoint(cp checkpoint.Checkpoint) {
+	prefix := "svc/" + n.cfg.ServiceName + "/r"
+	n.router.CompactTombstones(func(protocol, instance string) bool {
+		r, ok := roundOf(instance, prefix)
+		return ok && r < cp.Round
+	})
+}
+
+// roundOf parses the round number out of a per-round protocol instance
+// name ("svc/<name>/r<round>" plus any sub-instance suffix).
+func roundOf(instance, prefix string) (int64, bool) {
+	if !strings.HasPrefix(instance, prefix) {
+		return 0, false
+	}
+	rest := instance[len(prefix):]
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	r, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return r, true
 }
 
 // onAtomicDeliver executes a plaintext envelope delivered by atomic
@@ -249,10 +501,15 @@ func (n *Node) apply(seq int64, env envelope) {
 		Result: result,
 		Share:  share,
 	}
-	for _, client := range n.reqClients[env.ReqID] {
-		_ = n.router.Send(client, clientProtocol, n.cfg.ServiceName, typeResponse, resp)
+	if e := n.reqClients[env.ReqID]; e != nil {
+		for _, client := range e.clients {
+			_ = n.router.Send(client, clientProtocol, n.cfg.ServiceName, typeResponse, resp)
+		}
+		delete(n.reqClients, env.ReqID)
+		if n.reqSize != nil {
+			n.reqSize.Set(int64(len(n.reqClients)))
+		}
 	}
-	delete(n.reqClients, env.ReqID)
 }
 
 // VerifyAnswer lets anyone check a service's threshold-signed answer: the

@@ -137,8 +137,13 @@ type instanceState struct {
 	// perSender counts buffered messages by sender, enforcing the
 	// per-sender share of maxBufferedPerInstance.
 	perSender map[int]int
-	dead      bool // tombstone: finished instance, drop further traffic
 }
+
+// maxTombstones bounds the set of remembered finished instances. Older
+// tombstones fall off FIFO: a straggler message for a forgotten instance
+// merely re-enters the early-arrival buffer under its sender's quota, so
+// eviction trades a little buffered memory for a hard bound here.
+const maxTombstones = 4096
 
 // applyCell is one admitted message waiting for its serialized apply.
 // done is closed when the verdict is available; cells that skip the
@@ -166,6 +171,12 @@ type Router struct {
 
 	// Dispatch-goroutine state; no lock needed.
 	instances map[instanceKey]*instanceState
+	// tombstones remembers finished instances so their late traffic is
+	// dropped, without keeping the full instanceState alive. tombOrder and
+	// tombHead implement bounded FIFO eviction (maxTombstones).
+	tombstones map[instanceKey]struct{}
+	tombOrder  []instanceKey
+	tombHead   int
 	// bufferedBySender counts buffered early-arrival messages per sender
 	// across all instances (the maxBufferedPerSenderTotal guard).
 	bufferedBySender map[int]int
@@ -214,6 +225,7 @@ type routerMetrics struct {
 	bufferDrops     *obs.Counter
 	malformed       *obs.Counter
 	panics          *obs.Counter
+	tombstones      *obs.Gauge
 
 	counts map[ptKey]*obs.Counter
 }
@@ -263,6 +275,7 @@ func (r *Router) SetObserver(reg *obs.Registry) {
 		bufferDrops:     reg.Counter("router.buffered.drops"),
 		malformed:       reg.Counter("router.malformed"),
 		panics:          reg.Counter("router.panics"),
+		tombstones:      reg.Gauge("engine.tombstones"),
 		counts:          make(map[ptKey]*obs.Counter),
 	}
 }
@@ -276,6 +289,7 @@ func NewRouter(tr wire.Transport) *Router {
 	return &Router{
 		tr:               tr,
 		instances:        make(map[instanceKey]*instanceState),
+		tombstones:       make(map[instanceKey]struct{}),
 		bufferedBySender: make(map[int]int),
 		factories:        make(map[string]Factory),
 		tasks:            make(chan func(), 256),
@@ -387,10 +401,11 @@ func (r *Router) RegisterSplit(protocol, instance string, h SplitHandler) {
 }
 
 func (r *Router) register(protocol, instance string, bh *boundHandler) {
-	st := r.state(instanceKey{protocol, instance})
-	if st.dead {
+	key := instanceKey{protocol, instance}
+	if _, dead := r.tombstones[key]; dead {
 		return
 	}
+	st := r.state(key)
 	st.handler = bh
 	replay := st.buffered
 	r.releaseBuffered(st)
@@ -401,13 +416,72 @@ func (r *Router) register(protocol, instance string, bh *boundHandler) {
 }
 
 // Unregister tombstones an instance; further messages for it are dropped,
-// which garbage-collects finished protocol executions. Dispatch goroutine
+// which garbage-collects finished protocol executions. The full per-
+// instance state (handler, buffers) is released immediately — only the
+// instance key survives, in a bounded tombstone set. Dispatch goroutine
 // only.
 func (r *Router) Unregister(protocol, instance string) {
-	st := r.state(instanceKey{protocol, instance})
-	st.handler = nil
-	r.releaseBuffered(st)
-	st.dead = true
+	key := instanceKey{protocol, instance}
+	if st, ok := r.instances[key]; ok {
+		r.releaseBuffered(st)
+		delete(r.instances, key)
+	}
+	r.addTombstone(key)
+}
+
+// addTombstone records a finished instance, evicting the oldest
+// tombstones past maxTombstones. Dispatch goroutine only.
+func (r *Router) addTombstone(key instanceKey) {
+	if _, ok := r.tombstones[key]; ok {
+		return
+	}
+	r.tombstones[key] = struct{}{}
+	r.tombOrder = append(r.tombOrder, key)
+	for len(r.tombstones) > maxTombstones {
+		delete(r.tombstones, r.tombOrder[r.tombHead])
+		r.tombHead++
+	}
+	// Compact the FIFO backing array once the dead prefix dominates, so
+	// the slice itself stays bounded too.
+	if r.tombHead > 1024 && r.tombHead*2 >= len(r.tombOrder) {
+		r.tombOrder = append(r.tombOrder[:0:0], r.tombOrder[r.tombHead:]...)
+		r.tombHead = 0
+	}
+	if r.mx != nil {
+		r.mx.tombstones.Set(int64(len(r.tombstones)))
+	}
+}
+
+// CompactTombstones drops every tombstone the caller proves obsolete —
+// typically instances of rounds entirely below a checkpointed GC horizon,
+// whose traffic can no longer arrive from honest parties (a straggler
+// merely re-buffers under its sender's quota). Dispatch goroutine only.
+func (r *Router) CompactTombstones(obsolete func(protocol, instance string) bool) {
+	if obsolete == nil {
+		return
+	}
+	kept := r.tombOrder[:0]
+	for _, key := range r.tombOrder[r.tombHead:] {
+		if _, live := r.tombstones[key]; !live {
+			continue
+		}
+		if obsolete(key.protocol, key.instance) {
+			delete(r.tombstones, key)
+		} else {
+			kept = append(kept, key)
+		}
+	}
+	r.tombOrder = kept
+	r.tombHead = 0
+	if r.mx != nil {
+		r.mx.tombstones.Set(int64(len(r.tombstones)))
+	}
+}
+
+// Sizes reports the live-instance and tombstone map sizes (dispatch
+// goroutine or pre-Run; regression tests assert both stay bounded).
+func (r *Router) Sizes() (instances, tombstones int) {
+	return len(r.instances), len(r.tombstones)
 }
 
 // releaseBuffered empties an instance's early-arrival buffer, returning
@@ -601,7 +675,7 @@ func (r *Router) popApply(c *applyCell) {
 	// Re-resolve the instance: it may have been tombstoned while the
 	// message waited for its verdict.
 	st, ok := r.instances[c.key]
-	if !ok || st.dead || st.handler == nil {
+	if !ok || st.handler == nil {
 		if r.mx != nil {
 			r.mx.dispatchLatency.ObserveSince(c.start)
 		}
@@ -824,10 +898,11 @@ func (r *Router) admit(m wire.Message) {
 		r.mx.dispatched.Inc()
 	}
 	key := instanceKey{m.Protocol, m.Instance}
-	st := r.state(key)
-	if st.dead {
+	if _, dead := r.tombstones[key]; dead {
+		// Finished instance: drop without resurrecting any state for it.
 		return
 	}
+	st := r.state(key)
 	if st.handler == nil {
 		// No handler yet: buffer the message so a factory-created handler
 		// (or a later Register) replays it in arrival order.

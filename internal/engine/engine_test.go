@@ -1198,3 +1198,36 @@ func TestBatchVerifyWrongVerdictCount(t *testing.T) {
 		}
 	}
 }
+
+// TestTombstonesBounded is the regression test for the unbounded
+// Unregister leak: before the bounded tombstone set, every finished
+// instance kept its full state struct alive forever. 10k register/
+// unregister cycles must leave both the instance map and the tombstone
+// set bounded.
+func TestTombstonesBounded(t *testing.T) {
+	_, _, r1, _ := pair(t)
+	const cycles = 10000
+	var instances, tombstones int
+	r1.DoSync(func() {
+		for i := 0; i < cycles; i++ {
+			inst := fmt.Sprintf("cycle-%d", i)
+			r1.Register("leak", inst, func(int, string, []byte) {})
+			r1.Unregister("leak", inst)
+		}
+		instances, tombstones = r1.Sizes()
+	})
+	if instances != 0 {
+		t.Fatalf("instance map holds %d entries after unregistering all", instances)
+	}
+	if tombstones > 4096 {
+		t.Fatalf("tombstone set grew to %d entries (want bounded)", tombstones)
+	}
+	// Compaction below a GC horizon empties the set entirely.
+	r1.DoSync(func() {
+		r1.CompactTombstones(func(protocol, instance string) bool { return true })
+		_, tombstones = r1.Sizes()
+	})
+	if tombstones != 0 {
+		t.Fatalf("tombstones after full compaction: %d", tombstones)
+	}
+}

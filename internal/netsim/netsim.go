@@ -255,7 +255,10 @@ func (nw *Network) pump() {
 		}
 		m := nw.pending[idx]
 		nw.pending = append(nw.pending[:idx], nw.pending[idx+1:]...)
-		if m.To >= 0 && m.To < nw.endpoints {
+		if m.To >= 0 && m.To < nw.endpoints && !nw.epClosed[m.To] {
+			// Closed endpoints drop traffic instead of accumulating an
+			// inbox nobody will ever drain (a crashed replica must not
+			// leak the cluster's ongoing chatter).
 			nw.inboxes[m.To] = append(nw.inboxes[m.To], m)
 			nw.msgCount[m.Protocol]++
 			nw.byteCount[m.Protocol] += m.Size()
@@ -279,6 +282,19 @@ func (nw *Network) send(m wire.Message) {
 	}
 	nw.pending = append(nw.pending, m)
 	nw.cond.Signal()
+}
+
+// Reopen revives a closed endpoint so a restarted replica can rejoin the
+// simulation: the closed flag clears and any stale queued traffic is
+// discarded (a real restarted process starts with an empty socket too).
+func (nw *Network) Reopen(id int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if id < 0 || id >= nw.endpoints {
+		return
+	}
+	nw.epClosed[id] = false
+	nw.inboxes[id] = nil
 }
 
 // recv blocks until a message arrives for the endpoint or the network

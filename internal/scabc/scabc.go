@@ -80,6 +80,12 @@ type Config struct {
 	// MaxBatchSize is passed to the embedded atomic broadcast as the
 	// adaptive batching ceiling; see abc.Config.MaxBatchSize.
 	MaxBatchSize int
+	// RetentionWindow is passed to the embedded atomic broadcast as the
+	// delivered-digest dedup bound; see abc.Config.RetentionWindow.
+	// Secure-causal mode relies on the deterministic retention prune for
+	// bounded memory — full checkpoint state transfer is atomic-mode only
+	// (the pending-decrypt pipeline is not settled at round boundaries).
+	RetentionWindow int64
 }
 
 // pending tracks one ordered ciphertext awaiting decryption.
@@ -128,18 +134,19 @@ func New(cfg Config) *SCABC {
 		s.decryptLat = reg.Histogram(Protocol + ".latency.decrypt")
 	}
 	s.abc = abc.New(abc.Config{
-		Router:       cfg.Router,
-		Struct:       cfg.Struct,
-		Instance:     cfg.Instance + "/ord",
-		Identity:     cfg.Identity,
-		IDKey:        cfg.IDKey,
-		Coin:         cfg.Coin,
-		CoinKey:      cfg.CoinKey,
-		Scheme:       cfg.Scheme,
-		Key:          cfg.Key,
-		BatchSize:    cfg.BatchSize,
-		MaxBatchSize: cfg.MaxBatchSize,
-		Deliver:      s.onOrdered,
+		Router:          cfg.Router,
+		Struct:          cfg.Struct,
+		Instance:        cfg.Instance + "/ord",
+		Identity:        cfg.Identity,
+		IDKey:           cfg.IDKey,
+		Coin:            cfg.Coin,
+		CoinKey:         cfg.CoinKey,
+		Scheme:          cfg.Scheme,
+		Key:             cfg.Key,
+		BatchSize:       cfg.BatchSize,
+		MaxBatchSize:    cfg.MaxBatchSize,
+		RetentionWindow: cfg.RetentionWindow,
+		Deliver:         s.onOrdered,
 	})
 	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
 		Verify:      s.verifyMsg,

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"sort"
+
+	"sintra/internal/core"
+)
+
+// Snapshot/Restore make the bundled applications checkpointable
+// (core.Snapshotter): a deterministic, canonical JSON encoding of the
+// full state — map entries serialize as sorted lists, so every replica
+// at the same sequence number produces byte-identical snapshots, which
+// is what the checkpoint certificate's state hash requires.
+
+var (
+	_ core.Snapshotter = (*Directory)(nil)
+	_ core.Snapshotter = (*Notary)(nil)
+)
+
+type dirSnapEntry struct {
+	Key     string `json:"key"`
+	Value   string `json:"value"`
+	Version int64  `json:"version"`
+}
+
+type dirSnapshot struct {
+	NextSerial int64          `json:"nextSerial"`
+	Entries    []dirSnapEntry `json:"entries"`
+	Issued     []dirSnapCert  `json:"issued"`
+}
+
+type dirSnapCert struct {
+	Name   string `json:"name"`
+	Serial int64  `json:"serial"`
+}
+
+// Snapshot implements core.Snapshotter.
+func (d *Directory) Snapshot() []byte {
+	snap := dirSnapshot{NextSerial: d.nextSerial}
+	for k, e := range d.entries {
+		snap.Entries = append(snap.Entries, dirSnapEntry{Key: k, Value: e.value, Version: e.version})
+	}
+	sort.Slice(snap.Entries, func(i, j int) bool { return snap.Entries[i].Key < snap.Entries[j].Key })
+	for name, serial := range d.issued {
+		snap.Issued = append(snap.Issued, dirSnapCert{Name: name, Serial: serial})
+	}
+	sort.Slice(snap.Issued, func(i, j int) bool { return snap.Issued[i].Name < snap.Issued[j].Name })
+	out, err := json.Marshal(snap)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Restore implements core.Snapshotter.
+func (d *Directory) Restore(snapshot []byte) error {
+	var snap dirSnapshot
+	if err := json.Unmarshal(snapshot, &snap); err != nil {
+		return err
+	}
+	d.nextSerial = snap.NextSerial
+	d.entries = make(map[string]dirEntry, len(snap.Entries))
+	for _, e := range snap.Entries {
+		d.entries[e.Key] = dirEntry{value: e.Value, version: e.Version}
+	}
+	d.issued = make(map[string]int64, len(snap.Issued))
+	for _, c := range snap.Issued {
+		d.issued[c.Name] = c.Serial
+	}
+	return nil
+}
+
+type notarySnapEntry struct {
+	Digest string `json:"digest"` // hex of the document digest
+	Seq    int64  `json:"seq"`
+}
+
+type notarySnapshot struct {
+	Next       int64             `json:"next"`
+	Registered []notarySnapEntry `json:"registered"`
+}
+
+// Snapshot implements core.Snapshotter.
+func (n *Notary) Snapshot() []byte {
+	snap := notarySnapshot{Next: n.next}
+	for d, seq := range n.registered {
+		snap.Registered = append(snap.Registered, notarySnapEntry{Digest: hex.EncodeToString(d[:]), Seq: seq})
+	}
+	sort.Slice(snap.Registered, func(i, j int) bool { return snap.Registered[i].Digest < snap.Registered[j].Digest })
+	out, err := json.Marshal(snap)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Restore implements core.Snapshotter.
+func (n *Notary) Restore(snapshot []byte) error {
+	var snap notarySnapshot
+	if err := json.Unmarshal(snapshot, &snap); err != nil {
+		return err
+	}
+	n.next = snap.Next
+	n.registered = make(map[[32]byte]int64, len(snap.Registered))
+	for _, e := range snap.Registered {
+		raw, err := hex.DecodeString(e.Digest)
+		if err != nil || len(raw) != 32 {
+			return errors.New("service: malformed notary snapshot digest")
+		}
+		var d [32]byte
+		copy(d[:], raw)
+		n.registered[d] = e.Seq
+	}
+	return nil
+}

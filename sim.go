@@ -70,6 +70,14 @@ type SimOptions struct {
 	// MaxBatchSize caps the adaptive batch growth; see
 	// core.NodeConfig.MaxBatchSize.
 	MaxBatchSize int
+	// CheckpointInterval sets every replica's checkpoint/GC period in
+	// delivered payloads: 0 keeps the core default, negative disables
+	// checkpointing. Effective in ModeAtomic when the service implements
+	// Snapshotter; see core.NodeConfig.CheckpointInterval.
+	CheckpointInterval int64
+	// RetentionWindow bounds every replica's delivered-digest dedup
+	// history; see core.NodeConfig.RetentionWindow.
+	RetentionWindow int64
 }
 
 // SimOption is a functional option for NewDeployment.
@@ -180,6 +188,24 @@ func WithBatchSize(batch, maxBatch int) SimOption {
 	}
 }
 
+// WithCheckpointInterval sets the checkpoint/GC period in delivered
+// payloads: every interval deliveries the replicas threshold-sign a
+// digest of the service state, and the resulting stable checkpoint
+// garbage-collects ordering history, router tombstones, and request
+// bookkeeping — and is the anchor a killed-and-restarted replica catches
+// up from. 0 keeps the core default; negative disables checkpointing
+// (memory then relies on the deterministic retention window alone).
+// Atomic mode with a Snapshotter service only.
+func WithCheckpointInterval(interval int64) SimOption {
+	return func(o *SimOptions) { o.CheckpointInterval = interval }
+}
+
+// WithRetentionWindow bounds the delivered-digest dedup history of every
+// replica's ordering layer; see core.NodeConfig.RetentionWindow.
+func WithRetentionWindow(window int64) SimOption {
+	return func(o *SimOptions) { o.RetentionWindow = window }
+}
+
 // SimulatedDeployment runs a full deployment — dealer, adversarially
 // scheduled asynchronous network, and one replica per (non-crashed)
 // server — inside a single process. It is the quickest way to experience
@@ -188,12 +214,14 @@ type SimulatedDeployment struct {
 	// Public is the dealer's public output.
 	Public *Public
 
-	opts  SimOptions
-	reg   *obs.Registry
-	net   *netsim.Network
-	nodes []*core.Node
+	opts    SimOptions
+	reg     *obs.Registry
+	net     *netsim.Network
+	secrets []*deal.PartySecret
+	seed    int64
 
 	mu         sync.Mutex
+	nodes      []*core.Node // indexed by server; nil = crashed/stopped
 	clientNext int
 	clients    []*Client
 
@@ -269,6 +297,9 @@ func NewSimulatedDeployment(opts SimOptions) (*SimulatedDeployment, error) {
 		opts:       opts,
 		reg:        reg,
 		net:        netsim.New(n, opts.MaxClients, sched),
+		secrets:    secrets,
+		seed:       seed,
+		nodes:      make([]*core.Node, n),
 		clientNext: n,
 	}
 	d.net.SetObserver(reg)
@@ -276,39 +307,93 @@ func NewSimulatedDeployment(opts SimOptions) (*SimulatedDeployment, error) {
 		if crashed[i] {
 			continue
 		}
-		var tr wire.Transport = d.net.Endpoint(i)
-		if bs := opts.Byzantine[i]; len(bs) > 0 {
-			// Each corrupted party draws from its own seeded source so a
-			// run is reproducible regardless of goroutine interleaving.
-			p := faultsim.Wrap(tr, seed*1000003+int64(i), bs...)
-			p.SetObserver(reg)
-			tr = p
-		}
-		workers := opts.VerifyWorkers
-		if w, ok := opts.VerifyWorkersFor[i]; ok {
-			workers = w
-		}
-		node, err := core.NewNode(core.NodeConfig{
-			Public:        pub,
-			Secret:        secrets[i],
-			Transport:     tr,
-			ServiceName:   opts.ServiceName,
-			Service:       opts.NewService(),
-			Mode:          opts.Mode,
-			Observer:      reg,
-			VerifyWorkers: workers,
-			VerifyBatch:   opts.VerifyBatch,
-			BatchSize:     opts.BatchSize,
-			MaxBatchSize:  opts.MaxBatchSize,
-		})
-		if err != nil {
+		if err := d.startNode(i); err != nil {
 			d.Stop()
 			return nil, err
 		}
-		d.nodes = append(d.nodes, node)
-		go node.Run()
 	}
 	return d, nil
+}
+
+// startNode builds and runs the replica of server i (caller must ensure
+// the slot is free).
+func (d *SimulatedDeployment) startNode(i int) error {
+	var tr wire.Transport = d.net.Endpoint(i)
+	if bs := d.opts.Byzantine[i]; len(bs) > 0 {
+		// Each corrupted party draws from its own seeded source so a
+		// run is reproducible regardless of goroutine interleaving.
+		p := faultsim.Wrap(tr, d.seed*1000003+int64(i), bs...)
+		p.SetObserver(d.reg)
+		tr = p
+	}
+	workers := d.opts.VerifyWorkers
+	if w, ok := d.opts.VerifyWorkersFor[i]; ok {
+		workers = w
+	}
+	node, err := core.NewNode(core.NodeConfig{
+		Public:             d.Public,
+		Secret:             d.secrets[i],
+		Transport:          tr,
+		ServiceName:        d.opts.ServiceName,
+		Service:            d.opts.NewService(),
+		Mode:               d.opts.Mode,
+		Observer:           d.reg,
+		VerifyWorkers:      workers,
+		VerifyBatch:        d.opts.VerifyBatch,
+		BatchSize:          d.opts.BatchSize,
+		MaxBatchSize:       d.opts.MaxBatchSize,
+		CheckpointInterval: d.opts.CheckpointInterval,
+		RetentionWindow:    d.opts.RetentionWindow,
+	})
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.nodes[i] = node
+	d.mu.Unlock()
+	go node.Run()
+	return nil
+}
+
+// Node returns the running replica of server i, or nil when the server
+// is crashed or stopped (harness/progress inspection).
+func (d *SimulatedDeployment) Node(i int) *core.Node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if i < 0 || i >= len(d.nodes) {
+		return nil
+	}
+	return d.nodes[i]
+}
+
+// StopServer kills one replica mid-run: its endpoint closes, its
+// dispatch loop exits, and the rest of the cluster keeps operating
+// (tolerating it as a crash fault). Restart it with RestartServer.
+func (d *SimulatedDeployment) StopServer(i int) {
+	d.mu.Lock()
+	node := (*core.Node)(nil)
+	if i >= 0 && i < len(d.nodes) {
+		node, d.nodes[i] = d.nodes[i], nil
+	}
+	d.mu.Unlock()
+	if node != nil {
+		node.Stop()
+	}
+}
+
+// RestartServer revives a killed (or never-started) replica with a fresh
+// service instance: the endpoint reopens and the new node joins with
+// empty state, recovering the service via checkpoint catch-up — the
+// crash-recovery scenario the checkpoint subsystem exists for.
+func (d *SimulatedDeployment) RestartServer(i int) error {
+	if i < 0 || i >= d.opts.Structure.N() {
+		return fmt.Errorf("sintra: no server %d", i)
+	}
+	if d.Node(i) != nil {
+		return fmt.Errorf("sintra: server %d is still running", i)
+	}
+	d.net.Reopen(i)
+	return d.startNode(i)
 }
 
 // NewClient attaches a client endpoint to the simulated network.
@@ -364,8 +449,13 @@ func (d *SimulatedDeployment) Stop() {
 		for _, c := range clients {
 			c.Close()
 		}
-		for _, n := range d.nodes {
-			n.Stop()
+		d.mu.Lock()
+		nodes := append([]*core.Node(nil), d.nodes...)
+		d.mu.Unlock()
+		for _, n := range nodes {
+			if n != nil {
+				n.Stop()
+			}
 		}
 	})
 }

@@ -74,6 +74,10 @@ type (
 	NodeConfig = core.NodeConfig
 	// StateMachine is a deterministic replicated application.
 	StateMachine = core.StateMachine
+	// Snapshotter is the optional state-transfer extension of
+	// StateMachine: services that implement it participate in
+	// checkpoint/GC and replica catch-up.
+	Snapshotter = core.Snapshotter
 	// Client invokes a replicated trusted service.
 	Client = core.Client
 	// ClientOption configures a Client (see WithClientObserver).
