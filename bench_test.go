@@ -50,6 +50,30 @@ func BenchmarkABC(b *testing.B) {
 	b.ReportMetric(row.BytesPerOp, "wire-bytes/op")
 }
 
+// BenchmarkABCGroups reruns the headline n=7 atomic broadcast once per
+// group backend — the end-to-end rows of the EXPERIMENTS.md modp2048 vs
+// p256 comparison. modp2048 is the production-parameter Z_p* backend
+// (expensive: seconds per op on this class of hardware), p256 the
+// elliptic backend at equivalent security, test256 the usual test group.
+func BenchmarkABCGroups(b *testing.B) {
+	for _, name := range []string{"modp2048", "p256", "test256"} {
+		b.Run(name, func(b *testing.B) {
+			if err := bench.SetGroupName(name); err != nil {
+				b.Fatal(err)
+			}
+			row, err := bench.RunLayer(7, "abc", b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(row.MsgsPer, "msgs/op")
+			b.ReportMetric(row.BytesPerOp, "wire-bytes/op")
+		})
+	}
+	if err := bench.SetGroupName("test256"); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // Experiment A8 — expected-constant-round binary agreement with split
 // inputs; reports the mean rounds per decision.
 func BenchmarkA8AgreementRounds(b *testing.B) {

@@ -8,6 +8,11 @@
 //	sintra-bench -exp ex1 -exp ex2 # the §4.3 worked examples
 //	sintra-bench -exp apps         # §5.2 input causality
 //	sintra-bench -cpus 1,2,4       # stack scaling across GOMAXPROCS
+//	sintra-bench -exp stack -group modp2048,p256  # backend comparison
+//
+// The -group flag selects the discrete-log group backend(s); a comma
+// list reruns every selected experiment once per backend, tagging each
+// table with the group name.
 package main
 
 import (
@@ -41,6 +46,7 @@ func run() error {
 		window = flag.Duration("window", 1500*time.Millisecond, "observation window for the f1 liveness attack")
 		cpus   = flag.String("cpus", "", "comma list of GOMAXPROCS values: rerun the S3 stack per value with a scaling column")
 		scaleN = flag.Int("scale-n", 7, "system size for the -cpus scaling and -batch sweeps")
+		groups = flag.String("group", "", "comma list of group backends (modp2048 | p256 | test256 | test512): rerun the selected experiments per backend (default: SINTRA_GROUP or test256)")
 	)
 	batch := flag.String("batch", "", "batch-verification sweep: 'on', 'off', or 'on,off' to compare (runs the AB3 table)")
 	ckpt := flag.String("ckpt", "", "checkpoint/GC sweep: 'on', 'off', or 'on,off' to compare end-to-end cost")
@@ -70,15 +76,37 @@ func run() error {
 		}
 	}
 
+	groupList := []string{""} // empty: keep the harness default
+	if *groups != "" {
+		groupList = groupList[:0]
+		for _, g := range strings.Split(*groups, ",") {
+			groupList = append(groupList, strings.TrimSpace(g))
+		}
+	}
+
 	want := map[string]bool{}
 	for _, e := range exps {
 		want[e] = true
 	}
+	for _, g := range groupList {
+		if g != "" {
+			if err := bench.SetGroupName(g); err != nil {
+				return err
+			}
+		}
+		if err := runExperiments(want, ns, cpuList, *ops, *trials, *window, *scaleN, *batch, *ckpt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runExperiments(want map[string]bool, ns, cpuList []int, ops, trials int, window time.Duration, scaleN int, batch, ckpt string) error {
 	all := want["all"]
 	out := os.Stdout
 
 	if all || want["f1"] {
-		res, err := bench.RunF1(*window)
+		res, err := bench.RunF1(window)
 		if err != nil {
 			return err
 		}
@@ -86,7 +114,7 @@ func run() error {
 		bench.Separator(out)
 	}
 	if all || want["stack"] {
-		rows, err := bench.RunStack(ns, *ops)
+		rows, err := bench.RunStack(ns, ops)
 		if err != nil {
 			return err
 		}
@@ -94,7 +122,7 @@ func run() error {
 		bench.Separator(out)
 	}
 	if all || want["aba"] {
-		rows, err := bench.RunABARounds(ns, *trials)
+		rows, err := bench.RunABARounds(ns, trials)
 		if err != nil {
 			return err
 		}
@@ -102,7 +130,7 @@ func run() error {
 		bench.Separator(out)
 	}
 	if all || want["ex1"] {
-		res, err := bench.RunExample1(*ops)
+		res, err := bench.RunExample1(ops)
 		if err != nil {
 			return err
 		}
@@ -110,7 +138,7 @@ func run() error {
 		bench.Separator(out)
 	}
 	if all || want["ex2"] {
-		res, err := bench.RunExample2(*ops)
+		res, err := bench.RunExample2(ops)
 		if err != nil {
 			return err
 		}
@@ -126,7 +154,7 @@ func run() error {
 		bench.Separator(out)
 	}
 	if all || want["tolerance"] {
-		rows, err := bench.RunToleranceSweep(7, 2, 2, *window)
+		rows, err := bench.RunToleranceSweep(7, 2, 2, window)
 		if err != nil {
 			return err
 		}
@@ -134,31 +162,31 @@ func run() error {
 		bench.Separator(out)
 	}
 	if len(cpuList) > 0 {
-		rows, err := bench.RunStackScaling(*scaleN, cpuList, *ops)
+		rows, err := bench.RunStackScaling(scaleN, cpuList, ops)
 		if err != nil {
 			return err
 		}
-		bench.PrintStackScaling(out, *scaleN, rows)
+		bench.PrintStackScaling(out, scaleN, rows)
 		bench.Separator(out)
 	}
-	if *batch != "" {
+	if batch != "" {
 		var modes []string
-		for _, m := range strings.Split(*batch, ",") {
+		for _, m := range strings.Split(batch, ",") {
 			modes = append(modes, strings.TrimSpace(m))
 		}
-		rows, err := bench.RunBatchVerifySweep(*scaleN, 16, modes)
+		rows, err := bench.RunBatchVerifySweep(scaleN, 16, modes)
 		if err != nil {
 			return err
 		}
 		bench.PrintBatchVerifySweep(out, rows)
 		bench.Separator(out)
 	}
-	if *ckpt != "" {
+	if ckpt != "" {
 		var modes []string
-		for _, m := range strings.Split(*ckpt, ",") {
+		for _, m := range strings.Split(ckpt, ",") {
 			modes = append(modes, strings.TrimSpace(m))
 		}
-		rows, err := bench.RunCheckpointSweep(*scaleN, 64, modes)
+		rows, err := bench.RunCheckpointSweep(scaleN, 64, modes)
 		if err != nil {
 			return err
 		}
@@ -171,7 +199,7 @@ func run() error {
 			return err
 		}
 		bench.PrintBatchAblation(out, rows)
-		sig, err := bench.RunSigSchemeAblation(4, *ops)
+		sig, err := bench.RunSigSchemeAblation(4, ops)
 		if err != nil {
 			return err
 		}

@@ -33,7 +33,7 @@ func run() error {
 		n         = flag.Int("n", 4, "number of servers (threshold structure)")
 		t         = flag.Int("t", 1, "corruption threshold (threshold structure)")
 		structure = flag.String("structure", "threshold", "adversary structure: threshold | example1 | example2")
-		groupName = flag.String("group", "modp2048", "discrete-log group: modp2048 | test512 | test256")
+		groupName = flag.String("group", "modp2048", "discrete-log group backend: modp2048 | p256 | test512 | test256")
 		basePort  = flag.Int("base-port", 7000, "first TCP port; server i listens on base-port+i")
 		host      = flag.String("host", "127.0.0.1", "host/interface for the server addresses")
 		addrsCSV  = flag.String("addrs", "", "comma-separated explicit server addresses (overrides host/base-port)")

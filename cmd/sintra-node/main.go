@@ -58,6 +58,7 @@ func run() error {
 		svcKind = flag.String("service", "directory", "application: directory | notary")
 		mode    = flag.String("mode", "atomic", "dissemination: atomic | causal")
 		listen  = flag.String("listen", "", "listen address override (default: own entry of addrs.txt)")
+		groupCk = flag.String("group", "", "expected group backend (modp2048 | p256 | test512 | test256): refuse to start if the dealt configuration uses a different one")
 
 		ckptInterval = flag.Int64("checkpoint-interval", 0, "checkpoint/GC period in delivered requests (0: default, negative: disabled; atomic mode)")
 
@@ -73,6 +74,12 @@ func run() error {
 	n := pub.Structure.N()
 	if *index < 0 || *index >= n {
 		return fmt.Errorf("-index must be in [0,%d)", n)
+	}
+	// The group is fixed at dealing time and carried in public.gob; the
+	// flag is an operator assertion that catches pointing a node at a
+	// configuration dealt for a different backend before it joins.
+	if *groupCk != "" && *groupCk != pub.GroupName {
+		return fmt.Errorf("configuration %s was dealt for group %q, -group expects %q", *config, pub.GroupName, *groupCk)
 	}
 	secret, err := sintra.LoadPartySecret(*config, *index)
 	if err != nil {

@@ -233,7 +233,7 @@ func TestByzantineCoinShareFlood(t *testing.T) {
 	g := c.Pub.Coin.Group()
 	for r := 1; r <= 3; r++ {
 		for to := 1; to < 4; to++ {
-			forged := []coin.Share{{Party: 0, ID: 0, Value: g.G, Proof: nil}}
+			forged := []coin.Share{{Party: 0, ID: 0, Value: g.Generator(), Proof: nil}}
 			ep.Send(wire.Message{
 				To: to, Protocol: aba.Protocol, Instance: tag,
 				Type: "COIN", Payload: wire.MustMarshalBody(coinB{Round: r, Shares: forged}),

@@ -22,6 +22,29 @@ import (
 // defaultTimeout bounds each measured operation.
 const defaultTimeout = 120 * time.Second
 
+// benchGroup is the discrete-log group backend every dealt cluster uses.
+// SetGroupName threads the sintra-bench -group flag here; the default
+// follows the SINTRA_GROUP environment variable (test256 otherwise), so
+// the harness and the test matrix agree. Bench runners execute
+// sequentially, so a package variable is safe — the same convention as
+// verifyBatchOverride.
+var benchGroup = group.TestDefault()
+
+// SetGroupName selects the group backend for all subsequent experiment
+// runs (modp2048 | p256 | test256 | test512).
+func SetGroupName(name string) error {
+	g, err := group.ByName(name)
+	if err != nil {
+		return err
+	}
+	benchGroup = g
+	return nil
+}
+
+// GroupName reports the backend experiments currently run over — the
+// group tag of the printed tables.
+func GroupName() string { return benchGroup.Name() }
+
 // cluster is a dealt set of parties over the simulated network (the
 // non-testing twin of internal/testutil).
 type cluster struct {
@@ -58,7 +81,7 @@ func newClusterByzantine(st *adversary.Structure, sched netsim.Scheduler, byz ma
 
 func newClusterFull(st *adversary.Structure, sched netsim.Scheduler, crashed []int, forceCert bool, byz map[int][]faultsim.Behavior) (*cluster, error) {
 	pub, secrets, err := deal.New(deal.Options{
-		Group:     group.Test256(),
+		Group:     benchGroup,
 		Structure: st,
 		RSAPrimes: deal.TestPrimes256(),
 		ForceCert: forceCert,

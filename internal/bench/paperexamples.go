@@ -3,7 +3,6 @@ package bench
 import (
 	"crypto/rand"
 	"fmt"
-	"math/big"
 	"sync/atomic"
 	"time"
 
@@ -86,7 +85,7 @@ func runExample(name string, st *adversary.Structure, crashed []int, ops int) (E
 	if err != nil {
 		return res, err
 	}
-	values := make(map[int]*big.Int, len(shares))
+	values := make(map[int]*group.Scalar, len(shares))
 	for _, sh := range shares {
 		values[sh.ID] = sh.Value
 	}
@@ -102,7 +101,7 @@ func runExample(name string, st *adversary.Structure, crashed []int, ops int) (E
 		}
 		honest := bad.Complement(st.N())
 		got, err := scheme.Reconstruct(honest, values)
-		if err != nil || got.Cmp(secret) != 0 {
+		if err != nil || !got.Equal(secret) {
 			res.SurvivorsQualified = false
 		}
 	}

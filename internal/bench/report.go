@@ -52,7 +52,7 @@ func PrintFigure1(w io.Writer, res F1Result) {
 // the layer's own latency histogram, and p99 of single-message dispatch
 // in the router.
 func PrintStack(w io.Writer, rows []StackRow) {
-	fmt.Fprintln(w, "S3 — cost per delivered payload, by protocol layer (256 B payloads)")
+	fmt.Fprintf(w, "S3 — cost per delivered payload, by protocol layer (256 B payloads, group=%s)\n", GroupName())
 	fmt.Fprintf(w, "%-7s %4s %3s %12s %14s %12s %10s %10s %12s\n",
 		"layer", "n", "t", "msgs/op", "bytes/op", "latency/op", "p50", "p99", "dispatch-p99")
 	for _, r := range rows {
@@ -64,7 +64,7 @@ func PrintStack(w io.Writer, rows []StackRow) {
 
 // PrintABARounds renders the expected-constant-rounds table (experiment A8).
 func PrintABARounds(w io.Writer, rows []ABARow) {
-	fmt.Fprintln(w, "A8 — randomized binary agreement, split inputs")
+	fmt.Fprintf(w, "A8 — randomized binary agreement, split inputs (group=%s)\n", GroupName())
 	fmt.Fprintf(w, "%4s %3s %7s %12s %11s %12s\n", "n", "t", "trials", "mean rounds", "max rounds", "mean msgs")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%4d %3d %7d %12.2f %11d %12.1f\n",
@@ -101,7 +101,7 @@ func Separator(w io.Writer) {
 
 // PrintBatchAblation renders the batching ablation.
 func PrintBatchAblation(w io.Writer, rows []BatchRow) {
-	fmt.Fprintln(w, "AB1 — batching ablation (atomic broadcast, n=4)")
+	fmt.Fprintf(w, "AB1 — batching ablation (atomic broadcast, n=4, group=%s)\n", GroupName())
 	fmt.Fprintf(w, "%10s %9s %7s %12s %12s\n", "batch", "requests", "rounds", "msgs/req", "total time")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%10d %9d %7d %12.1f %12v\n",
@@ -116,7 +116,7 @@ func PrintBatchVerifySweep(w io.Writer, rows []BatchVerifyRow) {
 	if len(rows) == 0 {
 		return
 	}
-	fmt.Fprintf(w, "AB3 — batch-verification sweep (atomic broadcast, n=%d)\n", rows[0].N)
+	fmt.Fprintf(w, "AB3 — batch-verification sweep (atomic broadcast, n=%d, group=%s)\n", rows[0].N, GroupName())
 	fmt.Fprintf(w, "%-10s %9s %12s %9s %13s %11s\n", "mode", "requests", "total time", "batches", "batched msgs", "mean batch")
 	for _, r := range rows {
 		mean := 0.0
@@ -143,7 +143,7 @@ func PrintSigSchemeAblation(w io.Writer, rows []SigSchemeRow) {
 // PrintStackScaling renders the GOMAXPROCS scaling table: the S3 stack
 // rerun per CPU count, with speedup relative to the first count.
 func PrintStackScaling(w io.Writer, n int, rows []ScalingRow) {
-	fmt.Fprintf(w, "S3 scaling — latency per delivered payload vs GOMAXPROCS (n=%d)\n", n)
+	fmt.Fprintf(w, "S3 scaling — latency per delivered payload vs GOMAXPROCS (n=%d, group=%s)\n", n, GroupName())
 	fmt.Fprintf(w, "%-7s %5s %12s %9s\n", "layer", "cpus", "latency/op", "scaling")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-7s %5d %12v %8.2fx\n",

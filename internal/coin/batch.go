@@ -1,9 +1,8 @@
 package coin
 
 import (
-	"math/big"
-
 	"sintra/internal/dleq"
+	"sintra/internal/group"
 )
 
 // BatchVerifier collects coin shares — possibly for several named coins
@@ -21,7 +20,7 @@ import (
 // use by one goroutine; the Params it came from may be shared.
 type BatchVerifier struct {
 	p     *Params
-	bases map[string]*big.Int
+	bases map[string]*group.Point
 	items []dleq.BatchItem
 	// slot maps add order to batch item index; -1 marks shares that
 	// failed the structural checks and skip the batch.
@@ -30,7 +29,7 @@ type BatchVerifier struct {
 
 // NewBatchVerifier starts an empty batch over the dealing.
 func (p *Params) NewBatchVerifier() *BatchVerifier {
-	return &BatchVerifier{p: p, bases: make(map[string]*big.Int)}
+	return &BatchVerifier{p: p, bases: make(map[string]*group.Point)}
 }
 
 // Add queues one share of the named coin for verification.
@@ -56,7 +55,7 @@ func (b *BatchVerifier) Add(name string, sh Share) {
 	b.slot = append(b.slot, len(b.items))
 	b.items = append(b.items, dleq.BatchItem{
 		St: dleq.Statement{
-			G1: p.g.G, H1: p.VerifyKeys[sh.ID],
+			G1: p.g.Generator(), H1: p.VerifyKeys[sh.ID],
 			G2: base, H2: sh.Value,
 			Trusted: true,
 		},

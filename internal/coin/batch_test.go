@@ -2,7 +2,6 @@ package coin
 
 import (
 	"crypto/rand"
-	"math/big"
 	"reflect"
 	"testing"
 
@@ -24,7 +23,7 @@ func TestCoinBatchIsolatesCulprits(t *testing.T) {
 	shares := releaseAll(t, p, keys, "round-1", []int{0, 1, 2, 3})
 	// A value consistent with nothing: the proof equations fail while
 	// every structural check passes.
-	shares[1].Value = p.g.Exp(shares[1].Value, big.NewInt(2))
+	shares[1].Value = p.g.Exp(shares[1].Value, p.g.NewScalar(2))
 	// A share claimed for an ID the sender does not own.
 	shares[3].Party = shares[0].Party
 	bad := p.BatchVerifyShares("round-1", shares)
@@ -45,7 +44,7 @@ func TestCoinBatchMatchesVerifyShare(t *testing.T) {
 	st := adversary.MustThreshold(4, 1)
 	p, keys := dealTest(t, st)
 	shares := releaseAll(t, p, keys, "round-1", []int{0, 1, 2, 3})
-	shares[0].Proof.Z = new(big.Int).Add(shares[0].Proof.Z, big.NewInt(1))
+	shares[0].Proof.Z = p.g.AddScalar(shares[0].Proof.Z, p.g.NewScalar(1))
 	shares[2].ID = len(p.VerifyKeys) + 7
 	var want []int
 	for i, sh := range shares {
@@ -69,7 +68,7 @@ func TestCoinBatchAcrossNames(t *testing.T) {
 	var want []bool
 	for _, name := range []string{"round-1", "round-2"} {
 		shares := releaseAll(t, p, keys, name, []int{0, 1, 2, 3})
-		shares[2].Value = p.g.Exp(shares[2].Value, big.NewInt(2))
+		shares[2].Value = p.g.Exp(shares[2].Value, p.g.NewScalar(2))
 		for i, sh := range shares {
 			bv.Add(name, sh)
 			want = append(want, i != 2)

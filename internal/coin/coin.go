@@ -23,8 +23,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/big"
-
 	"sintra/internal/adversary"
 	"sintra/internal/dleq"
 	"sintra/internal/group"
@@ -50,9 +48,9 @@ type Params struct {
 	// Structure is the deployment's adversary structure.
 	Structure *adversary.Structure
 	// VerifyKeys holds g^{s_id} for every share ID of the access formula.
-	VerifyKeys []*big.Int
+	VerifyKeys []*group.Point
 
-	g      *group.Group
+	g      group.Group
 	scheme *sharing.Scheme
 }
 
@@ -71,14 +69,14 @@ type Share struct {
 	// ID is the share ID the value corresponds to.
 	ID int
 	// Value is G(name)^{s_ID}.
-	Value *big.Int
+	Value *group.Point
 	// Proof shows log_g(VerifyKeys[ID]) = log_{G(name)}(Value).
 	Proof *dleq.Proof
 }
 
 // Deal generates a fresh coin key for the given structure, returning the
 // public parameters and each party's secret key.
-func Deal(g *group.Group, st *adversary.Structure, rnd io.Reader) (*Params, []*SecretKey, error) {
+func Deal(g group.Group, st *adversary.Structure, rnd io.Reader) (*Params, []*SecretKey, error) {
 	scheme, err := sharing.ForStructure(g, st)
 	if err != nil {
 		return nil, nil, fmt.Errorf("coin: %w", err)
@@ -92,7 +90,7 @@ func Deal(g *group.Group, st *adversary.Structure, rnd io.Reader) (*Params, []*S
 		return nil, nil, fmt.Errorf("coin: %w", err)
 	}
 	params := &Params{
-		GroupName:  g.Name,
+		GroupName:  g.Name(),
 		Structure:  st,
 		VerifyKeys: scheme.VerificationKeys(shares),
 		g:          g,
@@ -138,11 +136,11 @@ func (p *Params) Precompute() {
 }
 
 // Group returns the group of the dealing.
-func (p *Params) Group() *group.Group { return p.g }
+func (p *Params) Group() group.Group { return p.g }
 
 // base derives the coin-specific generator G(name).
-func (p *Params) base(name string) *big.Int {
-	return p.g.HashToElement("sintra/coin/base", []byte(name))
+func (p *Params) base(name string) *group.Point {
+	return p.g.HashToPoint("sintra/coin/base", []byte(name))
 }
 
 func proofContext(name string, id int) string {
@@ -156,7 +154,7 @@ func (p *Params) ReleaseShares(sk *SecretKey, name string, rnd io.Reader) ([]Sha
 	for _, sh := range sk.Shares {
 		value := p.g.Exp(base, sh.Value)
 		st := dleq.Statement{
-			G1: p.g.G, H1: p.VerifyKeys[sh.ID],
+			G1: p.g.Generator(), H1: p.VerifyKeys[sh.ID],
 			G2: base, H2: value,
 		}
 		proof, err := dleq.Prove(p.g, st, sh.Value, proofContext(name, sh.ID), rnd)
@@ -185,7 +183,7 @@ func (p *Params) VerifyShare(name string, sh Share) error {
 		return ErrInvalidShare
 	}
 	st := dleq.Statement{
-		G1: p.g.G, H1: p.VerifyKeys[sh.ID],
+		G1: p.g.Generator(), H1: p.VerifyKeys[sh.ID],
 		G2: p.base(name), H2: sh.Value,
 		Trusted: true,
 	}
@@ -223,13 +221,13 @@ func (v Value) Bytes() []byte { return append([]byte(nil), v.digest[:]...) }
 type Combiner struct {
 	params  *Params
 	name    string
-	values  map[int]*big.Int
+	values  map[int]*group.Point
 	parties adversary.Set
 }
 
 // NewCombiner starts collecting shares for the named coin.
 func NewCombiner(p *Params, name string) *Combiner {
-	return &Combiner{params: p, name: name, values: make(map[int]*big.Int)}
+	return &Combiner{params: p, name: name, values: make(map[int]*group.Point)}
 }
 
 // Add verifies and stores a coin share. Adding a second share for the same

@@ -13,7 +13,7 @@ import (
 
 func dealTest(t testing.TB, st *adversary.Structure) (*Params, []*SecretKey) {
 	t.Helper()
-	p, keys, err := Deal(group.Test256(), st, rand.Reader)
+	p, keys, err := Deal(group.TestDefault(), st, rand.Reader)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestVerifyShareRejectsForgeries(t *testing.T) {
 
 	// Wrong value.
 	bad := good
-	bad.Value = p.Group().Mul(good.Value, p.Group().G)
+	bad.Value = p.Group().Mul(good.Value, p.Group().Generator())
 	if err := p.VerifyShare("x", bad); err == nil {
 		t.Fatal("tampered value accepted")
 	}
@@ -144,7 +144,7 @@ func TestCombinerIgnoresDuplicates(t *testing.T) {
 	}
 	// Re-adding (even a tampered duplicate) must not disturb the value.
 	dup := shares[0]
-	dup.Value = p.Group().G
+	dup.Value = p.Group().Generator()
 	if err := c.Add(dup); err != nil {
 		t.Fatal("duplicate add errored")
 	}

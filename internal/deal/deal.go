@@ -77,7 +77,7 @@ type PartySecret struct {
 // Options configures a dealing.
 type Options struct {
 	// Group selects the discrete-log group (required).
-	Group *group.Group
+	Group group.Group
 	// Structure is the adversary structure (required).
 	Structure *adversary.Structure
 	// RSAPrimes supplies the safe primes for threshold RSA; nil generates
@@ -110,7 +110,7 @@ func New(opts Options) (*Public, []*PartySecret, error) {
 	st := opts.Structure
 	n := st.N()
 
-	pub := &Public{GroupName: opts.Group.Name, Structure: st}
+	pub := &Public{GroupName: opts.Group.Name(), Structure: st}
 	secrets := make([]*PartySecret, n)
 	for i := range secrets {
 		secrets[i] = &PartySecret{Party: i, LinkKeys: make([][]byte, n)}

@@ -3,7 +3,6 @@ package dleq
 import (
 	"crypto/rand"
 	"io"
-	"math/big"
 	"sort"
 
 	"sintra/internal/group"
@@ -38,17 +37,20 @@ const randomizerBits = 128
 //     multi-exponentiation (group.MultiExp), aggregating exponents for
 //     repeated bases such as the generator and per-round coin bases.
 //
-// The commitments are only range-checked, not membership-checked — a
-// Jacobi symbol per commitment would cost a large slice of the batch's
-// saving. This is sound because Z_p* for the safe prime p splits as
-// {±1} × QR: a commitment smuggled into the order-2 component can only
-// flip the sign of the folded product — a spurious failure that the
-// binary split resolves with deterministic per-item Verify — while a
-// false statement's error lives in the prime-order component, where
-// signs cannot cancel it and the standard small-exponent argument
-// bounds survival at 2^-128. Statement elements are membership-checked
-// as usual (here when untrusted, by the caller's IsElement checks when
-// Trusted). See DESIGN.md for the full argument.
+// Over the Z_p* backend the commitments are only structurally checked
+// (range), not membership-checked — a Jacobi symbol per commitment
+// would cost a large slice of the batch's saving. This is sound because
+// Z_p* for the safe prime p splits as {±1} × QR: a commitment smuggled
+// into the order-2 component can only flip the sign of the folded
+// product — a spurious failure that the binary split resolves with
+// deterministic per-item Verify — while a false statement's error lives
+// in the prime-order component, where signs cannot cancel it and the
+// standard small-exponent argument bounds survival at 2^-128. Over
+// P-256 there is no order-2 component at all: decompression already
+// proves membership, so the folded test needs no sign-blindness.
+// Statement elements are membership-checked as usual (here when
+// untrusted, by the caller's IsElement checks when Trusted). See
+// DESIGN.md for the full argument.
 //
 // On product failure the batch is binary-split and re-randomized to
 // isolate the culprit(s), ending in deterministic per-item Verify at
@@ -56,7 +58,7 @@ const randomizerBits = 128
 // Items whose proofs lack commitments (from pre-batching peers) are
 // verified individually. If rnd fails, everything falls back to
 // per-item Verify.
-func BatchVerify(g *group.Group, items []BatchItem, rnd io.Reader) []int {
+func BatchVerify(g group.Group, items []BatchItem, rnd io.Reader) []int {
 	if rnd == nil {
 		rnd = rand.Reader
 	}
@@ -64,14 +66,13 @@ func BatchVerify(g *group.Group, items []BatchItem, rnd io.Reader) []int {
 	var cand []int // indexes eligible for the folded product test
 	for i, it := range items {
 		p := it.P
-		if p == nil || p.C == nil || p.Z == nil ||
-			p.C.Sign() < 0 || p.C.Cmp(g.Q) >= 0 || p.Z.Sign() < 0 || p.Z.Cmp(g.Q) >= 0 {
+		if p == nil || !g.IsScalar(p.C) || !g.IsScalar(p.Z) {
 			bad = append(bad, i)
 			continue
 		}
 		if !it.St.Trusted {
 			ok := true
-			for _, e := range []*big.Int{it.St.G1, it.St.H1, it.St.G2, it.St.H2} {
+			for _, e := range []*group.Point{it.St.G1, it.St.H1, it.St.G2, it.St.H2} {
 				if !g.IsElement(e) {
 					ok = false
 					break
@@ -89,13 +90,13 @@ func BatchVerify(g *group.Group, items []BatchItem, rnd io.Reader) []int {
 			}
 			continue
 		}
-		// Range checks only: the sign-blind folded test tolerates
-		// non-residues here, and bounded values keep the challenge
-		// encoding total. Full membership would cost a Jacobi symbol
-		// per commitment — a large slice of the batch's saving.
-		if p.A1.Sign() <= 0 || p.A1.Cmp(g.P) >= 0 ||
-			p.A2.Sign() <= 0 || p.A2.Cmp(g.P) >= 0 ||
-			challenge(g, it.St, p.A1, p.A2, it.Context).Cmp(p.C) != 0 {
+		// The commitments were structurally validated when they were
+		// decoded (length, range, on-curve) — the sign-blind folded
+		// test tolerates Z_p* non-residues, so no Jacobi symbol is
+		// spent here. Only the group tag and the challenge need
+		// checking before folding.
+		if p.A1.GroupID() != g.ID() || p.A2.GroupID() != g.ID() ||
+			!challenge(g, it.St, p.A1, p.A2, it.Context).Equal(p.C) {
 			bad = append(bad, i)
 			continue
 		}
@@ -111,7 +112,7 @@ func BatchVerify(g *group.Group, items []BatchItem, rnd io.Reader) []int {
 
 // verifyTrusted runs the per-item path, skipping the membership checks
 // BatchVerify has already performed.
-func verifyTrusted(g *group.Group, it BatchItem) error {
+func verifyTrusted(g group.Group, it BatchItem) error {
 	st := it.St
 	st.Trusted = true
 	return Verify(g, st, it.P, it.Context)
@@ -120,7 +121,7 @@ func verifyTrusted(g *group.Group, it BatchItem) error {
 // splitVerify checks the items at the given indexes with one folded
 // product test, recursively halving (with fresh randomizers) on
 // failure until per-item verification isolates the culprits.
-func splitVerify(g *group.Group, items []BatchItem, idx []int, rnd io.Reader) []int {
+func splitVerify(g group.Group, items []BatchItem, idx []int, rnd io.Reader) []int {
 	switch len(idx) {
 	case 0:
 		return nil
@@ -156,45 +157,42 @@ func splitVerify(g *group.Group, items []BatchItem, idx []int, rnd io.Reader) []
 //	    · g1^{-Σ δ_j z_j} · g2^{-Σ δ'_j z_j}  ==  1
 //
 // with independent uniform randomizers δ, δ' of randomizerBits bits.
-// Exponents are accumulated per base pointer (mod Q at the end), so
-// shared bases — the generator, a common secondary base, repeated
-// verification keys — each contribute a single term to the
+// Exponents are accumulated per base pointer, so shared bases — the
+// generator (a stable pointer per Group), a common secondary base,
+// repeated verification keys — each contribute a single term to the
 // multi-exponentiation.
-func foldedCheck(g *group.Group, items []BatchItem, idx []int, rnd io.Reader) (bool, error) {
+func foldedCheck(g group.Group, items []BatchItem, idx []int, rnd io.Reader) (bool, error) {
 	// One read supplies every randomizer: 2 per item, 16 bytes each.
 	buf := make([]byte, 2*len(idx)*randomizerBits/8)
 	if _, err := io.ReadFull(rnd, buf); err != nil {
 		return false, err
 	}
-	nextDelta := func() *big.Int {
-		d := new(big.Int).SetBytes(buf[:randomizerBits/8])
+	nextDelta := func() *group.Scalar {
+		d := g.ScalarFromBytes(buf[:randomizerBits/8])
 		buf = buf[randomizerBits/8:]
 		return d
 	}
-	exps := make(map[*big.Int]*big.Int, 4*len(idx))
-	add := func(base, e *big.Int) {
+	exps := make(map[*group.Point]*group.Scalar, 4*len(idx))
+	add := func(base *group.Point, e *group.Scalar) {
 		if acc, ok := exps[base]; ok {
-			acc.Add(acc, e)
+			exps[base] = g.AddScalar(acc, e)
 		} else {
-			exps[base] = new(big.Int).Set(e)
+			exps[base] = e
 		}
 	}
-	tmp := new(big.Int)
 	for _, i := range idx {
 		it, p := items[i], items[i].P
 		d1, d2 := nextDelta(), nextDelta()
 		add(p.A1, d1)
 		add(p.A2, d2)
-		add(it.St.H1, tmp.Mul(p.C, d1))
-		add(it.St.H2, tmp.Mul(p.C, d2))
-		add(it.St.G1, tmp.Neg(tmp.Mul(p.Z, d1)))
-		add(it.St.G2, tmp.Neg(tmp.Mul(p.Z, d2)))
+		add(it.St.H1, g.MulScalar(p.C, d1))
+		add(it.St.H2, g.MulScalar(p.C, d2))
+		add(it.St.G1, g.NegScalar(g.MulScalar(p.Z, d1)))
+		add(it.St.G2, g.NegScalar(g.MulScalar(p.Z, d2)))
 	}
 	terms := make([]group.Term, 0, len(exps))
 	for base, e := range exps {
-		terms = append(terms, group.Term{Base: base, Exp: e.Mod(e, g.Q)})
+		terms = append(terms, group.Term{Base: base, Exp: e})
 	}
-	return g.MultiExp(terms).Cmp(bigOne) == 0, nil
+	return g.MultiExp(terms).Equal(g.Identity()), nil
 }
-
-var bigOne = big.NewInt(1)

@@ -3,7 +3,6 @@ package dleq
 import (
 	"crypto/rand"
 	"fmt"
-	"math/big"
 	"reflect"
 	"testing"
 
@@ -12,11 +11,11 @@ import (
 
 // batchSetup builds k coin-style items: shared generator and shared
 // secondary base, per-party verification keys and share values.
-func batchSetup(t testing.TB, g *group.Group, k int, trusted bool) ([]BatchItem, []*big.Int) {
+func batchSetup(t testing.TB, g group.Group, k int, trusted bool) ([]BatchItem, []*group.Scalar) {
 	t.Helper()
-	base := g.HashToElement("batch-base", []byte("t"))
+	base := g.HashToPoint("batch-base", []byte("t"))
 	items := make([]BatchItem, k)
-	secrets := make([]*big.Int, k)
+	secrets := make([]*group.Scalar, k)
 	for i := 0; i < k; i++ {
 		x, err := g.RandomScalar(rand.Reader)
 		if err != nil {
@@ -24,7 +23,7 @@ func batchSetup(t testing.TB, g *group.Group, k int, trusted bool) ([]BatchItem,
 		}
 		secrets[i] = x
 		st := Statement{
-			G1: g.G, H1: g.BaseExp(x),
+			G1: g.Generator(), H1: g.BaseExp(x),
 			G2: base, H2: g.Exp(base, x),
 			Trusted: trusted,
 		}
@@ -39,28 +38,34 @@ func batchSetup(t testing.TB, g *group.Group, k int, trusted bool) ([]BatchItem,
 }
 
 func TestBatchVerifyAllValid(t *testing.T) {
-	g := group.Test256()
-	for _, k := range []int{0, 1, 2, 7, 16} {
-		items, _ := batchSetup(t, g, k, false)
-		if bad := BatchVerify(g, items, rand.Reader); bad != nil {
-			t.Fatalf("k=%d: valid batch flagged %v", k, bad)
-		}
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			for _, k := range []int{0, 1, 2, 7, 16} {
+				items, _ := batchSetup(t, g, k, false)
+				if bad := BatchVerify(g, items, rand.Reader); bad != nil {
+					t.Fatalf("k=%d: valid batch flagged %v", k, bad)
+				}
+			}
+		})
 	}
 }
 
 func TestBatchVerifyIsolatesCulprits(t *testing.T) {
-	g := group.Test256()
-	for _, culprits := range [][]int{{0}, {6}, {3}, {0, 6}, {1, 2, 5}, {0, 1, 2, 3, 4, 5, 6}} {
-		items, _ := batchSetup(t, g, 7, false)
-		for _, c := range culprits {
-			// A mutated share value: the proof no longer matches the
-			// statement, exactly what a Byzantine sender produces.
-			items[c].St.H2 = g.Mul(items[c].St.H2, g.G)
-		}
-		bad := BatchVerify(g, items, rand.Reader)
-		if !reflect.DeepEqual(bad, culprits) {
-			t.Fatalf("culprits %v: batch flagged %v", culprits, bad)
-		}
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			for _, culprits := range [][]int{{0}, {6}, {3}, {0, 6}, {1, 2, 5}, {0, 1, 2, 3, 4, 5, 6}} {
+				items, _ := batchSetup(t, g, 7, false)
+				for _, c := range culprits {
+					// A mutated share value: the proof no longer matches the
+					// statement, exactly what a Byzantine sender produces.
+					items[c].St.H2 = g.Mul(items[c].St.H2, g.Generator())
+				}
+				bad := BatchVerify(g, items, rand.Reader)
+				if !reflect.DeepEqual(bad, culprits) {
+					t.Fatalf("culprits %v: batch flagged %v", culprits, bad)
+				}
+			}
+		})
 	}
 }
 
@@ -68,70 +73,102 @@ func TestBatchVerifyIsolatesCulprits(t *testing.T) {
 // proofs — the shape of shares produced by pre-batching peers — and
 // checks the fallback verifies them individually.
 func TestBatchVerifyLegacyProofs(t *testing.T) {
-	g := group.Test256()
-	items, _ := batchSetup(t, g, 5, false)
-	items[1].P = &Proof{C: items[1].P.C, Z: items[1].P.Z}
-	items[3].P = &Proof{C: items[3].P.C, Z: items[3].P.Z}
-	if bad := BatchVerify(g, items, rand.Reader); bad != nil {
-		t.Fatalf("legacy-mixed valid batch flagged %v", bad)
-	}
-	items[3].P = &Proof{C: items[3].P.C, Z: g.AddScalar(items[3].P.Z, big.NewInt(1))}
-	if bad := BatchVerify(g, items, rand.Reader); !reflect.DeepEqual(bad, []int{3}) {
-		t.Fatalf("bad legacy proof: batch flagged %v", bad)
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			items, _ := batchSetup(t, g, 5, false)
+			items[1].P = &Proof{C: items[1].P.C, Z: items[1].P.Z}
+			items[3].P = &Proof{C: items[3].P.C, Z: items[3].P.Z}
+			if bad := BatchVerify(g, items, rand.Reader); bad != nil {
+				t.Fatalf("legacy-mixed valid batch flagged %v", bad)
+			}
+			items[3].P = &Proof{C: items[3].P.C, Z: g.AddScalar(items[3].P.Z, g.NewScalar(1))}
+			if bad := BatchVerify(g, items, rand.Reader); !reflect.DeepEqual(bad, []int{3}) {
+				t.Fatalf("bad legacy proof: batch flagged %v", bad)
+			}
+		})
 	}
 }
 
 func TestBatchVerifyRejectsMangled(t *testing.T) {
-	g := group.Test256()
-	items, _ := batchSetup(t, g, 6, false)
-	items[0].P = nil
-	items[1].P = &Proof{C: new(big.Int).Set(g.Q), Z: items[1].P.Z, A1: items[1].P.A1, A2: items[1].P.A2}
-	items[2].P.A1 = big.NewInt(0) // non-element commitment
-	// Valid (C, Z) with forged commitments: the challenge recompute
-	// catches the inconsistency even though Verify alone would accept.
-	items[3].P.A1, items[3].P.A2 = items[3].P.A2, items[3].P.A1
-	items[4].St.H1 = new(big.Int).Set(g.P) // out-of-range element
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			items, _ := batchSetup(t, g, 6, false)
+			foreign := group.Test512()
+			items[0].P = nil
+			items[1].P = &Proof{C: foreign.NewScalar(1), Z: items[1].P.Z, A1: items[1].P.A1, A2: items[1].P.A2}
+			items[2].P.A1 = foreign.Generator() // foreign-group commitment
+			// Valid (C, Z) with forged commitments: the challenge recompute
+			// catches the inconsistency even though Verify alone would accept.
+			items[3].P.A1, items[3].P.A2 = items[3].P.A2, items[3].P.A1
+			items[4].St.H1 = foreign.Generator() // foreign-group element
+			bad := BatchVerify(g, items, rand.Reader)
+			if !reflect.DeepEqual(bad, []int{0, 1, 2, 3, 4}) {
+				t.Fatalf("mangled batch flagged %v", bad)
+			}
+		})
+	}
+}
+
+// TestBatchVerifyNonMemberCommitment feeds a structurally valid
+// non-member commitment (possible only over Z_p*: a wire value in the
+// order-2 component) and checks that the sign-blind folded test plus
+// binary split still classify every item exactly as per-item Verify
+// does — the forged commitment fails its challenge recompute.
+func TestBatchVerifyNonMemberCommitment(t *testing.T) {
+	g := group.TestDefault()
+	items, _ := batchSetup(t, g, 5, false)
+	nm := nonMember(t, g)
+	if nm == nil {
+		t.Skip("backend has no structurally-valid non-members")
+	}
+	items[2].P.A1 = nm
 	bad := BatchVerify(g, items, rand.Reader)
-	if !reflect.DeepEqual(bad, []int{0, 1, 2, 3, 4}) {
-		t.Fatalf("mangled batch flagged %v", bad)
+	if !reflect.DeepEqual(bad, []int{2}) {
+		t.Fatalf("non-member commitment: batch flagged %v", bad)
 	}
 }
 
 // TestBatchVerifyMatchesVerify cross-checks batch and per-item results
 // over randomized corruption patterns of (C, Z, H2).
 func TestBatchVerifyMatchesVerify(t *testing.T) {
-	g := group.Test256()
-	for trial := 0; trial < 10; trial++ {
-		items, _ := batchSetup(t, g, 8, trial%2 == 0)
-		for i := range items {
-			switch (trial + i) % 4 {
-			case 1:
-				items[i].P.Z = g.AddScalar(items[i].P.Z, big.NewInt(1))
-			case 2:
-				items[i].St.H2 = g.Mul(items[i].St.H2, g.G)
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			for trial := 0; trial < 10; trial++ {
+				items, _ := batchSetup(t, g, 8, trial%2 == 0)
+				for i := range items {
+					switch (trial + i) % 4 {
+					case 1:
+						items[i].P.Z = g.AddScalar(items[i].P.Z, g.NewScalar(1))
+					case 2:
+						items[i].St.H2 = g.Mul(items[i].St.H2, g.Generator())
+					}
+				}
+				var want []int
+				for i, it := range items {
+					if Verify(g, it.St, it.P, it.Context) != nil {
+						want = append(want, i)
+					}
+				}
+				got := BatchVerify(g, items, rand.Reader)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d: batch flagged %v, per-item %v", trial, got, want)
+				}
 			}
-		}
-		var want []int
-		for i, it := range items {
-			if Verify(g, it.St, it.P, it.Context) != nil {
-				want = append(want, i)
-			}
-		}
-		got := BatchVerify(g, items, rand.Reader)
-		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("trial %d: batch flagged %v, per-item %v", trial, got, want)
-		}
+		})
 	}
 }
 
 // TestBatchVerifyTrustedStillChecksEquations mirrors the single-proof
 // Trusted semantics: membership checks are skipped, the algebra is not.
 func TestBatchVerifyTrustedStillChecksEquations(t *testing.T) {
-	g := group.Test256()
-	items, _ := batchSetup(t, g, 4, true)
-	items[2].St.H2 = g.Mul(items[2].St.H2, g.G)
-	if bad := BatchVerify(g, items, rand.Reader); !reflect.DeepEqual(bad, []int{2}) {
-		t.Fatalf("trusted batch flagged %v", bad)
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			items, _ := batchSetup(t, g, 4, true)
+			items[2].St.H2 = g.Mul(items[2].St.H2, g.Generator())
+			if bad := BatchVerify(g, items, rand.Reader); !reflect.DeepEqual(bad, []int{2}) {
+				t.Fatalf("trusted batch flagged %v", bad)
+			}
+		})
 	}
 }
 
@@ -140,7 +177,7 @@ func TestBatchVerifyTrustedStillChecksEquations(t *testing.T) {
 // one folded product check, in the production configuration (trusted
 // statements, registered verification keys, shared coin base).
 func BenchmarkDLEQBatchVerify(b *testing.B) {
-	g := group.Test256()
+	g := group.TestDefault()
 	for _, k := range []int{4, 7, 16} {
 		items, _ := batchSetup(b, g, k, true)
 		for i := range items {

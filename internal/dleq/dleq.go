@@ -8,13 +8,16 @@
 // decryption shares in the TDH2 threshold cryptosystem, making both schemes
 // robust: invalid shares from corrupted servers are detected immediately
 // (Cachin, DSN 2001, §2.1).
+//
+// The package is backend-agnostic: statements and proofs are built from
+// opaque group.Point/group.Scalar values and verify identically over the
+// Z_p* and P-256 backends.
 package dleq
 
 import (
 	"errors"
 	"fmt"
 	"io"
-	"math/big"
 
 	"sintra/internal/group"
 )
@@ -26,37 +29,37 @@ var ErrInvalidProof = errors.New("dleq: invalid proof")
 // carrying the prover's commitments for batch verification.
 type Proof struct {
 	// C is the Fiat-Shamir challenge.
-	C *big.Int
+	C *group.Scalar
 	// Z is the prover's response.
-	Z *big.Int
+	Z *group.Scalar
 	// A1, A2 are the prover's commitments g1^w, g2^w. Verify
 	// recomputes them from (C, Z) and ignores these fields, so the
 	// compact form stays sufficient; BatchVerify needs them to fold
 	// many proofs into one product check and falls back to per-proof
 	// verification when they are absent (proofs from pre-batching
 	// peers gob-decode with A1 = A2 = nil).
-	A1, A2 *big.Int
+	A1, A2 *group.Point
 }
 
 // Statement captures the public values of a DLEQ claim:
 // log_{G1}(H1) = log_{G2}(H2).
 type Statement struct {
-	G1, H1, G2, H2 *big.Int
+	G1, H1, G2, H2 *group.Point
 
 	// Trusted asserts that all four elements are already known to lie
-	// in the prime-order subgroup — dealt verification keys, locally
+	// in the prime-order group — dealt verification keys, locally
 	// derived bases, or wire values the caller has validated itself.
-	// Verify then skips its four membership checks, which otherwise
-	// cost as much as the exponentiations. Soundness depends on the
-	// assertion: never set Trusted for values taken from the network
-	// without an explicit IsElement check.
+	// Verify then skips its four membership checks, which for the Z_p*
+	// backend otherwise cost as much as the exponentiations. Soundness
+	// depends on the assertion: never set Trusted for values taken from
+	// the network without an explicit IsElement check.
 	Trusted bool
 }
 
 // Prove generates a proof that h1 = g1^x and h2 = g2^x for the given
 // secret exponent x. The context string binds the proof to its use site
 // (protocol, instance, party) so proofs cannot be replayed elsewhere.
-func Prove(g *group.Group, st Statement, x *big.Int, context string, rnd io.Reader) (*Proof, error) {
+func Prove(g group.Group, st Statement, x *group.Scalar, context string, rnd io.Reader) (*Proof, error) {
 	w, err := g.RandomScalar(rnd)
 	if err != nil {
 		return nil, fmt.Errorf("dleq: %w", err)
@@ -71,64 +74,56 @@ func Prove(g *group.Group, st Statement, x *big.Int, context string, rnd io.Read
 
 // Verify checks a proof against the statement and context. Bases with
 // precomputation tables registered in the group (the generator and
-// dealt verification keys, see group.Precompute) take the fixed-base
+// dealt verification keys, see Group.Precompute) take the fixed-base
 // fast path; marking the statement Trusted additionally skips the
-// four subgroup membership checks.
-func Verify(g *group.Group, st Statement, p *Proof, context string) error {
-	if p == nil || p.C == nil || p.Z == nil {
-		return ErrInvalidProof
-	}
-	if p.C.Sign() < 0 || p.C.Cmp(g.Q) >= 0 || p.Z.Sign() < 0 || p.Z.Cmp(g.Q) >= 0 {
+// four membership checks.
+func Verify(g group.Group, st Statement, p *Proof, context string) error {
+	if p == nil || !g.IsScalar(p.C) || !g.IsScalar(p.Z) {
 		return ErrInvalidProof
 	}
 	if !st.Trusted {
-		for _, e := range []*big.Int{st.G1, st.H1, st.G2, st.H2} {
+		for _, e := range []*group.Point{st.G1, st.H1, st.G2, st.H2} {
 			if !g.IsElement(e) {
 				return ErrInvalidProof
 			}
 		}
 	}
-	// a1 = g1^z / h1^c = g1^z · h1^(q-c), and likewise a2: subgroup
-	// elements have order q, so division by h^c is multiplication by
-	// h^(q-c) — one simultaneous double exponentiation, no inverse.
-	negC := new(big.Int).Sub(g.Q, p.C)
+	// a1 = g1^z / h1^c = g1^z · h1^(-c), and likewise a2: one
+	// simultaneous double exponentiation per equation, no inverse.
+	negC := g.NegScalar(p.C)
 	a1 := g.MulExp(st.G1, p.Z, st.H1, negC)
 	a2 := g.MulExp(st.G2, p.Z, st.H2, negC)
-	if challenge(g, st, a1, a2, context).Cmp(p.C) != 0 {
+	if !challenge(g, st, a1, a2, context).Equal(p.C) {
 		return ErrInvalidProof
 	}
 	return nil
 }
 
-// verifySlow is the pre-pipeline verification path — membership checks
-// by exponentiation, two divisions, four independent exponentiations —
+// verifySlow is the pre-pipeline verification path — strict re-decode
+// membership checks, two divisions, four independent exponentiations —
 // kept as the before/after baseline for BenchmarkDLEQVerify and as a
 // cross-check oracle in tests.
-func verifySlow(g *group.Group, st Statement, p *Proof, context string) error {
-	if p == nil || p.C == nil || p.Z == nil {
+func verifySlow(g group.Group, st Statement, p *Proof, context string) error {
+	if p == nil || !g.IsScalar(p.C) || !g.IsScalar(p.Z) {
 		return ErrInvalidProof
 	}
-	if p.C.Sign() < 0 || p.C.Cmp(g.Q) >= 0 || p.Z.Sign() < 0 || p.Z.Cmp(g.Q) >= 0 {
-		return ErrInvalidProof
-	}
-	one := big.NewInt(1)
-	for _, e := range []*big.Int{st.G1, st.H1, st.G2, st.H2} {
-		if e == nil || e.Sign() <= 0 || e.Cmp(g.P) >= 0 {
+	for _, e := range []*group.Point{st.G1, st.H1, st.G2, st.H2} {
+		if e == nil {
 			return ErrInvalidProof
 		}
-		if new(big.Int).Exp(e, g.Q, g.P).Cmp(one) != 0 {
+		if _, err := g.DecodeElement(g.EncodeElement(e)); err != nil {
 			return ErrInvalidProof
 		}
 	}
-	a1 := g.Div(new(big.Int).Exp(st.G1, p.Z, g.P), new(big.Int).Exp(st.H1, p.C, g.P))
-	a2 := g.Div(new(big.Int).Exp(st.G2, p.Z, g.P), new(big.Int).Exp(st.H2, p.C, g.P))
-	if challenge(g, st, a1, a2, context).Cmp(p.C) != 0 {
+	a1 := g.Div(g.Exp(st.G1, p.Z), g.Exp(st.H1, p.C))
+	a2 := g.Div(g.Exp(st.G2, p.Z), g.Exp(st.H2, p.C))
+	if !challenge(g, st, a1, a2, context).Equal(p.C) {
 		return ErrInvalidProof
 	}
 	return nil
 }
 
-func challenge(g *group.Group, st Statement, a1, a2 *big.Int, context string) *big.Int {
+func challenge(g group.Group, st Statement, a1, a2 *group.Point, context string) *group.Scalar {
 	return g.HashToScalar("sintra/dleq/"+context,
 		g.EncodeElement(st.G1), g.EncodeElement(st.H1),
 		g.EncodeElement(st.G2), g.EncodeElement(st.H2),

@@ -2,151 +2,224 @@ package dleq
 
 import (
 	"crypto/rand"
-	"math/big"
 	"testing"
 
 	"sintra/internal/group"
 )
 
-func setup(t *testing.T) (*group.Group, Statement, *big.Int) {
+// testBackends returns one Z_p* group and the P-256 group, so every
+// proof property is checked over both backend families. (The CI matrix
+// additionally runs the whole suite with SINTRA_GROUP=p256, flipping
+// the default the protocol tests use.)
+func testBackends() []group.Group {
+	return []group.Group{group.TestDefault(), group.P256()}
+}
+
+func setup(t *testing.T, g group.Group) (Statement, *group.Scalar) {
 	t.Helper()
-	g := group.Test256()
 	x, err := g.RandomScalar(rand.Reader)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g2 := g.HashToElement("second-generator", []byte("t"))
+	g2 := g.HashToPoint("second-generator", []byte("t"))
 	st := Statement{
-		G1: g.G,
+		G1: g.Generator(),
 		H1: g.BaseExp(x),
 		G2: g2,
 		H2: g.Exp(g2, x),
 	}
-	return g, st, x
+	return st, x
+}
+
+// nonMember produces a structurally valid wire encoding that is not a
+// member of the prime-order group, when the backend admits one (the
+// Z_p* backends do: half of [1, p-1] are non-residues). Returns nil for
+// backends where structural validity implies membership (P-256).
+func nonMember(t *testing.T, g group.Group) *group.Point {
+	t.Helper()
+	buf := make([]byte, 1+g.ElementLen())
+	buf[0] = byte(g.ID())
+	for v := byte(2); v < 120; v++ {
+		buf[len(buf)-1] = v
+		var p group.Point
+		if err := p.UnmarshalBinary(buf); err != nil {
+			continue
+		}
+		if !g.IsElement(&p) {
+			return &p
+		}
+	}
+	return nil
 }
 
 func TestProveVerify(t *testing.T) {
-	g, st, x := setup(t)
-	p, err := Prove(g, st, x, "test", rand.Reader)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := Verify(g, st, p, "test"); err != nil {
-		t.Fatalf("valid proof rejected: %v", err)
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			st, x := setup(t, g)
+			p, err := Prove(g, st, x, "test", rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(g, st, p, "test"); err != nil {
+				t.Fatalf("valid proof rejected: %v", err)
+			}
+		})
 	}
 }
 
 func TestVerifyRejectsWrongContext(t *testing.T) {
-	g, st, x := setup(t)
-	p, _ := Prove(g, st, x, "ctx-a", rand.Reader)
-	if err := Verify(g, st, p, "ctx-b"); err == nil {
-		t.Fatal("proof accepted under wrong context")
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			st, x := setup(t, g)
+			p, _ := Prove(g, st, x, "ctx-a", rand.Reader)
+			if err := Verify(g, st, p, "ctx-b"); err == nil {
+				t.Fatal("proof accepted under wrong context")
+			}
+		})
 	}
 }
 
 func TestVerifyRejectsWrongStatement(t *testing.T) {
-	g, st, x := setup(t)
-	p, _ := Prove(g, st, x, "test", rand.Reader)
-	bad := st
-	bad.H2 = g.Mul(st.H2, g.G) // shift H2: exponents now differ
-	if err := Verify(g, bad, p, "test"); err == nil {
-		t.Fatal("proof accepted for unequal logs")
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			st, x := setup(t, g)
+			p, _ := Prove(g, st, x, "test", rand.Reader)
+			bad := st
+			bad.H2 = g.Mul(st.H2, g.Generator()) // shift H2: exponents now differ
+			if err := Verify(g, bad, p, "test"); err == nil {
+				t.Fatal("proof accepted for unequal logs")
+			}
+		})
 	}
 }
 
 func TestVerifyRejectsWrongSecret(t *testing.T) {
-	g, st, x := setup(t)
-	// Prove with a different exponent than the statement's.
-	y := g.AddScalar(x, big.NewInt(1))
-	p, _ := Prove(g, st, y, "test", rand.Reader)
-	if err := Verify(g, st, p, "test"); err == nil {
-		t.Fatal("proof with wrong witness accepted")
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			st, x := setup(t, g)
+			// Prove with a different exponent than the statement's.
+			y := g.AddScalar(x, g.NewScalar(1))
+			p, _ := Prove(g, st, y, "test", rand.Reader)
+			if err := Verify(g, st, p, "test"); err == nil {
+				t.Fatal("proof with wrong witness accepted")
+			}
+		})
 	}
 }
 
 func TestVerifyRejectsMangledProof(t *testing.T) {
-	g, st, x := setup(t)
-	p, _ := Prove(g, st, x, "test", rand.Reader)
-	cases := []*Proof{
-		nil,
-		{C: nil, Z: p.Z},
-		{C: p.C, Z: nil},
-		{C: g.AddScalar(p.C, big.NewInt(1)), Z: p.Z},
-		{C: p.C, Z: g.AddScalar(p.Z, big.NewInt(1))},
-		{C: new(big.Int).Neg(big.NewInt(1)), Z: p.Z},
-		{C: new(big.Int).Set(g.Q), Z: p.Z},
-	}
-	for i, bad := range cases {
-		if err := Verify(g, st, bad, "test"); err == nil {
-			t.Fatalf("case %d: mangled proof accepted", i)
-		}
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			st, x := setup(t, g)
+			p, _ := Prove(g, st, x, "test", rand.Reader)
+			// A scalar of a different group: IsScalar must reject it.
+			foreign := group.Test512().NewScalar(1)
+			cases := []*Proof{
+				nil,
+				{C: nil, Z: p.Z},
+				{C: p.C, Z: nil},
+				{C: g.AddScalar(p.C, g.NewScalar(1)), Z: p.Z},
+				{C: p.C, Z: g.AddScalar(p.Z, g.NewScalar(1))},
+				{C: foreign, Z: p.Z},
+				{C: p.C, Z: foreign},
+			}
+			for i, bad := range cases {
+				if err := Verify(g, st, bad, "test"); err == nil {
+					t.Fatalf("case %d: mangled proof accepted", i)
+				}
+			}
+		})
 	}
 }
 
 func TestVerifyRejectsNonGroupElements(t *testing.T) {
-	g, st, x := setup(t)
-	p, _ := Prove(g, st, x, "test", rand.Reader)
-	bad := st
-	bad.H1 = big.NewInt(0)
-	if err := Verify(g, bad, p, "test"); err == nil {
-		t.Fatal("statement with non-element accepted")
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			st, x := setup(t, g)
+			p, _ := Prove(g, st, x, "test", rand.Reader)
+			// An element of a different group is never accepted.
+			bad := st
+			bad.H1 = group.Test512().Generator()
+			if err := Verify(g, bad, p, "test"); err == nil {
+				t.Fatal("statement with foreign-group element accepted")
+			}
+			// A structurally valid non-member (Z_p* only).
+			if nm := nonMember(t, g); nm != nil {
+				bad.H1 = nm
+				if err := Verify(g, bad, p, "test"); err == nil {
+					t.Fatal("statement with non-element accepted")
+				}
+			}
+		})
 	}
 }
 
 func TestProofsAreBoundPerStatement(t *testing.T) {
-	g, st, x := setup(t)
-	p, _ := Prove(g, st, x, "test", rand.Reader)
-	// Same exponent but different base pair: proof must not transfer.
-	g3 := g.HashToElement("third-generator", []byte("t"))
-	other := Statement{G1: st.G1, H1: st.H1, G2: g3, H2: g.Exp(g3, x)}
-	if err := Verify(g, other, p, "test"); err == nil {
-		t.Fatal("proof transferred across statements")
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			st, x := setup(t, g)
+			p, _ := Prove(g, st, x, "test", rand.Reader)
+			// Same exponent but different base pair: proof must not transfer.
+			g3 := g.HashToPoint("third-generator", []byte("t"))
+			other := Statement{G1: st.G1, H1: st.H1, G2: g3, H2: g.Exp(g3, x)}
+			if err := Verify(g, other, p, "test"); err == nil {
+				t.Fatal("proof transferred across statements")
+			}
+		})
 	}
 }
 
 // TestVerifyMatchesSlowOracle cross-checks the fast verification path
-// (MulExp, Jacobi membership, optional Trusted skip) against the
+// (MulExp, cheap membership, optional Trusted skip) against the
 // original implementation on valid and corrupted proofs.
 func TestVerifyMatchesSlowOracle(t *testing.T) {
-	g, st, x := setup(t)
-	g.Precompute(st.H1)
-	valid, _ := Prove(g, st, x, "oracle", rand.Reader)
-	mangled := &Proof{C: valid.C, Z: g.AddScalar(valid.Z, big.NewInt(1))}
-	zero := &Proof{C: big.NewInt(0), Z: valid.Z}
-	trusted := st
-	trusted.Trusted = true
-	for i, p := range []*Proof{valid, mangled, zero} {
-		want := verifySlow(g, st, p, "oracle")
-		if got := Verify(g, st, p, "oracle"); (got == nil) != (want == nil) {
-			t.Fatalf("case %d: fast path %v, slow path %v", i, got, want)
-		}
-		if got := Verify(g, trusted, p, "oracle"); (got == nil) != (want == nil) {
-			t.Fatalf("case %d (trusted): fast path %v, slow path %v", i, got, want)
-		}
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			st, x := setup(t, g)
+			g.Precompute(st.H1)
+			valid, _ := Prove(g, st, x, "oracle", rand.Reader)
+			mangled := &Proof{C: valid.C, Z: g.AddScalar(valid.Z, g.NewScalar(1))}
+			zero := &Proof{C: g.NewScalar(0), Z: valid.Z}
+			trusted := st
+			trusted.Trusted = true
+			for i, p := range []*Proof{valid, mangled, zero} {
+				want := verifySlow(g, st, p, "oracle")
+				if got := Verify(g, st, p, "oracle"); (got == nil) != (want == nil) {
+					t.Fatalf("case %d: fast path %v, slow path %v", i, got, want)
+				}
+				if got := Verify(g, trusted, p, "oracle"); (got == nil) != (want == nil) {
+					t.Fatalf("case %d (trusted): fast path %v, slow path %v", i, got, want)
+				}
+			}
+		})
 	}
 }
 
 // TestTrustedSkipsOnlyMembership makes sure Trusted does not weaken
 // the algebraic check itself.
 func TestTrustedSkipsOnlyMembership(t *testing.T) {
-	g, st, x := setup(t)
-	st.Trusted = true
-	p, _ := Prove(g, st, x, "t", rand.Reader)
-	if err := Verify(g, st, p, "t"); err != nil {
-		t.Fatalf("trusted valid proof rejected: %v", err)
-	}
-	bad := st
-	bad.H2 = g.Mul(st.H2, g.G)
-	if err := Verify(g, bad, p, "t"); err == nil {
-		t.Fatal("trusted statement with unequal logs accepted")
+	for _, g := range testBackends() {
+		t.Run(g.Name(), func(t *testing.T) {
+			st, x := setup(t, g)
+			st.Trusted = true
+			p, _ := Prove(g, st, x, "t", rand.Reader)
+			if err := Verify(g, st, p, "t"); err != nil {
+				t.Fatalf("trusted valid proof rejected: %v", err)
+			}
+			bad := st
+			bad.H2 = g.Mul(st.H2, g.Generator())
+			if err := Verify(g, bad, p, "t"); err == nil {
+				t.Fatal("trusted statement with unequal logs accepted")
+			}
+		})
 	}
 }
 
 func BenchmarkProve(b *testing.B) {
-	g := group.Test256()
+	g := group.TestDefault()
 	x, _ := g.RandomScalar(rand.Reader)
-	g2 := g.HashToElement("gen", []byte("b"))
-	st := Statement{G1: g.G, H1: g.BaseExp(x), G2: g2, H2: g.Exp(g2, x)}
+	g2 := g.HashToPoint("gen", []byte("b"))
+	st := Statement{G1: g.Generator(), H1: g.BaseExp(x), G2: g2, H2: g.Exp(g2, x)}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -157,10 +230,10 @@ func BenchmarkProve(b *testing.B) {
 }
 
 func BenchmarkVerify(b *testing.B) {
-	g := group.Test256()
+	g := group.TestDefault()
 	x, _ := g.RandomScalar(rand.Reader)
-	g2 := g.HashToElement("gen", []byte("b"))
-	st := Statement{G1: g.G, H1: g.BaseExp(x), G2: g2, H2: g.Exp(g2, x)}
+	g2 := g.HashToPoint("gen", []byte("b"))
+	st := Statement{G1: g.Generator(), H1: g.BaseExp(x), G2: g2, H2: g.Exp(g2, x)}
 	p, _ := Prove(g, st, x, "bench", rand.Reader)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -176,34 +249,36 @@ func BenchmarkVerify(b *testing.B) {
 // implementation, "precomp" the production configuration — a trusted
 // statement whose H1 is a dealt verification key with a registered
 // fixed-base table, exactly how internal/coin and internal/threnc
-// call it.
+// call it. The per-backend sub-benchmarks feed the EXPERIMENTS.md
+// modp2048-vs-p256 comparison at production parameters.
 func BenchmarkDLEQVerify(b *testing.B) {
-	g := group.Test256()
-	x, _ := g.RandomScalar(rand.Reader)
-	g2 := g.HashToElement("gen", []byte("b"))
-	st := Statement{G1: g.G, H1: g.BaseExp(x), G2: g2, H2: g.Exp(g2, x)}
-	p, _ := Prove(g, st, x, "bench", rand.Reader)
-	b.Run("legacy", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if err := verifySlow(g, st, p, "bench"); err != nil {
+	for _, g := range []group.Group{group.TestDefault(), group.MODP2048(), group.P256()} {
+		x, _ := g.RandomScalar(rand.Reader)
+		g2 := g.HashToPoint("gen", []byte("b"))
+		st := Statement{G1: g.Generator(), H1: g.BaseExp(x), G2: g2, H2: g.Exp(g2, x)}
+		p, _ := Prove(g, st, x, "bench", rand.Reader)
+		b.Run(g.Name()+"/legacy", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := verifySlow(g, st, p, "bench"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(g.Name()+"/precomp", func(b *testing.B) {
+			g.Precompute(st.H1)
+			tst := st
+			tst.Trusted = true
+			if err := Verify(g, tst, p, "bench"); err != nil { // build tables untimed
 				b.Fatal(err)
 			}
-		}
-	})
-	b.Run("precomp", func(b *testing.B) {
-		g.Precompute(st.H1)
-		tst := st
-		tst.Trusted = true
-		if err := Verify(g, tst, p, "bench"); err != nil { // build tables untimed
-			b.Fatal(err)
-		}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if err := Verify(g, tst, p, "bench"); err != nil {
-				b.Fatal(err)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := Verify(g, tst, p, "bench"); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
+		})
+	}
 }

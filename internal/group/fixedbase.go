@@ -14,11 +14,11 @@ import (
 // concurrent use — the engine's verify workers hammer these tables
 // from many goroutines.
 type FixedBase struct {
-	g   *Group
+	g   *ZpGroup
 	tab *modexp.Table
 }
 
-func newFixedBase(g *Group, base *big.Int) *FixedBase {
+func newFixedBase(g *ZpGroup, base *big.Int) *FixedBase {
 	return &FixedBase{g: g, tab: modexp.NewTable(base, g.P, g.Q.BitLen())}
 }
 
@@ -39,7 +39,9 @@ func (t *FixedBase) Exp(exp *big.Int) *big.Int { return t.tab.Exp(exp) }
 // ephemeral value leaks a table slot, so callers should only register
 // keys with deployment lifetime. The registered value must never be
 // mutated (see TestNoArgumentMutation).
-func (g *Group) Precompute(base *big.Int) {
+//
+// Deprecated: use the Scalar/Point Group API.
+func (g *ZpGroup) Precompute(base *big.Int) {
 	if base == nil || base.Sign() <= 0 || base == g.G {
 		return // G has its own always-on table; see BaseExp.
 	}
@@ -50,7 +52,7 @@ func (g *Group) Precompute(base *big.Int) {
 
 // fixed returns the precomputation table registered for base, if any.
 // The generator always has one (built on first use).
-func (g *Group) fixed(base *big.Int) *FixedBase {
+func (g *ZpGroup) fixed(base *big.Int) *FixedBase {
 	if base == g.G {
 		g.baseOnce.Do(func() { g.baseTab = newFixedBase(g, g.G) })
 		return g.baseTab
@@ -73,12 +75,16 @@ func (g *Group) fixed(base *big.Int) *FixedBase {
 // beats any externally-reduced shared squaring chain on amd64, so the
 // simultaneous win comes from the tables eliminating squarings
 // altogether, not from sharing them.
-func (g *Group) MulExp(a, x, b, y *big.Int) *big.Int {
+//
+// Deprecated: use the Scalar/Point Group API.
+func (g *ZpGroup) MulExp(a, x, b, y *big.Int) *big.Int {
 	return g.Mul(g.Exp(a, x), g.Exp(b, y))
 }
 
-// Term is one base^exp factor of a MultiExp product.
-type Term struct {
+// BigTerm is one base^exp factor of a legacy big.Int MultiExp product.
+//
+// Deprecated: use Term with the Scalar/Point Group API.
+type BigTerm struct {
 	Base, Exp *big.Int
 }
 
@@ -90,7 +96,9 @@ type Term struct {
 // chain (modexp.MultiExp), so k transient bases cost max|e| squarings
 // once instead of k times. Exponents must be non-negative; callers
 // reduce mod Q first.
-func (g *Group) MultiExp(terms []Term) *big.Int {
+//
+// Deprecated: use the Scalar/Point Group API.
+func (g *ZpGroup) MultiExp(terms []BigTerm) *big.Int {
 	acc := big.NewInt(1)
 	tmp := new(big.Int)
 	var bases, exps []*big.Int

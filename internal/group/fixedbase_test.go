@@ -38,7 +38,7 @@ func TestFixedBaseMatchesGeneric(t *testing.T) {
 }
 
 func TestBaseExpUsesTableAndMatches(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	for i := 0; i < 32; i++ {
 		s, _ := g.RandomScalar(rand.Reader)
 		if g.BaseExp(s).Cmp(g.expGeneric(g.G, s)) != 0 {
@@ -48,7 +48,7 @@ func TestBaseExpUsesTableAndMatches(t *testing.T) {
 }
 
 func TestPrecomputeRoutesExp(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	base, _ := g.RandomElement(rand.Reader)
 	g.Precompute(base)
 	if g.fixed(base) == nil {
@@ -69,7 +69,7 @@ func TestPrecomputeRoutesExp(t *testing.T) {
 // exponentiations, over every combination of precomputed and
 // ad-hoc bases (the fallback path and the dual-fixed-base path).
 func TestMulExpMatchesGeneric(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	pre, _ := g.RandomElement(rand.Reader)
 	g.Precompute(pre)
 	adhoc := g.HashToElement("mulexp-test", []byte("b"))
@@ -101,7 +101,7 @@ func TestMulExpMatchesGeneric(t *testing.T) {
 // mixes of fixed-base and ad-hoc terms against independent generic
 // exponentiations.
 func TestMultiExpMatchesGeneric(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	pre, _ := g.RandomElement(rand.Reader)
 	g.Precompute(pre)
 	adhoc := []*big.Int{
@@ -110,11 +110,11 @@ func TestMultiExpMatchesGeneric(t *testing.T) {
 		g.HashToElement("multiexp-test", []byte("c")),
 	}
 	for trial := 0; trial < 8; trial++ {
-		var terms []Term
+		var terms []BigTerm
 		want := big.NewInt(1)
 		add := func(base *big.Int, bits uint) {
 			e, _ := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), bits))
-			terms = append(terms, Term{Base: base, Exp: e})
+			terms = append(terms, BigTerm{Base: base, Exp: e})
 			want = g.Mul(want, g.expGeneric(base, e))
 		}
 		add(g.G, 256)
@@ -123,7 +123,7 @@ func TestMultiExpMatchesGeneric(t *testing.T) {
 			add(b, 128) // small batch randomizers
 			add(b, 256)
 		}
-		terms = append(terms, Term{Base: adhoc[0], Exp: big.NewInt(0)}) // zero exp skipped
+		terms = append(terms, BigTerm{Base: adhoc[0], Exp: big.NewInt(0)}) // zero exp skipped
 		if got := g.MultiExp(terms); got.Cmp(want) != 0 {
 			t.Fatalf("trial %d: MultiExp diverges from generic product", trial)
 		}
@@ -165,7 +165,7 @@ func TestIsElementMatchesExpOracle(t *testing.T) {
 // method may mutate its arguments. Every arithmetic entry point is
 // called and the operands compared against pristine copies.
 func TestNoArgumentMutation(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	x, _ := g.RandomElement(rand.Reader)
 	y, _ := g.RandomElement(rand.Reader)
 	a, _ := g.RandomScalar(rand.Reader)
@@ -211,7 +211,7 @@ func TestNoArgumentMutation(t *testing.T) {
 // the verify pool — many goroutines exponentiating with the same
 // *big.Int bases and exponents — under the race detector.
 func TestConcurrentSharedOperands(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	base, _ := g.RandomElement(rand.Reader)
 	g.Precompute(base)
 	exp, _ := g.RandomScalar(rand.Reader)
@@ -238,7 +238,7 @@ func TestConcurrentSharedOperands(t *testing.T) {
 // fixed-base windowed table for the generator (EXPERIMENTS.md
 // "Verification pipeline" records the numbers).
 func BenchmarkBaseExp(b *testing.B) {
-	for _, g := range []*Group{Test256(), MODP2048()} {
+	for _, g := range []*ZpGroup{zpTest256, zpModp2048} {
 		s, _ := g.RandomScalar(rand.Reader)
 		b.Run(fmt.Sprintf("%s/generic", g.Name), func(b *testing.B) {
 			b.ReportAllocs()
@@ -260,7 +260,7 @@ func BenchmarkBaseExp(b *testing.B) {
 // BenchmarkMulExp compares two independent exponentiations against the
 // simultaneous (Shamir) path and the dual-fixed-base path.
 func BenchmarkMulExp(b *testing.B) {
-	g := Test256()
+	g := zpTest256
 	h := g.HashToElement("bench-mulexp", []byte("h"))
 	x, _ := g.RandomScalar(rand.Reader)
 	y, _ := g.RandomScalar(rand.Reader)
@@ -292,7 +292,7 @@ func BenchmarkMulExp(b *testing.B) {
 // BenchmarkIsElement shows the Jacobi-symbol membership test against
 // the x^Q exponentiation it replaced.
 func BenchmarkIsElement(b *testing.B) {
-	g := Test256()
+	g := zpTest256
 	x, _ := g.RandomElement(rand.Reader)
 	b.Run("jacobi", func(b *testing.B) {
 		b.ReportAllocs()

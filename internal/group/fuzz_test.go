@@ -1,0 +1,83 @@
+package group
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzz seeds: one valid wire encoding per backend plus structural edge
+// cases, so the corpus starts on both sides of every validation branch.
+func fuzzSeeds(f *testing.F, scalars bool) {
+	for _, g := range conformanceBackends() {
+		var enc []byte
+		var err error
+		if scalars {
+			enc, err = WireEncodeScalar(g.NewScalar(7))
+		} else {
+			enc, err = WireEncodeElement(g.Generator())
+		}
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		// Same ID, zeroed body (out of range / not on curve).
+		f.Add(append([]byte{byte(g.ID())}, make([]byte, len(enc)-1)...))
+		// Truncated.
+		f.Add(enc[:len(enc)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xEE, 1, 2, 3}) // unknown group ID
+}
+
+// FuzzPointUnmarshal drives the self-describing point decoder: a decode
+// that succeeds must yield a point that re-marshals to the identical
+// bytes (canonical encodings) and belongs to the group its ID names.
+func FuzzPointUnmarshal(f *testing.F) {
+	fuzzSeeds(f, false)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Point
+		if err := p.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded point failed to re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("non-canonical decode: %x -> %x", data, out)
+		}
+		b, err := byID(p.GroupID())
+		if err != nil {
+			t.Fatalf("decoded point names unknown group %d", p.GroupID())
+		}
+		// Lax decodes may be non-members (Z_p* order-2 component), but
+		// membership testing must never panic or misattribute the group.
+		_ = b.IsElement(&p)
+	})
+}
+
+// FuzzScalarUnmarshal drives the self-describing scalar decoder: any
+// accepted scalar is in range for its group and round-trips canonically.
+func FuzzScalarUnmarshal(f *testing.F) {
+	fuzzSeeds(f, true)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Scalar
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded scalar failed to re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("non-canonical decode: %x -> %x", data, out)
+		}
+		b, err := byID(s.GroupID())
+		if err != nil {
+			t.Fatalf("decoded scalar names unknown group %d", s.GroupID())
+		}
+		if !b.IsScalar(&s) {
+			t.Fatalf("decoder accepted out-of-range scalar %v", &s)
+		}
+	})
+}

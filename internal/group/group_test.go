@@ -8,12 +8,14 @@ import (
 	"testing/quick"
 )
 
-func testGroups() []*Group {
-	return []*Group{Test256(), Test512()}
+// testGroups returns the legacy Z_p* engines; the Scalar/Point Group
+// interface has its own cross-backend suite in conformance_test.go.
+func testGroups() []*ZpGroup {
+	return []*ZpGroup{zpTest256, zpTest512}
 }
 
 func TestParamsAreSafePrimes(t *testing.T) {
-	for _, g := range []*Group{Test256(), Test512(), MODP2048()} {
+	for _, g := range []*ZpGroup{zpTest256, zpTest512, zpModp2048} {
 		g := g
 		t.Run(g.Name, func(t *testing.T) {
 			if !g.P.ProbablyPrime(32) {
@@ -34,13 +36,13 @@ func TestParamsAreSafePrimes(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{NameMODP2048, NameTest256, NameTest512} {
+	for _, name := range []string{NameMODP2048, NameTest256, NameTest512, NameP256} {
 		g, err := ByName(name)
 		if err != nil {
 			t.Fatalf("ByName(%q): %v", name, err)
 		}
-		if g.Name != name {
-			t.Fatalf("got %q, want %q", g.Name, name)
+		if g.Name() != name {
+			t.Fatalf("got %q, want %q", g.Name(), name)
 		}
 	}
 	if _, err := ByName("nope"); err == nil {
@@ -49,7 +51,7 @@ func TestByName(t *testing.T) {
 }
 
 func TestExpLaws(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	a, _ := g.RandomScalar(rand.Reader)
 	b, _ := g.RandomScalar(rand.Reader)
 	// g^(a+b) == g^a * g^b
@@ -67,7 +69,7 @@ func TestExpLaws(t *testing.T) {
 }
 
 func TestInverses(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	x, _ := g.RandomElement(rand.Reader)
 	if g.Mul(x, g.Inv(x)).Cmp(big.NewInt(1)) != 0 {
 		t.Fatal("element inverse broken")
@@ -85,7 +87,7 @@ func TestInverses(t *testing.T) {
 }
 
 func TestIsElementRejectsNonMembers(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	cases := []*big.Int{
 		nil,
 		big.NewInt(0),
@@ -107,7 +109,7 @@ func TestIsElementRejectsNonMembers(t *testing.T) {
 }
 
 func TestElementRoundTrip(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	f := func(seed int64) bool {
 		s := new(big.Int).Mod(big.NewInt(seed), g.Q)
 		x := g.BaseExp(s)
@@ -127,7 +129,7 @@ func TestElementRoundTrip(t *testing.T) {
 }
 
 func TestScalarRoundTrip(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	f := func(seed int64) bool {
 		s := new(big.Int).Mod(big.NewInt(seed), g.Q)
 		if s.Sign() < 0 {
@@ -146,7 +148,7 @@ func TestScalarRoundTrip(t *testing.T) {
 }
 
 func TestDecodeRejects(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	if _, err := g.DecodeElement([]byte{1, 2, 3}); err == nil {
 		t.Fatal("short element accepted")
 	}
@@ -183,7 +185,7 @@ func TestHashToElement(t *testing.T) {
 }
 
 func TestHashToElementLengthFraming(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	// ("ab","c") must differ from ("a","bc"): inputs are length-framed.
 	h1 := g.HashToElement("d", []byte("ab"), []byte("c"))
 	h2 := g.HashToElement("d", []byte("a"), []byte("bc"))
@@ -193,7 +195,7 @@ func TestHashToElementLengthFraming(t *testing.T) {
 }
 
 func TestHashToScalar(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	s1 := g.HashToScalar("chal", []byte("x"))
 	s2 := g.HashToScalar("chal", []byte("x"))
 	if s1.Cmp(s2) != 0 {
@@ -205,7 +207,7 @@ func TestHashToScalar(t *testing.T) {
 }
 
 func TestRandomScalarRange(t *testing.T) {
-	g := Test256()
+	g := zpTest256
 	for i := 0; i < 32; i++ {
 		s, err := g.RandomScalar(rand.Reader)
 		if err != nil {
@@ -218,7 +220,7 @@ func TestRandomScalarRange(t *testing.T) {
 }
 
 func BenchmarkBaseExp2048(b *testing.B) {
-	g := MODP2048()
+	g := zpModp2048
 	s, _ := g.RandomScalar(rand.Reader)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -228,7 +230,7 @@ func BenchmarkBaseExp2048(b *testing.B) {
 }
 
 func BenchmarkBaseExpTest256(b *testing.B) {
-	g := Test256()
+	g := zpTest256
 	s, _ := g.RandomScalar(rand.Reader)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -11,14 +11,14 @@
 // the scheme is linear, a secret can be reconstructed either in the field
 // (from scalar shares) or "in the exponent" (from group elements g^share),
 // which is exactly what the threshold coin-tossing scheme and the TDH2
-// threshold cryptosystem require.
+// threshold cryptosystem require. All arithmetic goes through the opaque
+// Scalar/Point API, so the scheme works unchanged over every group backend.
 package sharing
 
 import (
 	"errors"
 	"fmt"
 	"io"
-	"math/big"
 	"sync"
 
 	"sintra/internal/adversary"
@@ -43,12 +43,12 @@ type Share struct {
 	// Party is the owner of the leaf.
 	Party int
 	// Value is the share scalar in Z_q.
-	Value *big.Int
+	Value *group.Scalar
 }
 
 // Scheme is a linear secret sharing scheme for one access formula.
 type Scheme struct {
-	g      *group.Group
+	g      group.Group
 	n      int
 	access *adversary.Formula
 	leaves []int // leaf index -> party
@@ -57,10 +57,10 @@ type Scheme struct {
 	// by qualified set. The same few party sets recur for every coin
 	// flip and threshold decryption of a run, and a plan costs a full
 	// formula walk plus Lagrange interpolation with modular inverses —
-	// worth caching. Cached plans are shared read-only snapshots; both
-	// value maps and coefficient values must never be mutated.
+	// worth caching. Cached plans are shared read-only snapshots;
+	// scalars are immutable, but the maps must never be mutated.
 	planMu    sync.RWMutex
-	planCache map[adversary.Set]map[int]*big.Int
+	planCache map[adversary.Set]map[int]*group.Scalar
 }
 
 // maxCachedPlans bounds the plan cache; there is one possible entry
@@ -71,7 +71,7 @@ const maxCachedPlans = 1024
 
 // NewScheme builds a scheme for the given monotone access formula over n
 // parties.
-func NewScheme(g *group.Group, n int, access *adversary.Formula) (*Scheme, error) {
+func NewScheme(g group.Group, n int, access *adversary.Formula) (*Scheme, error) {
 	if err := access.Validate(n); err != nil {
 		return nil, fmt.Errorf("sharing: %w", err)
 	}
@@ -82,7 +82,7 @@ func NewScheme(g *group.Group, n int, access *adversary.Formula) (*Scheme, error
 
 // NewThresholdScheme builds a plain (t+1)-out-of-n Shamir scheme, the
 // special case where each party holds exactly one share.
-func NewThresholdScheme(g *group.Group, n, t int) (*Scheme, error) {
+func NewThresholdScheme(g group.Group, n, t int) (*Scheme, error) {
 	if t < 0 || t >= n {
 		return nil, fmt.Errorf("sharing: threshold %d out of range for n=%d", t, n)
 	}
@@ -95,7 +95,7 @@ func NewThresholdScheme(g *group.Group, n, t int) (*Scheme, error) {
 
 // ForStructure builds the scheme for an adversary structure's access
 // formula.
-func ForStructure(g *group.Group, st *adversary.Structure) (*Scheme, error) {
+func ForStructure(g group.Group, st *adversary.Structure) (*Scheme, error) {
 	return NewScheme(g, st.N(), st.Access)
 }
 
@@ -110,7 +110,7 @@ func (s *Scheme) collectLeaves(f *adversary.Formula) {
 }
 
 // Group returns the underlying group.
-func (s *Scheme) Group() *group.Group { return s.g }
+func (s *Scheme) Group() group.Group { return s.g }
 
 // N returns the number of parties.
 func (s *Scheme) N() int { return s.n }
@@ -138,22 +138,22 @@ func (s *Scheme) SharesOf(party int) []int {
 }
 
 // Deal splits the secret into atomic shares, one per leaf, in leaf order.
-func (s *Scheme) Deal(secret *big.Int, rnd io.Reader) ([]Share, error) {
-	if secret == nil || secret.Sign() < 0 || secret.Cmp(s.g.Q) >= 0 {
-		return nil, errors.New("sharing: secret out of field range")
+func (s *Scheme) Deal(secret *group.Scalar, rnd io.Reader) ([]Share, error) {
+	if !s.g.IsScalar(secret) {
+		return nil, errors.New("sharing: secret is not a field scalar")
 	}
 	shares := make([]Share, 0, len(s.leaves))
 	next := 0
-	var walk func(f *adversary.Formula, value *big.Int) error
-	walk = func(f *adversary.Formula, value *big.Int) error {
+	var walk func(f *adversary.Formula, value *group.Scalar) error
+	walk = func(f *adversary.Formula, value *group.Scalar) error {
 		if f.IsLeaf() {
-			shares = append(shares, Share{ID: next, Party: f.Party, Value: new(big.Int).Set(value)})
+			shares = append(shares, Share{ID: next, Party: f.Party, Value: value})
 			next++
 			return nil
 		}
 		// Shamir-share value with a degree K-1 polynomial; child j
 		// receives f(j+1).
-		coeffs := make([]*big.Int, f.K)
+		coeffs := make([]*group.Scalar, f.K)
 		coeffs[0] = value
 		for i := 1; i < f.K; i++ {
 			c, err := s.g.RandomScalar(rnd)
@@ -163,7 +163,7 @@ func (s *Scheme) Deal(secret *big.Int, rnd io.Reader) ([]Share, error) {
 			coeffs[i] = c
 		}
 		for j, child := range f.Children {
-			x := big.NewInt(int64(j + 1))
+			x := s.g.NewScalar(int64(j + 1))
 			if err := walk(child, s.evalPoly(coeffs, x)); err != nil {
 				return err
 			}
@@ -177,13 +177,11 @@ func (s *Scheme) Deal(secret *big.Int, rnd io.Reader) ([]Share, error) {
 }
 
 // evalPoly evaluates the polynomial with the given coefficients at x, mod Q.
-func (s *Scheme) evalPoly(coeffs []*big.Int, x *big.Int) *big.Int {
+func (s *Scheme) evalPoly(coeffs []*group.Scalar, x *group.Scalar) *group.Scalar {
 	// Horner's rule.
-	acc := new(big.Int)
+	acc := s.g.NewScalar(0)
 	for i := len(coeffs) - 1; i >= 0; i-- {
-		acc.Mul(acc, x)
-		acc.Add(acc, coeffs[i])
-		acc.Mod(acc, s.g.Q)
+		acc = s.g.AddScalar(s.g.MulScalar(acc, x), coeffs[i])
 	}
 	return acc
 }
@@ -201,22 +199,23 @@ func (s *Scheme) Qualified(parties adversary.Set) bool {
 // Only shares owned by the given parties appear in the plan; the selection
 // is deterministic (first satisfied children win) so all honest parties
 // derive the same plan for the same set.
-func (s *Scheme) Coefficients(parties adversary.Set) (map[int]*big.Int, error) {
+func (s *Scheme) Coefficients(parties adversary.Set) (map[int]*group.Scalar, error) {
 	plan, err := s.plan(parties)
 	if err != nil {
 		return nil, err
 	}
-	// Hand out a copy: callers may mutate, the cached plan must not.
-	out := make(map[int]*big.Int, len(plan))
+	// Hand out a copy of the map (scalars are immutable, the cached map
+	// is not): callers may add or delete entries.
+	out := make(map[int]*group.Scalar, len(plan))
 	for id, c := range plan {
-		out[id] = new(big.Int).Set(c)
+		out[id] = c
 	}
 	return out, nil
 }
 
 // plan returns the shared, read-only recombination plan for a
 // qualified set, computing and caching it on first use.
-func (s *Scheme) plan(parties adversary.Set) (map[int]*big.Int, error) {
+func (s *Scheme) plan(parties adversary.Set) (map[int]*group.Scalar, error) {
 	s.planMu.RLock()
 	plan, ok := s.planCache[parties]
 	s.planMu.RUnlock()
@@ -229,24 +228,24 @@ func (s *Scheme) plan(parties adversary.Set) (map[int]*big.Int, error) {
 	}
 	s.planMu.Lock()
 	if s.planCache == nil || len(s.planCache) >= maxCachedPlans {
-		s.planCache = make(map[adversary.Set]map[int]*big.Int)
+		s.planCache = make(map[adversary.Set]map[int]*group.Scalar)
 	}
 	s.planCache[parties] = plan
 	s.planMu.Unlock()
 	return plan, nil
 }
 
-func (s *Scheme) computePlan(parties adversary.Set) (map[int]*big.Int, error) {
+func (s *Scheme) computePlan(parties adversary.Set) (map[int]*group.Scalar, error) {
 	if !s.Qualified(parties) {
 		return nil, ErrUnqualified
 	}
-	plan := make(map[int]*big.Int)
+	plan := make(map[int]*group.Scalar)
 	leafIdx := 0
-	var walk func(f *adversary.Formula, factor *big.Int, active bool) error
-	walk = func(f *adversary.Formula, factor *big.Int, active bool) error {
+	var walk func(f *adversary.Formula, factor *group.Scalar, active bool) error
+	walk = func(f *adversary.Formula, factor *group.Scalar, active bool) error {
 		if f.IsLeaf() {
 			if active {
-				plan[leafIdx] = new(big.Int).Set(factor)
+				plan[leafIdx] = factor
 			}
 			leafIdx++
 			return nil
@@ -290,7 +289,7 @@ func (s *Scheme) computePlan(parties adversary.Set) (map[int]*big.Int, error) {
 		}
 		return nil
 	}
-	if err := walk(s.access, big.NewInt(1), true); err != nil {
+	if err := walk(s.access, s.g.NewScalar(1), true); err != nil {
 		return nil, err
 	}
 	return plan, nil
@@ -298,17 +297,17 @@ func (s *Scheme) computePlan(parties adversary.Set) (map[int]*big.Int, error) {
 
 // lagrangeAtZero computes the Lagrange coefficients at x=0 for the points
 // x_j = chosen[j]+1.
-func (s *Scheme) lagrangeAtZero(chosen []int) []*big.Int {
-	out := make([]*big.Int, len(chosen))
+func (s *Scheme) lagrangeAtZero(chosen []int) []*group.Scalar {
+	out := make([]*group.Scalar, len(chosen))
 	for i, ji := range chosen {
-		xi := big.NewInt(int64(ji + 1))
-		num := big.NewInt(1)
-		den := big.NewInt(1)
+		xi := s.g.NewScalar(int64(ji + 1))
+		num := s.g.NewScalar(1)
+		den := s.g.NewScalar(1)
 		for k, jk := range chosen {
 			if k == i {
 				continue
 			}
-			xk := big.NewInt(int64(jk + 1))
+			xk := s.g.NewScalar(int64(jk + 1))
 			num = s.g.MulScalar(num, xk)
 			den = s.g.MulScalar(den, s.g.SubScalar(xk, xi))
 		}
@@ -320,19 +319,18 @@ func (s *Scheme) lagrangeAtZero(chosen []int) []*big.Int {
 // Reconstruct recovers the secret from scalar shares of the given parties.
 // values maps share ID to share value; extra entries are ignored, missing
 // planned entries are an error.
-func (s *Scheme) Reconstruct(parties adversary.Set, values map[int]*big.Int) (*big.Int, error) {
+func (s *Scheme) Reconstruct(parties adversary.Set, values map[int]*group.Scalar) (*group.Scalar, error) {
 	plan, err := s.plan(parties)
 	if err != nil {
 		return nil, err
 	}
-	acc := new(big.Int)
+	acc := s.g.NewScalar(0)
 	for id, c := range plan {
 		v, ok := values[id]
 		if !ok {
 			return nil, fmt.Errorf("%w: id %d", ErrMissingShare, id)
 		}
-		acc.Add(acc, new(big.Int).Mul(c, v))
-		acc.Mod(acc, s.g.Q)
+		acc = s.g.AddScalar(acc, s.g.MulScalar(c, v))
 	}
 	return acc, nil
 }
@@ -340,30 +338,31 @@ func (s *Scheme) Reconstruct(parties adversary.Set, values map[int]*big.Int) (*b
 // ReconstructExponent recovers g'^secret from group elements g'^value for
 // the planned shares of a qualified party set:
 //
-//	g'^secret = Π_id (g'^value_id)^{c_id}.
+//	g'^secret = Π_id (g'^value_id)^{c_id},
 //
-// elements maps share ID to the group element; extra entries are ignored.
-func (s *Scheme) ReconstructExponent(parties adversary.Set, elements map[int]*big.Int) (*big.Int, error) {
+// evaluated as one multi-exponentiation. elements maps share ID to the
+// group element; extra entries are ignored.
+func (s *Scheme) ReconstructExponent(parties adversary.Set, elements map[int]*group.Point) (*group.Point, error) {
 	plan, err := s.plan(parties)
 	if err != nil {
 		return nil, err
 	}
-	acc := big.NewInt(1)
+	terms := make([]group.Term, 0, len(plan))
 	for id, c := range plan {
 		e, ok := elements[id]
 		if !ok {
 			return nil, fmt.Errorf("%w: id %d", ErrMissingShare, id)
 		}
-		acc = s.g.Mul(acc, s.g.Exp(e, c))
+		terms = append(terms, group.Term{Base: e, Exp: c})
 	}
-	return acc, nil
+	return s.g.MultiExp(terms), nil
 }
 
 // VerificationKeys derives the public verification keys g^value for each
-// share, plus g^secret, from a fresh dealing. Protocols publish these so
-// share validity proofs (DLEQ) can be checked by everyone.
-func (s *Scheme) VerificationKeys(shares []Share) []*big.Int {
-	out := make([]*big.Int, len(shares))
+// share from a fresh dealing. Protocols publish these so share validity
+// proofs (DLEQ) can be checked by everyone.
+func (s *Scheme) VerificationKeys(shares []Share) []*group.Point {
+	out := make([]*group.Point, len(shares))
 	for i, sh := range shares {
 		out[i] = s.g.BaseExp(sh.Value)
 	}

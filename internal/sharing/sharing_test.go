@@ -2,7 +2,6 @@ package sharing
 
 import (
 	"crypto/rand"
-	"math/big"
 	mrand "math/rand"
 	"sync"
 	"testing"
@@ -12,7 +11,15 @@ import (
 	"sintra/internal/group"
 )
 
-func dealRandom(t *testing.T, s *Scheme) (*big.Int, []Share) {
+// randScalar derives a deterministic scalar from a seeded source, for
+// the property-based tests.
+func randScalar(g group.Group, rng *mrand.Rand) *group.Scalar {
+	buf := make([]byte, g.ScalarLen()+16)
+	rng.Read(buf)
+	return g.ScalarFromBytes(buf)
+}
+
+func dealRandom(t *testing.T, s *Scheme) (*group.Scalar, []Share) {
 	t.Helper()
 	secret, err := s.Group().RandomScalar(rand.Reader)
 	if err != nil {
@@ -25,8 +32,8 @@ func dealRandom(t *testing.T, s *Scheme) (*big.Int, []Share) {
 	return secret, shares
 }
 
-func valueMap(shares []Share) map[int]*big.Int {
-	m := make(map[int]*big.Int, len(shares))
+func valueMap(shares []Share) map[int]*group.Scalar {
+	m := make(map[int]*group.Scalar, len(shares))
 	for _, sh := range shares {
 		m[sh.ID] = sh.Value
 	}
@@ -34,7 +41,7 @@ func valueMap(shares []Share) map[int]*big.Int {
 }
 
 func TestThresholdRoundTrip(t *testing.T) {
-	g := group.Test256()
+	g := group.TestDefault()
 	s, err := NewThresholdScheme(g, 5, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -55,7 +62,7 @@ func TestThresholdRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Reconstruct(%v): %v", parties, err)
 		}
-		if got.Cmp(secret) != 0 {
+		if !got.Equal(secret) {
 			t.Fatalf("Reconstruct(%v) wrong secret", parties)
 		}
 	}
@@ -65,7 +72,7 @@ func TestThresholdRoundTrip(t *testing.T) {
 }
 
 func TestSharesOfThreshold(t *testing.T) {
-	g := group.Test256()
+	g := group.TestDefault()
 	s, _ := NewThresholdScheme(g, 4, 1)
 	for p := 0; p < 4; p++ {
 		ids := s.SharesOf(p)
@@ -83,21 +90,22 @@ func TestSharesOfThreshold(t *testing.T) {
 }
 
 func TestDealRejectsBadSecret(t *testing.T) {
-	g := group.Test256()
+	g := group.TestDefault()
 	s, _ := NewThresholdScheme(g, 4, 1)
 	if _, err := s.Deal(nil, rand.Reader); err == nil {
 		t.Fatal("nil secret accepted")
 	}
-	if _, err := s.Deal(new(big.Int).Neg(big.NewInt(1)), rand.Reader); err == nil {
-		t.Fatal("negative secret accepted")
+	foreign := group.Test512()
+	if foreign.ID() == g.ID() {
+		t.Fatal("test expects distinct groups")
 	}
-	if _, err := s.Deal(new(big.Int).Set(g.Q), rand.Reader); err == nil {
-		t.Fatal("secret >= Q accepted")
+	if _, err := s.Deal(foreign.NewScalar(1), rand.Reader); err == nil {
+		t.Fatal("foreign-group secret accepted")
 	}
 }
 
 func TestNestedFormulaRoundTrip(t *testing.T) {
-	g := group.Test256()
+	g := group.TestDefault()
 	// (P0 AND P1) OR Θ2(P2,P3,P4)
 	access := adversary.Or(
 		adversary.And(adversary.Leaf(0), adversary.Leaf(1)),
@@ -122,7 +130,7 @@ func TestNestedFormulaRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Reconstruct(%v): %v", parties, err)
 		}
-		if got.Cmp(secret) != 0 {
+		if !got.Equal(secret) {
 			t.Fatalf("Reconstruct(%v) wrong secret", parties)
 		}
 	}
@@ -138,7 +146,7 @@ func TestNestedFormulaRoundTrip(t *testing.T) {
 }
 
 func TestExample1SchemeAllQualifiedSets(t *testing.T) {
-	g := group.Test256()
+	g := group.TestDefault()
 	st := adversary.Example1()
 	s, err := ForStructure(g, st)
 	if err != nil {
@@ -154,7 +162,7 @@ func TestExample1SchemeAllQualifiedSets(t *testing.T) {
 			if err != nil {
 				t.Fatalf("qualified %v failed: %v", v, err)
 			}
-			if got.Cmp(secret) != 0 {
+			if !got.Equal(secret) {
 				t.Fatalf("qualified %v reconstructed wrong secret", v)
 			}
 		} else if err == nil {
@@ -164,7 +172,7 @@ func TestExample1SchemeAllQualifiedSets(t *testing.T) {
 }
 
 func TestExample2SchemePaperSets(t *testing.T) {
-	g := group.Test256()
+	g := group.TestDefault()
 	st := adversary.Example2()
 	s, err := ForStructure(g, st)
 	if err != nil {
@@ -183,7 +191,7 @@ func TestExample2SchemePaperSets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Cmp(secret) != 0 {
+	if !got.Equal(secret) {
 		t.Fatal("honest survivors reconstructed wrong secret")
 	}
 	// The corrupted seven must not reconstruct.
@@ -199,13 +207,13 @@ func TestExample2SchemePaperSets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Cmp(secret) != 0 {
+	if !got.Equal(secret) {
 		t.Fatal("2x2 subgrid reconstructed wrong secret")
 	}
 }
 
 func TestReconstructExponent(t *testing.T) {
-	g := group.Test256()
+	g := group.TestDefault()
 	st := adversary.Example1()
 	s, err := ForStructure(g, st)
 	if err != nil {
@@ -213,8 +221,8 @@ func TestReconstructExponent(t *testing.T) {
 	}
 	secret, shares := dealRandom(t, s)
 	// Exponentiate a second base by each share, as the coin does.
-	base := g.HashToElement("coin-base", []byte("x"))
-	elems := make(map[int]*big.Int, len(shares))
+	base := g.HashToPoint("coin-base", []byte("x"))
+	elems := make(map[int]*group.Point, len(shares))
 	for _, sh := range shares {
 		elems[sh.ID] = g.Exp(base, sh.Value)
 	}
@@ -228,7 +236,7 @@ func TestReconstructExponent(t *testing.T) {
 		if err != nil {
 			t.Fatalf("ReconstructExponent(%v): %v", parties, err)
 		}
-		if got.Cmp(want) != 0 {
+		if !got.Equal(want) {
 			t.Fatalf("ReconstructExponent(%v) wrong value", parties)
 		}
 	}
@@ -238,7 +246,7 @@ func TestReconstructExponent(t *testing.T) {
 }
 
 func TestReconstructMissingShare(t *testing.T) {
-	g := group.Test256()
+	g := group.TestDefault()
 	s, _ := NewThresholdScheme(g, 4, 1)
 	secret, shares := dealRandom(t, s)
 	_ = secret
@@ -254,7 +262,7 @@ func TestReconstructMissingShare(t *testing.T) {
 }
 
 func TestVerificationKeys(t *testing.T) {
-	g := group.Test256()
+	g := group.TestDefault()
 	s, _ := NewThresholdScheme(g, 4, 1)
 	secret, shares := dealRandom(t, s)
 	vks := s.VerificationKeys(shares)
@@ -262,12 +270,12 @@ func TestVerificationKeys(t *testing.T) {
 		t.Fatal("wrong number of verification keys")
 	}
 	for i, sh := range shares {
-		if vks[i].Cmp(g.BaseExp(sh.Value)) != 0 {
+		if !vks[i].Equal(g.BaseExp(sh.Value)) {
 			t.Fatal("verification key mismatch")
 		}
 	}
 	// In-exponent reconstruction of the verification keys gives g^secret.
-	elems := make(map[int]*big.Int)
+	elems := make(map[int]*group.Point)
 	for i := range vks {
 		elems[i] = vks[i]
 	}
@@ -275,7 +283,7 @@ func TestVerificationKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Cmp(g.BaseExp(secret)) != 0 {
+	if !got.Equal(g.BaseExp(secret)) {
 		t.Fatal("verification keys do not reconstruct g^secret")
 	}
 }
@@ -283,7 +291,7 @@ func TestVerificationKeys(t *testing.T) {
 func TestLinearityProperty(t *testing.T) {
 	// Property: sharing is linear — shares of s1 plus shares of s2
 	// reconstruct to s1+s2, using the same scheme and leaf order.
-	g := group.Test256()
+	g := group.TestDefault()
 	st := adversary.Example1()
 	s, err := ForStructure(g, st)
 	if err != nil {
@@ -291,8 +299,8 @@ func TestLinearityProperty(t *testing.T) {
 	}
 	f := func(seed int64) bool {
 		rng := mrand.New(mrand.NewSource(seed))
-		s1 := new(big.Int).Rand(rng, g.Q)
-		s2 := new(big.Int).Rand(rng, g.Q)
+		s1 := randScalar(g, rng)
+		s2 := randScalar(g, rng)
 		sh1, err := s.Deal(s1, rand.Reader)
 		if err != nil {
 			return false
@@ -301,7 +309,7 @@ func TestLinearityProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		sum := make(map[int]*big.Int, len(sh1))
+		sum := make(map[int]*group.Scalar, len(sh1))
 		for i := range sh1 {
 			sum[sh1[i].ID] = g.AddScalar(sh1[i].Value, sh2[i].Value)
 		}
@@ -309,7 +317,7 @@ func TestLinearityProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return got.Cmp(g.AddScalar(s1, s2)) == 0
+		return got.Equal(g.AddScalar(s1, s2))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
 		t.Fatal(err)
@@ -319,7 +327,7 @@ func TestLinearityProperty(t *testing.T) {
 func TestDeterministicPlan(t *testing.T) {
 	// Two calls with the same party set must produce identical plans, so
 	// distributed parties agree on recombination without communication.
-	g := group.Test256()
+	g := group.TestDefault()
 	st := adversary.Example2()
 	s, err := ForStructure(g, st)
 	if err != nil {
@@ -338,7 +346,7 @@ func TestDeterministicPlan(t *testing.T) {
 		t.Fatal("plan size differs")
 	}
 	for id, c := range p1 {
-		if p2[id] == nil || p2[id].Cmp(c) != 0 {
+		if p2[id] == nil || !p2[id].Equal(c) {
 			t.Fatal("plan not deterministic")
 		}
 	}
@@ -355,7 +363,7 @@ func TestDeterministicPlan(t *testing.T) {
 }
 
 func BenchmarkDealExample2(b *testing.B) {
-	g := group.Test256()
+	g := group.TestDefault()
 	s, err := ForStructure(g, adversary.Example2())
 	if err != nil {
 		b.Fatal(err)
@@ -371,7 +379,7 @@ func BenchmarkDealExample2(b *testing.B) {
 }
 
 func BenchmarkReconstructThreshold(b *testing.B) {
-	g := group.Test256()
+	g := group.TestDefault()
 	s, _ := NewThresholdScheme(g, 16, 5)
 	secret, _ := g.RandomScalar(rand.Reader)
 	shares, _ := s.Deal(secret, rand.Reader)
@@ -406,7 +414,7 @@ func randomFormula(rng *mrand.Rand, n, depth int) *adversary.Formula {
 // yields the dealt secret — the defining property of the Benaloh-Leichter
 // construction.
 func TestQuickRandomFormulas(t *testing.T) {
-	g := group.Test256()
+	g := group.TestDefault()
 	const n = 6
 	f := func(seed int64) bool {
 		rng := mrand.New(mrand.NewSource(seed))
@@ -418,7 +426,7 @@ func TestQuickRandomFormulas(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		secret := new(big.Int).Rand(rng, g.Q)
+		secret := randScalar(g, rng)
 		shares, err := s.Deal(secret, rand.Reader)
 		if err != nil {
 			return false
@@ -427,7 +435,7 @@ func TestQuickRandomFormulas(t *testing.T) {
 		for v := adversary.Set(0); v <= adversary.FullSet(n); v++ {
 			got, err := s.Reconstruct(v, vm)
 			if s.Qualified(v) {
-				if err != nil || got.Cmp(secret) != 0 {
+				if err != nil || !got.Equal(secret) {
 					return false
 				}
 			} else if err == nil {
@@ -446,7 +454,7 @@ func TestQuickRandomFormulas(t *testing.T) {
 // exported Coefficients hands out independent copies that callers may
 // mutate freely.
 func TestCoefficientsCachedAndCopied(t *testing.T) {
-	g := group.Test256()
+	g := group.TestDefault()
 	s, err := NewThresholdScheme(g, 4, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -460,19 +468,20 @@ func TestCoefficientsCachedAndCopied(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Mutate the exported copy; the cached plan must be unaffected.
+	// Rebind entries of the exported copy; the cached plan (and future
+	// copies) must be unaffected. Scalars themselves are immutable.
 	for id := range p1 {
-		p1[id].Add(p1[id], big.NewInt(7))
+		p1[id] = g.AddScalar(p1[id], g.NewScalar(7))
 	}
 	p2, err := s.Coefficients(set)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for id, c := range p2 {
-		if c.Cmp(p1[id]) == 0 {
+		if c.Equal(p1[id]) {
 			t.Fatal("cached plan was mutated through the exported copy")
 		}
-		if c.Cmp(cached[id]) != 0 {
+		if !c.Equal(cached[id]) {
 			t.Fatal("second Coefficients call diverges from cached plan")
 		}
 	}
@@ -484,17 +493,17 @@ func TestCoefficientsCachedAndCopied(t *testing.T) {
 // TestPlanCacheConcurrent hammers the plan cache from many goroutines
 // (the verify-pool sharing pattern) under the race detector.
 func TestPlanCacheConcurrent(t *testing.T) {
-	g := group.Test256()
+	g := group.TestDefault()
 	s, err := NewThresholdScheme(g, 7, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	secret := big.NewInt(1234)
+	secret := g.NewScalar(1234)
 	shares, err := s.Deal(secret, rand.Reader)
 	if err != nil {
 		t.Fatal(err)
 	}
-	values := make(map[int]*big.Int)
+	values := make(map[int]*group.Scalar)
 	for _, sh := range shares {
 		values[sh.ID] = sh.Value
 	}
@@ -513,7 +522,7 @@ func TestPlanCacheConcurrent(t *testing.T) {
 					if err != nil {
 						panic(err)
 					}
-					if got.Cmp(secret) != 0 {
+					if !got.Equal(secret) {
 						panic("reconstruction diverged under concurrency")
 					}
 				}
@@ -528,7 +537,7 @@ func TestPlanCacheConcurrent(t *testing.T) {
 // pre-pipeline behavior), "warm" is a cache hit (the steady state of a
 // run, where the same quorum recurs for every coin flip).
 func BenchmarkLagrangeCached(b *testing.B) {
-	g := group.Test256()
+	g := group.TestDefault()
 	s, err := NewThresholdScheme(g, 16, 5)
 	if err != nil {
 		b.Fatal(err)

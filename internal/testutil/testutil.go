@@ -25,8 +25,10 @@ type Options struct {
 	Clients int
 	// ForceCert uses certificate signatures even for threshold structures.
 	ForceCert bool
-	// Group overrides the default test group.
-	Group *group.Group
+	// Group overrides the default test group (group.TestDefault(), which
+	// honors the SINTRA_GROUP environment variable for the CI backend
+	// matrix).
+	Group group.Group
 	// Corrupted lists parties for which NO router is started: the test
 	// drives their endpoints directly (byzantine behaviour) or leaves
 	// them silent (crash).
@@ -51,7 +53,7 @@ func NewCluster(tb testing.TB, st *adversary.Structure, opts Options) *Cluster {
 	tb.Helper()
 	g := opts.Group
 	if g == nil {
-		g = group.Test256()
+		g = group.TestDefault()
 	}
 	pub, secrets, err := deal.New(deal.Options{
 		Group:     g,

@@ -54,7 +54,7 @@ func (b *BatchVerifier) Add(ct *Ciphertext, sh Share) {
 	b.slot = append(b.slot, len(b.items))
 	b.items = append(b.items, dleq.BatchItem{
 		St: dleq.Statement{
-			G1: p.g.G, H1: p.VerifyKeys[sh.ID],
+			G1: p.g.Generator(), H1: p.VerifyKeys[sh.ID],
 			G2: ct.U, H2: sh.Value,
 			Trusted: true,
 		},

@@ -2,7 +2,6 @@ package threnc
 
 import (
 	"crypto/rand"
-	"math/big"
 	"reflect"
 	"testing"
 
@@ -50,7 +49,7 @@ func TestThrencBatchMatchesVerifyShare(t *testing.T) {
 	ct := batchCiphertext(t, p, "label-1")
 	shares := sharesFor(t, p, keys, ct, []int{0, 1, 2, 3})
 	// The proof equations fail while every structural check passes.
-	shares[1].Value = p.g.Exp(shares[1].Value, big.NewInt(2))
+	shares[1].Value = p.g.Exp(shares[1].Value, p.g.NewScalar(2))
 	// Wrong claimed owner.
 	shares[3].Party = 0
 	var want []int
@@ -80,7 +79,7 @@ func TestThrencBatchAcrossCiphertexts(t *testing.T) {
 	var want []bool
 	for _, ct := range []*Ciphertext{ct1, ct2} {
 		shares := sharesFor(t, p, keys, ct, []int{0, 1, 2, 3})
-		shares[2].Proof.Z = new(big.Int).Add(shares[2].Proof.Z, big.NewInt(1))
+		shares[2].Proof.Z = p.g.AddScalar(shares[2].Proof.Z, p.g.NewScalar(1))
 		for i, sh := range shares {
 			bv.Add(ct, sh)
 			want = append(want, i != 2)

@@ -26,7 +26,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/big"
 
 	"sintra/internal/adversary"
 	"sintra/internal/dleq"
@@ -56,12 +55,12 @@ type Params struct {
 	// Structure is the deployment's adversary structure.
 	Structure *adversary.Structure
 	// PubKey is h = g^x.
-	PubKey *big.Int
+	PubKey *group.Point
 	// VerifyKeys holds g^{x_id} for every share ID of the access formula.
-	VerifyKeys []*big.Int
+	VerifyKeys []*group.Point
 
-	g      *group.Group
-	gbar   *big.Int
+	g      group.Group
+	gbar   *group.Point
 	scheme *sharing.Scheme
 }
 
@@ -80,7 +79,7 @@ type Ciphertext struct {
 	// Label is the public label bound to the ciphertext.
 	Label []byte
 	// U is g^r, Ubar is ḡ^r.
-	U, Ubar *big.Int
+	U, Ubar *group.Point
 	// Proof shows log_g U = log_ḡ Ubar, bound to Payload and Label.
 	Proof *dleq.Proof
 }
@@ -92,14 +91,14 @@ type Share struct {
 	// ID is the key-share ID.
 	ID int
 	// Value is U^{x_ID}.
-	Value *big.Int
+	Value *group.Point
 	// Proof shows log_g VerifyKeys[ID] = log_U Value.
 	Proof *dleq.Proof
 }
 
 // Deal generates a fresh key pair for the structure, returning the public
 // parameters and each party's secret key.
-func Deal(g *group.Group, st *adversary.Structure, rnd io.Reader) (*Params, []*SecretKey, error) {
+func Deal(g group.Group, st *adversary.Structure, rnd io.Reader) (*Params, []*SecretKey, error) {
 	scheme, err := sharing.ForStructure(g, st)
 	if err != nil {
 		return nil, nil, fmt.Errorf("threnc: %w", err)
@@ -113,7 +112,7 @@ func Deal(g *group.Group, st *adversary.Structure, rnd io.Reader) (*Params, []*S
 		return nil, nil, fmt.Errorf("threnc: %w", err)
 	}
 	p := &Params{
-		GroupName:  g.Name,
+		GroupName:  g.Name(),
 		Structure:  st,
 		PubKey:     g.BaseExp(x),
 		VerifyKeys: scheme.VerificationKeys(shares),
@@ -165,11 +164,11 @@ func (p *Params) Precompute() {
 }
 
 // Group returns the group of the dealing.
-func (p *Params) Group() *group.Group { return p.g }
+func (p *Params) Group() group.Group { return p.g }
 
 // gbarOf derives the second, independent generator ḡ.
-func gbarOf(g *group.Group) *big.Int {
-	return g.HashToElement("sintra/threnc/gbar", []byte(g.Name))
+func gbarOf(g group.Group) *group.Point {
+	return g.HashToPoint("sintra/threnc/gbar", []byte(g.Name()))
 }
 
 // ctxDigest binds proofs to the full public ciphertext content.
@@ -188,7 +187,7 @@ func ctxDigest(payload, label []byte) string {
 }
 
 // kdf derives the AES key from the KEM element.
-func (p *Params) kdf(hr *big.Int) []byte {
+func (p *Params) kdf(hr *group.Point) []byte {
 	h := sha256.New()
 	h.Write([]byte("sintra/threnc/kdf"))
 	h.Write(p.g.EncodeElement(hr))
@@ -233,7 +232,7 @@ func (p *Params) Encrypt(message, label []byte, rnd io.Reader) (*Ciphertext, err
 	if err != nil {
 		return nil, fmt.Errorf("threnc: %w", err)
 	}
-	st := dleq.Statement{G1: p.g.G, H1: u, G2: p.gbar, H2: ubar}
+	st := dleq.Statement{G1: p.g.Generator(), H1: u, G2: p.gbar, H2: ubar}
 	proof, err := dleq.Prove(p.g, st, r, "tdh2|"+ctxDigest(payload, label), rnd)
 	if err != nil {
 		return nil, fmt.Errorf("threnc: %w", err)
@@ -259,7 +258,7 @@ func (p *Params) VerifyCiphertext(ct *Ciphertext) error {
 	}
 	// U and Ubar were just membership-checked and the generators are
 	// local, so the statement is trusted: Verify skips re-checking.
-	st := dleq.Statement{G1: p.g.G, H1: ct.U, G2: p.gbar, H2: ct.Ubar, Trusted: true}
+	st := dleq.Statement{G1: p.g.Generator(), H1: ct.U, G2: p.gbar, H2: ct.Ubar, Trusted: true}
 	if err := dleq.Verify(p.g, st, ct.Proof, "tdh2|"+ctxDigest(ct.Payload, ct.Label)); err != nil {
 		return ErrInvalidCiphertext
 	}
@@ -280,7 +279,7 @@ func (p *Params) DecryptShares(sk *SecretKey, ct *Ciphertext, rnd io.Reader) ([]
 	for _, sh := range sk.Shares {
 		value := p.g.Exp(ct.U, sh.Value)
 		st := dleq.Statement{
-			G1: p.g.G, H1: p.VerifyKeys[sh.ID],
+			G1: p.g.Generator(), H1: p.VerifyKeys[sh.ID],
 			G2: ct.U, H2: value,
 		}
 		proof, err := dleq.Prove(p.g, st, sh.Value, shareContext(ct, sh.ID), rnd)
@@ -308,7 +307,7 @@ func (p *Params) VerifyShare(ct *Ciphertext, sh Share) error {
 		return ErrInvalidShare
 	}
 	st := dleq.Statement{
-		G1: p.g.G, H1: p.VerifyKeys[sh.ID],
+		G1: p.g.Generator(), H1: p.VerifyKeys[sh.ID],
 		G2: ct.U, H2: sh.Value,
 		Trusted: true,
 	}
@@ -322,7 +321,7 @@ func (p *Params) VerifyShare(ct *Ciphertext, sh Share) error {
 type Combiner struct {
 	params  *Params
 	ct      *Ciphertext
-	values  map[int]*big.Int
+	values  map[int]*group.Point
 	parties adversary.Set
 }
 
@@ -331,7 +330,7 @@ func NewCombiner(p *Params, ct *Ciphertext) (*Combiner, error) {
 	if err := p.VerifyCiphertext(ct); err != nil {
 		return nil, err
 	}
-	return &Combiner{params: p, ct: ct, values: make(map[int]*big.Int)}, nil
+	return &Combiner{params: p, ct: ct, values: make(map[int]*group.Point)}, nil
 }
 
 // Add verifies and stores a decryption share; invalid shares are rejected

@@ -13,7 +13,7 @@ import (
 
 func dealTest(t testing.TB, st *adversary.Structure) (*Params, []*SecretKey) {
 	t.Helper()
-	p, keys, err := Deal(group.Test256(), st, rand.Reader)
+	p, keys, err := Deal(group.TestDefault(), st, rand.Reader)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestCiphertextIntegrity(t *testing.T) {
 	}
 	// Replaced U must be rejected.
 	bad = *ct
-	bad.U = p.Group().Mul(ct.U, p.Group().G)
+	bad.U = p.Group().Mul(ct.U, p.Group().Generator())
 	if err := p.VerifyCiphertext(&bad); err == nil {
 		t.Fatal("modified U accepted")
 	}
@@ -139,7 +139,7 @@ func TestShareForgeryRejected(t *testing.T) {
 	good := shares[0]
 	// Tampered value.
 	bad := good
-	bad.Value = p.Group().Mul(good.Value, p.Group().G)
+	bad.Value = p.Group().Mul(good.Value, p.Group().Generator())
 	if err := p.VerifyShare(ct, bad); err == nil {
 		t.Fatal("tampered share accepted")
 	}
@@ -171,7 +171,7 @@ func TestCombinerRobustToBadShares(t *testing.T) {
 	}
 	// A corrupted party submits garbage; Add rejects it and progress
 	// continues with honest shares.
-	garbage := Share{Party: 3, ID: 3, Value: p.Group().G, Proof: nil}
+	garbage := Share{Party: 3, ID: 3, Value: p.Group().Generator(), Proof: nil}
 	if err := c.Add(garbage); err == nil {
 		t.Fatal("garbage share accepted")
 	}
@@ -261,7 +261,7 @@ func TestCiphertextsAreRandomized(t *testing.T) {
 	p, _ := dealTest(t, st)
 	ct1, _ := p.Encrypt([]byte("same"), nil, rand.Reader)
 	ct2, _ := p.Encrypt([]byte("same"), nil, rand.Reader)
-	if ct1.U.Cmp(ct2.U) == 0 || bytes.Equal(ct1.Payload, ct2.Payload) {
+	if ct1.U.Equal(ct2.U) || bytes.Equal(ct1.Payload, ct2.Payload) {
 		t.Fatal("encryption is deterministic")
 	}
 }

@@ -41,7 +41,11 @@ type SimOptions struct {
 	Seed int64
 	// MaxClients bounds the number of NewClient calls (default 8).
 	MaxClients int
-	// GroupName selects the group (default "test256": fast experiments).
+	// GroupName selects the group backend: "modp2048"/"test256"/"test512"
+	// (Z_p*) or "p256" (elliptic). Empty follows the SINTRA_GROUP
+	// environment variable and falls back to "test256" — fast experiments
+	// by default, and the whole simulation harness re-runs over another
+	// backend by exporting SINTRA_GROUP=p256.
 	GroupName string
 	// ForceCert selects certificate signatures even for thresholds.
 	ForceCert bool
@@ -255,7 +259,7 @@ func NewSimulatedDeployment(opts SimOptions) (*SimulatedDeployment, error) {
 		opts.MaxClients = 8
 	}
 	if opts.GroupName == "" {
-		opts.GroupName = group.NameTest256
+		opts.GroupName = group.TestDefaultName()
 	}
 	seed := opts.Seed
 	if seed == 0 {

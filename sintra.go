@@ -172,8 +172,11 @@ var (
 type DealOptions struct {
 	// Structure is the deployment's adversary structure (required).
 	Structure *Structure
-	// GroupName selects the discrete-log group: "modp2048" (default) for
-	// real deployments, "test256"/"test512" for fast experiments.
+	// GroupName selects the discrete-log group backend: "modp2048"
+	// (default) or "p256" for real deployments, "test256"/"test512" for
+	// fast experiments. P-256 shares are an order of magnitude cheaper to
+	// verify and a fraction of the wire size; modp2048 keeps the original
+	// Z_p* wire format. See DESIGN.md for the comparison.
 	GroupName string
 	// RSAPrimes optionally supplies safe primes for threshold RSA; nil
 	// generates fresh 1024-bit primes (slow). Use TestRSAPrimes for
