@@ -50,9 +50,10 @@ func run() error {
 	)
 	batch := flag.String("batch", "", "batch-verification sweep: 'on', 'off', or 'on,off' to compare (runs the AB3 table)")
 	ckpt := flag.String("ckpt", "", "checkpoint/GC sweep: 'on', 'off', or 'on,off' to compare end-to-end cost")
+	wal := flag.String("wal", "", "write-ahead log sweep: 'on,off' compares durability cost end-to-end; add group-commit intervals ('on,1ms,5ms,off') to sweep the fsync batch window")
 	flag.Var(&exps, "exp", "experiment: f1 | stack | aba | ex1 | ex2 | apps | tolerance | ablate | all (repeatable)")
 	flag.Parse()
-	if len(exps) == 0 && *cpus == "" && *batch == "" && *ckpt == "" {
+	if len(exps) == 0 && *cpus == "" && *batch == "" && *ckpt == "" && *wal == "" {
 		exps = expList{"all"}
 	}
 
@@ -94,14 +95,14 @@ func run() error {
 				return err
 			}
 		}
-		if err := runExperiments(want, ns, cpuList, *ops, *trials, *window, *scaleN, *batch, *ckpt); err != nil {
+		if err := runExperiments(want, ns, cpuList, *ops, *trials, *window, *scaleN, *batch, *ckpt, *wal); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runExperiments(want map[string]bool, ns, cpuList []int, ops, trials int, window time.Duration, scaleN int, batch, ckpt string) error {
+func runExperiments(want map[string]bool, ns, cpuList []int, ops, trials int, window time.Duration, scaleN int, batch, ckpt, wal string) error {
 	all := want["all"]
 	out := os.Stdout
 
@@ -191,6 +192,18 @@ func runExperiments(want map[string]bool, ns, cpuList []int, ops, trials int, wi
 			return err
 		}
 		bench.PrintCheckpointSweep(out, rows)
+		bench.Separator(out)
+	}
+	if wal != "" {
+		var modes []string
+		for _, m := range strings.Split(wal, ",") {
+			modes = append(modes, strings.TrimSpace(m))
+		}
+		rows, err := bench.RunWALSweep(scaleN, 64, modes)
+		if err != nil {
+			return err
+		}
+		bench.PrintWALSweep(out, rows)
 		bench.Separator(out)
 	}
 	if all || want["ablate"] {

@@ -61,6 +61,7 @@ func run() error {
 		groupCk = flag.String("group", "", "expected group backend (modp2048 | p256 | test512 | test256): refuse to start if the dealt configuration uses a different one")
 
 		ckptInterval = flag.Int64("checkpoint-interval", 0, "checkpoint/GC period in delivered requests (0: default, negative: disabled; atomic mode)")
+		dataDir      = flag.String("data-dir", "", "durable write-ahead log directory: protocol-critical messages are journaled before transmission, and a restart with the same directory recovers without amnesia (re-sending identical messages, never conflicting ones); empty disables durability (a restart rejoins via checkpoint catch-up with empty state)")
 
 		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (empty: observability off)")
 		metricsEvery = flag.Duration("metrics-interval", 0, "dump metrics to stderr this often (0: off)")
@@ -141,6 +142,7 @@ func run() error {
 		Mode:               m,
 		Observer:           reg,
 		CheckpointInterval: *ckptInterval,
+		DataDir:            *dataDir,
 	})
 	if err != nil {
 		return err

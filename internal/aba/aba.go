@@ -304,7 +304,10 @@ func (a *ABA) sendBval(r int, v bool) {
 		return
 	}
 	st.bvalSent[b2i(v)] = true
-	_ = a.cfg.Router.Broadcast(Protocol, a.cfg.Instance, typeBval, boolRoundBody{Round: r, Value: v})
+	// The slot carries both round and value: BVAL for both values in one
+	// round is legal, so only a (round, value) pair is a commitment.
+	_ = a.cfg.Router.BroadcastJournaled(fmt.Sprintf("bval/%d/%d", r, b2i(v)),
+		Protocol, a.cfg.Instance, typeBval, boolRoundBody{Round: r, Value: v})
 }
 
 func (a *ABA) onBval(from, r int, v bool) {
@@ -330,7 +333,8 @@ func (a *ABA) onBinValue(r int, v bool) {
 	st := a.state(r)
 	if !st.auxSent {
 		st.auxSent = true
-		_ = a.cfg.Router.Broadcast(Protocol, a.cfg.Instance, typeAux, boolRoundBody{Round: r, Value: v})
+		_ = a.cfg.Router.BroadcastJournaled(fmt.Sprintf("aux/%d", r),
+			Protocol, a.cfg.Instance, typeAux, boolRoundBody{Round: r, Value: v})
 	}
 	a.tryBarrier(r)
 }
@@ -372,7 +376,10 @@ func (a *ABA) tryBarrier(r int) {
 		st.coinSent = true
 		shares, err := a.cfg.Coin.ReleaseShares(a.cfg.CoinKey, a.coinName(r), rand.Reader)
 		if err == nil {
-			_ = a.cfg.Router.Broadcast(Protocol, a.cfg.Instance, typeCoin, coinBody{Round: r, Shares: shares})
+			// Share values are deterministic but the DLEQ proofs are
+			// randomized; journaling re-sends the exact recorded proof.
+			_ = a.cfg.Router.BroadcastJournaled(fmt.Sprintf("coin/%d", r),
+				Protocol, a.cfg.Instance, typeCoin, coinBody{Round: r, Shares: shares})
 		}
 	}
 	a.tryAdvance(r)
@@ -457,7 +464,7 @@ func (a *ABA) decide(b bool) {
 	a.span.End(obs.StageDecide, int64(a.round))
 	if !a.decidedSent {
 		a.decidedSent = true
-		_ = a.cfg.Router.Broadcast(Protocol, a.cfg.Instance, typeDecided, decidedBody{Value: b})
+		_ = a.cfg.Router.BroadcastJournaled("decided", Protocol, a.cfg.Instance, typeDecided, decidedBody{Value: b})
 	}
 	if a.cfg.Decide != nil {
 		a.cfg.Decide(b)

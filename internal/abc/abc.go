@@ -389,7 +389,10 @@ func (a *ABC) maybeActivate() {
 		p.Ckpt = a.cfg.ProvideCheckpoint()
 	}
 	p.Sig = a.cfg.IDKey.Sign("abc-prop", a.signStatement(&p))
-	_ = a.cfg.Router.Broadcast(Protocol, a.cfg.Instance, typeProposal, p)
+	// A signed proposal is the canonical equivocation surface: one slot
+	// per round so a recovered replica re-sends the identical proposal.
+	_ = a.cfg.Router.BroadcastJournaled(fmt.Sprintf("prop/%d", round),
+		Protocol, a.cfg.Instance, typeProposal, p)
 }
 
 func (a *ABC) onProposal(from int, p SignedProposal) {

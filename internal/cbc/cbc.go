@@ -284,7 +284,7 @@ func (c *CBC) apply(from int, msgType string, payload []byte, verdict any) {
 		d := sha256.Sum256(body.Payload)
 		stmt := signedStatement(c.cfg.Instance, d)
 		c.stmt.Store(&stmt) // expose the statement to verify workers
-		_ = c.cfg.Router.Broadcast(Protocol, c.cfg.Instance, typeSend, sendBody{Payload: body.Payload})
+		_ = c.cfg.Router.BroadcastJournaled("send", Protocol, c.cfg.Instance, typeSend, sendBody{Payload: body.Payload})
 	case typeSend:
 		var body sendBody
 		if from != c.cfg.Sender || !c.cfg.Router.Decode(payload, &body) {
@@ -331,7 +331,10 @@ func (c *CBC) onSend(payload []byte) {
 	if err != nil {
 		return
 	}
-	_ = c.cfg.Router.Send(c.cfg.Sender, Protocol, c.cfg.Instance, typeShare, shareBody{Share: share})
+	// The signature share is the commitment CBC's consistency rests on:
+	// a recovered replica must never sign a second digest for this
+	// instance.
+	_ = c.cfg.Router.SendJournaled("share", c.cfg.Sender, Protocol, c.cfg.Instance, typeShare, shareBody{Share: share})
 }
 
 // onShare: sender collects shares until the quorum rule is met.

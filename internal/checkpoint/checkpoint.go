@@ -23,6 +23,7 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"fmt"
+	"time"
 
 	"sintra/internal/adversary"
 	"sintra/internal/engine"
@@ -132,7 +133,24 @@ type Config struct {
 	// OnStable fires whenever the stable checkpoint advances — the GC
 	// hook for the layers above.
 	OnStable func(cp Checkpoint)
+	// RetryInterval re-arms catch-up while the replica remains a full
+	// interval behind the newest observed stable checkpoint: each tick
+	// re-sends the FETCH to one peer, rotating through the membership,
+	// so a serving peer that dies mid-transfer cannot stall the lagging
+	// replica forever. Zero selects the default (2s); negative disables
+	// retries.
+	RetryInterval time.Duration
 }
+
+// defaultRetryInterval is the catch-up retry period when the
+// configuration leaves RetryInterval zero.
+const defaultRetryInterval = 2 * time.Second
+
+// maxServesPerCheckpoint bounds how many STATE replies one requester
+// can draw for the same stable checkpoint — enough that lost replies
+// and retries converge, small enough that a Byzantine requester cannot
+// turn retries into a snapshot flood.
+const maxServesPerCheckpoint = 3
 
 // pendKey identifies one uncertified checkpoint candidate.
 type pendKey struct {
@@ -176,12 +194,17 @@ type Tracker struct {
 	lastFetch       int64
 	lastInstallFrom int
 	distrust        int
+	// retryArmed marks a pending catch-up retry timer; retryPeer is the
+	// rotation cursor over peers for retry FETCHes.
+	retryArmed bool
+	retryPeer  int
 
 	pend map[pendKey]*pendShares
-	// served dedups STATE replies per requester and stable seq; wanting
-	// remembers fetches that arrived before a servable checkpoint
-	// existed, answered as soon as one does.
-	served  map[int]int64
+	// served bounds STATE replies per requester and stable seq
+	// (maxServesPerCheckpoint); wanting remembers fetches that arrived
+	// before a servable checkpoint existed, answered as soon as one
+	// does.
+	served  map[int]serveRec
 	wanting map[int]int64
 
 	verified      map[[32]byte]int64
@@ -192,20 +215,32 @@ type Tracker struct {
 	sharesSent *obs.Counter
 	sharesRecv *obs.Counter
 	fetches    *obs.Counter
+	retries    *obs.Counter
 	installs   *obs.Counter
 	diverged   *obs.Counter
 }
 
+// serveRec is the per-requester serve bookkeeping: how many STATE
+// replies went out for which stable checkpoint.
+type serveRec struct {
+	seq   int64
+	count int
+}
+
 // New creates and registers a tracker (dispatch goroutine or pre-Run).
 func New(cfg Config) *Tracker {
+	if cfg.RetryInterval == 0 {
+		cfg.RetryInterval = defaultRetryInterval
+	}
 	t := &Tracker{
 		cfg:             cfg,
 		pend:            make(map[pendKey]*pendShares),
-		served:          make(map[int]int64),
+		served:          make(map[int]serveRec),
 		wanting:         make(map[int]int64),
 		verified:        make(map[[32]byte]int64),
 		lastInstallFrom: -1,
 		distrust:        -1,
+		retryPeer:       cfg.Router.Self(),
 	}
 	if reg := cfg.Router.Observer(); reg != nil {
 		t.stableSeq = reg.Gauge("checkpoint.stable.seq")
@@ -213,6 +248,7 @@ func New(cfg Config) *Tracker {
 		t.sharesSent = reg.Counter("checkpoint.shares.sent")
 		t.sharesRecv = reg.Counter("checkpoint.shares.recv")
 		t.fetches = reg.Counter("checkpoint.catchup.fetches")
+		t.retries = reg.Counter("checkpoint.catchup.retries")
 		t.installs = reg.Counter("checkpoint.catchup.installs")
 		t.diverged = reg.Counter("checkpoint.diverged")
 	}
@@ -292,9 +328,12 @@ func (t *Tracker) RoundEnd(seq, round int64) {
 	if t.sharesSent != nil {
 		t.sharesSent.Inc()
 	}
-	_ = t.cfg.Router.Broadcast(Protocol, t.cfg.Instance, typeShare, shareBody{
-		Seq: seq, Round: round, Hash: t.ownHash, Share: share,
-	})
+	// One signed share per checkpoint seq: two different hashes for the
+	// same seq from one replica would poison certificate assembly.
+	_ = t.cfg.Router.BroadcastJournaled(fmt.Sprintf("share/%d", seq),
+		Protocol, t.cfg.Instance, typeShare, shareBody{
+			Seq: seq, Round: round, Hash: t.ownHash, Share: share,
+		})
 }
 
 // RequestCatchUp asks every peer for its latest stable checkpoint — the
@@ -317,6 +356,47 @@ func (t *Tracker) broadcastFetch() {
 			_ = t.cfg.Router.Send(j, Protocol, t.cfg.Instance, typeFetch, body)
 		}
 	}
+	t.scheduleRetry()
+}
+
+// scheduleRetry arms the catch-up retry timer (at most one pending).
+// The timer hops back onto the dispatch goroutine via Router.Do, so
+// all tracker state stays single-threaded.
+func (t *Tracker) scheduleRetry() {
+	if t.cfg.RetryInterval < 0 || t.cfg.Install == nil || t.retryArmed {
+		return
+	}
+	t.retryArmed = true
+	time.AfterFunc(t.cfg.RetryInterval, func() {
+		t.cfg.Router.Do(t.retryFetch)
+	})
+}
+
+// retryFetch re-sends the FETCH while the replica is still a full
+// interval behind the newest observed stable sequence. Unlike the
+// initial broadcast it targets a single peer per tick, rotating
+// through the membership: if the peer that should have answered died
+// mid-transfer, the next tick tries its neighbour instead of hammering
+// everyone.
+func (t *Tracker) retryFetch() {
+	t.retryArmed = false
+	if t.cfg.Interval <= 0 || t.lastFetch < t.cfg.CurrentSeq()+t.cfg.Interval {
+		return // caught up (or nothing observed): stand down
+	}
+	if t.retries != nil {
+		t.retries.Inc()
+	}
+	self := t.cfg.Router.Self()
+	n := t.cfg.Router.N()
+	for i := 0; i < n; i++ {
+		t.retryPeer = (t.retryPeer + 1) % n
+		if t.retryPeer != self {
+			break
+		}
+	}
+	_ = t.cfg.Router.Send(t.retryPeer, Protocol, t.cfg.Instance, typeFetch,
+		fetchBody{HaveSeq: t.cfg.CurrentSeq()})
+	t.scheduleRetry()
 }
 
 func (t *Tracker) handle(from int, msgType string, payload []byte) {
@@ -406,13 +486,22 @@ func (t *Tracker) onFetch(from int, body fetchBody) {
 }
 
 // serveState sends the stable checkpoint, its snapshot, and the
-// retained delivery suffix to one requester (at most once per stable
-// checkpoint).
+// retained delivery suffix to one requester (a bounded number of times
+// per stable checkpoint, so catch-up retries can recover lost replies
+// without opening a snapshot-flood amplifier).
 func (t *Tracker) serveState(from int) {
-	if t.served[from] >= t.stable.Seq {
-		return // one reply per requester per stable checkpoint
+	rec := t.served[from]
+	if rec.seq > t.stable.Seq {
+		return
 	}
-	t.served[from] = t.stable.Seq
+	if rec.seq == t.stable.Seq && rec.count >= maxServesPerCheckpoint {
+		return // retry budget for this checkpoint exhausted
+	}
+	if rec.seq < t.stable.Seq {
+		rec = serveRec{seq: t.stable.Seq}
+	}
+	rec.count++
+	t.served[from] = rec
 	delete(t.wanting, from)
 	reply := stateBody{
 		Seq: t.stable.Seq, Round: t.stable.Round, Hash: t.stable.Hash,

@@ -4,12 +4,16 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"sintra/internal/adversary"
 	"sintra/internal/checkpoint"
+	"sintra/internal/engine"
+	"sintra/internal/obs"
 	"sintra/internal/testutil"
+	"sintra/internal/wire"
 )
 
 // harness holds one replica's tracker plus the fake service state the
@@ -280,4 +284,181 @@ func TestFetchBeforeStable(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+}
+
+// lossyTransport swallows inbound messages of one type while enabled — a
+// lossy link the netsim scheduler cannot model (it reorders, but always
+// delivers).
+type lossyTransport struct {
+	wire.Transport
+	dropType string
+
+	mu       sync.Mutex
+	dropping bool
+	dropped  int
+}
+
+func (l *lossyTransport) setDropping(v bool) {
+	l.mu.Lock()
+	l.dropping = v
+	l.mu.Unlock()
+}
+
+func (l *lossyTransport) Recv() (wire.Message, bool) {
+	for {
+		m, ok := l.Transport.Recv()
+		if !ok {
+			return m, ok
+		}
+		l.mu.Lock()
+		drop := l.dropping && m.Protocol == checkpoint.Protocol && m.Type == l.dropType
+		if drop {
+			l.dropped++
+		}
+		l.mu.Unlock()
+		if !drop {
+			return m, true
+		}
+	}
+}
+
+// lossyLaggard builds a cluster whose replica 3 runs over a lossy link
+// that swallows STATE replies, plus a tracker for it with the given
+// retry interval. It returns everything the catch-up retry tests need.
+func lossyLaggard(t *testing.T, retry time.Duration) (*testutil.Cluster, []*harness, *harness, *engine.Router, *lossyTransport, *obs.Registry) {
+	t.Helper()
+	st, err := adversary.NewThreshold(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testutil.NewCluster(t, st, testutil.Options{Corrupted: []int{3}})
+	lossy := &lossyTransport{Transport: c.Net.Endpoint(3), dropType: "STATE", dropping: true}
+	r3 := engine.NewRouter(lossy)
+	reg := obs.NewRegistry()
+	r3.SetObserver(reg)
+	done := make(chan struct{})
+	go func() { defer close(done); r3.Run() }()
+	t.Cleanup(func() { lossy.Close(); <-done })
+
+	h3 := &harness{}
+	ok := r3.DoSync(func() {
+		h3.tracker = checkpoint.New(checkpoint.Config{
+			Router:        r3,
+			Instance:      "svc/test",
+			Scheme:        c.Pub.AnswerSig(),
+			Key:           c.Secrets[3].SigAnswer,
+			Interval:      4,
+			RetryInterval: retry,
+			Snapshot:      func() []byte { return append([]byte(nil), h3.state...) },
+			CurrentSeq:    func() int64 { return h3.seq },
+			Suffix:        func(int64) ([][]byte, int64) { return nil, h3.round },
+			Install: func(cp checkpoint.Checkpoint, snapshot []byte, suffix [][]byte, liveRound int64) bool {
+				h3.state = append([]byte(nil), snapshot...)
+				h3.seq = cp.Seq + int64(len(suffix))
+				h3.round = liveRound
+				h3.install.count++
+				for _, p := range suffix {
+					h3.state = append(h3.state, p...)
+				}
+				return true
+			},
+		})
+	})
+	if !ok {
+		t.Fatal("router 3 not running")
+	}
+	hs := newHarnesses(t, c, 4)
+
+	// Replicas 0-2 certify a checkpoint at seq 4; their SHARE broadcasts
+	// reach replica 3, whose frontier of 0 marks it a full interval
+	// behind, so it FETCHes — and every STATE reply vanishes on its link.
+	for i := 0; i < 3; i++ {
+		h := hs[i]
+		c.Routers[i].DoSync(func() {
+			for s := 0; s < 4; s++ {
+				h.deliver(fmt.Appendf(nil, "r%d", s))
+			}
+			h.round = 2
+			h.tracker.RoundEnd(h.seq, h.round)
+		})
+	}
+	waitStable(t, c, hs, 0, 4)
+	return c, hs, h3, r3, lossy, reg
+}
+
+// TestCatchUpStallsWithoutRetry documents the regression the retry timer
+// fixes: lastFetch dedups FETCH broadcasts per observed stable sequence,
+// so once the (lost) initial round of STATE replies is spent, a laggard
+// with retries disabled waits forever — no peer ever hears from it again
+// until a NEW checkpoint forms.
+func TestCatchUpStallsWithoutRetry(t *testing.T) {
+	c, _, h3, r3, lossy, reg := lossyLaggard(t, -1)
+
+	// Give the initial FETCH every chance, then heal the link. With no
+	// retry timer nothing is ever re-sent, so healing changes nothing.
+	time.Sleep(80 * time.Millisecond)
+	lossy.setDropping(false)
+	time.Sleep(250 * time.Millisecond)
+
+	var installs int
+	c.Routers[0].DoSync(func() {}) // flush peers
+	if ok := r3.DoSync(func() { installs = h3.install.count }); !ok {
+		t.Fatal("router 3 died")
+	}
+	if installs != 0 {
+		t.Fatalf("laggard installed %d checkpoints with retries disabled — the stall this test documents is gone, update it", installs)
+	}
+	if lossy.dropped == 0 {
+		t.Fatal("no STATE reply was ever dropped: the scenario never exercised the lossy link")
+	}
+	if n := reg.Snapshot().Counter("checkpoint.catchup.retries"); n != 0 {
+		t.Fatalf("%d retries fired with RetryInterval < 0", n)
+	}
+}
+
+// TestCatchUpRetryRecoversLostState is the regression test for the
+// catch-up stall: STATE replies to the laggard's FETCH are lost, and the
+// retry timer must keep re-FETCHing — one peer per tick, rotating — until
+// the link heals and a reply lands. Without the timer this scenario
+// deadlocks (see TestCatchUpStallsWithoutRetry).
+func TestCatchUpRetryRecoversLostState(t *testing.T) {
+	c, hs, h3, r3, lossy, reg := lossyLaggard(t, 40*time.Millisecond)
+
+	// Let several retry ticks burn against the lossy link.
+	time.Sleep(90 * time.Millisecond)
+	var installs int
+	r3.DoSync(func() { installs = h3.install.count })
+	if installs != 0 {
+		t.Fatal("laggard installed while every STATE reply was dropped")
+	}
+	lossy.setDropping(false)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r3.DoSync(func() { installs = h3.install.count })
+		if installs > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("laggard never installed after the link healed: retry FETCH not re-sent")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if lossy.dropped == 0 {
+		t.Fatal("no STATE reply was ever dropped: the retry was never needed")
+	}
+	if n := reg.Snapshot().Counter("checkpoint.catchup.retries"); n == 0 {
+		t.Fatal("checkpoint.catchup.retries never incremented")
+	}
+	// The laggard's recovered state must match a live replica's.
+	r3.DoSync(func() {
+		if h3.seq < 4 {
+			t.Errorf("laggard frontier %d after install, want >= 4", h3.seq)
+		}
+	})
+	c.Routers[0].DoSync(func() {
+		if !bytes.Equal(h3.state, hs[0].state[:len(h3.state)]) {
+			t.Error("laggard state does not match the live replica prefix")
+		}
+	})
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"crypto/rand"
+	"crypto/sha256"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,6 +17,7 @@ import (
 	"sintra/internal/engine"
 	"sintra/internal/obs"
 	"sintra/internal/scabc"
+	"sintra/internal/wal"
 	"sintra/internal/wire"
 )
 
@@ -82,6 +85,21 @@ type NodeConfig struct {
 	// RequestTTL overrides the fallback expiry of request bookkeeping
 	// for payloads that never deliver (0 selects defaultRequestTTL).
 	RequestTTL time.Duration
+	// DataDir, when non-empty, enables the durable write-ahead log under
+	// this directory: every protocol-critical outbound message (RBC
+	// echoes, ABA votes, coin shares, signed proposals, ...) is journaled
+	// durably before its first transmission and the delivery frontier is
+	// logged at apply time, so a crash-restarted replica re-sends
+	// byte-identical messages — never conflicting ones. Empty keeps the
+	// replica memoryless (a restart is amnesiac, as before this knob).
+	DataDir string
+	// WALSyncInterval is the journal's group-commit latency cap: 0
+	// selects the WAL default, negative disables fsync (tests).
+	WALSyncInterval time.Duration
+	// WALFailAppend is a crash-injection hook forwarded to the WAL: the
+	// first append whose LSN it accepts fails and wedges the journal,
+	// muting the replica mid-protocol (kill-at-record-N testing).
+	WALFailAppend func(lsn uint64) bool
 }
 
 // Node is one replica of a distributed trusted service.
@@ -107,6 +125,12 @@ type Node struct {
 	ckpt     *checkpoint.Tracker
 	snapper  Snapshotter
 	interval int64
+
+	// journal is the durability journal (nil without DataDir). Opened —
+	// and replayed — before any protocol instance exists, so recovered
+	// commitments are in force before the replica can emit a message.
+	journal *wal.Journal
+	walSize *obs.Gauge
 
 	appliedCount *obs.Counter
 	applyLat     *obs.Histogram
@@ -161,6 +185,26 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		n.appliedCount = cfg.Observer.Counter("node.applied")
 		n.applyLat = cfg.Observer.Histogram("node.apply.latency")
 		n.reqSize = cfg.Observer.Gauge("node.reqclients.size")
+	}
+
+	// Durability journal: open (and replay) before any protocol instance
+	// is constructed, so every commitment recovered from disk is already
+	// in force when the first message could be sent.
+	if cfg.DataDir != "" {
+		j, err := wal.OpenJournal(filepath.Join(cfg.DataDir, "wal"), wal.Options{
+			SyncInterval: cfg.WALSyncInterval,
+			FailAppend:   cfg.WALFailAppend,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: open journal: %w", err)
+		}
+		n.journal = j
+		n.router.SetJournal(j)
+		if cfg.Observer != nil {
+			n.walSize = cfg.Observer.Gauge("wal.size.bytes")
+			n.walSize.Set(j.Size())
+			cfg.Observer.Gauge("wal.recovered.records").Set(int64(j.Recovered()))
+		}
 	}
 
 	// Checkpointing engages in atomic mode when the service can snapshot
@@ -261,11 +305,18 @@ func (n *Node) Stop() {
 	n.stopOnce.Do(func() {
 		_ = n.cfg.Transport.Close()
 		<-n.router.Done()
+		if n.journal != nil {
+			_ = n.journal.Close()
+		}
 	})
 }
 
 // Router exposes the protocol router (used by the experiment harness).
 func (n *Node) Router() *engine.Router { return n.router }
+
+// Journal exposes the durability journal (nil without DataDir); the
+// crash-recovery harness inspects recovery and wedge state through it.
+func (n *Node) Journal() *wal.Journal { return n.journal }
 
 // Applied returns how many requests this replica has executed. Must be
 // read via Router().DoSync from outside the dispatch loop; the experiment
@@ -439,6 +490,44 @@ func (n *Node) onStableCheckpoint(cp checkpoint.Checkpoint) {
 		r, ok := roundOf(instance, prefix)
 		return ok && r < cp.Round
 	})
+	if n.journal == nil {
+		return
+	}
+	// Checkpoint stability bounds the journal: commitments of rounds (or
+	// checkpoint sequences) entirely below the certified horizon can never
+	// be re-sent meaningfully, so drop them and rewrite the live ledger
+	// into a fresh segment, truncating everything older.
+	n.journal.Forget(func(protocol, instance, slot string) bool {
+		// The round marker can sit mid-name: MVBA's per-proposer CBC
+		// instances look like "<sender>/m/svc/<name>/r<round>".
+		if r, ok := roundIn(instance, prefix); ok {
+			return r < cp.Round
+		}
+		switch protocol {
+		case abc.Protocol:
+			if r, ok := slotSuffix(slot, "prop/"); ok {
+				return r < cp.Round
+			}
+		case checkpoint.Protocol:
+			if s, ok := slotSuffix(slot, "share/"); ok {
+				return s < cp.Seq
+			}
+		}
+		return false
+	})
+	if err := n.journal.Compact(); err == nil && n.walSize != nil {
+		n.walSize.Set(n.journal.Size())
+	}
+}
+
+// slotSuffix parses the numeric tail of a journal slot name such as
+// "prop/<round>" or "share/<seq>".
+func slotSuffix(slot, prefix string) (int64, bool) {
+	if !strings.HasPrefix(slot, prefix) {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(slot[len(prefix):], 10, 64)
+	return v, err == nil
 }
 
 // roundOf parses the round number out of a per-round protocol instance
@@ -447,7 +536,21 @@ func roundOf(instance, prefix string) (int64, bool) {
 	if !strings.HasPrefix(instance, prefix) {
 		return 0, false
 	}
-	rest := instance[len(prefix):]
+	return roundAfter(instance[len(prefix):])
+}
+
+// roundIn finds the round marker anywhere in the instance name, covering
+// sub-protocol instances whose name embeds the per-round parent (e.g.
+// MVBA's "<sender>/m/svc/<name>/r<round>" CBC instances).
+func roundIn(instance, prefix string) (int64, bool) {
+	i := strings.Index(instance, prefix)
+	if i < 0 {
+		return 0, false
+	}
+	return roundAfter(instance[i+len(prefix):])
+}
+
+func roundAfter(rest string) (int64, bool) {
 	if i := strings.IndexByte(rest, '/'); i >= 0 {
 		rest = rest[:i]
 	}
@@ -488,6 +591,13 @@ func (n *Node) apply(seq int64, env envelope) {
 	n.applied++
 	n.appliedCount.Inc()
 	n.applyLat.ObserveSince(start)
+	if n.journal != nil {
+		// Log the delivery frontier at apply time (async append; the
+		// group-commit fsync of subsequent outbound traffic covers it).
+		d := sha256.Sum256(env.Body)
+		_ = n.journal.RecordDeliver(seq, d[:])
+		n.walSize.Set(n.journal.Size())
+	}
 
 	scheme := n.cfg.Public.AnswerSig()
 	share, err := scheme.SignShare(n.cfg.Secret.SigAnswer,

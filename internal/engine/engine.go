@@ -202,6 +202,22 @@ type Router struct {
 	workerWg    sync.WaitGroup
 
 	mx *routerMetrics // nil when observability is off
+
+	// journal, when set, durably records slot-keyed outbound messages
+	// before first transmission (SendJournaled/BroadcastJournaled). Set
+	// before Run; the implementation must be safe from any goroutine.
+	journal Journal
+}
+
+// Journal durably records protocol-critical outbound messages before
+// their first transmission. RecordOutbound returns the bytes to
+// actually put on the wire: for a fresh slot the given payload (now
+// durable); for a slot already journaled — a recovered replica
+// re-deciding the same step — the original bytes, so the replica can
+// only repeat itself, never contradict itself. An error means the
+// record is not durable and the message must not be sent at all.
+type Journal interface {
+	RecordOutbound(protocol, instance, msgType, slot string, payload []byte) (send []byte, replayed bool, err error)
 }
 
 // routerMetrics holds the router's instruments. The per-(protocol,type)
@@ -226,6 +242,9 @@ type routerMetrics struct {
 	malformed       *obs.Counter
 	panics          *obs.Counter
 	tombstones      *obs.Gauge
+	journalRecords  *obs.Counter
+	journalReplayed *obs.Counter
+	journalDrops    *obs.Counter
 
 	counts map[ptKey]*obs.Counter
 }
@@ -276,9 +295,18 @@ func (r *Router) SetObserver(reg *obs.Registry) {
 		malformed:       reg.Counter("router.malformed"),
 		panics:          reg.Counter("router.panics"),
 		tombstones:      reg.Gauge("engine.tombstones"),
+		journalRecords:  reg.Counter("wal.records"),
+		journalReplayed: reg.Counter("wal.replayed"),
+		journalDrops:    reg.Counter("wal.dropped"),
 		counts:          make(map[ptKey]*obs.Counter),
 	}
 }
+
+// SetJournal installs the outbound-message journal. Call before Run.
+// With a journal installed, SendJournaled/BroadcastJournaled enforce
+// the journal-before-send invariant; without one they degrade to plain
+// Send/Broadcast (volatile deployments, tests).
+func (r *Router) SetJournal(j Journal) { r.journal = j }
 
 // NewRouter wraps a transport. Call Run (usually in a goroutine) to start
 // dispatching. The Verify-stage worker pool defaults to GOMAXPROCS when
@@ -577,6 +605,81 @@ func (r *Router) Loopback(protocol, instance, msgType string, body any) error {
 func (r *Router) Broadcast(protocol, instance, msgType string, body any) error {
 	payload, err := wire.MarshalBody(body)
 	if err != nil {
+		return err
+	}
+	for to := 0; to < r.tr.N(); to++ {
+		r.tr.Send(wire.Message{
+			To:       to,
+			Protocol: protocol,
+			Instance: instance,
+			Type:     msgType,
+			Payload:  payload,
+		})
+	}
+	return nil
+}
+
+// journalPayload runs one outbound payload through the journal. It
+// returns the bytes to transmit, or an error when the record could not
+// be made durable — in which case the caller must NOT transmit: a
+// replica whose log is wedged goes mute (a benign crash) instead of
+// risking an unjournaled message it could later contradict.
+func (r *Router) journalPayload(protocol, instance, msgType, slot string, payload []byte) ([]byte, error) {
+	out, replayed, err := r.journal.RecordOutbound(protocol, instance, msgType, slot, payload)
+	if err != nil {
+		if r.mx != nil {
+			r.mx.journalDrops.Inc()
+		}
+		return nil, err
+	}
+	if r.mx != nil {
+		if replayed {
+			r.mx.journalReplayed.Inc()
+		} else {
+			r.mx.journalRecords.Inc()
+		}
+	}
+	return out, nil
+}
+
+// SendJournaled is Send for protocol-critical messages: with a journal
+// installed the payload is durably recorded under (protocol, instance,
+// slot) before transmission, and a slot already journaled re-sends the
+// recorded bytes verbatim. The slot must uniquely identify a protocol
+// commitment an honest party never makes twice with different content
+// (e.g. "bval/3/1", "prop/17"). Safe from any goroutine.
+func (r *Router) SendJournaled(slot string, to int, protocol, instance, msgType string, body any) error {
+	if r.journal == nil {
+		return r.Send(to, protocol, instance, msgType, body)
+	}
+	payload, err := wire.MarshalBody(body)
+	if err != nil {
+		return err
+	}
+	if payload, err = r.journalPayload(protocol, instance, msgType, slot, payload); err != nil {
+		return err
+	}
+	r.tr.Send(wire.Message{
+		To:       to,
+		Protocol: protocol,
+		Instance: instance,
+		Type:     msgType,
+		Payload:  payload,
+	})
+	return nil
+}
+
+// BroadcastJournaled is Broadcast under the journal-before-send
+// invariant; see SendJournaled. Safe from any goroutine.
+func (r *Router) BroadcastJournaled(slot string, protocol, instance, msgType string, body any) error {
+	if r.journal == nil {
+		return r.Broadcast(protocol, instance, msgType, body)
+	}
+	payload, err := wire.MarshalBody(body)
+	if err != nil {
+		return err
+	}
+	if payload, err = r.journalPayload(protocol, instance, msgType, slot, payload); err != nil {
 		return err
 	}
 	for to := 0; to < r.tr.N(); to++ {

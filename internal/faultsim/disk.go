@@ -1,0 +1,77 @@
+package faultsim
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ErrNoWAL reports that a disk-fault helper found no WAL segment to
+// damage under the given directory.
+var ErrNoWAL = errors.New("faultsim: no WAL segment found")
+
+// newestSegment finds the lexically last *.wal file under dir (segments
+// are named by their first LSN in fixed-width hex, so lexical order is
+// log order). The search recurses so callers can hand either the node's
+// data directory or the wal subdirectory itself.
+func newestSegment(dir string) (string, error) {
+	var segs []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".wal" {
+			segs = append(segs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	if len(segs) == 0 {
+		return "", ErrNoWAL
+	}
+	sort.Strings(segs)
+	return segs[len(segs)-1], nil
+}
+
+// CorruptWALTail flips one byte near the end of the newest WAL segment
+// under dir — the bit-rot / partially-flushed-sector fault. Recovery must
+// detect the damage via the frame checksum and truncate the tail rather
+// than replay a corrupted commitment.
+func CorruptWALTail(dir string) error {
+	path, err := newestSegment(dir)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil // empty segment: nothing to corrupt, recovery is trivial
+	}
+	data[len(data)-1] ^= 0xff
+	return os.WriteFile(path, data, 0o644)
+}
+
+// TruncateWALTail chops n bytes off the newest WAL segment under dir —
+// the power-fail partial write. Recovery must discard the torn frame and
+// resume appending at the last complete record.
+func TruncateWALTail(dir string, n int64) error {
+	path, err := newestSegment(dir)
+	if err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := st.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}

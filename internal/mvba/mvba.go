@@ -388,7 +388,8 @@ func (m *MVBA) startTrial(a int) {
 		ts.coinShared = true
 		shares, err := m.cfg.Coin.ReleaseShares(m.cfg.CoinKey, m.coinName(a), rand.Reader)
 		if err == nil {
-			_ = m.cfg.Router.Broadcast(Protocol, m.cfg.Instance, typeLeadCoin, leadCoinBody{Trial: a, Shares: shares})
+			_ = m.cfg.Router.BroadcastJournaled(fmt.Sprintf("leadcoin/%d", a),
+				Protocol, m.cfg.Instance, typeLeadCoin, leadCoinBody{Trial: a, Shares: shares})
 		}
 	}
 	// Earlier-arrived coin shares may already complete the coin — and the
@@ -441,13 +442,16 @@ func (m *MVBA) sendVote(a int) {
 		return
 	}
 	ts.voted = true
+	// One vote per trial is a commitment: a recovered replica must not
+	// flip between the with-cert and abstain forms.
+	slot := fmt.Sprintf("vote/%d", a)
 	if p, ok := m.delivered[ts.leader]; ok {
-		_ = m.cfg.Router.Broadcast(Protocol, m.cfg.Instance, typeVote, voteBody{
+		_ = m.cfg.Router.BroadcastJournaled(slot, Protocol, m.cfg.Instance, typeVote, voteBody{
 			Trial: a, HasCert: true, Payload: p, Cert: m.certs[ts.leader],
 		})
 		return
 	}
-	_ = m.cfg.Router.Broadcast(Protocol, m.cfg.Instance, typeVote, voteBody{Trial: a})
+	_ = m.cfg.Router.BroadcastJournaled(slot, Protocol, m.cfg.Instance, typeVote, voteBody{Trial: a})
 }
 
 func (m *MVBA) onVote(from int, body voteBody) {

@@ -122,7 +122,9 @@ func (r *RBC) Start(payload []byte) error {
 	if r.cfg.Router.Self() != r.cfg.Sender {
 		return fmt.Errorf("rbc: party %d cannot start instance of sender %d", r.cfg.Router.Self(), r.cfg.Sender)
 	}
-	return r.cfg.Router.Broadcast(Protocol, r.cfg.Instance, typeSend, payloadBody{Payload: payload})
+	// Journaled: the sender's payload is a commitment — a recovered
+	// sender must re-send the same bytes, never a different payload.
+	return r.cfg.Router.BroadcastJournaled("send", Protocol, r.cfg.Instance, typeSend, payloadBody{Payload: payload})
 }
 
 // Delivered reports whether the instance has delivered.
@@ -173,7 +175,7 @@ func (r *RBC) onSend(payload []byte) {
 		return
 	}
 	r.echoed = true
-	_ = r.cfg.Router.Broadcast(Protocol, r.cfg.Instance, typeEcho, payloadBody{Payload: payload})
+	_ = r.cfg.Router.BroadcastJournaled("echo", Protocol, r.cfg.Instance, typeEcho, payloadBody{Payload: payload})
 }
 
 func (r *RBC) onEcho(from int, payload []byte) {
@@ -210,7 +212,7 @@ func (r *RBC) sendReady(d [32]byte) {
 		return
 	}
 	r.readySent = true
-	_ = r.cfg.Router.Broadcast(Protocol, r.cfg.Instance, typeReady, digestBody{Digest: d})
+	_ = r.cfg.Router.BroadcastJournaled("ready", Protocol, r.cfg.Instance, typeReady, digestBody{Digest: d})
 }
 
 func (r *RBC) tryDeliver(d [32]byte) {

@@ -209,7 +209,8 @@ func (s *SCABC) onOrdered(seq int64, payload []byte) {
 		p.sent = true
 		shares, err := s.cfg.Enc.DecryptShares(s.cfg.EncKey, &ct, rand.Reader)
 		if err == nil {
-			_ = s.cfg.Router.Broadcast(Protocol, s.cfg.Instance, typeShares, sharesBody{Seq: seq, Shares: shares})
+			_ = s.cfg.Router.BroadcastJournaled(fmt.Sprintf("shares/%d", seq),
+				Protocol, s.cfg.Instance, typeShares, sharesBody{Seq: seq, Shares: shares})
 		}
 	}
 	for _, sh := range p.early {

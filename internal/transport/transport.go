@@ -48,6 +48,11 @@ var (
 // message loss to crashed peers; protocols retransmit by design).
 const dialAttempts = 25
 
+// defaultGiveUpAfter is how many consecutive failed dials at the
+// backoff ceiling mark a peer as unreachable (Config.GiveUpAfter
+// overrides).
+const defaultGiveUpAfter = 5
+
 // maxCoalesce caps how many queued messages one flush drains. A slow link
 // accumulates a backlog while a write is in flight; draining it in one
 // syscall amortizes the per-write cost, but an unbounded drain could pin an
@@ -72,12 +77,11 @@ func putWriteBuf(b *[]byte) {
 	writeBufs.Put(b)
 }
 
-// redialDelay returns the pause before redial attempt n (n >= 1): the base
-// doubled per consecutive failure, capped at redialMax, jittered into
-// [d/2, d) so redialers across parties desynchronize. The jitter is a hash
-// of (attempt, self, dest) rather than a random draw, keeping runs
-// reproducible.
-func redialDelay(attempt, self, dest int) time.Duration {
+// redialBackoff returns the un-jittered backoff before redial attempt n
+// (n >= 1): the base doubled per consecutive failure, capped at
+// redialMax. Reaching the cap is also the give-up detector's signal
+// that the peer has been down well past transient-blip territory.
+func redialBackoff(attempt int) time.Duration {
 	d := redialBase
 	for i := 1; i < attempt && d < redialMax; i++ {
 		d *= 2
@@ -85,6 +89,15 @@ func redialDelay(attempt, self, dest int) time.Duration {
 	if d > redialMax {
 		d = redialMax
 	}
+	return d
+}
+
+// redialDelay returns the pause before redial attempt n (n >= 1):
+// redialBackoff jittered into [d/2, d) so redialers across parties
+// desynchronize. The jitter is a hash of (attempt, self, dest) rather
+// than a random draw, keeping runs reproducible.
+func redialDelay(attempt, self, dest int) time.Duration {
+	d := redialBackoff(attempt)
 	h := uint64(attempt)*0x9e3779b97f4a7c15 + uint64(self)*0xbf58476d1ce4e5b9 + uint64(dest)*0x94d049bb133111eb
 	half := uint64(d / 2)
 	if half == 0 {
@@ -116,6 +129,19 @@ type Config struct {
 	ListenAddr string
 	// LinkKeys[j] authenticates the link to server j (servers only).
 	LinkKeys [][]byte
+	// GiveUpAfter reports a peer as unreachable once this many
+	// consecutive dials have failed *after* the redial backoff reached
+	// its ceiling — i.e. the link has been down long past transient-blip
+	// territory. Zero selects the default (5); negative disables the
+	// report. Backoff itself never stops: the peer keeps being probed
+	// and the streak resets on the first successful dial.
+	GiveUpAfter int
+	// OnPeerUnreachable, when set, is called (once per outage, from a
+	// fresh goroutine) when a peer crosses the GiveUpAfter threshold,
+	// with the peer index and the consecutive-failure count so far.
+	// Operators hook alerting here; the "transport.redial.giveup"
+	// counter records the same events.
+	OnPeerUnreachable func(peer, failures int)
 }
 
 // Transport is a TCP implementation of wire.Transport.
@@ -148,6 +174,7 @@ type transportMetrics struct {
 	queueDepth *obs.Gauge
 	dropped    *obs.Counter
 	redials    *obs.Counter
+	giveups    *obs.Counter
 	flushes    *obs.Counter
 }
 
@@ -170,6 +197,7 @@ func (t *Transport) SetObserver(reg *obs.Registry) {
 		queueDepth: reg.Gauge("transport.queue.depth"),
 		dropped:    reg.Counter("transport.dropped"),
 		redials:    reg.Counter("transport.redials"),
+		giveups:    reg.Counter("transport.redial.giveup"),
 		flushes:    reg.Counter("transport.flushes"),
 	}
 }
@@ -204,6 +232,12 @@ func (m *transportMetrics) drop() {
 func (m *transportMetrics) redial() {
 	if m != nil {
 		m.redials.Inc()
+	}
+}
+
+func (m *transportMetrics) giveup() {
+	if m != nil {
+		m.giveups.Inc()
 	}
 }
 
@@ -601,7 +635,13 @@ func (w *peerWriter) run() {
 	var conn net.Conn
 	var session []byte
 	var counter uint64
-	failures := 0 // consecutive failed dials, across batches
+	failures := 0     // consecutive failed dials, across batches
+	atCeiling := 0    // consecutive failed dials with backoff at its cap
+	reported := false // give-up already reported for this outage
+	giveUpAfter := w.t.cfg.GiveUpAfter
+	if giveUpAfter == 0 {
+		giveUpAfter = defaultGiveUpAfter
+	}
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -622,6 +662,21 @@ func (w *peerWriter) run() {
 				conn, session, counter = w.dial()
 				if conn == nil {
 					failures++
+					// Give-up detection: once the backoff has sat at
+					// its ceiling for giveUpAfter consecutive attempts,
+					// flag the peer as (presumed) permanently dead —
+					// once per outage. Probing never stops; a
+					// successful dial clears the outage.
+					if redialBackoff(failures) >= redialMax {
+						atCeiling++
+						if !reported && giveUpAfter > 0 && atCeiling >= giveUpAfter {
+							reported = true
+							w.mx.giveup()
+							if cb := w.t.cfg.OnPeerUnreachable; cb != nil {
+								go cb(w.dest, failures)
+							}
+						}
+					}
 					if attempt >= dialAttempts {
 						for range payloads {
 							w.mx.drop()
@@ -635,7 +690,7 @@ func (w *peerWriter) run() {
 					}
 					continue
 				}
-				failures = 0
+				failures, atCeiling, reported = 0, 0, false
 			}
 			buf := getWriteBuf()
 			out := (*buf)[:0]

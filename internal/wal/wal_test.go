@@ -1,0 +1,307 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testOpts disables fsync so unit tests don't pay disk latency; the
+// durability path itself is exercised by TestGroupCommitDurable.
+func testOpts() Options {
+	return Options{SyncInterval: -1, SegmentSize: 1 << 20}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := fmt.Appendf(nil, "record-%d-%s", i, string(make([]byte, i%40)))
+		want = append(want, p)
+		lsn, err := l.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("record %d got LSN %d", i, lsn)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i) || !bytes.Equal(r.Payload, want[i]) {
+			t.Fatalf("record %d: LSN %d payload %q", i, r.LSN, r.Payload)
+		}
+	}
+	if l2.NextLSN() != uint64(len(want)) {
+		t.Fatalf("NextLSN = %d, want %d", l2.NextLSN(), len(want))
+	}
+}
+
+func TestSegmentRotationAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.SegmentSize = 256 // force frequent rotation
+	l, _, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := l.Append(fmt.Appendf(nil, "payload-%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	names, err := segmentNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 3 {
+		t.Fatalf("expected multiple segments, got %v", names)
+	}
+	_, recs, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 50 {
+		t.Fatalf("replayed %d records across segments, want 50", len(recs))
+	}
+}
+
+// corruptTail flips a byte near the end of the newest segment.
+func corruptTail(t *testing.T, dir string) {
+	t.Helper()
+	names, err := segmentNames(dir)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments to corrupt: %v", err)
+	}
+	path := filepath.Join(dir, names[len(names)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty segment")
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Append(fmt.Appendf(nil, "rec-%d", i))
+	}
+	l.Close()
+
+	// Simulate a power-fail partial write: chop bytes mid-frame.
+	names, _ := segmentNames(dir)
+	path := filepath.Join(dir, names[0])
+	st, _ := os.Stat(path)
+	if err := os.Truncate(path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 9 {
+		t.Fatalf("replayed %d records after torn tail, want 9", len(recs))
+	}
+	if l2.TornBytes == 0 {
+		t.Fatal("torn bytes not reported")
+	}
+	// The log must be appendable again, right where the tail ended.
+	lsn, err := l2.Append([]byte("after-recovery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 9 {
+		t.Fatalf("post-recovery LSN = %d, want 9", lsn)
+	}
+	l2.Close()
+	_, recs, err = Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 || !bytes.Equal(recs[9].Payload, []byte("after-recovery")) {
+		t.Fatalf("post-recovery replay wrong: %d records", len(recs))
+	}
+}
+
+func TestCorruptTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Append(fmt.Appendf(nil, "rec-%d", i))
+	}
+	l.Close()
+	corruptTail(t, dir)
+
+	_, recs, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 9 {
+		t.Fatalf("replayed %d records after bit flip, want 9", len(recs))
+	}
+}
+
+func TestCorruptionMidHistoryDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.SegmentSize = 128
+	l, _, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		l.Append(fmt.Appendf(nil, "payload-%04d", i))
+	}
+	l.Close()
+	names, _ := segmentNames(dir)
+	if len(names) < 3 {
+		t.Fatalf("need >=3 segments, got %d", len(names))
+	}
+	// Corrupt the FIRST segment: everything after the damage is dropped.
+	path := filepath.Join(dir, names[0])
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+
+	l2, recs, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) >= 40 {
+		t.Fatalf("corruption mid-history kept %d records", len(recs))
+	}
+	after, _ := segmentNames(dir)
+	if len(after) != 1 {
+		t.Fatalf("later segments survived corruption: %v", after)
+	}
+	l2.Close()
+}
+
+func TestTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.SegmentSize = 128
+	l, _, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		l.Append(fmt.Appendf(nil, "payload-%04d", i))
+	}
+	before := l.Size()
+	if err := l.TruncateBefore(30); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() >= before {
+		t.Fatalf("TruncateBefore reclaimed nothing (%d -> %d bytes)", before, l.Size())
+	}
+	l.Close()
+	_, recs, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || len(recs) >= 40 {
+		t.Fatalf("replayed %d records after truncation", len(recs))
+	}
+	// Survivors keep their original LSNs.
+	last := recs[len(recs)-1]
+	if last.LSN != 39 || !bytes.Equal(last.Payload, []byte("payload-0039")) {
+		t.Fatalf("last survivor LSN %d payload %q", last.LSN, last.Payload)
+	}
+	for _, r := range recs {
+		if r.LSN >= 30 && !bytes.Equal(r.Payload, fmt.Appendf(nil, "payload-%04d", r.LSN)) {
+			t.Fatalf("record %d corrupted after truncation", r.LSN)
+		}
+	}
+}
+
+func TestGroupCommitDurable(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent durable appends must all complete (sharing fsyncs).
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := l.AppendDurable(fmt.Appendf(nil, "durable-%d", i)); err != nil {
+				t.Errorf("AppendDurable: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	l.Close()
+	_, recs, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 16 {
+		t.Fatalf("replayed %d durable records, want 16", len(recs))
+	}
+}
+
+func TestFailAppendWedgesLog(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.FailAppend = func(lsn uint64) bool { return lsn == 5 }
+	l, _, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte("ok")); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if _, err := l.Append([]byte("boom")); err != ErrWedged {
+		t.Fatalf("crash-point append error = %v, want ErrWedged", err)
+	}
+	if !l.Wedged() {
+		t.Fatal("log not wedged after crash point")
+	}
+	// Wedged is permanent, even for records past the crash point.
+	if _, err := l.AppendDurable([]byte("later")); err != ErrWedged {
+		t.Fatalf("post-wedge append error = %v, want ErrWedged", err)
+	}
+}

@@ -1,0 +1,272 @@
+package sintra_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sintra"
+	"sintra/internal/faultsim"
+)
+
+// waitFrontier blocks until the replica catches the given delivery
+// frontier (or the deadline passes).
+func waitFrontier(t *testing.T, dep *sintra.SimulatedDeployment, replica int, target int64) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for dep.Node(replica).Seq() < target {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica %d stuck at seq %d, live frontier %d",
+				replica, dep.Node(replica).Seq(), target)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// assertRestartedConsistent compares the restarted replica's post-restart
+// execution against a continuously-live replica wherever they share a
+// sequence number: amnesia-free recovery must reproduce the exact chain.
+func assertRestartedConsistent(t *testing.T, c *chainCluster, restarted *chainMachine, live int) {
+	t.Helper()
+	hist := restarted.history()
+	if len(hist) == 0 {
+		t.Fatal("restarted replica never applied a request after recovery")
+	}
+	bySeq := make(map[int64][32]byte)
+	for _, e := range c.machines[live].history() {
+		bySeq[e.seq] = e.state
+	}
+	matched := 0
+	for _, e := range hist {
+		ref, ok := bySeq[e.seq]
+		if !ok {
+			continue
+		}
+		if ref != e.state {
+			t.Fatalf("restarted replica diverged at seq %d — equivocation or state corruption", e.seq)
+		}
+		matched++
+	}
+	if matched == 0 {
+		t.Fatal("restarted replica shares no sequence numbers with a live replica")
+	}
+}
+
+// TestChaosDurableCrashMidProtocol is the headline durability scenario:
+// an adversarially timed crash wedges replica 2's journal at a chosen
+// record — mid-round, after some votes and echoes are committed to disk
+// but before the round completes — muting it instantly. The replica is
+// then killed and revived FROM ITS JOURNAL. Recovery must replay the
+// vote ledger so the replica can only ever repeat its recorded messages,
+// never contradict them: the cluster keeps liveness throughout, the
+// revived replica reaches the live frontier, honest histories stay
+// identical, and no replica panics. Run under -race by the chaos CI job.
+func TestChaosDurableCrashMidProtocol(t *testing.T) {
+	dir := t.TempDir()
+	c := newChainCluster(t, 4, 1,
+		sintra.WithSeed(51),
+		sintra.WithCheckpointInterval(8),
+		sintra.WithDataDir(dir),
+		sintra.WithWALSyncInterval(-1),
+		// Crash replica 2 the moment it tries to journal record 40:
+		// several rounds of commitments are on disk, the current round is
+		// half-spoken.
+		sintra.WithWALCrashPoint(2, func(lsn uint64) bool { return lsn >= 40 }),
+	)
+	client, err := c.dep.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoke := func(i int) {
+		req := []byte(fmt.Sprintf("durable-request-%d", i))
+		ans, err := client.Invoke(req, 120*time.Second)
+		if err != nil {
+			t.Fatalf("request %d: liveness lost: %v", i, err)
+		}
+		if err := sintra.VerifyAnswer(c.dep.Public, "service", ans.ReqID, ans.Result, ans.Signature); err != nil {
+			t.Fatalf("request %d: answer does not verify: %v", i, err)
+		}
+	}
+
+	// Phase 1: drive load until the crash point fires. The cluster keeps
+	// ordering — a wedged journal mutes the replica (a benign crash), it
+	// never lets an unjournaled message out.
+	for i := 0; i < 6; i++ {
+		invoke(i)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !c.dep.Node(2).Journal().Wedged() {
+		if time.Now().After(deadline) {
+			t.Fatal("crash point never fired: replica 2 journaled fewer than 40 records")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Phase 2: kill it and keep the cluster moving past a checkpoint.
+	c.dep.StopServer(2)
+	for i := 6; i < 18; i++ {
+		invoke(i)
+	}
+
+	// Phase 3: amnesia-free restart from the journal.
+	if err := c.dep.RestartServerDurable(2); err != nil {
+		t.Fatalf("durable restart: %v", err)
+	}
+	j := c.dep.Node(2).Journal()
+	if j == nil || j.Recovered() == 0 {
+		t.Fatal("durable restart recovered no journaled commitments")
+	}
+	restarted := c.machines[len(c.machines)-1]
+	for i := 18; i < 24; i++ {
+		invoke(i)
+	}
+	waitFrontier(t, c.dep, 2, c.dep.Node(0).Seq())
+
+	snap := c.dep.Metrics()
+	if n := snap.Counter("router.panics"); n != 0 {
+		t.Fatalf("router recovered %d handler panics across the crash cycle", n)
+	}
+	if n := snap.Counter("wal.records"); n == 0 {
+		t.Fatal("nothing was ever journaled")
+	}
+	assertRestartedConsistent(t, c, restarted, 0)
+	// The continuously-live replicas (index 4 is the restarted fresh
+	// machine, compared by seq above) must agree position by position.
+	c.assertReplicasConsistent(t, 4)
+	t.Logf("recovered=%d replayed=%d records=%d",
+		j.Recovered(), snap.Counter("wal.replayed"), snap.Counter("wal.records"))
+}
+
+// TestChaosDurableRestartDamagedTail injects the two storage faults a
+// real power failure leaves behind — a torn (truncated) frame and a
+// bit-flipped tail — into a killed replica's WAL, then revives it from
+// the damaged journal. Recovery must detect the damage via frame
+// checksums, discard exactly the broken tail, and rejoin safely on the
+// surviving prefix: re-sending only commitments that were durably
+// recorded can never equivocate.
+func TestChaosDurableRestartDamagedTail(t *testing.T) {
+	faults := []struct {
+		name   string
+		damage func(serverDir string) error
+	}{
+		{"power-fail-truncate", func(d string) error { return faultsim.TruncateWALTail(d, 5) }},
+		{"corrupt-tail", faultsim.CorruptWALTail},
+	}
+	for i, fault := range faults {
+		fault, i := fault, i
+		t.Run(fault.name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			c := newChainCluster(t, 4, 1,
+				sintra.WithSeed(int64(61+i)),
+				sintra.WithCheckpointInterval(8),
+				sintra.WithDataDir(dir),
+				sintra.WithWALSyncInterval(-1),
+			)
+			client, err := c.dep.NewClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			invoke := func(k int) {
+				ans, err := client.Invoke([]byte(fmt.Sprintf("tail-request-%d", k)), 120*time.Second)
+				if err != nil {
+					t.Fatalf("request %d: liveness lost: %v", k, err)
+				}
+				if err := sintra.VerifyAnswer(c.dep.Public, "service", ans.ReqID, ans.Result, ans.Signature); err != nil {
+					t.Fatalf("request %d: answer does not verify: %v", k, err)
+				}
+			}
+			for k := 0; k < 6; k++ {
+				invoke(k)
+			}
+			c.dep.StopServer(2)
+			if err := fault.damage(filepath.Join(dir, "server2")); err != nil {
+				t.Fatalf("injecting %s: %v", fault.name, err)
+			}
+			for k := 6; k < 12; k++ {
+				invoke(k)
+			}
+			if err := c.dep.RestartServerDurable(2); err != nil {
+				t.Fatalf("durable restart over damaged WAL: %v", err)
+			}
+			j := c.dep.Node(2).Journal()
+			if j.TornBytes() == 0 {
+				t.Fatalf("%s: recovery reported no discarded tail bytes", fault.name)
+			}
+			restarted := c.machines[len(c.machines)-1]
+			for k := 12; k < 16; k++ {
+				invoke(k)
+			}
+			waitFrontier(t, c.dep, 2, c.dep.Node(0).Seq())
+			if n := c.dep.Metrics().Counter("router.panics"); n != 0 {
+				t.Fatalf("router recovered %d handler panics after tail damage", n)
+			}
+			assertRestartedConsistent(t, c, restarted, 0)
+			c.assertReplicasConsistent(t, 4)
+		})
+	}
+}
+
+// TestWALCrashPointMatrix kills replica 1 at EVERY early WAL record
+// index — each subtest wedges the journal exactly at record k, so the
+// crash lands at a different protocol stage every time: before the first
+// message, mid-RBC, between a BVAL and its AUX, after a coin share —
+// then revives the replica from its journal and requires convergence
+// with zero equivocation. Deterministic seeds make every crash point
+// reproducible.
+func TestWALCrashPointMatrix(t *testing.T) {
+	points := []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	if testing.Short() {
+		points = []uint64{0, 3, 7, 11}
+	}
+	for _, k := range points {
+		k := k
+		t.Run(fmt.Sprintf("record-%d", k), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			c := newChainCluster(t, 4, 1,
+				sintra.WithSeed(int64(300+k)),
+				sintra.WithCheckpointInterval(4),
+				sintra.WithDataDir(dir),
+				sintra.WithWALSyncInterval(-1),
+				sintra.WithWALCrashPoint(1, func(lsn uint64) bool { return lsn >= k }),
+			)
+			client, err := c.dep.NewClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			invoke := func(i int) {
+				ans, err := client.Invoke([]byte(fmt.Sprintf("matrix-%d-%d", k, i)), 120*time.Second)
+				if err != nil {
+					t.Fatalf("request %d: liveness lost with replica crashed at record %d: %v", i, k, err)
+				}
+				if err := sintra.VerifyAnswer(c.dep.Public, "service", ans.ReqID, ans.Result, ans.Signature); err != nil {
+					t.Fatalf("request %d: answer does not verify: %v", i, err)
+				}
+			}
+			// The first appends hit within the first request; the cluster
+			// must stay live with the replica muted at record k.
+			for i := 0; i < 6; i++ {
+				invoke(i)
+			}
+			if !c.dep.Node(1).Journal().Wedged() {
+				t.Fatalf("crash point %d never fired", k)
+			}
+			c.dep.StopServer(1)
+			if err := c.dep.RestartServerDurable(1); err != nil {
+				t.Fatalf("durable restart: %v", err)
+			}
+			restarted := c.machines[len(c.machines)-1]
+			for i := 6; i < 10; i++ {
+				invoke(i)
+			}
+			waitFrontier(t, c.dep, 1, c.dep.Node(0).Seq())
+			if n := c.dep.Metrics().Counter("router.panics"); n != 0 {
+				t.Fatalf("router recovered %d handler panics (crash point %d)", n, k)
+			}
+			assertRestartedConsistent(t, c, restarted, 0)
+			c.assertReplicasConsistent(t, 4)
+		})
+	}
+}

@@ -3,7 +3,10 @@ package sintra
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
+	"time"
 
 	"sintra/internal/core"
 	"sintra/internal/deal"
@@ -82,6 +85,22 @@ type SimOptions struct {
 	// RetentionWindow bounds every replica's delivered-digest dedup
 	// history; see core.NodeConfig.RetentionWindow.
 	RetentionWindow int64
+	// DataDir, when non-empty, gives every replica a durable write-ahead
+	// log under DataDir/server<i>: protocol-critical messages are
+	// journaled before first transmission, and RestartServerDurable
+	// revives a killed replica from its journal (amnesia-free recovery).
+	// Empty keeps replicas memoryless. See core.NodeConfig.DataDir.
+	DataDir string
+	// WALSyncInterval is every journal's group-commit latency cap: 0
+	// selects the WAL default, negative disables fsync (fast tests on
+	// throwaway data — crash injection still sees the written bytes).
+	WALSyncInterval time.Duration
+	// WALCrash maps a server index to a crash-injection hook handed to
+	// its journal (see core.NodeConfig.WALFailAppend): the first append
+	// it accepts wedges the journal, muting the replica mid-protocol.
+	// RestartServerDurable clears the hook so the revived replica runs
+	// clean. See WithWALCrashPoint.
+	WALCrash map[int]func(lsn uint64) bool
 }
 
 // SimOption is a functional option for NewDeployment.
@@ -210,6 +229,37 @@ func WithRetentionWindow(window int64) SimOption {
 	return func(o *SimOptions) { o.RetentionWindow = window }
 }
 
+// WithDataDir enables durable write-ahead logging: each replica journals
+// its protocol-critical outbound messages under dir/server<i> before
+// first transmission, and RestartServerDurable revives a killed replica
+// from that journal so it re-sends byte-identical messages instead of
+// equivocating. The plain RestartServer stays amnesiac — it wipes the
+// server's journal first, modelling a replica that lost its disk.
+func WithDataDir(dir string) SimOption {
+	return func(o *SimOptions) { o.DataDir = dir }
+}
+
+// WithWALSyncInterval tunes every journal's group-commit latency cap:
+// 0 keeps the WAL default, negative disables fsync (fast tests).
+func WithWALSyncInterval(d time.Duration) SimOption {
+	return func(o *SimOptions) { o.WALSyncInterval = d }
+}
+
+// WithWALCrashPoint injects a crash into one server's journal: the first
+// append whose LSN fail accepts errors and permanently wedges the
+// journal, so the replica falls mute mid-protocol exactly at that record
+// — the adversarially timed power failure. Kill it with StopServer and
+// revive it with RestartServerDurable, which clears the hook. Requires
+// WithDataDir.
+func WithWALCrashPoint(server int, fail func(lsn uint64) bool) SimOption {
+	return func(o *SimOptions) {
+		if o.WALCrash == nil {
+			o.WALCrash = make(map[int]func(lsn uint64) bool)
+		}
+		o.WALCrash[server] = fail
+	}
+}
+
 // SimulatedDeployment runs a full deployment — dealer, adversarially
 // scheduled asynchronous network, and one replica per (non-crashed)
 // server — inside a single process. It is the quickest way to experience
@@ -334,7 +384,7 @@ func (d *SimulatedDeployment) startNode(i int) error {
 	if w, ok := d.opts.VerifyWorkersFor[i]; ok {
 		workers = w
 	}
-	node, err := core.NewNode(core.NodeConfig{
+	cfg := core.NodeConfig{
 		Public:             d.Public,
 		Secret:             d.secrets[i],
 		Transport:          tr,
@@ -348,7 +398,15 @@ func (d *SimulatedDeployment) startNode(i int) error {
 		MaxBatchSize:       d.opts.MaxBatchSize,
 		CheckpointInterval: d.opts.CheckpointInterval,
 		RetentionWindow:    d.opts.RetentionWindow,
-	})
+	}
+	if d.opts.DataDir != "" {
+		cfg.DataDir = d.serverDir(i)
+		cfg.WALSyncInterval = d.opts.WALSyncInterval
+		d.mu.Lock()
+		cfg.WALFailAppend = d.opts.WALCrash[i]
+		d.mu.Unlock()
+	}
+	node, err := core.NewNode(cfg)
 	if err != nil {
 		return err
 	}
@@ -388,7 +446,10 @@ func (d *SimulatedDeployment) StopServer(i int) {
 // RestartServer revives a killed (or never-started) replica with a fresh
 // service instance: the endpoint reopens and the new node joins with
 // empty state, recovering the service via checkpoint catch-up — the
-// crash-recovery scenario the checkpoint subsystem exists for.
+// crash-recovery scenario the checkpoint subsystem exists for. With a
+// data directory configured the server's journal is wiped first: this is
+// the amnesiac restart (a replica that lost its disk); use
+// RestartServerDurable for amnesia-free recovery.
 func (d *SimulatedDeployment) RestartServer(i int) error {
 	if i < 0 || i >= d.opts.Structure.N() {
 		return fmt.Errorf("sintra: no server %d", i)
@@ -396,8 +457,41 @@ func (d *SimulatedDeployment) RestartServer(i int) error {
 	if d.Node(i) != nil {
 		return fmt.Errorf("sintra: server %d is still running", i)
 	}
+	if d.opts.DataDir != "" {
+		if err := os.RemoveAll(d.serverDir(i)); err != nil {
+			return err
+		}
+	}
 	d.net.Reopen(i)
 	return d.startNode(i)
+}
+
+// RestartServerDurable revives a killed replica from its write-ahead
+// log: the journal replays, recovered commitments (votes, echoes, signed
+// proposals) are re-sent byte-identically instead of being re-decided,
+// the delivery frontier is restored, and the replica then catches the
+// cluster up via checkpoint fetch. Any WithWALCrashPoint hook on the
+// server is cleared — the crash already happened. Requires WithDataDir.
+func (d *SimulatedDeployment) RestartServerDurable(i int) error {
+	if d.opts.DataDir == "" {
+		return errors.New("sintra: RestartServerDurable requires WithDataDir")
+	}
+	if i < 0 || i >= d.opts.Structure.N() {
+		return fmt.Errorf("sintra: no server %d", i)
+	}
+	if d.Node(i) != nil {
+		return fmt.Errorf("sintra: server %d is still running", i)
+	}
+	d.mu.Lock()
+	delete(d.opts.WALCrash, i)
+	d.mu.Unlock()
+	d.net.Reopen(i)
+	return d.startNode(i)
+}
+
+// serverDir is server i's private slice of the data directory.
+func (d *SimulatedDeployment) serverDir(i int) string {
+	return filepath.Join(d.opts.DataDir, fmt.Sprintf("server%d", i))
 }
 
 // NewClient attaches a client endpoint to the simulated network.
