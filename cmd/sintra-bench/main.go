@@ -50,10 +50,11 @@ func run() error {
 	)
 	batch := flag.String("batch", "", "batch-verification sweep: 'on', 'off', or 'on,off' to compare (runs the AB3 table)")
 	ckpt := flag.String("ckpt", "", "checkpoint/GC sweep: 'on', 'off', or 'on,off' to compare end-to-end cost")
+	quorums := flag.Bool("quorums", false, "quorum-predicate cost table: IsQuorum latency across threshold / generalized / asymmetric trust backends")
 	wal := flag.String("wal", "", "write-ahead log sweep: 'on,off' compares durability cost end-to-end; add group-commit intervals ('on,1ms,5ms,off') to sweep the fsync batch window")
 	flag.Var(&exps, "exp", "experiment: f1 | stack | aba | ex1 | ex2 | apps | tolerance | ablate | all (repeatable)")
 	flag.Parse()
-	if len(exps) == 0 && *cpus == "" && *batch == "" && *ckpt == "" && *wal == "" {
+	if len(exps) == 0 && *cpus == "" && *batch == "" && *ckpt == "" && *wal == "" && !*quorums {
 		exps = expList{"all"}
 	}
 
@@ -95,14 +96,14 @@ func run() error {
 				return err
 			}
 		}
-		if err := runExperiments(want, ns, cpuList, *ops, *trials, *window, *scaleN, *batch, *ckpt, *wal); err != nil {
+		if err := runExperiments(want, ns, cpuList, *ops, *trials, *window, *scaleN, *batch, *ckpt, *wal, *quorums); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runExperiments(want map[string]bool, ns, cpuList []int, ops, trials int, window time.Duration, scaleN int, batch, ckpt, wal string) error {
+func runExperiments(want map[string]bool, ns, cpuList []int, ops, trials int, window time.Duration, scaleN int, batch, ckpt, wal string, quorums bool) error {
 	all := want["all"]
 	out := os.Stdout
 
@@ -192,6 +193,14 @@ func runExperiments(want map[string]bool, ns, cpuList []int, ops, trials int, wi
 			return err
 		}
 		bench.PrintCheckpointSweep(out, rows)
+		bench.Separator(out)
+	}
+	if quorums {
+		rows, err := bench.RunQuorumPredicates()
+		if err != nil {
+			return err
+		}
+		bench.PrintQuorumPredicates(out, rows)
 		bench.Separator(out)
 	}
 	if wal != "" {

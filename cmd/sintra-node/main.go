@@ -60,6 +60,8 @@ func run() error {
 		listen  = flag.String("listen", "", "listen address override (default: own entry of addrs.txt)")
 		groupCk = flag.String("group", "", "expected group backend (modp2048 | p256 | test512 | test256): refuse to start if the dealt configuration uses a different one")
 
+		trustConfig = flag.String("trust-config", "", "JSON trust-configuration file selecting the quorum backend: omitted or mode \"symmetric\" keeps the deployment's shared adversary structure; mode \"asymmetric\" lists one fail-prone system per party (identical file on every replica)")
+
 		ckptInterval = flag.Int64("checkpoint-interval", 0, "checkpoint/GC period in delivered requests (0: default, negative: disabled; atomic mode)")
 		dataDir      = flag.String("data-dir", "", "durable write-ahead log directory: protocol-critical messages are journaled before transmission, and a restart with the same directory recovers without amnesia (re-sending identical messages, never conflicting ones); empty disables durability (a restart rejoins via checkpoint catch-up with empty state)")
 
@@ -93,6 +95,22 @@ func run() error {
 	bind := addrs[*index]
 	if *listen != "" {
 		bind = *listen
+	}
+
+	var qtrust sintra.Quorums
+	if *trustConfig != "" {
+		raw, err := os.ReadFile(*trustConfig)
+		if err != nil {
+			return err
+		}
+		spec, err := sintra.ParseTrustSpec(raw)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *trustConfig, err)
+		}
+		qtrust, err = spec.Build(pub.Structure)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *trustConfig, err)
+		}
 	}
 
 	var svc sintra.StateMachine
@@ -140,6 +158,7 @@ func run() error {
 		ServiceName:        *svcName,
 		Service:            svc,
 		Mode:               m,
+		Trust:              qtrust,
 		Observer:           reg,
 		CheckpointInterval: *ckptInterval,
 		DataDir:            *dataDir,

@@ -29,6 +29,7 @@ import (
 	"sintra/internal/coin"
 	"sintra/internal/engine"
 	"sintra/internal/obs"
+	"sintra/internal/trust"
 	"sintra/internal/wire"
 )
 
@@ -64,6 +65,11 @@ type Config struct {
 	Router *engine.Router
 	// Struct is the adversary structure.
 	Struct *adversary.Structure
+	// Trust optionally overrides the quorum backend for the BVAL, AUX,
+	// and DECIDED rules and gates the round coins on this party's own
+	// quorums; nil wraps Struct in the symmetric backend, preserving the
+	// original behavior.
+	Trust trust.Quorums
 	// Instance is the instance identifier.
 	Instance string
 	// Coin is the threshold coin public key; CoinKey the party's shares.
@@ -99,7 +105,9 @@ type roundState struct {
 
 // ABA is one binary-agreement instance; dispatch-goroutine only.
 type ABA struct {
-	cfg Config
+	cfg   Config
+	trust trust.Quorums
+	self  int
 
 	started bool
 	round   int
@@ -119,8 +127,13 @@ type ABA struct {
 func New(cfg Config) *ABA {
 	a := &ABA{
 		cfg:    cfg,
+		trust:  cfg.Trust,
+		self:   cfg.Router.Self(),
 		rounds: make(map[int]*roundState),
 		span:   obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
+	}
+	if a.trust == nil {
+		a.trust = trust.NewSymmetric(cfg.Struct)
 	}
 	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
 		Verify:      a.verifyMsg,
@@ -219,6 +232,7 @@ func (a *ABA) state(r int) *roundState {
 	if !ok {
 		st = &roundState{}
 		st.coinCombiner = coin.NewCombiner(a.cfg.Coin, a.coinName(r))
+		st.coinCombiner.SetGate(trust.CoinGate(a.trust, a.self))
 		a.rounds[r] = st
 	}
 	return st
@@ -316,14 +330,14 @@ func (a *ABA) onBval(from, r int, v bool) {
 		return
 	}
 	st.bvalRecv[b2i(v)] = st.bvalRecv[b2i(v)].Add(from)
-	// Relay once the senders cannot all be corrupted (t+1 rule): some
-	// honest party BVAL'd v, so it is safe and live to support it.
-	if a.cfg.Struct.HasHonest(st.bvalRecv[b2i(v)]) {
+	// Relay once the senders block every quorum (t+1 rule): some honest
+	// party BVAL'd v, so it is safe and live to support it.
+	if a.trust.Blocks(a.self, st.bvalRecv[b2i(v)]) {
 		a.sendBval(r, v)
 	}
-	// Admit v to bin_values on an IsStrong set (2t+1 rule): enough honest
-	// support that every honest party will eventually admit v too.
-	if !st.bin[b2i(v)] && a.cfg.Struct.IsStrong(st.bvalRecv[b2i(v)]) {
+	// Admit v to bin_values on a delivery-grade set (2t+1 rule): enough
+	// honest support that every honest party will eventually admit v too.
+	if !st.bin[b2i(v)] && a.trust.IsStrong(a.self, st.bvalRecv[b2i(v)]) {
 		st.bin[b2i(v)] = true
 		a.onBinValue(r, v)
 	}
@@ -363,7 +377,7 @@ func (a *ABA) tryBarrier(r int) {
 			supported = supported.Union(st.auxRecv[b2i(v)])
 		}
 	}
-	if !a.cfg.Struct.IsQuorum(supported) {
+	if !a.trust.IsQuorum(a.self, supported) {
 		return
 	}
 	st.barrier = true
@@ -479,7 +493,7 @@ func (a *ABA) onDecided(from int, v bool) {
 	a.decidedFrom[b2i(v)] = a.decidedFrom[b2i(v)].Add(from)
 	// A DECIDED set outside the adversary structure contains an honest
 	// decider; agreement makes adopting its value safe.
-	if !a.decided && a.cfg.Struct.HasHonest(a.decidedFrom[b2i(v)]) {
+	if !a.decided && a.trust.HasHonest(a.self, a.decidedFrom[b2i(v)]) {
 		a.decide(v)
 	}
 	a.checkTerminate()
@@ -492,7 +506,7 @@ func (a *ABA) checkTerminate() {
 	if a.terminated || !a.decided {
 		return
 	}
-	if !a.cfg.Struct.IsQuorum(a.decidedFrom[b2i(a.decision)]) {
+	if !a.trust.IsQuorum(a.self, a.decidedFrom[b2i(a.decision)]) {
 		return
 	}
 	a.terminated = true

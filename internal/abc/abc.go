@@ -32,6 +32,7 @@ import (
 	"sintra/internal/mvba"
 	"sintra/internal/obs"
 	"sintra/internal/thresig"
+	"sintra/internal/trust"
 	"sintra/internal/wire"
 )
 
@@ -105,6 +106,11 @@ type Config struct {
 	Router *engine.Router
 	// Struct is the adversary structure.
 	Struct *adversary.Structure
+	// Trust optionally overrides the quorum backend, threaded down
+	// through the embedded multi-valued agreements to every layer below
+	// and used for the proposal-quorum rules here; nil wraps Struct in
+	// the symmetric backend, preserving the original behavior.
+	Trust trust.Quorums
 	// Instance is the instance identifier (one per replicated service).
 	Instance string
 	// Identity is the registry of individual signature keys; IDKey the
@@ -157,7 +163,9 @@ type Config struct {
 // ABC is one atomic-broadcast instance; dispatch-goroutine only, except
 // for the atomic progress metrics Round and Seq.
 type ABC struct {
-	cfg Config
+	cfg   Config
+	trust trust.Quorums
+	self  int
 
 	// round and seq are written on the dispatch goroutine but read by
 	// Round/Seq from harness and experiment goroutines, so they are
@@ -218,12 +226,17 @@ func New(cfg Config) *ABC {
 	}
 	a := &ABC{
 		cfg:       cfg,
+		trust:     cfg.Trust,
+		self:      cfg.Router.Self(),
 		curBatch:  cfg.BatchSize,
 		proposals: make(map[int64]map[int]SignedProposal),
 		mvbas:     make(map[int64]*mvba.MVBA),
 		queued:    make(map[[32]byte]bool),
 		delivered: make(map[[32]byte]int64),
 		span:      obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
+	}
+	if a.trust == nil {
+		a.trust = trust.NewSymmetric(cfg.Struct)
 	}
 	a.round.Store(1)
 	if reg := a.span.Registry(); reg != nil {
@@ -445,7 +458,7 @@ func (a *ABC) maybeAgree() {
 	for j := range a.proposals[round] {
 		parties = parties.Add(j)
 	}
-	if !a.cfg.Struct.IsQuorum(parties) {
+	if !a.trust.IsQuorum(a.self, parties) {
 		return
 	}
 	list := proposalList{Proposals: make([]SignedProposal, 0, len(a.proposals[round]))}
@@ -459,6 +472,7 @@ func (a *ABC) maybeAgree() {
 	inst := mvba.New(mvba.Config{
 		Router:    a.cfg.Router,
 		Struct:    a.cfg.Struct,
+		Trust:     a.trust,
 		Instance:  fmt.Sprintf("%s/r%d", a.cfg.Instance, round),
 		Coin:      a.cfg.Coin,
 		CoinKey:   a.cfg.CoinKey,
@@ -490,7 +504,7 @@ func (a *ABC) validList(round int64, value []byte) bool {
 		}
 		parties = parties.Add(p.Party)
 	}
-	return a.cfg.Struct.IsQuorum(parties)
+	return a.trust.IsQuorum(a.self, parties)
 }
 
 // roundInWindow accepts proposals for the current round up to roundWindow

@@ -1,0 +1,240 @@
+package adversary
+
+import (
+	"testing"
+)
+
+// propertyStructures are the structures the exhaustive predicate
+// properties run over: thresholds at and off the Q³ boundary, both
+// worked generalized examples (plus a weighted threshold whose maximal
+// family is irregular), and hybrid structures at the feasibility edge.
+func propertyStructures(t *testing.T) map[string]*Structure {
+	t.Helper()
+	weighted, err := NewWeightedThreshold([]int{1, 2, 1, 3, 1, 2, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Structure{
+		"threshold(4,1)":  MustThreshold(4, 1),
+		"threshold(7,2)":  MustThreshold(7, 2),
+		"threshold(10,3)": MustThreshold(10, 3),
+		"threshold(5,0)":  MustThreshold(5, 0),
+		"example1":        Example1(),
+		"weighted":        weighted,
+	}
+}
+
+func mustHybrid(t *testing.T, n, tb, tc int) *Structure {
+	t.Helper()
+	st, err := NewHybridThreshold(n, tb, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestPredicateDuality checks the defining dualities over every subset
+// of every structure family:
+//
+//   - IsQuorum(S) ⟺ InAdversary(P ∖ S): a quorum is exactly a set whose
+//     complement the adversary can corrupt, so the two predicates are
+//     mirror images through complementation.
+//   - HasHonest(S) ⟺ ¬InAdversary(S): a set is guaranteed an honest
+//     member iff the adversary cannot corrupt all of it.
+//   - Blocking: HasHonest(S) iff S intersects the complement of every
+//     maximal adversary set — i.e. S meets every quorum's honest core.
+//
+// Hybrid structures are excluded by design: crashes widen the silent
+// set without joining the adversary, so their quorum rule is strictly
+// stronger than the complementation dual (see TestHybridPredicateEdges).
+func TestPredicateDuality(t *testing.T) {
+	for name, st := range propertyStructures(t) {
+		t.Run(name, func(t *testing.T) {
+			n := st.N()
+			full := FullSet(n)
+			maxSets, err := st.MaximalSets()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := Set(0); s <= full; s++ {
+				if st.IsQuorum(s) != st.InAdversary(full.Minus(s)) {
+					t.Fatalf("%s: IsQuorum/InAdversary duality broken at %v", name, s.Members())
+				}
+				if st.HasHonest(s) != !st.InAdversary(s) {
+					t.Fatalf("%s: HasHonest/InAdversary duality broken at %v", name, s.Members())
+				}
+				// S has a guaranteed honest member iff no maximal
+				// corruptible set covers it.
+				covered := false
+				for _, a := range maxSets {
+					if s.SubsetOf(a) {
+						covered = true
+						break
+					}
+				}
+				if st.HasHonest(s) != !covered {
+					t.Fatalf("%s: HasHonest disagrees with maximal-set cover at %v", name, s.Members())
+				}
+			}
+		})
+	}
+}
+
+// TestPredicateBoundaries pins the exact threshold boundary sizes: the
+// largest rejected and smallest accepted cardinality of every predicate
+// on a threshold structure, where the substitution rules of §4.2 have
+// closed forms (quorum: n−t; honest witness: t+1; strong/core: 2t+1).
+func TestPredicateBoundaries(t *testing.T) {
+	cases := []struct{ n, tt int }{{4, 1}, {7, 2}, {10, 3}, {13, 4}, {5, 0}}
+	for _, c := range cases {
+		st := MustThreshold(c.n, c.tt)
+		full := FullSet(c.n)
+		prefix := func(k int) Set {
+			s := Set(0)
+			for i := 0; i < k; i++ {
+				s = s.Add(i)
+			}
+			return s
+		}
+		// Quorum: first accepted at n−t.
+		if q := c.n - c.tt; st.IsQuorum(prefix(q-1)) || !st.IsQuorum(prefix(q)) {
+			t.Fatalf("(%d,%d): quorum boundary not at %d", c.n, c.tt, q)
+		}
+		// Honest witness: first accepted at t+1.
+		if st.HasHonest(prefix(c.tt)) || !st.HasHonest(prefix(c.tt+1)) {
+			t.Fatalf("(%d,%d): honest-witness boundary not at %d", c.n, c.tt, c.tt+1)
+		}
+		// Strong (and core): first accepted at 2t+1.
+		if k := 2*c.tt + 1; k <= c.n {
+			if st.IsStrong(prefix(k-1)) && c.tt > 0 {
+				t.Fatalf("(%d,%d): IsStrong accepts %d parties", c.n, c.tt, k-1)
+			}
+			if !st.IsStrong(prefix(k)) {
+				t.Fatalf("(%d,%d): IsStrong rejects %d parties", c.n, c.tt, k)
+			}
+			if st.IsCore(prefix(k-1)) && c.tt > 0 || !st.IsCore(prefix(k)) {
+				t.Fatalf("(%d,%d): core boundary not at %d", c.n, c.tt, k)
+			}
+		}
+		// The full set always satisfies everything; the empty set never
+		// is a quorum unless t covers everyone's absence.
+		if !st.IsQuorum(full) || !st.HasHonest(full) || !st.IsStrong(full) {
+			t.Fatalf("(%d,%d): full set rejected", c.n, c.tt)
+		}
+		if st.IsQuorum(0) != (c.tt >= c.n) {
+			t.Fatalf("(%d,%d): empty set quorum status wrong", c.n, c.tt)
+		}
+	}
+}
+
+// TestGeneralizedFromThresholdPredicateEquality rebuilds small threshold
+// structures through the generalized maximal-set representation and
+// checks every predicate agrees on every subset — the generalized code
+// path and the threshold fast path must be extensionally identical.
+func TestGeneralizedFromThresholdPredicateEquality(t *testing.T) {
+	for _, c := range []struct{ n, tt int }{{4, 1}, {6, 1}, {7, 2}} {
+		thr := MustThreshold(c.n, c.tt)
+		gen, err := NewGeneralFromPredicate(c.n, func(s Set) bool {
+			return s.Count() <= c.tt
+		}, thr.Access)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen.IsThreshold() {
+			t.Fatalf("(%d,%d): generalized rebuild took the threshold fast path", c.n, c.tt)
+		}
+		full := FullSet(c.n)
+		for s := Set(0); s <= full; s++ {
+			if thr.InAdversary(s) != gen.InAdversary(s) ||
+				thr.IsQuorum(s) != gen.IsQuorum(s) ||
+				thr.HasHonest(s) != gen.HasHonest(s) ||
+				thr.IsStrong(s) != gen.IsStrong(s) {
+				t.Fatalf("(%d,%d): generalized disagrees with threshold at %v", c.n, c.tt, s.Members())
+			}
+		}
+	}
+}
+
+// TestHybridPredicateEdges checks the hybrid (§6) two-sided boundary:
+// only the Byzantine budget TB counts as corruptible (crashed servers
+// are silent, never malicious), so the honest-witness rule needs TB+1
+// senders, while the quorum rule must subtract BOTH budgets (n−TB−TC
+// reachable parties) and the strong rule needs 2·TB+TC+1. The quorum/
+// adversary complementation duality of the plain families is therefore
+// deliberately broken by exactly the crash budget. The degenerate TC=0
+// hybrid agrees with the plain threshold structure on every subset.
+func TestHybridPredicateEdges(t *testing.T) {
+	st := mustHybrid(t, 9, 2, 1)
+	prefix := func(k int) Set {
+		s := Set(0)
+		for i := 0; i < k; i++ {
+			s = s.Add(i)
+		}
+		return s
+	}
+	// Corruptible = up to TB Byzantine parties; the crash budget never
+	// joins the adversary.
+	if !st.InAdversary(prefix(2)) || st.InAdversary(prefix(3)) {
+		t.Fatal("hybrid(9,2,1): corruptible boundary not at TB=2")
+	}
+	if st.HasHonest(prefix(2)) || !st.HasHonest(prefix(3)) {
+		t.Fatal("hybrid(9,2,1): honest-witness boundary not at TB+1=3")
+	}
+	if st.IsQuorum(prefix(5)) || !st.IsQuorum(prefix(6)) {
+		t.Fatal("hybrid(9,2,1): quorum boundary not at n-TB-TC=6")
+	}
+	if st.IsStrong(prefix(5)) || !st.IsStrong(prefix(6)) {
+		t.Fatal("hybrid(9,2,1): strong boundary not at 2TB+TC+1=6")
+	}
+	// The duality gap: a 6-set is a quorum, yet its 3-party complement
+	// is NOT corruptible — the crash budget accounts for the difference.
+	if st.InAdversary(FullSet(9).Minus(prefix(6))) {
+		t.Fatal("hybrid(9,2,1): 3-party complement should exceed the Byzantine budget")
+	}
+
+	// TC=0 degenerates to the plain threshold on every subset.
+	deg := mustHybrid(t, 7, 2, 0)
+	thr := MustThreshold(7, 2)
+	full := FullSet(7)
+	for s := Set(0); s <= full; s++ {
+		if deg.InAdversary(s) != thr.InAdversary(s) ||
+			deg.IsQuorum(s) != thr.IsQuorum(s) ||
+			deg.HasHonest(s) != thr.HasHonest(s) ||
+			deg.IsStrong(s) != thr.IsStrong(s) {
+			t.Fatalf("hybrid(7,2,0) disagrees with threshold(7,2) at %v", s.Members())
+		}
+	}
+}
+
+// TestPredicateMonotonicityGeneralized checks upward closure of the
+// accepting predicates (and downward closure of InAdversary) on the
+// generalized examples by single-element perturbation of every subset.
+func TestPredicateMonotonicityGeneralized(t *testing.T) {
+	for _, st := range []*Structure{Example1(), Example2()} {
+		n := st.N()
+		full := FullSet(n)
+		// Example 2 has 2^16 subsets; stride keeps the sweep fast while
+		// still covering every residue pattern.
+		stride := Set(1)
+		if n > 12 {
+			stride = 7
+		}
+		for s := Set(0); s <= full; s += stride {
+			for i := 0; i < n; i++ {
+				if s.Has(i) {
+					continue
+				}
+				grown := s.Add(i)
+				if st.IsQuorum(s) && !st.IsQuorum(grown) {
+					t.Fatalf("n=%d: IsQuorum not monotone at %v + %d", n, s.Members(), i)
+				}
+				if st.HasHonest(s) && !st.HasHonest(grown) {
+					t.Fatalf("n=%d: HasHonest not monotone at %v + %d", n, s.Members(), i)
+				}
+				if st.InAdversary(grown) && !st.InAdversary(s) {
+					t.Fatalf("n=%d: InAdversary not downward closed at %v + %d", n, s.Members(), i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sintra/internal/adversary"
+	"sintra/internal/trust"
+)
+
+// QuorumRow is one row of the quorum-predicate cost table: the average
+// latency of one IsQuorum evaluation under a trust backend, measured on
+// the dispatch-goroutine hot path every protocol message pays.
+type QuorumRow struct {
+	Backend string
+	N       int
+	Sets    int // maximal adversary/fail-prone sets (0: threshold)
+	Cached  bool
+	PerOp   time.Duration
+}
+
+// quorumOps is the per-backend evaluation count; predicate evaluation is
+// nanoseconds-to-microseconds, so a large fixed count gives stable
+// averages without a benchmark harness.
+const quorumOps = 1 << 12
+
+func timePredicate(n int, eval func(s adversary.Set) bool) time.Duration {
+	// Sweep a mix of below-quorum and above-quorum sets so both the
+	// accept and reject paths are exercised.
+	sets := make([]adversary.Set, 0, n)
+	s := adversary.Set(0)
+	for i := 0; i < n; i++ {
+		s = s.Add(i)
+		sets = append(sets, s)
+	}
+	start := time.Now()
+	sink := false
+	for i := 0; i < quorumOps; i++ {
+		sink = sink != eval(sets[i%len(sets)])
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	return elapsed / quorumOps
+}
+
+// RunQuorumPredicates measures IsQuorum cost across the trust backends:
+// a plain threshold structure, the paper's Example 2 generalized
+// structure (small family, memo cache deliberately disengaged), a large
+// weighted-threshold family with and without the memo cache, and an
+// asymmetric backend built from per-party fail-prone systems.
+func RunQuorumPredicates() ([]QuorumRow, error) {
+	var rows []QuorumRow
+
+	thr := adversary.MustThreshold(16, 5)
+	rows = append(rows, QuorumRow{
+		Backend: "threshold", N: thr.N(),
+		PerOp: timePredicate(thr.N(), func(s adversary.Set) bool {
+			return thr.IsQuorum(s)
+		}),
+	})
+
+	ex2 := adversary.Example2()
+	symSmall := trust.NewSymmetric(ex2)
+	rows = append(rows, QuorumRow{
+		Backend: "generalized (Example 2)", N: ex2.N(), Sets: len(ex2.MaxSets),
+		PerOp: timePredicate(ex2.N(), func(s adversary.Set) bool {
+			return symSmall.IsQuorum(0, s)
+		}),
+	})
+
+	// A weighted threshold over 16 parties produces a maximal-set family
+	// large enough (hundreds of sets) that enumeration dominates and the
+	// memo cache engages.
+	weights := make([]int, 16)
+	for i := range weights {
+		weights[i] = 1 + i%4
+	}
+	big, err := adversary.NewWeightedThreshold(weights, 9)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, QuorumRow{
+		Backend: "generalized (weighted, uncached)", N: big.N(), Sets: len(big.MaxSets),
+		PerOp: timePredicate(big.N(), func(s adversary.Set) bool {
+			return big.IsQuorum(s)
+		}),
+	})
+	symBig := trust.NewSymmetric(big)
+	rows = append(rows, QuorumRow{
+		Backend: "generalized (weighted, cached)", N: big.N(), Sets: len(big.MaxSets), Cached: true,
+		PerOp: timePredicate(big.N(), func(s adversary.Set) bool {
+			return symBig.IsQuorum(0, s)
+		}),
+	})
+
+	systems := make([]trust.FailProne, ex2.N())
+	for i := range systems {
+		systems[i] = trust.General(ex2.MaxSets...)
+	}
+	asym, err := trust.NewAsymmetric(ex2.N(), systems)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, QuorumRow{
+		Backend: "asymmetric (uniform Example 2)", N: ex2.N(), Sets: len(ex2.MaxSets),
+		PerOp: timePredicate(ex2.N(), func(s adversary.Set) bool {
+			return asym.IsQuorum(3, s)
+		}),
+	})
+	return rows, nil
+}
+
+// PrintQuorumPredicates renders the quorum-predicate cost table.
+func PrintQuorumPredicates(w io.Writer, rows []QuorumRow) {
+	fmt.Fprintln(w, "QP — quorum-predicate cost per IsQuorum evaluation")
+	fmt.Fprintf(w, "%-34s %4s %6s %7s %12s\n", "backend", "n", "sets", "cache", "per-op")
+	for _, r := range rows {
+		sets := "-"
+		if r.Sets > 0 {
+			sets = fmt.Sprintf("%d", r.Sets)
+		}
+		cache := "off"
+		if r.Cached {
+			cache = "on"
+		}
+		fmt.Fprintf(w, "%-34s %4d %6s %7s %12v\n", r.Backend, r.N, sets, cache, r.PerOp)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sintra/internal/engine"
 	"sintra/internal/obs"
 	"sintra/internal/thresig"
+	"sintra/internal/trust"
 	"sintra/internal/wire"
 )
 
@@ -99,6 +100,11 @@ type Config struct {
 	Router *engine.Router
 	// Struct is the adversary structure.
 	Struct *adversary.Structure
+	// Trust optionally overrides the quorum backend: the sender combines
+	// a certificate only from a share set that is a quorum in its own
+	// view, on top of the scheme's sufficiency rule. nil wraps Struct in
+	// the symmetric backend, for which the two rules coincide.
+	Trust trust.Quorums
 	// Instance is the instance identifier (use InstanceID).
 	Instance string
 	// Sender is the broadcasting party.
@@ -116,7 +122,8 @@ type Config struct {
 
 // CBC is one consistent-broadcast instance; dispatch-goroutine only.
 type CBC struct {
-	cfg Config
+	cfg   Config
+	trust trust.Quorums
 
 	signedDigest *[32]byte // the digest this party signed, if any
 	delivered    bool
@@ -145,6 +152,9 @@ func New(cfg Config) *CBC {
 	c := &CBC{
 		cfg:  cfg,
 		span: obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
+	}
+	if c.trust = cfg.Trust; c.trust == nil {
+		c.trust = trust.NewSymmetric(cfg.Struct)
 	}
 	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
 		Verify:      c.verifyMsg,
@@ -356,7 +366,7 @@ func (c *CBC) onShare(from int, share thresig.Share, preVerified bool) {
 	}
 	c.shareFrom = c.shareFrom.Add(from)
 	c.shares = append(c.shares, share)
-	if !c.cfg.Scheme.Sufficient(c.shareFrom) {
+	if !c.cfg.Scheme.Sufficient(c.shareFrom) || !c.trust.IsQuorum(c.cfg.Sender, c.shareFrom) {
 		return
 	}
 	cert, err := c.cfg.Scheme.Combine(stmt, c.shares)

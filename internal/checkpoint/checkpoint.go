@@ -29,6 +29,7 @@ import (
 	"sintra/internal/engine"
 	"sintra/internal/obs"
 	"sintra/internal/thresig"
+	"sintra/internal/trust"
 	"sintra/internal/wire"
 )
 
@@ -114,6 +115,13 @@ type Config struct {
 	// party's share key (deal.Public.AnswerSig / PartySecret.SigAnswer).
 	Scheme thresig.Scheme
 	Key    *thresig.SecretKey
+	// Trust, when set, additionally requires the share senders behind a
+	// combined checkpoint certificate to contain an honest party in this
+	// party's own view (trust.Quorums.HasHonest). Under symmetric trust
+	// this coincides with the answer-signature scheme's opening rule, so
+	// nil — the default — changes nothing; asymmetric deployments pass
+	// their backend so certificates reflect each party's own assumptions.
+	Trust trust.Quorums
 	// Interval is the checkpoint period in delivered payloads.
 	Interval int64
 	// Snapshot captures the deterministic service state (called on the
@@ -151,6 +159,13 @@ const defaultRetryInterval = 2 * time.Second
 // and retries converge, small enough that a Byzantine requester cannot
 // turn retries into a snapshot flood.
 const maxServesPerCheckpoint = 3
+
+// trustedAnswer applies the optional trust-backend gate to the senders
+// behind a candidate certificate; a nil backend keeps the scheme's
+// opening rule as the only condition.
+func (t *Tracker) trustedAnswer(parties adversary.Set) bool {
+	return t.cfg.Trust == nil || t.cfg.Trust.HasHonest(t.cfg.Router.Self(), parties)
+}
 
 // pendKey identifies one uncertified checkpoint candidate.
 type pendKey struct {
@@ -445,7 +460,7 @@ func (t *Tracker) onShare(from int, body shareBody) {
 	}
 	ps.parties = ps.parties.Add(from)
 	ps.shares = append(ps.shares, body.Share)
-	if t.cfg.Scheme.Sufficient(ps.parties) {
+	if t.cfg.Scheme.Sufficient(ps.parties) && t.trustedAnswer(ps.parties) {
 		cert, err := t.cfg.Scheme.Combine(stmt, ps.shares)
 		if err != nil {
 			return

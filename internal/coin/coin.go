@@ -138,6 +138,13 @@ func (p *Params) Precompute() {
 // Group returns the group of the dealing.
 func (p *Params) Group() group.Group { return p.g }
 
+// Qualified reports whether the party set can reconstruct coins under
+// the dealing's secret-sharing access structure. Asymmetric deployments
+// check every observer's quorums against this predicate at setup
+// (trust.Asymmetric.CompatibleWithAccess) so gated combiners cannot
+// starve.
+func (p *Params) Qualified(parties adversary.Set) bool { return p.scheme.Qualified(parties) }
+
 // base derives the coin-specific generator G(name).
 func (p *Params) base(name string) *group.Point {
 	return p.g.HashToPoint("sintra/coin/base", []byte(name))
@@ -223,11 +230,25 @@ type Combiner struct {
 	name    string
 	values  map[int]*group.Point
 	parties adversary.Set
+	gate    func(adversary.Set) bool
 }
 
 // NewCombiner starts collecting shares for the named coin.
 func NewCombiner(p *Params, name string) *Combiner {
 	return &Combiner{params: p, name: name, values: make(map[int]*group.Point)}
+}
+
+// SetGate installs an additional readiness predicate over the set of
+// parties whose shares back the coin: Ready and Value then require the
+// contributing parties to satisfy the gate on top of the sharing
+// scheme's qualification. Asymmetric-trust deployments pass
+// trust.CoinGate so a party only accepts a coin value vouched for by
+// one of its own quorums; a nil gate (the default) keeps the access
+// structure as the only condition. Must be set before shares arrive.
+func (c *Combiner) SetGate(gate func(adversary.Set) bool) { c.gate = gate }
+
+func (c *Combiner) gateOpen(parties adversary.Set) bool {
+	return c.gate == nil || c.gate(parties)
 }
 
 // Add verifies and stores a coin share. Adding a second share for the same
@@ -276,16 +297,18 @@ func (c *Combiner) partiesWithAllShares() adversary.Set {
 	return out
 }
 
-// Ready reports whether a qualified set of shares has been collected.
+// Ready reports whether a qualified set of shares has been collected
+// (and, with a gate installed, whether the contributing parties pass it).
 func (c *Combiner) Ready() bool {
-	return c.params.scheme.Qualified(c.partiesWithAllShares())
+	parties := c.partiesWithAllShares()
+	return c.params.scheme.Qualified(parties) && c.gateOpen(parties)
 }
 
 // Value reconstructs the coin once Ready; it is deterministic in the coin
 // name and independent of which qualified subset supplied the shares.
 func (c *Combiner) Value() (Value, error) {
 	parties := c.partiesWithAllShares()
-	if !c.params.scheme.Qualified(parties) {
+	if !c.params.scheme.Qualified(parties) || !c.gateOpen(parties) {
 		return Value{}, ErrNotReady
 	}
 	g0, err := c.params.scheme.ReconstructExponent(parties, c.values)

@@ -1,0 +1,150 @@
+package coin
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"sintra/internal/adversary"
+	"sintra/internal/group"
+	"sintra/internal/trust"
+)
+
+// asymGateSystem mirrors the wise/naive system of the reliable-broadcast
+// tests: parties 0–2 assume any one party can fail; party 3 assumes only
+// {0,2} can fail together, so its every quorum contains party 1.
+func asymGateSystem(t *testing.T) *trust.Asymmetric {
+	t.Helper()
+	q, err := trust.NewAsymmetric(4, []trust.FailProne{
+		trust.Threshold(1),
+		trust.Threshold(1),
+		trust.Threshold(1),
+		trust.General(adversary.SetOf(0, 2)),
+	})
+	if err != nil {
+		t.Fatalf("NewAsymmetric: %v", err)
+	}
+	return q
+}
+
+// TestAsymmetricCoinGating checks the common coin's share-threshold
+// gating under per-party trust: a gated combiner releases the coin only
+// once the contributing parties form a quorum of its own observer, so a
+// wise party's coin completes from the honest parties' shares while a
+// naive party — whose quorums all contain the corrupted party — keeps
+// waiting. The gate never changes the reconstructed value.
+func TestAsymmetricCoinGating(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	p, keys, err := Deal(group.TestDefault(), st, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := asymGateSystem(t)
+	// Setup-time compatibility: every observer has a quorum the dealt
+	// sharing scheme can reconstruct from, so gates cannot starve when
+	// the observer's own fail-prone assumption holds.
+	if err := q.CompatibleWithAccess(p.Qualified); err != nil {
+		t.Fatalf("CompatibleWithAccess: %v", err)
+	}
+
+	const name = "gate/corrupt1"
+	combiner := func(observer int) *Combiner {
+		c := NewCombiner(p, name)
+		c.SetGate(trust.CoinGate(q, observer))
+		return c
+	}
+	// Corruption {1}: parties 0, 2, 3 release shares. Wise observers 0
+	// and 2 see a quorum ({1} is in their fail-prone system); naive
+	// observer 3 does not ({1} is not covered by its assumption {0,2}).
+	combiners := map[int]*Combiner{0: combiner(0), 2: combiner(2), 3: combiner(3)}
+	ungated := NewCombiner(p, name)
+	for _, i := range []int{0, 2, 3} {
+		shares, err := p.ReleaseShares(keys[i], name, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range shares {
+			for _, c := range combiners {
+				if err := c.Add(sh); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := ungated.Add(sh); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !combiners[0].Ready() || !combiners[2].Ready() {
+		t.Fatal("wise combiners not ready from honest shares")
+	}
+	if combiners[3].Ready() {
+		t.Fatal("naive combiner ready although its gate is not satisfied")
+	}
+	if _, err := combiners[3].Value(); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("naive combiner Value: got %v, want ErrNotReady", err)
+	}
+	v0, err := combiners[0].Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := combiners[2].Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ungated.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0 != v2 || v0 != ref {
+		t.Fatal("gated coin values disagree with the ungated reconstruction")
+	}
+
+	// Corruption {3}: parties 0, 1, 2 release shares; every one of them
+	// is wise for this corruption, so all their gates open.
+	const name2 = "gate/corrupt3"
+	combiners2 := make(map[int]*Combiner, 3)
+	for _, i := range []int{0, 1, 2} {
+		c := NewCombiner(p, name2)
+		c.SetGate(trust.CoinGate(q, i))
+		combiners2[i] = c
+	}
+	for _, i := range []int{0, 1, 2} {
+		shares, err := p.ReleaseShares(keys[i], name2, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range shares {
+			for _, c := range combiners2 {
+				if err := c.Add(sh); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	var prev Value
+	for i, c := range combiners2 {
+		if !c.Ready() {
+			t.Fatalf("wise combiner %d not ready under corruption {3}", i)
+		}
+		v, err := c.Value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != (Value{}) && v != prev {
+			t.Fatal("wise coin values diverge")
+		}
+		prev = v
+	}
+}
+
+// TestSymmetricCoinGateNil checks that symmetric trust installs no gate
+// at all, keeping the original access-structure-only behavior.
+func TestSymmetricCoinGateNil(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	if g := trust.CoinGate(trust.NewSymmetric(st), 2); g != nil {
+		t.Fatal("symmetric backend produced a coin gate")
+	}
+	if g := trust.CoinGate(nil, 0); g != nil {
+		t.Fatal("nil backend produced a coin gate")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sintra/internal/obs"
 	"sintra/internal/scabc"
 	"sintra/internal/thresig"
+	"sintra/internal/trust"
 	"sintra/internal/wire"
 )
 
@@ -48,10 +49,12 @@ type Answer struct {
 // adversary structure returned the same result, recovering the service's
 // threshold signature from the response shares (paper §5).
 type Client struct {
-	pub     *deal.Public
-	tr      wire.Transport
-	service string
-	mode    Mode
+	pub      *deal.Public
+	tr       wire.Transport
+	service  string
+	mode     Mode
+	trust    trust.Quorums
+	trustObs int
 
 	mu      sync.Mutex
 	pending map[[16]byte]*call
@@ -96,6 +99,23 @@ func WithObserver(reg *obs.Registry) Option {
 	}
 }
 
+// WithTrust makes the client judge answers under the given quorum
+// backend through the eyes of the given observer: an answer is accepted
+// once the agreeing servers contain an honest party under that
+// observer's fail-prone assumptions. The default is the symmetric
+// backend over the deployment's adversary structure (the paper's trust
+// model, observer irrelevant); a client of an asymmetric deployment
+// passes the backend and the index of the party whose assumptions it
+// adopts.
+func WithTrust(q trust.Quorums, observer int) Option {
+	return func(c *Client) {
+		if q != nil {
+			c.trust = q
+			c.trustObs = observer
+		}
+	}
+}
+
 // NewClient wraps a client transport endpoint. Close releases it.
 func NewClient(pub *deal.Public, tr wire.Transport, service string, mode Mode, opts ...Option) *Client {
 	c := &Client{
@@ -108,6 +128,9 @@ func NewClient(pub *deal.Public, tr wire.Transport, service string, mode Mode, o
 	}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.trust == nil {
+		c.trust = trust.NewSymmetric(pub.Structure)
 	}
 	go c.recvLoop()
 	return c
@@ -281,7 +304,7 @@ func (c *Client) onResponse(from int, resp responseBody) {
 			shares = append(shares, r.Share)
 		}
 	}
-	if !c.pub.Structure.HasHonest(agreeing) || !scheme.Sufficient(agreeing) {
+	if !c.trust.HasHonest(c.trustObs, agreeing) || !scheme.Sufficient(agreeing) {
 		return
 	}
 	sig, err := scheme.Combine(stmt, shares)

@@ -17,6 +17,7 @@ import (
 	"sintra/internal/engine"
 	"sintra/internal/obs"
 	"sintra/internal/scabc"
+	"sintra/internal/trust"
 	"sintra/internal/wal"
 	"sintra/internal/wire"
 )
@@ -49,6 +50,14 @@ type NodeConfig struct {
 	Service StateMachine
 	// Mode selects atomic or secure-causal request dissemination.
 	Mode Mode
+	// Trust optionally overrides the quorum backend for the whole
+	// protocol stack (atomic broadcast down to reliable broadcast and
+	// the common coin). Nil wraps the deployment's adversary structure
+	// in the symmetric backend — the paper's trust model and the
+	// default. Asymmetric deployments build a backend from a trust.Spec
+	// (see trust.ParseSpec) and must pass the same per-party fail-prone
+	// systems on every replica.
+	Trust trust.Quorums
 	// BatchSize tunes the atomic broadcast batches (the adaptive floor).
 	BatchSize int
 	// MaxBatchSize caps the atomic broadcast's adaptive batch growth:
@@ -216,11 +225,27 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	snapper, canSnap := cfg.Service.(Snapshotter)
 	useCkpt := cfg.Mode == ModeAtomic && canSnap && n.interval > 0
 
+	qtrust := cfg.Trust
+	if qtrust == nil {
+		qtrust = trust.NewSymmetric(cfg.Public.Structure)
+	}
+	if qtrust.N() != cfg.Public.Structure.N() {
+		return nil, fmt.Errorf("core: trust backend is for %d parties, deployment has %d", qtrust.N(), cfg.Public.Structure.N())
+	}
+	if a, ok := qtrust.(*trust.Asymmetric); ok {
+		// Gated coin combiners must not starve: every observer needs a
+		// quorum the dealt sharing scheme can reconstruct from.
+		if err := a.CompatibleWithAccess(cfg.Public.Coin.Qualified); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
 	switch cfg.Mode {
 	case ModeAtomic:
 		abcCfg := abc.Config{
 			Router:          n.router,
 			Struct:          cfg.Public.Structure,
+			Trust:           qtrust,
 			Instance:        "svc/" + cfg.ServiceName,
 			Identity:        cfg.Public.Identity,
 			IDKey:           cfg.Secret.Identity,
@@ -255,6 +280,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			n.snapper = snapper
 			n.ckpt = checkpoint.New(checkpoint.Config{
 				Router:     n.router,
+				Trust:      cfg.Trust,
 				Instance:   "svc/" + cfg.ServiceName,
 				Scheme:     cfg.Public.AnswerSig(),
 				Key:        cfg.Secret.SigAnswer,
@@ -270,6 +296,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		scabc.New(scabc.Config{
 			Router:          n.router,
 			Struct:          cfg.Public.Structure,
+			Trust:           qtrust,
 			Instance:        "svc/" + cfg.ServiceName,
 			Identity:        cfg.Public.Identity,
 			IDKey:           cfg.Secret.Identity,

@@ -35,6 +35,7 @@ import (
 	"sintra/internal/engine"
 	"sintra/internal/obs"
 	"sintra/internal/thresig"
+	"sintra/internal/trust"
 	"sintra/internal/wire"
 )
 
@@ -76,6 +77,11 @@ type Config struct {
 	Router *engine.Router
 	// Struct is the adversary structure.
 	Struct *adversary.Structure
+	// Trust optionally overrides the quorum backend, threaded down to
+	// the embedded consistent broadcasts and binary agreements and used
+	// for the phase and vote quorums; nil wraps Struct in the symmetric
+	// backend, preserving the original behavior.
+	Trust trust.Quorums
 	// Instance is the instance identifier.
 	Instance string
 	// Coin is the threshold coin; CoinKey the party's shares.
@@ -120,7 +126,9 @@ type trialState struct {
 
 // MVBA is one multi-valued agreement instance; dispatch-goroutine only.
 type MVBA struct {
-	cfg Config
+	cfg   Config
+	trust trust.Quorums
+	self  int
 
 	started  bool
 	proposal []byte
@@ -146,11 +154,16 @@ type MVBA struct {
 func New(cfg Config) *MVBA {
 	m := &MVBA{
 		cfg:       cfg,
+		trust:     cfg.Trust,
+		self:      cfg.Router.Self(),
 		cbcs:      make(map[int]*cbc.CBC, cfg.Router.N()),
 		delivered: make(map[int][]byte),
 		certs:     make(map[int][]byte),
 		trials:    make(map[int]*trialState),
 		span:      obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
+	}
+	if m.trust == nil {
+		m.trust = trust.NewSymmetric(cfg.Struct)
 	}
 	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
 		Verify:      m.verifyMsg,
@@ -163,6 +176,7 @@ func New(cfg Config) *MVBA {
 		m.cbcs[j] = cbc.New(cbc.Config{
 			Router:    cfg.Router,
 			Struct:    cfg.Struct,
+			Trust:     m.trust,
 			Instance:  m.cbcInstance(j),
 			Sender:    j,
 			Scheme:    cfg.Scheme,
@@ -219,6 +233,7 @@ func (m *MVBA) trialState(a int) *trialState {
 	ts, ok := m.trials[a]
 	if !ok {
 		ts = &trialState{coinCombiner: coin.NewCombiner(m.cfg.Coin, m.coinName(a))}
+		ts.coinCombiner.SetGate(trust.CoinGate(m.trust, m.self))
 		m.trials[a] = ts
 	}
 	return ts
@@ -374,7 +389,7 @@ func (m *MVBA) onCBCDeliver(sender int, payload, cert []byte) {
 }
 
 func (m *MVBA) checkPhase2() {
-	if m.phase2 || !m.started || !m.cfg.Struct.IsQuorum(m.deliveredSet) {
+	if m.phase2 || !m.started || !m.trust.IsQuorum(m.self, m.deliveredSet) {
 		return
 	}
 	m.phase2 = true
@@ -495,11 +510,12 @@ func (m *MVBA) evalVotes(a int) {
 	}
 	ts.pendingVotes = nil
 
-	if !ts.abaStarted && m.phase2 && (ts.hasYes || m.cfg.Struct.IsQuorum(ts.votesFrom)) {
+	if !ts.abaStarted && m.phase2 && (ts.hasYes || m.trust.IsQuorum(m.self, ts.votesFrom)) {
 		ts.abaStarted = true
 		inst := aba.New(aba.Config{
 			Router:   m.cfg.Router,
 			Struct:   m.cfg.Struct,
+			Trust:    m.trust,
 			Instance: m.abaInstance(a),
 			Coin:     m.cfg.Coin,
 			CoinKey:  m.cfg.CoinKey,

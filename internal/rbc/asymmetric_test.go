@@ -1,0 +1,196 @@
+package rbc_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+	"time"
+
+	"sintra/internal/adversary"
+	"sintra/internal/engine"
+	"sintra/internal/faultsim"
+	"sintra/internal/rbc"
+	"sintra/internal/testutil"
+	"sintra/internal/trust"
+	"sintra/internal/wire"
+)
+
+// wiseNaiveTrust is the asymmetric quorum system the per-party trust
+// tests run on: four parties where 0, 1, and 2 make the standard
+// threshold-1 assumption while 3 assumes only {0,2} can fail together.
+//
+// Under the actual corruption {1}, parties 0 and 2 are wise (their
+// fail-prone system contains {1}) and party 3 is naive; 3's canonical
+// quorums include {1,3}, so a Byzantine 1 can single-handedly satisfy
+// 3's echo and ready rules. Under the corruption {3}, parties 0, 1, and
+// 2 are all wise and form a guild, so they also keep liveness.
+func wiseNaiveTrust(t *testing.T) *trust.Asymmetric {
+	t.Helper()
+	q, err := trust.NewAsymmetric(4, []trust.FailProne{
+		trust.Threshold(1),
+		trust.Threshold(1),
+		trust.Threshold(1),
+		trust.General(adversary.SetOf(0, 2)),
+	})
+	if err != nil {
+		t.Fatalf("NewAsymmetric: %v", err)
+	}
+	return q
+}
+
+func startAsymInstances(c *testutil.Cluster, q trust.Quorums, col *collector, sender int, tag string, parties []int) map[int]*rbc.RBC {
+	out := make(map[int]*rbc.RBC, len(parties))
+	for _, i := range parties {
+		out[i] = newRBC(rbc.Config{
+			Router:   c.Routers[i],
+			Struct:   c.Struct,
+			Trust:    q,
+			Instance: rbc.InstanceID(sender, tag),
+			Sender:   sender,
+			Deliver:  col.deliverFn(i),
+		})
+	}
+	return out
+}
+
+// TestAsymmetricRBCWiseSafetyNaiveDivergence corrupts party 1 — inside
+// the fail-prone systems of 0 and 2 but not of 3 — and drives the worst
+// case for the naive party: the Byzantine sender equivocates and then
+// single-handedly completes 3's echo quorum and delivery rule for the
+// second payload. The wise parties must agree on one payload; the naive
+// party demonstrably delivers the other one, and its divergence does not
+// drag the wise parties apart.
+func TestAsymmetricRBCWiseSafetyNaiveDivergence(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 11, Corrupted: []int{1}})
+	q := wiseNaiveTrust(t)
+	col := newCollector(4)
+	startAsymInstances(c, q, col, 1, "asym", []int{0, 2, 3})
+
+	instance := rbc.InstanceID(1, "asym")
+	byz := c.Net.Endpoint(1)
+	send := func(to int, msgType string, body any) {
+		byz.Send(wire.Message{
+			To: to, Protocol: rbc.Protocol, Instance: instance,
+			Type: msgType, Payload: wire.MustMarshalBody(body),
+		})
+	}
+	type payloadBody struct{ Payload []byte }
+	type digestBody struct{ Digest [32]byte }
+
+	good := []byte("payload for the wise")
+	bad := []byte("payload for the naive")
+	// Equivocate: the wise parties see `good`, the naive party `bad`.
+	send(0, "SEND", payloadBody{good})
+	send(2, "SEND", payloadBody{good})
+	send(3, "SEND", payloadBody{bad})
+	// Complete the wise parties' quorums (they need three echoes and
+	// three readys under threshold-1 assumptions).
+	send(0, "ECHO", payloadBody{good})
+	send(2, "ECHO", payloadBody{good})
+	send(0, "READY", digestBody{digest(good)})
+	send(2, "READY", digestBody{digest(good)})
+	// Single-handedly complete the naive party's rules: {1,3} is an echo
+	// quorum, a blocking set, and a delivery quorum in 3's system.
+	send(3, "ECHO", payloadBody{bad})
+	send(3, "READY", digestBody{digest(bad)})
+
+	got := col.waitAll(t, []int{0, 2, 3})
+	if !bytes.Equal(got[0], good) || !bytes.Equal(got[2], good) {
+		t.Fatalf("wise parties disagree: 0=%q 2=%q", got[0], got[2])
+	}
+	if !bytes.Equal(got[3], bad) {
+		t.Fatalf("naive party delivered %q, attack expected %q", got[3], bad)
+	}
+}
+
+// TestAsymmetricRBCGuildLiveness corrupts party 3 by crashing it. All of
+// 0, 1, and 2 are wise for this corruption and form a guild, so an
+// honest sender's broadcast must still deliver identically at all three
+// without any help from 3.
+func TestAsymmetricRBCGuildLiveness(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 5, Corrupted: []int{3}})
+	q := wiseNaiveTrust(t)
+	wise := q.WiseSet(adversary.SetOf(3))
+	if wise != adversary.SetOf(0, 1, 2) {
+		t.Fatalf("wise set for corruption {3}: %v", wise.Members())
+	}
+	if guild := q.Guild(adversary.SetOf(3)); guild != adversary.SetOf(0, 1, 2) {
+		t.Fatalf("guild for corruption {3}: %v", guild.Members())
+	}
+	col := newCollector(4)
+	insts := startAsymInstances(c, q, col, 0, "live", []int{0, 1, 2})
+	msg := []byte("guild delivers without the naive party")
+	if err := insts[0].Start(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := col.waitAll(t, []int{0, 1, 2})
+	for p, payload := range got {
+		if !bytes.Equal(payload, msg) {
+			t.Fatalf("party %d delivered %q", p, payload)
+		}
+	}
+}
+
+// TestAsymmetricRBCFaultsimEquivocation drives the corruption through
+// faultsim: party 1 runs the honest protocol code behind an equivocation
+// transport that shows odd-indexed recipients a corrupted copy of every
+// message. The sender 0 is honest, so the wise parties 0 and 2 (whose
+// fail-prone systems contain {1}) must deliver one identical payload;
+// the naive party 3 — whose every quorum contains the equivocator — may
+// lose liveness but must never drag the wise parties apart.
+func TestAsymmetricRBCFaultsimEquivocation(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	c := testutil.NewCluster(t, st, testutil.Options{Seed: 23, Corrupted: []int{1}})
+	q := wiseNaiveTrust(t)
+
+	// Party 1 runs the honest code over a two-faced transport.
+	byzTr := faultsim.Wrap(c.Net.Endpoint(1), 23, faultsim.Equivocate())
+	byzRouter := engine.NewRouter(byzTr)
+	routerDone := make(chan struct{})
+	go func() { defer close(routerDone); byzRouter.Run() }()
+	t.Cleanup(func() { c.Stop(); <-routerDone })
+
+	col := newCollector(4)
+	insts := startAsymInstances(c, q, col, 0, "fs", []int{0, 2, 3})
+	byzRouter.DoSync(func() {
+		rbc.New(rbc.Config{
+			Router:   byzRouter,
+			Struct:   st,
+			Trust:    q,
+			Instance: rbc.InstanceID(0, "fs"),
+			Sender:   0,
+			Deliver:  col.deliverFn(1),
+		})
+	})
+	msg := []byte("wise agreement past a two-faced echoer")
+	if err := insts[0].Start(msg); err != nil {
+		t.Fatal(err)
+	}
+	// The wise parties 0 and 2 must deliver the sender's payload;
+	// delivery at the naive 3 is not guaranteed under this attack (its
+	// quorums hinge on the equivocator), so only the wise pair is
+	// awaited.
+	got := col.waitAll(t, []int{0, 2})
+	if !bytes.Equal(got[0], msg) || !bytes.Equal(got[2], msg) {
+		t.Fatalf("wise parties diverged from the honest sender: 0=%q 2=%q", got[0], got[2])
+	}
+
+	// Any late delivery from a wise party must match — drain briefly.
+	deadline := time.After(200 * time.Millisecond)
+	for {
+		select {
+		case d := <-col.ch:
+			if (d.party == 0 || d.party == 2) && !bytes.Equal(d.payload, msg) {
+				t.Fatalf("wise party %d re-delivered different payload %q", d.party, d.payload)
+			}
+		case <-deadline:
+			return
+		}
+	}
+}
+
+func digest(p []byte) [32]byte {
+	return sha256.Sum256(p)
+}

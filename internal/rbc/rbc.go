@@ -12,8 +12,15 @@
 // party pair.
 //
 // Thresholds follow the generalized substitution rules (§4.2): the echo
-// quorum is IsQuorum (n−t), READY amplification needs a set outside the
-// adversary structure (t+1), and delivery needs an IsStrong set (2t+1).
+// quorum is IsQuorum (n−t), READY amplification needs a set that blocks
+// every quorum (t+1), and delivery needs the strong rule (2t+1). All
+// three are evaluated through a trust.Quorums backend with this party as
+// the observer, so the same code runs under the paper's shared adversary
+// structure and under asymmetric per-party quorum systems: a wise party
+// (one whose fail-prone assumption covers the actual corruption set)
+// keeps agreement with every other wise party, because any two wise
+// parties' quorums intersect outside the corruption set and an honest
+// party sends at most one READY per instance.
 package rbc
 
 import (
@@ -25,6 +32,7 @@ import (
 	"sintra/internal/adversary"
 	"sintra/internal/engine"
 	"sintra/internal/obs"
+	"sintra/internal/trust"
 )
 
 // Protocol is the wire protocol name of reliable broadcast.
@@ -74,6 +82,10 @@ type Config struct {
 	Router *engine.Router
 	// Struct is the adversary structure.
 	Struct *adversary.Structure
+	// Trust optionally overrides the quorum backend consulted for the
+	// echo-quorum, amplification, and delivery rules; nil wraps Struct
+	// in the symmetric backend, preserving the original behavior.
+	Trust trust.Quorums
 	// Instance is the instance identifier (use InstanceID).
 	Instance string
 	// Sender is the broadcasting party.
@@ -89,7 +101,9 @@ type Config struct {
 // RBC is one reliable-broadcast instance. All methods must be called from
 // the router's dispatch goroutine (or before it starts).
 type RBC struct {
-	cfg Config
+	cfg   Config
+	trust trust.Quorums
+	self  int
 
 	echoed    bool
 	readySent bool
@@ -108,10 +122,15 @@ type RBC struct {
 func New(cfg Config) *RBC {
 	r := &RBC{
 		cfg:      cfg,
+		trust:    cfg.Trust,
+		self:     cfg.Router.Self(),
 		echoes:   make(map[[32]byte]adversary.Set),
 		readies:  make(map[[32]byte]adversary.Set),
 		payloads: make(map[[32]byte][]byte),
 		span:     obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
+	}
+	if r.trust == nil {
+		r.trust = trust.NewSymmetric(cfg.Struct)
 	}
 	cfg.Router.Register(Protocol, cfg.Instance, r.Handle)
 	return r
@@ -190,7 +209,7 @@ func (r *RBC) onEcho(from int, payload []byte) {
 	if _, ok := r.payloads[d]; !ok {
 		r.payloads[d] = payload
 	}
-	if r.cfg.Struct.IsQuorum(r.echoes[d]) {
+	if r.trust.IsQuorum(r.self, r.echoes[d]) {
 		r.sendReady(d)
 	}
 	r.tryDeliver(d)
@@ -201,7 +220,9 @@ func (r *RBC) onReady(from int, d [32]byte) {
 		return
 	}
 	r.readies[d] = r.readies[d].Add(from)
-	if r.cfg.Struct.HasHonest(r.readies[d]) {
+	// Amplification: once the READY senders block every quorum of this
+	// party, some honest party in one of them sent READY first.
+	if r.trust.Blocks(r.self, r.readies[d]) {
 		r.sendReady(d)
 	}
 	r.tryDeliver(d)
@@ -216,7 +237,7 @@ func (r *RBC) sendReady(d [32]byte) {
 }
 
 func (r *RBC) tryDeliver(d [32]byte) {
-	if r.delivered || !r.cfg.Struct.IsStrong(r.readies[d]) {
+	if r.delivered || !r.trust.IsStrong(r.self, r.readies[d]) {
 		return
 	}
 	p, ok := r.payloads[d]

@@ -29,6 +29,7 @@ import (
 	"sintra/internal/obs"
 	"sintra/internal/threnc"
 	"sintra/internal/thresig"
+	"sintra/internal/trust"
 	"sintra/internal/wire"
 )
 
@@ -53,6 +54,10 @@ type Config struct {
 	Router *engine.Router
 	// Struct is the adversary structure.
 	Struct *adversary.Structure
+	// Trust optionally overrides the quorum backend for the whole
+	// protocol stack below (atomic broadcast down to reliable
+	// broadcast); nil wraps Struct in the symmetric backend.
+	Trust trust.Quorums
 	// Instance identifies the replicated service; it doubles as the
 	// required ciphertext label.
 	Instance string
@@ -136,6 +141,7 @@ func New(cfg Config) *SCABC {
 	s.abc = abc.New(abc.Config{
 		Router:          cfg.Router,
 		Struct:          cfg.Struct,
+		Trust:           cfg.Trust,
 		Instance:        cfg.Instance + "/ord",
 		Identity:        cfg.Identity,
 		IDKey:           cfg.IDKey,

@@ -1,0 +1,392 @@
+package trust
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"sintra/internal/adversary"
+)
+
+// FailProne is one party's fail-prone system: the monotone family of
+// party sets this party believes may jointly fail, given either as a
+// threshold (any set of at most Thresh parties) or as the family's
+// maximal sets. Exactly one representation is active per value.
+type FailProne struct {
+	// Thresh >= 0 selects the threshold representation; -1 selects
+	// MaxSets.
+	Thresh int
+	// MaxSets lists the maximal fail-prone sets (Thresh == -1 only).
+	MaxSets []adversary.Set
+}
+
+// Threshold builds the fail-prone system "any t parties may fail".
+func Threshold(t int) FailProne { return FailProne{Thresh: t} }
+
+// General builds a fail-prone system from a generating family of sets;
+// NewAsymmetric maximalizes it.
+func General(sets ...adversary.Set) FailProne {
+	return FailProne{Thresh: -1, MaxSets: sets}
+}
+
+// SystemFromStructure reuses a shared structure's adversary family as
+// one party's fail-prone system.
+func SystemFromStructure(st *adversary.Structure) (FailProne, error) {
+	if st.IsThreshold() {
+		return Threshold(st.Thresh), nil
+	}
+	sets, err := st.MaximalSets()
+	if err != nil {
+		return FailProne{}, err
+	}
+	return General(sets...), nil
+}
+
+// Asymmetric implements per-party trust: party i brings its own
+// fail-prone system F_i, and its quorum system is the canonical one
+// induced by it, Q_i = {Q : Q ⊇ P ∖ F for some F ∈ F_i}. The predicates
+// answer from the observer's own system:
+//
+//   - IsQuorum(i, S): the complement of S lies in F_i, i.e. S contains
+//     the complement of a maximal fail-prone set of i.
+//   - HasHonest(i, S) = Blocks(i, S): S is not contained in any set of
+//     F_i. For canonical quorum systems the kernel rule (intersect every
+//     quorum of i) and the honest-witness rule are the same predicate.
+//   - IsStrong(i, S) = IsQuorum(i, S): the delivery rule is a full
+//     quorum of readys. Unlike the symmetric 2t+1 rule, a
+//     strong-but-subquorum set gives the observer no cross-observer
+//     intersection guarantee, and the B³ property below only makes
+//     *quorums* of two wise parties intersect outside the actual
+//     corruption set. Bracha delivery therefore waits for IsQuorum.
+//
+// Construction validates the B³ property of the collection {F_i} (the
+// asymmetric analogue of Q³):
+//
+//	∀ i, j, ∀ A ∈ F_i, B ∈ F_j, C ∈ F_i ∩ F_j:  A ∪ B ∪ C ≠ P.
+//
+// B³ is exactly consistency of the induced canonical quorum systems
+// (two wise parties' quorums intersect in a party neither considers
+// faulty) and, taking i = j, implies each party's own Q³, which gives
+// availability: the honest parties form a quorum for every wise party.
+//
+// Whether a party actually enjoys these guarantees depends on the run:
+// given the set of really corrupted parties, a party whose fail-prone
+// system anticipated it (the set lies in F_i) is wise and keeps safety
+// and liveness; a naive party guessed wrong and may lose either — but,
+// by B³ among the wise, can never drag wise parties into disagreement.
+type Asymmetric struct {
+	n       int
+	systems []FailProne
+	caches  []*predCache // per observer; nil entries for threshold systems
+}
+
+// NewAsymmetric builds and validates an asymmetric trust backend from
+// one fail-prone system per party.
+func NewAsymmetric(n int, systems []FailProne) (*Asymmetric, error) {
+	if n < 1 || n > adversary.MaxParties {
+		return nil, fmt.Errorf("trust: n=%d out of range [1,%d]", n, adversary.MaxParties)
+	}
+	if len(systems) != n {
+		return nil, fmt.Errorf("trust: %d fail-prone systems for %d parties", len(systems), n)
+	}
+	a := &Asymmetric{n: n, systems: make([]FailProne, n), caches: make([]*predCache, n)}
+	full := adversary.FullSet(n)
+	for i, sys := range systems {
+		if sys.Thresh >= 0 {
+			if sys.Thresh >= n {
+				return nil, fmt.Errorf("trust: party %d threshold %d >= n=%d", i, sys.Thresh, n)
+			}
+			a.systems[i] = FailProne{Thresh: sys.Thresh}
+			continue
+		}
+		if len(sys.MaxSets) == 0 {
+			return nil, fmt.Errorf("trust: party %d has an empty fail-prone system", i)
+		}
+		for _, s := range sys.MaxSets {
+			if !s.SubsetOf(full) {
+				return nil, fmt.Errorf("trust: party %d fail-prone set %v exceeds party range", i, s)
+			}
+			if s == full {
+				return nil, fmt.Errorf("trust: party %d considers the full party set fail-prone", i)
+			}
+		}
+		a.systems[i] = FailProne{Thresh: -1, MaxSets: maximalizeSets(sys.MaxSets)}
+		if len(a.systems[i].MaxSets) >= cacheMinSets {
+			a.caches[i] = newPredCache()
+		}
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// maximalizeSets drops duplicates and sets contained in other sets of
+// the family, processing larger sets first so one pass suffices.
+func maximalizeSets(sets []adversary.Set) []adversary.Set {
+	sorted := append([]adversary.Set(nil), sets...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Count() > sorted[j].Count() })
+	var out []adversary.Set
+	for _, c := range sorted {
+		contained := false
+		for _, m := range out {
+			if c.SubsetOf(m) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// N returns the number of parties.
+func (a *Asymmetric) N() int { return a.n }
+
+// System returns party i's fail-prone system (maximalized).
+func (a *Asymmetric) System(i int) FailProne { return a.systems[i] }
+
+func (a *Asymmetric) checkObserver(observer int) {
+	if observer < 0 || observer >= a.n {
+		panic(fmt.Sprintf("trust: observer %d out of range [0,%d)", observer, a.n))
+	}
+}
+
+// inFailProne reports s ∈ F_observer.
+func (a *Asymmetric) inFailProne(observer int, s adversary.Set) bool {
+	sys := a.systems[observer]
+	if sys.Thresh >= 0 {
+		return s.Count() <= sys.Thresh
+	}
+	scan := func() bool {
+		for _, m := range sys.MaxSets {
+			if s.SubsetOf(m) {
+				return true
+			}
+		}
+		return false
+	}
+	if c := a.caches[observer]; c != nil {
+		return c.lookup(cacheInAdversary, s, scan)
+	}
+	return scan()
+}
+
+// IsQuorum reports whether s is one of the observer's canonical quorums.
+func (a *Asymmetric) IsQuorum(observer int, s adversary.Set) bool {
+	a.checkObserver(observer)
+	return a.inFailProne(observer, s.Complement(a.n))
+}
+
+// HasHonest reports whether the observer's assumption guarantees an
+// honest member in s.
+func (a *Asymmetric) HasHonest(observer int, s adversary.Set) bool {
+	a.checkObserver(observer)
+	return !a.inFailProne(observer, s)
+}
+
+// Blocks reports whether s intersects every quorum of the observer,
+// i.e. contains one of the kernel sets of the observer's quorum system.
+// For canonical systems this coincides with HasHonest: s meets every
+// set P∖F exactly when s fits inside no F.
+func (a *Asymmetric) Blocks(observer int, s adversary.Set) bool {
+	a.checkObserver(observer)
+	return !a.inFailProne(observer, s)
+}
+
+// IsStrong is the observer's delivery rule: a full quorum (see the type
+// comment for why asymmetric delivery cannot use a weaker set).
+func (a *Asymmetric) IsStrong(observer int, s adversary.Set) bool {
+	return a.IsQuorum(observer, s)
+}
+
+// Wise reports whether party i's trust assumption covers the actual
+// corruption set: corrupted ∈ F_i. Wise parties keep both safety and
+// liveness; naive parties may lose either.
+func (a *Asymmetric) Wise(i int, corrupted adversary.Set) bool {
+	a.checkObserver(i)
+	return a.inFailProne(i, corrupted)
+}
+
+// WiseSet returns the uncorrupted parties that are wise with respect to
+// the given actual corruption set.
+func (a *Asymmetric) WiseSet(corrupted adversary.Set) adversary.Set {
+	var out adversary.Set
+	for i := 0; i < a.n; i++ {
+		if !corrupted.Has(i) && a.inFailProne(i, corrupted) {
+			out = out.Add(i)
+		}
+	}
+	return out
+}
+
+// NaiveSet returns the uncorrupted parties whose assumption the actual
+// corruption set escapes.
+func (a *Asymmetric) NaiveSet(corrupted adversary.Set) adversary.Set {
+	return adversary.FullSet(a.n).Minus(corrupted).Minus(a.WiseSet(corrupted))
+}
+
+// Guild returns the maximal guild for the corruption set: the largest
+// set G of wise parties such that every member of G has one of its own
+// quorums inside G. A non-empty guild is the asymmetric liveness
+// condition — guild members can drive protocols to completion among
+// themselves. Computed as the greatest fixpoint of removing members
+// without an internal quorum.
+func (a *Asymmetric) Guild(corrupted adversary.Set) adversary.Set {
+	g := a.WiseSet(corrupted)
+	for changed := true; changed; {
+		changed = false
+		for _, i := range g.Members() {
+			if !a.IsQuorum(i, g) {
+				g = g.Remove(i)
+				changed = true
+			}
+		}
+	}
+	return g
+}
+
+// maxFailProne materializes party i's maximal fail-prone sets,
+// enumerating the threshold representation. Used only by validation.
+func (a *Asymmetric) maxFailProne(i int) []adversary.Set {
+	sys := a.systems[i]
+	if sys.Thresh < 0 {
+		return sys.MaxSets
+	}
+	return thresholdSets(a.n, sys.Thresh)
+}
+
+// thresholdSets enumerates all subsets of [0,n) with exactly t members.
+func thresholdSets(n, t int) []adversary.Set {
+	var out []adversary.Set
+	var rec func(next int, left int, cur adversary.Set)
+	rec = func(next, left int, cur adversary.Set) {
+		if left == 0 {
+			out = append(out, cur)
+			return
+		}
+		if n-next < left {
+			return
+		}
+		rec(next+1, left-1, cur.Add(next))
+		rec(next+1, left, cur)
+	}
+	rec(0, t, 0)
+	return out
+}
+
+// validateEnumerationBound mirrors the adversary package's limit on
+// exhaustive set enumeration: threshold-only systems validate in closed
+// form at any n, but as soon as a generalized system is present the
+// pairwise check enumerates and n must stay small.
+const maxValidateParties = 24
+
+// Validate checks the B³ consistency/availability condition of the
+// collection of fail-prone systems (see the type comment). Threshold ×
+// threshold pairs use the closed form t_i + t_j + min(t_i,t_j) < n; any
+// pair involving a generalized system is checked by enumeration.
+func (a *Asymmetric) Validate() error {
+	if a.n < 1 {
+		return errors.New("trust: empty asymmetric system")
+	}
+	hasGeneral := false
+	for _, sys := range a.systems {
+		if sys.Thresh < 0 {
+			hasGeneral = true
+		}
+	}
+	if hasGeneral && a.n > maxValidateParties {
+		return fmt.Errorf("trust: generalized asymmetric systems support 1..%d parties, got %d", maxValidateParties, a.n)
+	}
+	for i := 0; i < a.n; i++ {
+		for j := i; j < a.n; j++ {
+			if err := a.checkPairB3(i, j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkPairB3 verifies B³ for the pair (i, j): no A ∈ F_i, B ∈ F_j and
+// C in both downward closures may cover the party set. Any such C is
+// contained in some A' ∩ B' with A' ∈ F_i*, B' ∈ F_j*, so iterating C
+// over those intersections is exhaustive.
+func (a *Asymmetric) checkPairB3(i, j int) error {
+	ti, tj := a.systems[i].Thresh, a.systems[j].Thresh
+	if ti >= 0 && tj >= 0 {
+		m := ti
+		if tj < m {
+			m = tj
+		}
+		if ti+tj+m >= a.n {
+			return fmt.Errorf("trust: B³ violated for parties %d,%d: thresholds %d+%d+min=%d ≥ n=%d", i, j, ti, tj, ti+tj+m, a.n)
+		}
+		return nil
+	}
+	full := adversary.FullSet(a.n)
+	fi, fj := a.maxFailProne(i), a.maxFailProne(j)
+	// C candidates: maximal intersections of one set from each system.
+	var inter []adversary.Set
+	for _, x := range fi {
+		for _, y := range fj {
+			inter = append(inter, x.Intersect(y))
+		}
+	}
+	inter = maximalizeSets(inter)
+	for _, x := range fi {
+		for _, y := range fj {
+			xy := x.Union(y)
+			if xy == full {
+				return fmt.Errorf("trust: B³ violated for parties %d,%d: fail-prone sets %v ∪ %v cover all parties", i, j, x, y)
+			}
+			for _, c := range inter {
+				if xy.Union(c) == full {
+					return fmt.Errorf("trust: B³ violated for parties %d,%d: %v ∪ %v ∪ %v covers all parties", i, j, x, y, c)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CompatibleWithAccess checks that every party's canonical quorums are
+// qualified under the dealer's secret-sharing access structure (given
+// as its monotone predicate over party sets). Gated coins (CoinGate)
+// complete for an observer exactly when a quorum's shares arrive, so an
+// unqualified quorum would starve that observer even in fault-free
+// runs. Access predicates are monotone, so checking the minimal
+// canonical quorums — complements of the maximal fail-prone sets — is
+// exhaustive.
+func (a *Asymmetric) CompatibleWithAccess(qualified func(adversary.Set) bool) error {
+	full := adversary.FullSet(a.n)
+	for i := 0; i < a.n; i++ {
+		for _, f := range a.maxFailProne(i) {
+			if q := full.Minus(f); !qualified(q) {
+				return fmt.Errorf("trust: party %d quorum %v is not qualified under the sharing access structure", i, q)
+			}
+		}
+	}
+	return nil
+}
+
+// String summarizes the backend.
+func (a *Asymmetric) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "asymmetric(n=%d;", a.n)
+	for i, sys := range a.systems {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if sys.Thresh >= 0 {
+			fmt.Fprintf(&b, "t=%d", sys.Thresh)
+		} else {
+			fmt.Fprintf(&b, "|F*|=%d", len(sys.MaxSets))
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}

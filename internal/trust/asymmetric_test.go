@@ -1,0 +1,221 @@
+package trust
+
+import (
+	"strings"
+	"testing"
+
+	"sintra/internal/adversary"
+)
+
+func set(members ...int) adversary.Set {
+	var s adversary.Set
+	for _, m := range members {
+		s = s.Add(m)
+	}
+	return s
+}
+
+// wiseNaiveSystem is the running example of the asymmetric tests:
+// n = 4, parties 0–2 assume any single failure, party 3 instead bets
+// that only {0,2} (or subsets) can fail. B³ holds. With actual
+// corruption {1}, parties 0 and 2 are wise and party 3 is naive.
+func wiseNaiveSystem(t testing.TB) *Asymmetric {
+	t.Helper()
+	a, err := NewAsymmetric(4, []FailProne{
+		Threshold(1), Threshold(1), Threshold(1), General(set(0, 2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAsymmetricPredicates(t *testing.T) {
+	a := wiseNaiveSystem(t)
+	if a.N() != 4 {
+		t.Fatalf("N=%d", a.N())
+	}
+	// Threshold observer 0: quorums are any 3 parties.
+	if !a.IsQuorum(0, set(0, 2, 3)) || a.IsQuorum(0, set(0, 2)) {
+		t.Fatal("threshold observer quorum rule wrong")
+	}
+	// Observer 3's canonical quorums contain P∖{0,2} = {1,3}.
+	if !a.IsQuorum(3, set(1, 3)) {
+		t.Fatal("observer 3 must accept {1,3} as a quorum")
+	}
+	if a.IsQuorum(3, set(0, 2, 3)) {
+		t.Fatal("observer 3 accepted a set missing its quorum core {1,3}")
+	}
+	// HasHonest/Blocks: a set inside F_i has no guaranteed honest member
+	// and misses some quorum.
+	if a.HasHonest(3, set(0, 2)) || a.Blocks(3, set(0, 2)) {
+		t.Fatal("{0,2} is fail-prone for observer 3")
+	}
+	if !a.HasHonest(3, set(0, 1)) || !a.Blocks(3, set(0, 1)) {
+		t.Fatal("{0,1} escapes observer 3's fail-prone system")
+	}
+	if a.HasHonest(0, set(1)) || !a.HasHonest(0, set(1, 2)) {
+		t.Fatal("threshold observer honest-witness rule wrong")
+	}
+	// Asymmetric delivery rule is the quorum rule.
+	for obs := 0; obs < 4; obs++ {
+		for v := adversary.Set(0); v < 1<<4; v++ {
+			if a.IsStrong(obs, v) != a.IsQuorum(obs, v) {
+				t.Fatalf("IsStrong(%d,%v) != IsQuorum", obs, v)
+			}
+		}
+	}
+}
+
+func TestAsymmetricWiseNaiveGuild(t *testing.T) {
+	a := wiseNaiveSystem(t)
+	corrupted := set(1)
+	if !a.Wise(0, corrupted) || !a.Wise(2, corrupted) {
+		t.Fatal("threshold-1 parties must be wise under a single corruption")
+	}
+	if a.Wise(3, corrupted) {
+		t.Fatal("party 3 bet on {0,2} and must be naive under corruption {1}")
+	}
+	if got := a.WiseSet(corrupted); got != set(0, 2) {
+		t.Fatalf("WiseSet=%v, want {0,2}", got)
+	}
+	if got := a.NaiveSet(corrupted); got != set(3) {
+		t.Fatalf("NaiveSet=%v, want {3}", got)
+	}
+	// The two wise parties alone contain no quorum of their own (they
+	// need 3 parties), so the guild is empty: liveness for the wise in
+	// this run depends on the honest naive party still following the
+	// protocol.
+	if got := a.Guild(corrupted); got != set() {
+		t.Fatalf("Guild=%v, want empty", got)
+	}
+	// A corruption everyone anticipated yields a full guild.
+	if got := a.Guild(set(3)); got != set(0, 1, 2) {
+		t.Fatalf("Guild({3})=%v, want {0,1,2}", got)
+	}
+	// Corrupted parties are neither wise nor naive.
+	if a.WiseSet(set(0)).Has(0) || a.NaiveSet(set(0)).Has(0) {
+		t.Fatal("corrupted party classified")
+	}
+}
+
+func TestAsymmetricB3Validation(t *testing.T) {
+	// Threshold closed form: t_i + t_j + min ≥ n must be rejected.
+	if _, err := NewAsymmetric(4, []FailProne{
+		Threshold(1), Threshold(2), Threshold(1), Threshold(1),
+	}); err == nil || !strings.Contains(err.Error(), "B³") {
+		t.Fatalf("2+1+1 ≥ 4 accepted: %v", err)
+	}
+	// All parties at the symmetric optimum 3t < n pass.
+	if _, err := NewAsymmetric(7, []FailProne{
+		Threshold(2), Threshold(2), Threshold(2), Threshold(2),
+		Threshold(2), Threshold(2), Threshold(2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Mixed pair: a generalized bet {0,1,2} plus threshold 1 lets
+	// A={3}, B={0,1,2} cover P.
+	if _, err := NewAsymmetric(4, []FailProne{
+		Threshold(1), Threshold(1), Threshold(1), General(set(0, 1, 2)),
+	}); err == nil || !strings.Contains(err.Error(), "B³") {
+		t.Fatalf("covering pair accepted: %v", err)
+	}
+	// Generalized self-pair (Q³ of the party's own system): three copies
+	// of sets covering P.
+	if _, err := NewAsymmetric(3, []FailProne{
+		General(set(0), set(1), set(2)), General(set(0)), General(set(0)),
+	}); err == nil || !strings.Contains(err.Error(), "B³") {
+		t.Fatalf("non-Q³ self system accepted: %v", err)
+	}
+	// The wise/naive running example is valid.
+	wiseNaiveSystem(t)
+}
+
+func TestAsymmetricConstructionErrors(t *testing.T) {
+	if _, err := NewAsymmetric(2, []FailProne{Threshold(0)}); err == nil {
+		t.Fatal("system count mismatch accepted")
+	}
+	if _, err := NewAsymmetric(2, []FailProne{Threshold(2), Threshold(0)}); err == nil {
+		t.Fatal("threshold ≥ n accepted")
+	}
+	if _, err := NewAsymmetric(2, []FailProne{General(), Threshold(0)}); err == nil {
+		t.Fatal("empty fail-prone system accepted")
+	}
+	if _, err := NewAsymmetric(2, []FailProne{General(set(0, 1)), Threshold(0)}); err == nil {
+		t.Fatal("full-set fail-prone accepted")
+	}
+	if _, err := NewAsymmetric(2, []FailProne{General(set(5)), Threshold(0)}); err == nil {
+		t.Fatal("out-of-range fail-prone set accepted")
+	}
+}
+
+// TestAsymmetricMatchesSymmetricWhenUniform checks that when every
+// party adopts the shared structure's fail-prone family, quorum and
+// honest-witness answers coincide with the symmetric backend for every
+// observer and subset.
+func TestAsymmetricMatchesSymmetricWhenUniform(t *testing.T) {
+	st := adversary.Example1()
+	sys, err := SystemFromStructure(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems := make([]FailProne, st.N())
+	for i := range systems {
+		systems[i] = sys
+	}
+	a, err := NewAsymmetric(st.N(), systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := NewSymmetric(st)
+	for v := uint64(0); v < 1<<uint(st.N()); v++ {
+		s := adversary.Set(v)
+		for obs := 0; obs < st.N(); obs++ {
+			if a.IsQuorum(obs, s) != sym.IsQuorum(obs, s) {
+				t.Fatalf("IsQuorum(%d,%v) diverges from symmetric", obs, s)
+			}
+			if a.HasHonest(obs, s) != sym.HasHonest(obs, s) {
+				t.Fatalf("HasHonest(%d,%v) diverges from symmetric", obs, s)
+			}
+		}
+	}
+}
+
+func TestAsymmetricMaximalization(t *testing.T) {
+	a, err := NewAsymmetric(4, []FailProne{
+		Threshold(1), Threshold(1), Threshold(1),
+		General(set(0), set(0, 2), set(0), set(2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := a.System(3)
+	if len(sys.MaxSets) != 1 || sys.MaxSets[0] != set(0, 2) {
+		t.Fatalf("maximalization kept %v, want [{0,2}]", sys.MaxSets)
+	}
+}
+
+func TestCompatibleWithAccess(t *testing.T) {
+	a := wiseNaiveSystem(t)
+	// Any-two-parties access (threshold t=1 dealing): all canonical
+	// quorums ({1,3} and all 3-sets) have ≥ 2 members.
+	if err := a.CompatibleWithAccess(func(s adversary.Set) bool { return s.Count() >= 2 }); err != nil {
+		t.Fatal(err)
+	}
+	// Three-party access starves observer 3, whose minimal quorum {1,3}
+	// has only two members.
+	err := a.CompatibleWithAccess(func(s adversary.Set) bool { return s.Count() >= 3 })
+	if err == nil || !strings.Contains(err.Error(), "party 3") {
+		t.Fatalf("incompatible access accepted: %v", err)
+	}
+}
+
+func TestAsymmetricObserverRangePanics(t *testing.T) {
+	a := wiseNaiveSystem(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range observer did not panic")
+		}
+	}()
+	a.IsQuorum(4, set(0))
+}

@@ -1,0 +1,76 @@
+package trust
+
+import (
+	"math/rand"
+	"testing"
+
+	"sintra/internal/adversary"
+)
+
+// BenchmarkQuorumPredicates compares the per-message cost of the quorum
+// predicates across backends: threshold (O(1) popcount), generalized
+// uncached (maximal-set enumeration, what every message paid before the
+// memo cache), generalized through the symmetric backend's cache, and
+// asymmetric per-party systems. The party sets cycle through a fixed
+// sample so the cached rows measure steady-state hits, as in a running
+// protocol instance re-counting the same echo/ready sets.
+func BenchmarkQuorumPredicates(b *testing.B) {
+	const n = 16
+	rnd := rand.New(rand.NewSource(42))
+	sample := make([]adversary.Set, 256)
+	for i := range sample {
+		sample[i] = adversary.Set(rnd.Uint64() & ((1 << n) - 1))
+	}
+	run := func(b *testing.B, isQuorum func(s adversary.Set) bool, isStrong func(s adversary.Set) bool) {
+		b.ReportAllocs()
+		sink := false
+		for i := 0; i < b.N; i++ {
+			s := sample[i%len(sample)]
+			sink = isQuorum(s) != isStrong(s)
+		}
+		_ = sink
+	}
+
+	threshold := adversary.MustThreshold(n, 5)
+	b.Run("threshold", func(b *testing.B) {
+		run(b, threshold.IsQuorum, threshold.IsStrong)
+	})
+
+	// Small family (the paper's Example 2, |A*| = 16): enumeration is
+	// cheap and the backend deliberately skips the cache.
+	general := adversary.Example2()
+	b.Run("general-small", func(b *testing.B) {
+		run(b, general.IsQuorum, general.IsStrong)
+	})
+
+	// Large family (674 maximal sets): first uncached — the cost every
+	// message paid before memoization — then through the cache.
+	big := bigFamilyStructure(b)
+	b.Run("general-big-uncached", func(b *testing.B) {
+		run(b, big.IsQuorum, big.IsStrong)
+	})
+	cached := NewSymmetric(big)
+	b.Run("general-big-cached", func(b *testing.B) {
+		run(b,
+			func(s adversary.Set) bool { return cached.IsQuorum(0, s) },
+			func(s adversary.Set) bool { return cached.IsStrong(0, s) })
+	})
+
+	sys, err := SystemFromStructure(general)
+	if err != nil {
+		b.Fatal(err)
+	}
+	systems := make([]FailProne, n)
+	for i := range systems {
+		systems[i] = sys
+	}
+	asym, err := NewAsymmetric(n, systems)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("asymmetric", func(b *testing.B) {
+		run(b,
+			func(s adversary.Set) bool { return asym.IsQuorum(3, s) },
+			func(s adversary.Set) bool { return asym.IsStrong(3, s) })
+	})
+}

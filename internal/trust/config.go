@@ -1,0 +1,110 @@
+package trust
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"sintra/internal/adversary"
+)
+
+// Spec is the operator-facing trust configuration, decoded from JSON
+// (the sintra-node -trust-config flag). The zero spec selects the
+// symmetric backend over the dealt adversary structure — the default of
+// every existing deployment.
+//
+// Asymmetric example, one entry per party (thresholds and explicit
+// maximal fail-prone sets may be mixed):
+//
+//	{"mode": "asymmetric",
+//	 "parties": [{"thresh": 1}, {"thresh": 1},
+//	             {"sets": [[0, 1], [3]]}, {"thresh": 1}]}
+type Spec struct {
+	// Mode is "symmetric" (default when empty) or "asymmetric".
+	Mode string `json:"mode,omitempty"`
+	// Parties gives each party's fail-prone system (asymmetric only).
+	Parties []PartySpec `json:"parties,omitempty"`
+}
+
+// PartySpec is one party's fail-prone system in a Spec: exactly one of
+// Thresh and Sets must be present.
+type PartySpec struct {
+	// Thresh declares "any set of at most this many parties may fail".
+	Thresh *int `json:"thresh,omitempty"`
+	// Sets lists the maximal fail-prone sets as party index lists.
+	Sets [][]int `json:"sets,omitempty"`
+}
+
+// ParseSpec decodes a trust spec, rejecting unknown fields and trailing
+// garbage so configuration typos fail loudly.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("trust: bad spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trust: trailing data after spec")
+	}
+	return &sp, nil
+}
+
+// Encode serializes the spec back to JSON.
+func (sp *Spec) Encode() ([]byte, error) { return json.Marshal(sp) }
+
+// Build resolves the spec against the deployment's dealt structure into
+// a trust backend. The structure fixes n; an asymmetric spec must list
+// exactly one fail-prone system per party.
+func (sp *Spec) Build(st *adversary.Structure) (Quorums, error) {
+	switch sp.Mode {
+	case "", "symmetric":
+		if len(sp.Parties) != 0 {
+			return nil, fmt.Errorf("trust: symmetric spec must not list parties")
+		}
+		return NewSymmetric(st), nil
+	case "asymmetric":
+		n := st.N()
+		if len(sp.Parties) != n {
+			return nil, fmt.Errorf("trust: spec lists %d parties, deployment has %d", len(sp.Parties), n)
+		}
+		systems := make([]FailProne, n)
+		for i, ps := range sp.Parties {
+			sys, err := ps.failProne(n)
+			if err != nil {
+				return nil, fmt.Errorf("trust: party %d: %w", i, err)
+			}
+			systems[i] = sys
+		}
+		return NewAsymmetric(n, systems)
+	default:
+		return nil, fmt.Errorf("trust: unknown mode %q", sp.Mode)
+	}
+}
+
+func (ps *PartySpec) failProne(n int) (FailProne, error) {
+	switch {
+	case ps.Thresh != nil && ps.Sets != nil:
+		return FailProne{}, fmt.Errorf("both thresh and sets given")
+	case ps.Thresh != nil:
+		if *ps.Thresh < 0 || *ps.Thresh >= n {
+			return FailProne{}, fmt.Errorf("thresh %d out of range [0,%d)", *ps.Thresh, n)
+		}
+		return Threshold(*ps.Thresh), nil
+	case ps.Sets != nil:
+		sets := make([]adversary.Set, len(ps.Sets))
+		for k, members := range ps.Sets {
+			var s adversary.Set
+			for _, m := range members {
+				if m < 0 || m >= n {
+					return FailProne{}, fmt.Errorf("party index %d out of range [0,%d)", m, n)
+				}
+				s = s.Add(m)
+			}
+			sets[k] = s
+		}
+		return General(sets...), nil
+	default:
+		return FailProne{}, fmt.Errorf("neither thresh nor sets given")
+	}
+}

@@ -1,0 +1,150 @@
+package trust
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sintra/internal/adversary"
+)
+
+func TestSpecBuildSymmetricDefault(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	for _, raw := range []string{`{}`, `{"mode":"symmetric"}`} {
+		sp, err := ParseSpec([]byte(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", raw, err)
+		}
+		q, err := sp.Build(st)
+		if err != nil {
+			t.Fatalf("%s: %v", raw, err)
+		}
+		if _, ok := q.(*Symmetric); !ok {
+			t.Fatalf("%s built %T", raw, q)
+		}
+	}
+}
+
+func TestSpecBuildAsymmetric(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	raw := `{"mode":"asymmetric","parties":[{"thresh":1},{"thresh":1},{"thresh":1},{"sets":[[0,2]]}]}`
+	sp, err := ParseSpec([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sp.Build(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := q.(*Asymmetric)
+	if !ok {
+		t.Fatalf("built %T", q)
+	}
+	if !a.IsQuorum(3, set(1, 3)) {
+		t.Fatal("decoded backend lost party 3's fail-prone set")
+	}
+}
+
+func TestSpecRejections(t *testing.T) {
+	st := adversary.MustThreshold(4, 1)
+	cases := map[string]string{
+		"unknown field":  `{"mode":"asymmetric","bogus":1}`,
+		"trailing data":  `{} {}`,
+		"unknown mode":   `{"mode":"diagonal"}`,
+		"symmetric+sets": `{"mode":"symmetric","parties":[{"thresh":1}]}`,
+		"party count":    `{"mode":"asymmetric","parties":[{"thresh":1}]}`,
+		"both reps":      `{"mode":"asymmetric","parties":[{"thresh":1,"sets":[[0]]},{"thresh":1},{"thresh":1},{"thresh":1}]}`,
+		"neither rep":    `{"mode":"asymmetric","parties":[{},{"thresh":1},{"thresh":1},{"thresh":1}]}`,
+		"thresh range":   `{"mode":"asymmetric","parties":[{"thresh":4},{"thresh":1},{"thresh":1},{"thresh":1}]}`,
+		"member range":   `{"mode":"asymmetric","parties":[{"sets":[[7]]},{"thresh":1},{"thresh":1},{"thresh":1}]}`,
+		"violates B3":    `{"mode":"asymmetric","parties":[{"thresh":2},{"thresh":2},{"thresh":2},{"thresh":2}]}`,
+		"not valid json": `{"mode"`,
+	}
+	for name, raw := range cases {
+		sp, err := ParseSpec([]byte(raw))
+		if err != nil {
+			continue // rejected at decode time: fine
+		}
+		if _, err := sp.Build(st); err == nil {
+			t.Fatalf("%s: spec %s accepted", name, raw)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	raw := `{"mode":"asymmetric","parties":[{"thresh":1},{"thresh":1},{"thresh":1},{"sets":[[0,2]]}]}`
+	sp, err := ParseSpec([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := sp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := ParseSpec(enc)
+	if err != nil {
+		t.Fatalf("re-parse of %s: %v", enc, err)
+	}
+	if !reflect.DeepEqual(sp, sp2) {
+		t.Fatalf("round trip changed the spec: %+v vs %+v", sp, sp2)
+	}
+}
+
+// FuzzSpecDecode checks the decode path never panics, and that any spec
+// that decodes and builds survives an encode/decode round trip to an
+// equivalent backend.
+func FuzzSpecDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"mode":"symmetric"}`))
+	f.Add([]byte(`{"mode":"asymmetric","parties":[{"thresh":1},{"thresh":1},{"thresh":1},{"sets":[[0,2]]}]}`))
+	f.Add([]byte(`{"mode":"asymmetric","parties":[{"sets":[[0],[1]]},{"thresh":0},{"thresh":0},{"thresh":0}]}`))
+	f.Add([]byte(`{"mode":"asymmetric","bogus":true}`))
+	f.Add([]byte(`[1,2,3]`))
+	st := adversary.MustThreshold(4, 1)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		q, err := sp.Build(st)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty build error")
+			}
+			return
+		}
+		enc, err := sp.Encode()
+		if err != nil {
+			t.Fatalf("valid spec failed to encode: %v", err)
+		}
+		sp2, err := ParseSpec(enc)
+		if err != nil {
+			t.Fatalf("encoded spec %s failed to parse: %v", enc, err)
+		}
+		q2, err := sp2.Build(st)
+		if err != nil {
+			t.Fatalf("round-tripped spec %s failed to build: %v", enc, err)
+		}
+		if !strings.EqualFold(kind(q), kind(q2)) {
+			t.Fatalf("round trip changed backend: %s vs %s", kind(q), kind(q2))
+		}
+		for v := adversary.Set(0); v < 1<<4; v++ {
+			for obs := 0; obs < 4; obs++ {
+				if q.IsQuorum(obs, v) != q2.IsQuorum(obs, v) || q.HasHonest(obs, v) != q2.HasHonest(obs, v) {
+					t.Fatalf("round trip changed predicates at observer %d set %v", obs, v)
+				}
+			}
+		}
+	})
+}
+
+func kind(q Quorums) string {
+	switch q.(type) {
+	case *Symmetric:
+		return "symmetric"
+	case *Asymmetric:
+		return "asymmetric"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,195 @@
+// Package trust abstracts the quorum logic of the protocols behind an
+// observer-indexed interface, so the same protocol code runs under the
+// paper's single shared adversary structure (symmetric trust) and under
+// per-party fail-prone systems (asymmetric trust, Cachin–Tackmann,
+// "Asymmetric Distributed Trust", OPODIS 2019 / arXiv 1906.09314).
+//
+// Every predicate takes the index of the *observer*: the party on whose
+// behalf the question is asked. Symmetric backends ignore it — all
+// parties share one structure — while asymmetric backends answer from
+// the observer's own quorum system. Predicates are named for the
+// protocol role they play, not for a fixed counting rule:
+//
+//   - IsQuorum: the echo-quorum rule (n−t in the threshold world). A
+//     quorum vouching for a value pins it down: any two quorums of any
+//     two (wise) observers intersect in a party that is honest in some
+//     run the observers consider possible.
+//   - HasHonest: the honest-witness rule (t+1). A set the observer's
+//     trust assumption cannot fully corrupt contains at least one
+//     honest party, so a value vouched for by such a set was vouched
+//     for by someone honest.
+//   - Blocks: the kernel rule — the set intersects every quorum of the
+//     observer, so once it supports a value, no quorum can form without
+//     touching it. Under symmetric trust and under canonical asymmetric
+//     quorum systems, Blocks coincides with HasHonest; protocols use
+//     Blocks where the *amplification* role is meant (e.g. Bracha READY
+//     amplification) and HasHonest where the witness role is meant.
+//   - IsStrong: the delivery-grade rule (2t+1). Symmetric backends use
+//     the monotone strong rule of the structure; asymmetric backends
+//     deliberately strengthen this to a full quorum of the observer
+//     (see Asymmetric.IsStrong) because wise-party agreement rests on
+//     quorum intersection, which strong-but-subquorum sets do not give.
+package trust
+
+import (
+	"sync"
+
+	"sintra/internal/adversary"
+)
+
+// Quorums is the trust backend the protocols consult for every
+// quorum-style decision. Implementations must be safe for concurrent
+// use: one backend instance is shared by all protocol instances of a
+// node.
+type Quorums interface {
+	// N returns the number of parties.
+	N() int
+	// IsQuorum reports whether s is a quorum for the observer.
+	IsQuorum(observer int, s adversary.Set) bool
+	// HasHonest reports whether the observer's trust assumption
+	// guarantees an honest member in s.
+	HasHonest(observer int, s adversary.Set) bool
+	// Blocks reports whether s intersects every quorum of the observer.
+	Blocks(observer int, s adversary.Set) bool
+	// IsStrong reports whether s satisfies the observer's delivery rule.
+	IsStrong(observer int, s adversary.Set) bool
+	// Validate checks the backend's internal consistency conditions.
+	Validate() error
+}
+
+// Symmetric adapts a shared *adversary.Structure to the Quorums
+// interface: the paper's original model, where one fail-prone system is
+// common knowledge. The observer argument is ignored. Behavior matches
+// the structure's predicates exactly; generalized (set-enumerating)
+// structures additionally get a bounded memoization cache, since the
+// protocols re-evaluate the same party sets once per message.
+type Symmetric struct {
+	st    *adversary.Structure
+	cache *predCache // nil for threshold/hybrid structures (O(1) predicates)
+}
+
+// NewSymmetric wraps the structure in the symmetric trust backend.
+func NewSymmetric(st *adversary.Structure) *Symmetric {
+	s := &Symmetric{st: st}
+	if !st.IsThreshold() && !st.Hybrid && len(st.MaxSets) >= cacheMinSets {
+		s.cache = newPredCache()
+	}
+	return s
+}
+
+// Structure returns the wrapped adversary structure.
+func (s *Symmetric) Structure() *adversary.Structure { return s.st }
+
+// N returns the number of parties.
+func (s *Symmetric) N() int { return s.st.N() }
+
+func (s *Symmetric) inAdversary(set adversary.Set) bool {
+	if s.cache == nil {
+		return s.st.InAdversary(set)
+	}
+	return s.cache.lookup(cacheInAdversary, set, func() bool { return s.st.InAdversary(set) })
+}
+
+// IsQuorum reports the structure's n−t rule.
+func (s *Symmetric) IsQuorum(_ int, set adversary.Set) bool {
+	if s.cache == nil {
+		return s.st.IsQuorum(set)
+	}
+	// Generalized: s is a quorum iff its complement is corruptible, so
+	// one cached InAdversary entry serves both predicates.
+	return s.inAdversary(set.Complement(s.st.N()))
+}
+
+// HasHonest reports the structure's t+1 rule.
+func (s *Symmetric) HasHonest(_ int, set adversary.Set) bool { return !s.inAdversary(set) }
+
+// Blocks coincides with HasHonest under symmetric trust: a set outside
+// the adversary structure cannot fit inside any quorum's corruptible
+// complement, hence intersects every quorum, and vice versa.
+func (s *Symmetric) Blocks(_ int, set adversary.Set) bool { return !s.inAdversary(set) }
+
+// IsStrong reports the structure's monotone 2t+1 rule.
+func (s *Symmetric) IsStrong(_ int, set adversary.Set) bool {
+	if s.cache == nil {
+		return s.st.IsStrong(set)
+	}
+	return s.cache.lookup(cacheIsStrong, set, func() bool { return s.st.IsStrong(set) })
+}
+
+// Validate delegates to the structure's own validation.
+func (s *Symmetric) Validate() error { return s.st.Validate() }
+
+// predCache memoizes generalized-structure predicate results. The
+// protocols evaluate the same (predicate, party-set) pairs once per
+// received message, and generalized evaluation enumerates maximal sets
+// (IsStrong is quadratic in |A*|); the cache turns steady-state
+// evaluation into one map lookup. It is bounded: when full it resets
+// wholesale rather than evicting — the working set of live protocol
+// instances is tiny compared to the bound, so resets are rare and only
+// cost re-evaluation. Small families skip the cache entirely: below
+// cacheMinSets maximal sets, enumerating is cheaper than the lock plus
+// map lookup (the paper's Example 2, |A*| = 16, evaluates in ~80ns; a
+// 674-set weighted threshold takes tens of microseconds).
+const (
+	cacheMaxEntries = 1 << 13
+	cacheMinSets    = 24
+)
+
+type predKind uint8
+
+const (
+	cacheInAdversary predKind = iota
+	cacheIsStrong
+)
+
+type cacheKey struct {
+	kind predKind
+	set  adversary.Set
+}
+
+type predCache struct {
+	mu sync.Mutex
+	m  map[cacheKey]bool
+}
+
+func newPredCache() *predCache {
+	return &predCache{m: make(map[cacheKey]bool)}
+}
+
+func (c *predCache) lookup(kind predKind, set adversary.Set, eval func() bool) bool {
+	k := cacheKey{kind: kind, set: set}
+	c.mu.Lock()
+	if v, ok := c.m[k]; ok {
+		c.mu.Unlock()
+		return v
+	}
+	c.mu.Unlock()
+	// Evaluate outside the lock: enumeration may be slow and eval is
+	// deterministic, so concurrent duplicate work is harmless.
+	v := eval()
+	c.mu.Lock()
+	if len(c.m) >= cacheMaxEntries {
+		c.m = make(map[cacheKey]bool, cacheMaxEntries/4)
+	}
+	c.m[k] = v
+	c.mu.Unlock()
+	return v
+}
+
+// CoinGate returns the additional readiness predicate a coin combiner
+// must apply under the given backend, or nil when the sharing scheme's
+// access structure is already the right condition. Symmetric trust
+// needs no gate: the dealer's access formula is compatible with the
+// shared structure by construction. Asymmetric trust gates coin
+// completion on one of the observer's own quorums, so a party only
+// accepts a coin value backed by parties it trusts collectively —
+// shares from a set the observer considers wholly corruptible must not
+// finish its coin.
+func CoinGate(q Quorums, observer int) func(adversary.Set) bool {
+	switch q.(type) {
+	case nil, *Symmetric:
+		return nil
+	default:
+		return func(s adversary.Set) bool { return q.IsQuorum(observer, s) }
+	}
+}

@@ -1,0 +1,145 @@
+package trust
+
+import (
+	"math/rand"
+	"testing"
+
+	"sintra/internal/adversary"
+)
+
+// TestSymmetricMatchesStructure checks that the symmetric backend (with
+// its cache engaged) answers exactly like the wrapped structure for
+// every predicate, over every subset of a generalized structure and a
+// threshold one.
+func TestSymmetricMatchesStructure(t *testing.T) {
+	structs := map[string]*adversary.Structure{
+		"threshold": adversary.MustThreshold(7, 2),
+		"general":   adversary.Example1(),
+	}
+	for name, st := range structs {
+		q := NewSymmetric(st)
+		n := st.N()
+		if q.N() != n {
+			t.Fatalf("%s: N=%d, want %d", name, q.N(), n)
+		}
+		total := uint64(1) << uint(n)
+		// Two passes so the second pass reads every answer from the cache.
+		for pass := 0; pass < 2; pass++ {
+			for v := uint64(0); v < total; v++ {
+				s := adversary.Set(v)
+				for obs := 0; obs < n; obs++ {
+					if got, want := q.IsQuorum(obs, s), st.IsQuorum(s); got != want {
+						t.Fatalf("%s pass %d: IsQuorum(%d,%v)=%v, structure says %v", name, pass, obs, s, got, want)
+					}
+					if got, want := q.HasHonest(obs, s), st.HasHonest(s); got != want {
+						t.Fatalf("%s pass %d: HasHonest(%d,%v)=%v, structure says %v", name, pass, obs, s, got, want)
+					}
+					if got, want := q.Blocks(obs, s), st.HasHonest(s); got != want {
+						t.Fatalf("%s pass %d: Blocks(%d,%v)=%v, want HasHonest=%v", name, pass, obs, s, got, want)
+					}
+					if got, want := q.IsStrong(obs, s), st.IsStrong(s); got != want {
+						t.Fatalf("%s pass %d: IsStrong(%d,%v)=%v, structure says %v", name, pass, obs, s, got, want)
+					}
+				}
+			}
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("%s: Validate: %v", name, err)
+		}
+	}
+}
+
+// TestSymmetricHybrid checks the hybrid (TB/TC) path, which bypasses
+// the cache.
+func TestSymmetricHybrid(t *testing.T) {
+	st, err := adversary.NewHybridThreshold(7, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSymmetric(st)
+	total := uint64(1) << 7
+	for v := uint64(0); v < total; v++ {
+		s := adversary.Set(v)
+		if q.IsQuorum(0, s) != st.IsQuorum(s) || q.IsStrong(0, s) != st.IsStrong(s) || q.HasHonest(0, s) != st.HasHonest(s) {
+			t.Fatalf("hybrid mismatch on %v", s)
+		}
+	}
+}
+
+// bigFamilyStructure returns a generalized structure whose maximal-set
+// family is large enough to engage the predicate cache (a weighted
+// threshold over 16 parties, |A*| = 674).
+func bigFamilyStructure(t testing.TB) *adversary.Structure {
+	t.Helper()
+	w := make([]int, 16)
+	for i := range w {
+		w[i] = 1 + i%4
+	}
+	st, err := adversary.NewWeightedThreshold(w, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestPredCacheBounded fills the cache past its bound and checks answers
+// stay correct after the wholesale reset.
+func TestPredCacheBounded(t *testing.T) {
+	st := bigFamilyStructure(t) // n=16: 65536 subsets > cacheMaxEntries
+	q := NewSymmetric(st)
+	if q.cache == nil {
+		t.Fatalf("structure with %d maximal sets did not get a cache", len(st.MaxSets))
+	}
+	rnd := rand.New(rand.NewSource(1))
+	for k := 0; k < 2*cacheMaxEntries; k++ {
+		s := adversary.Set(rnd.Uint64() & ((1 << 16) - 1))
+		if got, want := q.IsStrong(0, s), st.IsStrong(s); got != want {
+			t.Fatalf("IsStrong(%v)=%v after cache churn, want %v", s, got, want)
+		}
+		if got, want := q.IsQuorum(0, s), st.IsQuorum(s); got != want {
+			t.Fatalf("IsQuorum(%v)=%v after cache churn, want %v", s, got, want)
+		}
+	}
+	if got := len(q.cache.m); got > cacheMaxEntries {
+		t.Fatalf("cache grew to %d entries, bound is %d", got, cacheMaxEntries)
+	}
+}
+
+// TestCacheEngagement checks which structures get the memo cache: only
+// generalized families large enough that enumeration beats a map hit.
+func TestCacheEngagement(t *testing.T) {
+	if q := NewSymmetric(adversary.MustThreshold(4, 1)); q.cache != nil {
+		t.Fatal("threshold structure got a cache")
+	}
+	if q := NewSymmetric(adversary.Example2()); q.cache != nil {
+		t.Fatalf("small family (|A*|=%d) got a cache", len(adversary.Example2().MaxSets))
+	}
+	if q := NewSymmetric(adversary.Example1()); q.cache == nil {
+		t.Fatalf("family of %d maximal sets skipped the cache", len(adversary.Example1().MaxSets))
+	}
+}
+
+func TestCoinGate(t *testing.T) {
+	sym := NewSymmetric(adversary.MustThreshold(4, 1))
+	if CoinGate(sym, 0) != nil {
+		t.Fatal("symmetric backend must not gate the coin")
+	}
+	if CoinGate(nil, 0) != nil {
+		t.Fatal("nil backend must not gate the coin")
+	}
+	asym, err := NewAsymmetric(4, []FailProne{Threshold(1), Threshold(1), Threshold(1), Threshold(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := CoinGate(asym, 2)
+	if gate == nil {
+		t.Fatal("asymmetric backend must gate the coin")
+	}
+	quorum := adversary.Set(0).Add(0).Add(1).Add(2)
+	if !gate(quorum) {
+		t.Fatalf("gate rejected quorum %v", quorum)
+	}
+	if gate(adversary.Set(0).Add(0).Add(1)) {
+		t.Fatal("gate accepted a sub-quorum")
+	}
+}

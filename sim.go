@@ -29,6 +29,10 @@ type SimOptions struct {
 	NewService func() StateMachine
 	// Mode selects the dissemination protocol (default ModeAtomic).
 	Mode Mode
+	// Trust optionally overrides every replica's quorum backend; nil
+	// wraps Structure in the symmetric backend (the paper's shared
+	// trust model). See core.NodeConfig.Trust and WithTrust.
+	Trust Quorums
 	// Crashed lists servers that are never started — they stay silent for
 	// the whole run, modelling crash corruption.
 	Crashed []int
@@ -114,6 +118,14 @@ func WithServiceName(name string) SimOption {
 // WithMode selects atomic or secure-causal request dissemination.
 func WithMode(m Mode) SimOption {
 	return func(o *SimOptions) { o.Mode = m }
+}
+
+// WithTrust installs a quorum backend on every replica — e.g. an
+// asymmetric backend built with NewAsymmetricTrust, giving each party
+// its own fail-prone assumptions. Nil (the default) keeps the symmetric
+// backend over the deployment's adversary structure.
+func WithTrust(q Quorums) SimOption {
+	return func(o *SimOptions) { o.Trust = q }
 }
 
 // WithCrashed leaves the listed servers silent for the whole run,
@@ -391,6 +403,7 @@ func (d *SimulatedDeployment) startNode(i int) error {
 		ServiceName:        d.opts.ServiceName,
 		Service:            d.opts.NewService(),
 		Mode:               d.opts.Mode,
+		Trust:              d.opts.Trust,
 		Observer:           d.reg,
 		VerifyWorkers:      workers,
 		VerifyBatch:        d.opts.VerifyBatch,

@@ -46,6 +46,7 @@ import (
 	"sintra/internal/group"
 	"sintra/internal/service"
 	"sintra/internal/thresig"
+	"sintra/internal/trust"
 	"sintra/internal/wire"
 )
 
@@ -62,6 +63,22 @@ type (
 	PartySet = adversary.Set
 	// Classification assigns an attribute value to every server (§4.3).
 	Classification = adversary.Classification
+
+	// Quorums is the observer-indexed quorum backend consulted by every
+	// protocol layer; SymmetricTrust wraps a shared Structure (the
+	// paper's model), AsymmetricTrust gives each party its own
+	// fail-prone assumptions.
+	Quorums = trust.Quorums
+	// SymmetricTrust is the shared-structure quorum backend.
+	SymmetricTrust = trust.Symmetric
+	// AsymmetricTrust is the per-party fail-prone quorum backend.
+	AsymmetricTrust = trust.Asymmetric
+	// FailProne is one party's fail-prone assumption (threshold or
+	// explicit maximal sets).
+	FailProne = trust.FailProne
+	// TrustSpec is the JSON-codable trust configuration (see
+	// ParseTrustSpec and the -trust-config flag of sintra-node).
+	TrustSpec = trust.Spec
 
 	// Public is the dealer's public key material.
 	Public = deal.Public
@@ -142,6 +159,29 @@ func NewClassification(values []string) *Classification {
 	return adversary.NewClassification(values)
 }
 
+// NewSymmetricTrust wraps a shared adversary structure in the quorum
+// backend interface — the paper's trust model and the default everywhere
+// a Trust knob is left nil.
+func NewSymmetricTrust(st *Structure) *SymmetricTrust { return trust.NewSymmetric(st) }
+
+// NewAsymmetricTrust builds a per-party quorum backend from each party's
+// fail-prone assumption, validating the B³ consistency-and-availability
+// condition at construction. Use ThresholdFailProne and GeneralFailProne
+// for the per-party systems.
+func NewAsymmetricTrust(n int, systems []FailProne) (*AsymmetricTrust, error) {
+	return trust.NewAsymmetric(n, systems)
+}
+
+// ThresholdFailProne is the fail-prone system "any t parties may fail".
+func ThresholdFailProne(t int) FailProne { return trust.Threshold(t) }
+
+// GeneralFailProne is a fail-prone system given by its maximal sets.
+func GeneralFailProne(maxSets ...PartySet) FailProne { return trust.General(maxSets...) }
+
+// ParseTrustSpec decodes a JSON trust configuration; build the backend
+// with its Build method against the deployment's structure.
+func ParseTrustSpec(data []byte) (*TrustSpec, error) { return trust.ParseSpec(data) }
+
 // Example1Structure returns the paper's §4.3 Example 1: nine servers in
 // four classes, tolerating two arbitrary corruptions or any whole class.
 func Example1Structure() *Structure { return adversary.Example1() }
@@ -150,6 +190,10 @@ func Example1Structure() *Structure { return adversary.Example1() }
 // classified by location × operating system, tolerating the simultaneous
 // loss of one full location and one full operating system (7 servers).
 func Example2Structure() *Structure { return adversary.Example2() }
+
+// Example2Party maps an Example 2 (location, operating-system) coordinate
+// to the party index.
+func Example2Party(location, system int) int { return adversary.Example2Party(location, system) }
 
 // Formula constructors, re-exported for building custom structures.
 var (
