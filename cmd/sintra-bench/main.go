@@ -52,9 +52,11 @@ func run() error {
 	ckpt := flag.String("ckpt", "", "checkpoint/GC sweep: 'on', 'off', or 'on,off' to compare end-to-end cost")
 	quorums := flag.Bool("quorums", false, "quorum-predicate cost table: IsQuorum latency across threshold / generalized / asymmetric trust backends")
 	wal := flag.String("wal", "", "write-ahead log sweep: 'on,off' compares durability cost end-to-end; add group-commit intervals ('on,1ms,5ms,off') to sweep the fsync batch window")
+	coded := flag.String("coded", "", "coded-dissemination sweep: 'on', 'off', or 'on,off' to compare fragment dispersal against full-payload reliable broadcast (the CD table; pair with -payload and -sizes)")
+	payload := flag.String("payload", "1024,16384,65536,262144", "comma list of payload sizes in bytes for the -coded sweep")
 	flag.Var(&exps, "exp", "experiment: f1 | stack | aba | ex1 | ex2 | apps | tolerance | ablate | all (repeatable)")
 	flag.Parse()
-	if len(exps) == 0 && *cpus == "" && *batch == "" && *ckpt == "" && *wal == "" && !*quorums {
+	if len(exps) == 0 && *cpus == "" && *batch == "" && *ckpt == "" && *wal == "" && *coded == "" && !*quorums {
 		exps = expList{"all"}
 	}
 
@@ -65,6 +67,15 @@ func run() error {
 			return fmt.Errorf("bad -sizes entry %q", s)
 		}
 		ns = append(ns, n)
+	}
+
+	var payloads []int
+	for _, s := range strings.Split(*payload, ",") {
+		var b int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &b); err != nil {
+			return fmt.Errorf("bad -payload entry %q", s)
+		}
+		payloads = append(payloads, b)
 	}
 
 	var cpuList []int
@@ -96,14 +107,14 @@ func run() error {
 				return err
 			}
 		}
-		if err := runExperiments(want, ns, cpuList, *ops, *trials, *window, *scaleN, *batch, *ckpt, *wal, *quorums); err != nil {
+		if err := runExperiments(want, ns, cpuList, payloads, *ops, *trials, *window, *scaleN, *batch, *ckpt, *wal, *coded, *quorums); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runExperiments(want map[string]bool, ns, cpuList []int, ops, trials int, window time.Duration, scaleN int, batch, ckpt, wal string, quorums bool) error {
+func runExperiments(want map[string]bool, ns, cpuList, payloads []int, ops, trials int, window time.Duration, scaleN int, batch, ckpt, wal, coded string, quorums bool) error {
 	all := want["all"]
 	out := os.Stdout
 
@@ -193,6 +204,18 @@ func runExperiments(want map[string]bool, ns, cpuList []int, ops, trials int, wi
 			return err
 		}
 		bench.PrintCheckpointSweep(out, rows)
+		bench.Separator(out)
+	}
+	if coded != "" {
+		var modes []string
+		for _, m := range strings.Split(coded, ",") {
+			modes = append(modes, strings.TrimSpace(m))
+		}
+		rows, err := bench.RunCodedSweep(ns, payloads, modes, ops)
+		if err != nil {
+			return err
+		}
+		bench.PrintCodedSweep(out, rows)
 		bench.Separator(out)
 	}
 	if quorums {

@@ -63,6 +63,9 @@ func run() error {
 		trustConfig = flag.String("trust-config", "", "JSON trust-configuration file selecting the quorum backend: omitted or mode \"symmetric\" keeps the deployment's shared adversary structure; mode \"asymmetric\" lists one fail-prone system per party (identical file on every replica)")
 
 		ckptInterval = flag.Int64("checkpoint-interval", 0, "checkpoint/GC period in delivered requests (0: default, negative: disabled; atomic mode)")
+
+		codedThreshold = flag.Int("coded-threshold", 0, "batch size in bytes above which proposals disseminate as digest headers plus erasure-coded reliable broadcast (0: default 4096, negative: disabled; identical on every replica)")
+		chunkSize      = flag.Int("chunk-size", 0, "payload size in bytes above which client requests split into frames reassembled after ordering (0: default 65536, negative: disabled; atomic mode, identical on every replica)")
 		dataDir      = flag.String("data-dir", "", "durable write-ahead log directory: protocol-critical messages are journaled before transmission, and a restart with the same directory recovers without amnesia (re-sending identical messages, never conflicting ones); empty disables durability (a restart rejoins via checkpoint catch-up with empty state)")
 
 		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (empty: observability off)")
@@ -161,6 +164,8 @@ func run() error {
 		Trust:              qtrust,
 		Observer:           reg,
 		CheckpointInterval: *ckptInterval,
+		CodedThreshold:     *codedThreshold,
+		ChunkSize:          *chunkSize,
 		DataDir:            *dataDir,
 	})
 	if err != nil {

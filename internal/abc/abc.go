@@ -31,6 +31,7 @@ import (
 	"sintra/internal/identity"
 	"sintra/internal/mvba"
 	"sintra/internal/obs"
+	"sintra/internal/rbc"
 	"sintra/internal/thresig"
 	"sintra/internal/trust"
 	"sintra/internal/wire"
@@ -84,8 +85,14 @@ type SignedProposal struct {
 	// Round is the atomic-broadcast round.
 	Round int64
 	// Batch holds the proposed payloads (possibly empty for parties that
-	// join a round without pending requests).
+	// join a round without pending requests). Empty when Coded is set.
 	Batch [][]byte
+	// Coded marks a header-only proposal: Batch is empty and the batch
+	// bytes travel separately by coded reliable broadcast.
+	Coded bool
+	// BatchDigest binds a coded proposal to its reliably-broadcast batch
+	// blob (sha256 of the marshaled blob).
+	BatchDigest [32]byte
 	// Ckpt optionally piggybacks the proposer's latest stable checkpoint
 	// certificate (wire-encoded). Folding it into the decided value makes
 	// the garbage-collection horizon part of the agreed round output, so
@@ -158,6 +165,18 @@ type Config struct {
 	// frontier, the round about to open, and the GC horizon — the hook
 	// the checkpoint tracker and request bookkeeping hang off.
 	RoundEnd func(seq, nextRound, horizon int64)
+	// CodedThreshold switches proposals whose batch payloads total at
+	// least this many bytes to coded dissemination: the proposal carries
+	// a digest and the batch travels once by coded reliable broadcast.
+	// 0 selects DefaultCodedThreshold; negative disables the coded path.
+	// Must be configured identically on every replica.
+	CodedThreshold int
+	// ChunkSize splits submitted payloads larger than this many bytes
+	// into deterministic frames that reassemble after delivery, so one
+	// huge payload cannot wedge a round. 0 selects DefaultChunkSize;
+	// negative disables chunking. Must be configured identically on
+	// every replica.
+	ChunkSize int
 }
 
 // ABC is one atomic-broadcast instance; dispatch-goroutine only, except
@@ -176,6 +195,20 @@ type ABC struct {
 
 	proposals map[int64]map[int]SignedProposal
 	mvbas     map[int64]*mvba.MVBA
+
+	// Coded-dissemination state: resolved threshold (0 = disabled),
+	// reliably-delivered batch blobs, the per-(round, proposer) coded
+	// broadcast instances, and decides parked on a missing batch.
+	codedThreshold int
+	batches        map[batchKey][]byte
+	batchRBCs      map[batchKey]*rbc.RBC
+	pendingDecide  map[int64][]byte
+
+	// Chunking state: resolved frame size (0 = disabled) and the
+	// reassembly groups in first-frame delivery order.
+	chunkSize   int
+	chunkGroups map[chunkKey]*chunkGroup
+	chunkOrder  []chunkKey
 
 	queue  [][]byte
 	queued map[[32]byte]bool
@@ -205,6 +238,13 @@ type ABC struct {
 	gcFreed       *obs.Counter
 	deliveredSize *obs.Gauge
 	horizonGauge  *obs.Gauge
+
+	codedProposals  *obs.Counter
+	codedDeferred   *obs.Counter
+	chunksSplit     *obs.Counter
+	chunksAssembled *obs.Counter
+	chunksDropped   *obs.Counter
+	chunkGauge      *obs.Gauge
 }
 
 type recentEntry struct {
@@ -225,18 +265,34 @@ func New(cfg Config) *ABC {
 		cfg.RetentionWindow = DefaultRetentionWindow
 	}
 	a := &ABC{
-		cfg:       cfg,
-		trust:     cfg.Trust,
-		self:      cfg.Router.Self(),
-		curBatch:  cfg.BatchSize,
-		proposals: make(map[int64]map[int]SignedProposal),
-		mvbas:     make(map[int64]*mvba.MVBA),
-		queued:    make(map[[32]byte]bool),
-		delivered: make(map[[32]byte]int64),
-		span:      obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
+		cfg:           cfg,
+		trust:         cfg.Trust,
+		self:          cfg.Router.Self(),
+		curBatch:      cfg.BatchSize,
+		proposals:     make(map[int64]map[int]SignedProposal),
+		mvbas:         make(map[int64]*mvba.MVBA),
+		queued:        make(map[[32]byte]bool),
+		delivered:     make(map[[32]byte]int64),
+		batches:       make(map[batchKey][]byte),
+		batchRBCs:     make(map[batchKey]*rbc.RBC),
+		pendingDecide: make(map[int64][]byte),
+		chunkGroups:   make(map[chunkKey]*chunkGroup),
+		span:          obs.StartSpan(cfg.Router.Observer(), cfg.Router.Self(), Protocol, cfg.Instance),
 	}
 	if a.trust == nil {
 		a.trust = trust.NewSymmetric(cfg.Struct)
+	}
+	switch {
+	case cfg.CodedThreshold > 0:
+		a.codedThreshold = cfg.CodedThreshold
+	case cfg.CodedThreshold == 0:
+		a.codedThreshold = DefaultCodedThreshold
+	}
+	switch {
+	case cfg.ChunkSize > 0:
+		a.chunkSize = cfg.ChunkSize
+	case cfg.ChunkSize == 0:
+		a.chunkSize = DefaultChunkSize
 	}
 	a.round.Store(1)
 	if reg := a.span.Registry(); reg != nil {
@@ -247,6 +303,12 @@ func New(cfg Config) *ABC {
 		a.gcFreed = reg.Counter("checkpoint.gc.freed")
 		a.deliveredSize = reg.Gauge(Protocol + ".delivered.size")
 		a.horizonGauge = reg.Gauge(Protocol + ".gc.horizon")
+		a.codedProposals = reg.Counter(Protocol + ".coded.proposals")
+		a.codedDeferred = reg.Counter(Protocol + ".coded.decides.deferred")
+		a.chunksSplit = reg.Counter(Protocol + ".chunks.split")
+		a.chunksAssembled = reg.Counter(Protocol + ".chunks.assembled")
+		a.chunksDropped = reg.Counter(Protocol + ".chunks.dropped")
+		a.chunkGauge = reg.Gauge(Protocol + ".chunks.groups")
 	}
 	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{
 		Verify:      a.verifyMsg,
@@ -259,6 +321,10 @@ func New(cfg Config) *ABC {
 // Broadcast a-broadcasts a payload: it will eventually be delivered, in
 // the same total order, by every honest party. Safe from any goroutine.
 func (a *ABC) Broadcast(payload []byte) error {
+	if a.chunkSize > 0 && chunkCount(len(payload), a.chunkSize) > maxChunksPerPayload {
+		return fmt.Errorf("abc: payload of %d bytes exceeds %d chunks of %d bytes",
+			len(payload), maxChunksPerPayload, a.chunkSize)
+	}
 	return a.cfg.Router.Loopback(Protocol, a.cfg.Instance, typeSubmit, submitBody{Payload: payload})
 }
 
@@ -281,6 +347,10 @@ func (a *ABC) signStatement(p *SignedProposal) []byte {
 	if len(p.Ckpt) > 0 {
 		d := sha256.Sum256(p.Ckpt)
 		h.Write(d[:])
+	}
+	if p.Coded {
+		h.Write([]byte("|coded|"))
+		h.Write(p.BatchDigest[:])
 	}
 	return h.Sum(nil)
 }
@@ -343,6 +413,22 @@ func (a *ABC) apply(from int, msgType string, payload []byte, verdict any) {
 }
 
 func (a *ABC) onSubmit(payload []byte) {
+	if a.chunkSize > 0 && len(payload) > a.chunkSize {
+		// Split into deterministic frames: every replica submitting the
+		// same payload produces identical frames, so they dedup to one
+		// delivery each just like whole payloads do.
+		for _, f := range chunkFrames(payload, a.chunkSize) {
+			a.enqueue(f)
+		}
+		if a.chunksSplit != nil {
+			a.chunksSplit.Inc()
+		}
+		return
+	}
+	a.enqueue(payload)
+}
+
+func (a *ABC) enqueue(payload []byte) {
 	d := sha256.Sum256(payload)
 	if _, done := a.delivered[d]; done || a.queued[d] {
 		return
@@ -401,6 +487,21 @@ func (a *ABC) maybeActivate() {
 	if a.cfg.ProvideCheckpoint != nil {
 		p.Ckpt = a.cfg.ProvideCheckpoint()
 	}
+	if a.codedThreshold > 0 && batchBytes(batch) >= a.codedThreshold {
+		if blob, err := wire.MarshalBody(batchBlob{Batch: batch}); err == nil {
+			p.Coded = true
+			p.BatchDigest = sha256.Sum256(blob)
+			p.Batch = nil
+			// Store our own blob before broadcasting the header, so the
+			// loopback proposal counts as available immediately, then
+			// disperse the bytes once by coded reliable broadcast.
+			a.batches[batchKey{round: round, party: a.self}] = blob
+			_ = a.ensureBatchRBC(round, a.self).Start(blob)
+			if a.codedProposals != nil {
+				a.codedProposals.Inc()
+			}
+		}
+	}
 	p.Sig = a.cfg.IDKey.Sign("abc-prop", a.signStatement(&p))
 	// A signed proposal is the canonical equivocation surface: one slot
 	// per round so a recovered replica re-sends the identical proposal.
@@ -434,10 +535,17 @@ func (a *ABC) onProposalVerified(from int, p SignedProposal) {
 }
 
 func (a *ABC) acceptProposal(from int, p SignedProposal) {
+	if p.Coded && len(p.Batch) > 0 {
+		return // malformed: a coded header must not carry inline payloads
+	}
 	if a.proposals[p.Round] == nil {
 		a.proposals[p.Round] = make(map[int]SignedProposal)
 	}
 	a.proposals[p.Round][from] = p
+	if p.Coded {
+		// Open the dispersal instance now so buffered fragments flow.
+		a.ensureBatchRBC(p.Round, from)
+	}
 	if p.Round == a.round.Load() {
 		a.maybeActivate()
 		a.maybeAgree()
@@ -456,6 +564,13 @@ func (a *ABC) maybeAgree() {
 	}
 	var parties adversary.Set
 	for j := range a.proposals[round] {
+		p := a.proposals[round][j]
+		// Availability gate: a coded header joins our proposed list only
+		// once its batch blob has arrived, so our own agreement value
+		// always passes our own external-validity predicate.
+		if !a.batchAvailable(&p) {
+			continue
+		}
 		parties = parties.Add(j)
 	}
 	if !a.trust.IsQuorum(a.self, parties) {
@@ -499,8 +614,20 @@ func (a *ABC) validList(round int64, value []byte) bool {
 		if p.Round != round || p.Party < 0 || p.Party >= a.cfg.Router.N() || parties.Has(p.Party) {
 			return false
 		}
+		if p.Coded && len(p.Batch) > 0 {
+			return false
+		}
 		if a.cfg.Identity.Verify(p.Party, "abc-prop", a.signStatement(p), p.Sig) != nil {
 			return false
+		}
+		if p.Coded {
+			a.ensureBatchRBC(p.Round, p.Party)
+			// Availability gate: we vouch for a list only when every coded
+			// batch it references has reached us. A failing check is not
+			// final — the agreement layer re-evaluates on blob arrival.
+			if !a.batchAvailable(p) {
+				return false
+			}
 		}
 		parties = parties.Add(p.Party)
 	}
@@ -526,6 +653,22 @@ func (a *ABC) onDecide(round int64, value []byte) {
 	if !a.cfg.Router.Decode(value, &list) {
 		return // cannot happen: the predicate validated the value
 	}
+	// Resolve coded headers to their batches first. A decide can outrun
+	// a batch blob (external validity was checked elsewhere); park it and
+	// retry when the blob arrives by reliable-broadcast totality.
+	batches := make([][][]byte, len(list.Proposals))
+	for i := range list.Proposals {
+		b, ok := a.resolveBatch(&list.Proposals[i])
+		if !ok {
+			a.pendingDecide[round] = value
+			if a.codedDeferred != nil {
+				a.codedDeferred.Inc()
+			}
+			return
+		}
+		batches[i] = b
+	}
+	delete(a.pendingDecide, round)
 	// Collect the union of batches, dedup by digest, order by digest.
 	type item struct {
 		digest  [32]byte
@@ -534,7 +677,7 @@ func (a *ABC) onDecide(round int64, value []byte) {
 	var items []item
 	seen := make(map[[32]byte]bool)
 	for i := range list.Proposals {
-		for _, payload := range list.Proposals[i].Batch {
+		for _, payload := range batches[i] {
 			d := sha256.Sum256(payload)
 			if _, done := a.delivered[d]; done || seen[d] {
 				continue
@@ -580,6 +723,7 @@ func (a *ABC) onDecide(round int64, value []byte) {
 		old.Halt()
 		delete(a.mvbas, round-2)
 	}
+	a.gcCoded(round)
 	a.round.Store(round + 1)
 	a.active = false
 	// Payloads left over from this round (submitted but not in the decided
@@ -618,9 +762,23 @@ func (a *ABC) deliverPayload(digest [32]byte, payload []byte) {
 	if a.deliveredSize != nil {
 		a.deliveredSize.Set(int64(len(a.delivered)))
 	}
-	if a.cfg.Deliver != nil {
-		a.cfg.Deliver(seq, payload)
+	if a.cfg.Deliver == nil {
+		return
 	}
+	if a.chunkSize > 0 {
+		if id, idx, total, chunk, ok := parseFrame(payload); ok {
+			// A chunk frame feeds the reassembler instead of the app; the
+			// assembled payload delivers at the completing frame's seq.
+			if assembled, done := a.feedFrame(id, idx, total, chunk); done {
+				if a.chunksAssembled != nil {
+					a.chunksAssembled.Inc()
+				}
+				a.cfg.Deliver(seq, assembled)
+			}
+			return
+		}
+	}
+	a.cfg.Deliver(seq, payload)
 }
 
 // pruneBelow advances the GC horizon, dropping delivered-digest history
@@ -740,6 +898,7 @@ func (a *ABC) adoptRound(round int64) {
 			delete(a.proposals, r)
 		}
 	}
+	a.gcCoded(round)
 	a.sortQueueByDigest()
 	a.round.Store(round)
 	a.active = false

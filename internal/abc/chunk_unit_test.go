@@ -1,0 +1,116 @@
+package abc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func newChunkABC() *ABC {
+	return &ABC{
+		chunkSize:   1024,
+		chunkGroups: make(map[chunkKey]*chunkGroup),
+	}
+}
+
+func feedAll(t *testing.T, a *ABC, frames [][]byte) ([]byte, bool) {
+	t.Helper()
+	var out []byte
+	var done bool
+	for _, f := range frames {
+		id, idx, total, chunk, ok := parseFrame(f)
+		if !ok {
+			t.Fatal("generated frame failed to parse")
+		}
+		if assembled, fin := a.feedFrame(id, idx, total, chunk); fin {
+			out, done = assembled, true
+		}
+	}
+	return out, done
+}
+
+// TestChunkFrameRoundtrip: frames reassemble to the original payload
+// regardless of delivery order.
+func TestChunkFrameRoundtrip(t *testing.T) {
+	payload := make([]byte, 10_000)
+	rand.New(rand.NewSource(7)).Read(payload)
+	frames := chunkFrames(payload, 1024)
+	if len(frames) != 10 {
+		t.Fatalf("expected 10 frames, got %d", len(frames))
+	}
+	// Reverse delivery order.
+	rev := make([][]byte, len(frames))
+	for i, f := range frames {
+		rev[len(frames)-1-i] = f
+	}
+	a := newChunkABC()
+	out, done := feedAll(t, a, rev)
+	if !done || !bytes.Equal(out, payload) {
+		t.Fatal("reassembly did not reproduce the payload")
+	}
+	if len(a.chunkGroups) != 0 {
+		t.Fatal("completed group not dropped")
+	}
+}
+
+// TestChunkForgedFrameDropsGroup: a frame squatting on a slot with wrong
+// bytes poisons the group — the completion self-check drops it and
+// nothing is delivered.
+func TestChunkForgedFrameDropsGroup(t *testing.T) {
+	payload := make([]byte, 4_000)
+	rand.New(rand.NewSource(8)).Read(payload)
+	frames := chunkFrames(payload, 1024)
+	frames[2][chunkHeaderLen] ^= 0xff // corrupt one chunk's content
+	a := newChunkABC()
+	if _, done := feedAll(t, a, frames); done {
+		t.Fatal("poisoned group assembled")
+	}
+	if len(a.chunkGroups) != 0 {
+		t.Fatal("poisoned group not dropped at completion")
+	}
+}
+
+// TestChunkStateRoundtrip: serialized reassembly state restores into a
+// fresh instance and the remaining frames complete the payload — the
+// property checkpoint install relies on.
+func TestChunkStateRoundtrip(t *testing.T) {
+	payload := make([]byte, 6_000)
+	rand.New(rand.NewSource(9)).Read(payload)
+	frames := chunkFrames(payload, 1024)
+	a := newChunkABC()
+	if _, done := feedAll(t, a, frames[:3]); done {
+		t.Fatal("incomplete group assembled")
+	}
+	b := newChunkABC()
+	if err := b.RestoreChunkState(a.ChunkState()); err != nil {
+		t.Fatal(err)
+	}
+	out, done := feedAll(t, b, frames[3:])
+	if !done || !bytes.Equal(out, payload) {
+		t.Fatal("restored state did not complete the payload")
+	}
+}
+
+// TestChunkGroupEviction: the group table is bounded; overflow evicts the
+// oldest incomplete group deterministically.
+func TestChunkGroupEviction(t *testing.T) {
+	a := newChunkABC()
+	rng := rand.New(rand.NewSource(10))
+	var first chunkKey
+	for g := 0; g < maxChunkGroups+4; g++ {
+		payload := make([]byte, 3_000)
+		rng.Read(payload)
+		frames := chunkFrames(payload, 1024)
+		id, idx, total, chunk, _ := parseFrame(frames[0])
+		if g == 0 {
+			first = chunkKey{id: id, total: total}
+		}
+		a.feedFrame(id, idx, total, chunk)
+	}
+	if len(a.chunkGroups) != maxChunkGroups {
+		t.Fatalf("group table not bounded: %d", len(a.chunkGroups))
+	}
+	if _, ok := a.chunkGroups[first]; ok {
+		t.Fatal("oldest group survived eviction")
+	}
+}

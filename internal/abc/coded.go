@@ -1,0 +1,151 @@
+// Coded proposals: above a size threshold a party's signed proposal
+// carries only a digest commitment to its batch, and the batch bytes
+// travel once by coded (AVID-style) reliable broadcast instead of being
+// embedded in the proposal and then again in every multi-valued
+// agreement value. The n-party agreement ferries n² copies of its value
+// in the worst case; moving the bulk into per-proposer dispersal cuts
+// the bandwidth of a large round from O(n²·B) toward O(n·B/k) per party.
+//
+// Validity is availability-gated: a coded header counts toward the
+// proposal quorum, and a list containing one passes external validity,
+// only once the referenced batch has been reliably delivered here and
+// matches the signed digest. The gate cannot cost liveness — external
+// validity of the decided value was checked by at least one honest
+// party, so that party holds the batch, and reliable-broadcast totality
+// carries it to everyone; a decide that arrives before the bytes is
+// parked in pendingDecide and retried on blob arrival.
+
+package abc
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"sintra/internal/rbc"
+	"sintra/internal/wire"
+)
+
+// DefaultCodedThreshold is the batch-size threshold (in payload bytes)
+// above which proposals go coded when Config.CodedThreshold is zero.
+const DefaultCodedThreshold = 4096
+
+type batchKey struct {
+	round int64
+	party int
+}
+
+// batchBlob is the wire wrapper for a coded proposal's batch bytes; the
+// signed BatchDigest commits to the marshaled blob.
+type batchBlob struct {
+	Batch [][]byte
+}
+
+// batchBytes is the payload volume of a batch, the quantity the coded
+// threshold compares against.
+func batchBytes(batch [][]byte) int {
+	total := 0
+	for _, p := range batch {
+		total += len(p)
+	}
+	return total
+}
+
+// batchInstance names the reliable-broadcast instance dispersing one
+// proposer's round batch. The name embeds "<service>/r<round>" so the
+// core layer's journal GC matcher treats it like any other per-round
+// instance.
+func (a *ABC) batchInstance(round int64, proposer int) string {
+	return rbc.InstanceID(proposer, fmt.Sprintf("%s/r%d/batch", a.cfg.Instance, round))
+}
+
+// ensureBatchRBC creates (once) the coded broadcast instance for one
+// proposer's round batch. Dispatch goroutine only.
+func (a *ABC) ensureBatchRBC(round int64, proposer int) *rbc.RBC {
+	k := batchKey{round: round, party: proposer}
+	if inst, ok := a.batchRBCs[k]; ok {
+		return inst
+	}
+	inst := rbc.New(rbc.Config{
+		Router:         a.cfg.Router,
+		Struct:         a.cfg.Struct,
+		Trust:          a.trust,
+		Instance:       a.batchInstance(round, proposer),
+		Sender:         proposer,
+		CodedThreshold: a.codedThreshold,
+		Deliver:        func(blob []byte) { a.onBatchBlob(round, proposer, blob) },
+	})
+	a.batchRBCs[k] = inst
+	return inst
+}
+
+// onBatchBlob consumes a reliably-delivered batch blob: it may complete
+// the proposal quorum, unblock deferred agreement evidence, or release a
+// parked decide.
+func (a *ABC) onBatchBlob(round int64, proposer int, blob []byte) {
+	a.batches[batchKey{round: round, party: proposer}] = blob
+	if round == a.round.Load() {
+		a.maybeAgree()
+	}
+	if mv, ok := a.mvbas[round]; ok {
+		mv.Reeval()
+	}
+	if v, ok := a.pendingDecide[round]; ok && round == a.round.Load() {
+		delete(a.pendingDecide, round)
+		a.onDecide(round, v)
+	}
+}
+
+// batchAvailable reports whether a proposal's batch is locally resolvable:
+// trivially for inline batches, and for coded headers only once the
+// reliably-broadcast blob is here and matches the signed digest.
+func (a *ABC) batchAvailable(p *SignedProposal) bool {
+	if !p.Coded {
+		return true
+	}
+	blob, ok := a.batches[batchKey{round: p.Round, party: p.Party}]
+	return ok && sha256.Sum256(blob) == p.BatchDigest
+}
+
+// resolveBatch returns the payloads a proposal contributes to a decided
+// round, or ok=false when a coded batch has not arrived yet.
+func (a *ABC) resolveBatch(p *SignedProposal) ([][]byte, bool) {
+	if !p.Coded {
+		return p.Batch, true
+	}
+	a.ensureBatchRBC(p.Round, p.Party)
+	blob, ok := a.batches[batchKey{round: p.Round, party: p.Party}]
+	if !ok || sha256.Sum256(blob) != p.BatchDigest {
+		return nil, false
+	}
+	var bb batchBlob
+	if wire.UnmarshalBody(blob, &bb) != nil {
+		// The proposer signed a digest of bytes that do not decode. The
+		// verdict is a pure function of the digest-bound bytes, hence
+		// identical everywhere: treat it as an empty batch rather than
+		// let a Byzantine proposer park the round forever.
+		return nil, true
+	}
+	return bb.Batch, true
+}
+
+// gcCoded retires coded-dispersal state once its round is settled; the
+// two-round lag mirrors the agreement GC so stragglers can still fetch
+// a just-decided batch over REQ/ANS.
+func (a *ABC) gcCoded(decided int64) {
+	for k := range a.batchRBCs {
+		if k.round <= decided-2 {
+			a.cfg.Router.Unregister(rbc.Protocol, a.batchInstance(k.round, k.party))
+			delete(a.batchRBCs, k)
+		}
+	}
+	for k := range a.batches {
+		if k.round <= decided-2 {
+			delete(a.batches, k)
+		}
+	}
+	for r := range a.pendingDecide {
+		if r < decided {
+			delete(a.pendingDecide, r)
+		}
+	}
+}

@@ -126,6 +126,7 @@ type CBC struct {
 	trust trust.Quorums
 
 	signedDigest *[32]byte // the digest this party signed, if any
+	pendingSend  []byte    // SEND payload whose predicate hasn't passed yet
 	delivered    bool
 	payload      []byte
 	cert         []byte
@@ -330,11 +331,40 @@ func (c *CBC) apply(from int, msgType string, payload []byte, verdict any) {
 	}
 }
 
-// onSend: sign the digest once and return the share to the sender.
+// onSend: sign the digest once and return the share to the sender. A
+// payload failing the predicate is stashed, not discarded: predicates
+// gated on local availability (the ABC coded mode validates proposal
+// headers against batches that arrive on a separate coded broadcast)
+// can start holding and later pass — Reeval retries the stash.
 func (c *CBC) onSend(payload []byte) {
-	if c.signedDigest != nil || !c.valid(payload) {
+	if c.signedDigest != nil {
 		return
 	}
+	if !c.valid(payload) {
+		if c.pendingSend == nil {
+			c.pendingSend = payload
+		}
+		return
+	}
+	c.signAndShare(payload)
+}
+
+// Reeval re-runs the external-validity predicate on a stashed SEND whose
+// first evaluation failed. Call from the dispatch goroutine whenever
+// local state the predicate depends on has changed.
+func (c *CBC) Reeval() {
+	if c.signedDigest != nil || c.pendingSend == nil || !c.valid(c.pendingSend) {
+		return
+	}
+	payload := c.pendingSend
+	c.pendingSend = nil
+	c.signAndShare(payload)
+}
+
+// signAndShare signs the payload digest and returns the share to the
+// sender; the caller has already established external validity.
+func (c *CBC) signAndShare(payload []byte) {
+	c.pendingSend = nil
 	d := sha256.Sum256(payload)
 	c.signedDigest = &d
 	share, err := c.cfg.Scheme.SignShare(c.cfg.Key, signedStatement(c.cfg.Instance, d), rand.Reader)

@@ -94,6 +94,18 @@ type NodeConfig struct {
 	// RequestTTL overrides the fallback expiry of request bookkeeping
 	// for payloads that never deliver (0 selects defaultRequestTTL).
 	RequestTTL time.Duration
+	// CodedThreshold switches ordering-layer proposals whose batches
+	// reach this many bytes to coded dissemination (digest header plus
+	// one erasure-coded reliable broadcast). 0 selects
+	// abc.DefaultCodedThreshold, negative disables. Must be identical on
+	// every replica.
+	CodedThreshold int
+	// ChunkSize splits oversized client payloads into deterministic
+	// frames reassembled after ordering, so one huge request cannot
+	// wedge a round. 0 selects abc.DefaultChunkSize, negative disables.
+	// Atomic mode only (the secure-causal pipeline needs dense sequence
+	// numbers); must be identical on every replica.
+	ChunkSize int
 	// DataDir, when non-empty, enables the durable write-ahead log under
 	// this directory: every protocol-critical outbound message (RBC
 	// echoes, ABA votes, coin shares, signed proposals, ...) is journaled
@@ -256,6 +268,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			BatchSize:       cfg.BatchSize,
 			MaxBatchSize:    cfg.MaxBatchSize,
 			RetentionWindow: cfg.RetentionWindow,
+			CodedThreshold:  cfg.CodedThreshold,
+			ChunkSize:       cfg.ChunkSize,
 			Deliver:         n.onAtomicDeliver,
 			RoundEnd:        n.onRoundEnd,
 		}
@@ -285,7 +299,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 				Scheme:     cfg.Public.AnswerSig(),
 				Key:        cfg.Secret.SigAnswer,
 				Interval:   n.interval,
-				Snapshot:   snapper.Snapshot,
+				Snapshot:   n.checkpointSnapshot,
 				CurrentSeq: n.abc.Seq,
 				Suffix:     n.abc.SuffixSince,
 				Install:    n.installCheckpoint,
@@ -309,6 +323,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			BatchSize:       cfg.BatchSize,
 			MaxBatchSize:    cfg.MaxBatchSize,
 			RetentionWindow: cfg.RetentionWindow,
+			CodedThreshold:  cfg.CodedThreshold,
 			Deliver:         n.onCausalDeliver,
 		})
 	}
@@ -489,6 +504,28 @@ func (n *Node) onRoundEnd(seq, nextRound, horizon int64) {
 	}
 }
 
+// snapWrap is the checkpointed state: the service snapshot plus the
+// ordering layer's in-flight chunk-reassembly state. Both inputs are
+// deterministic at a given sequence number, so the wrapped bytes are
+// identical across honest replicas and certify as before. Without the
+// chunk state, a replica installing a snapshot mid-group would replay
+// only the suffix frames, never complete the payload, and diverge from
+// replicas that were live for the whole group.
+type snapWrap struct {
+	Svc    []byte
+	Chunks []byte
+}
+
+// checkpointSnapshot produces the wrapped checkpoint state. Dispatch
+// goroutine only (called by the tracker at round boundaries).
+func (n *Node) checkpointSnapshot() []byte {
+	enc, err := wire.MarshalBody(snapWrap{Svc: n.snapper.Snapshot(), Chunks: n.abc.ChunkState()})
+	if err != nil {
+		return nil
+	}
+	return enc
+}
+
 // installCheckpoint adopts a certified checkpoint fetched from a peer:
 // restore the service snapshot when it is ahead of the local frontier,
 // then replay the delivery suffix through the ordering layer so dedup
@@ -498,7 +535,14 @@ func (n *Node) installCheckpoint(cp checkpoint.Checkpoint, snapshot []byte, suff
 	var install func() bool
 	if cp.Seq >= n.abc.Seq() {
 		install = func() bool {
-			if n.snapper.Restore(snapshot) != nil {
+			var w snapWrap
+			if wire.UnmarshalBody(snapshot, &w) != nil {
+				return false
+			}
+			if n.snapper.Restore(w.Svc) != nil {
+				return false
+			}
+			if n.abc.RestoreChunkState(w.Chunks) != nil {
 				return false
 			}
 			n.applied = cp.Seq
@@ -514,7 +558,10 @@ func (n *Node) installCheckpoint(cp checkpoint.Checkpoint, snapshot []byte, suff
 func (n *Node) onStableCheckpoint(cp checkpoint.Checkpoint) {
 	prefix := "svc/" + n.cfg.ServiceName + "/r"
 	n.router.CompactTombstones(func(protocol, instance string) bool {
-		r, ok := roundOf(instance, prefix)
+		// roundIn, not roundOf: sub-protocol instances embed the round
+		// marker mid-name (MVBA's "<sender>/m/svc/<name>/r<round>" CBCs,
+		// the coded batch dispersals "<proposer>/svc/<name>/r<round>/batch").
+		r, ok := roundIn(instance, prefix)
 		return ok && r < cp.Round
 	})
 	if n.journal == nil {
@@ -555,15 +602,6 @@ func slotSuffix(slot, prefix string) (int64, bool) {
 	}
 	v, err := strconv.ParseInt(slot[len(prefix):], 10, 64)
 	return v, err == nil
-}
-
-// roundOf parses the round number out of a per-round protocol instance
-// name ("svc/<name>/r<round>" plus any sub-instance suffix).
-func roundOf(instance, prefix string) (int64, bool) {
-	if !strings.HasPrefix(instance, prefix) {
-		return 0, false
-	}
-	return roundAfter(instance[len(prefix):])
 }
 
 // roundIn finds the round marker anywhere in the instance name, covering

@@ -694,6 +694,37 @@ func (r *Router) BroadcastJournaled(slot string, protocol, instance, msgType str
 	return nil
 }
 
+// JournalCommitment durably records a protocol commitment under
+// (protocol, instance, slot) without transmitting anything — for
+// commitments that are not themselves wire messages, such as the Merkle
+// root a coded-broadcast sender binds itself to before fanning out
+// fragments. It returns the recorded bytes for the slot: the caller's
+// payload on a fresh record, or the previously journaled bytes with
+// replayed=true — a recovered caller must compare and repeat (or go
+// mute), never contradict. With no journal installed the payload echoes
+// back unrecorded. An error means the record is not durable and the
+// caller must not act on the commitment. Safe from any goroutine.
+func (r *Router) JournalCommitment(protocol, instance, msgType, slot string, payload []byte) (recorded []byte, replayed bool, err error) {
+	if r.journal == nil {
+		return payload, false, nil
+	}
+	out, replayed, err := r.journal.RecordOutbound(protocol, instance, msgType, slot, payload)
+	if err != nil {
+		if r.mx != nil {
+			r.mx.journalDrops.Inc()
+		}
+		return nil, false, err
+	}
+	if r.mx != nil {
+		if replayed {
+			r.mx.journalReplayed.Inc()
+		} else {
+			r.mx.journalRecords.Inc()
+		}
+	}
+	return out, replayed, nil
+}
+
 // Run dispatches inbound messages and scheduled tasks until the transport
 // closes. It must be called exactly once.
 func (r *Router) Run() {

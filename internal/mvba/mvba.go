@@ -111,6 +111,11 @@ type trialState struct {
 	voted        bool
 	votesFrom    adversary.Set
 	pendingVotes []voteRec
+	// deferred holds yes-evidence whose certificate verified but whose
+	// external-validity predicate failed at evaluation time. Predicates
+	// gated on local availability (ABC's coded mode) can pass later;
+	// Reeval retries these without re-verifying the certificates.
+	deferred []voteBody
 
 	hasYes     bool
 	yesPayload []byte
@@ -498,10 +503,13 @@ func (m *MVBA) evalVotes(a int) {
 		if !v.body.HasCert || ts.hasYes {
 			continue
 		}
-		if !m.valid(v.body.Payload) {
+		// Certificate first: once it checks out the evidence is real and
+		// worth retaining even if the predicate cannot pass yet.
+		if cbc.VerifyCertificate(m.cfg.Scheme, m.cbcInstance(ts.leader), v.body.Payload, v.body.Cert) != nil {
 			continue
 		}
-		if cbc.VerifyCertificate(m.cfg.Scheme, m.cbcInstance(ts.leader), v.body.Payload, v.body.Cert) != nil {
+		if !m.valid(v.body.Payload) {
+			ts.deferred = append(ts.deferred, v.body)
 			continue
 		}
 		ts.hasYes = true
@@ -509,6 +517,9 @@ func (m *MVBA) evalVotes(a int) {
 		ts.yesCert = v.body.Cert
 	}
 	ts.pendingVotes = nil
+	if ts.hasYes {
+		ts.deferred = nil
+	}
 
 	if !ts.abaStarted && m.phase2 && (ts.hasYes || m.trust.IsQuorum(m.self, ts.votesFrom)) {
 		ts.abaStarted = true
@@ -575,10 +586,15 @@ func (m *MVBA) onRecAns(body voteBody) {
 	if m.decided || !ts.leaderKnown || !body.HasCert {
 		return
 	}
-	if !m.valid(body.Payload) {
+	if cbc.VerifyCertificate(m.cfg.Scheme, m.cbcInstance(ts.leader), body.Payload, body.Cert) != nil {
 		return
 	}
-	if cbc.VerifyCertificate(m.cfg.Scheme, m.cbcInstance(ts.leader), body.Payload, body.Cert) != nil {
+	if !m.valid(body.Payload) {
+		// Certified but not yet locally valid (availability-gated
+		// predicate): keep it for Reeval instead of dropping it.
+		if !ts.hasYes {
+			ts.deferred = append(ts.deferred, body)
+		}
 		return
 	}
 	if !ts.hasYes {
@@ -587,6 +603,55 @@ func (m *MVBA) onRecAns(body voteBody) {
 		ts.yesCert = body.Cert
 	}
 	m.tryFinish(a)
+}
+
+// Reeval re-runs the external-validity predicate over every stash whose
+// first evaluation failed: the embedded consistent broadcasts' pending
+// SENDs and this instance's deferred (certificate-verified) votes and
+// recovery answers. Call from the dispatch goroutine whenever local
+// state the predicate depends on has changed — the ABC coded mode calls
+// it each time a proposal batch finishes its coded broadcast. Safe to
+// call at any time; a no-op when nothing is pending.
+func (m *MVBA) Reeval() {
+	if m.halted {
+		return
+	}
+	for _, c := range m.cbcs {
+		c.Reeval()
+	}
+	if m.decided {
+		return
+	}
+	trials := make([]int, 0, len(m.trials))
+	for a := range m.trials {
+		trials = append(trials, a)
+	}
+	for _, a := range trials {
+		ts := m.trials[a]
+		if ts == nil || ts.hasYes {
+			continue
+		}
+		kept := ts.deferred[:0]
+		progress := false
+		for _, v := range ts.deferred {
+			if !ts.hasYes && m.valid(v.Payload) {
+				ts.hasYes = true
+				ts.yesPayload = v.Payload
+				ts.yesCert = v.Cert
+				progress = true
+			} else if !ts.hasYes {
+				kept = append(kept, v)
+			}
+		}
+		ts.deferred = kept
+		if ts.hasYes {
+			ts.deferred = nil
+		}
+		if progress {
+			m.evalVotes(a)
+			m.tryFinish(a)
+		}
+	}
 }
 
 func (m *MVBA) decide(value []byte) {

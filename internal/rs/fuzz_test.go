@@ -1,0 +1,65 @@
+package rs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReconstruct drives the decoder with adversarial shard vectors: an
+// arbitrary payload is encoded honestly, then the fuzzer chooses which
+// shards survive and which bytes get flipped. The decoder must never
+// panic; and whenever at least k uncorrupted shards survive with no
+// corrupted shard among the ones it reads, the payload round-trips.
+func FuzzReconstruct(f *testing.F) {
+	f.Add([]byte("seed payload"), uint8(3), uint8(4), uint16(0b1011011), uint16(0))
+	f.Add([]byte{}, uint8(1), uint8(2), uint16(0b111), uint16(1))
+	f.Add(bytes.Repeat([]byte{0xab}, 257), uint8(5), uint8(2), uint16(0b1111100), uint16(0b10))
+	f.Fuzz(func(t *testing.T, payload []byte, k8, m8 uint8, keepMask, flipMask uint16) {
+		k := int(k8%8) + 1
+		m := int(m8 % 8)
+		c, err := New(k, m)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", k, m, err)
+		}
+		shards, err := c.Encode(c.Split(payload))
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		partial := make([][]byte, c.N())
+		kept, clean := 0, true
+		for i := range shards {
+			if keepMask&(1<<i) == 0 {
+				continue
+			}
+			s := append([]byte(nil), shards[i]...)
+			if flipMask&(1<<i) != 0 {
+				s[0] ^= 0xff
+				if kept < k {
+					clean = false // a corrupted shard lands in the decode set
+				}
+			}
+			partial[i] = s
+			kept++
+		}
+		data, err := c.Reconstruct(partial)
+		if kept < k {
+			if err == nil {
+				t.Fatalf("reconstructed from %d < %d shards", kept, k)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Reconstruct with %d shards: %v", kept, err)
+		}
+		if !clean {
+			return // garbage in, garbage out — only no-panic is promised
+		}
+		got, err := c.Join(data, len(payload))
+		if err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("clean reconstruction does not match payload")
+		}
+	})
+}

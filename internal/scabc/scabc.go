@@ -91,6 +91,11 @@ type Config struct {
 	// bounded memory — full checkpoint state transfer is atomic-mode only
 	// (the pending-decrypt pipeline is not settled at round boundaries).
 	RetentionWindow int64
+	// CodedThreshold is passed to the embedded atomic broadcast; see
+	// abc.Config.CodedThreshold. Chunking, by contrast, is always off in
+	// secure-causal mode: the decryption pipeline flushes by dense ABC
+	// sequence numbers, and chunk frames would leave gaps.
+	CodedThreshold int
 }
 
 // pending tracks one ordered ciphertext awaiting decryption.
@@ -152,6 +157,8 @@ func New(cfg Config) *SCABC {
 		BatchSize:       cfg.BatchSize,
 		MaxBatchSize:    cfg.MaxBatchSize,
 		RetentionWindow: cfg.RetentionWindow,
+		CodedThreshold:  cfg.CodedThreshold,
+		ChunkSize:       -1, // frames would break the dense-seq flush
 		Deliver:         s.onOrdered,
 	})
 	cfg.Router.RegisterSplit(Protocol, cfg.Instance, engine.SplitHandler{

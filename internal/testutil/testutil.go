@@ -13,6 +13,7 @@ import (
 	"sintra/internal/engine"
 	"sintra/internal/group"
 	"sintra/internal/netsim"
+	"sintra/internal/obs"
 )
 
 // Options configures a test cluster.
@@ -33,6 +34,9 @@ type Options struct {
 	// drives their endpoints directly (byzantine behaviour) or leaves
 	// them silent (crash).
 	Corrupted []int
+	// Observe installs a fresh obs.Registry per router (exposed as
+	// Cluster.Regs) so tests can assert on protocol counters.
+	Observe bool
 }
 
 // Cluster is a dealt, running set of parties over a simulated network.
@@ -40,6 +44,7 @@ type Cluster struct {
 	Struct  *adversary.Structure
 	Net     *netsim.Network
 	Routers []*engine.Router
+	Regs    []*obs.Registry // per-party registries when Options.Observe
 	Pub     *deal.Public
 	Secrets []*deal.PartySecret
 
@@ -83,11 +88,18 @@ func NewCluster(tb testing.TB, st *adversary.Structure, opts Options) *Cluster {
 		corrupted[i] = true
 	}
 	c.Routers = make([]*engine.Router, st.N())
+	if opts.Observe {
+		c.Regs = make([]*obs.Registry, st.N())
+	}
 	for i := 0; i < st.N(); i++ {
 		if corrupted[i] {
 			continue
 		}
 		r := engine.NewRouter(c.Net.Endpoint(i))
+		if opts.Observe {
+			c.Regs[i] = obs.NewRegistry()
+			r.SetObserver(c.Regs[i])
+		}
 		c.Routers[i] = r
 		c.wg.Add(1)
 		go func() {

@@ -89,6 +89,17 @@ type SimOptions struct {
 	// RetentionWindow bounds every replica's delivered-digest dedup
 	// history; see core.NodeConfig.RetentionWindow.
 	RetentionWindow int64
+	// CodedThreshold switches ordering-layer proposals whose batches
+	// reach this many bytes to coded dissemination (digest header plus
+	// an erasure-coded reliable broadcast): 0 keeps the protocol default
+	// (4 KiB), negative disables the coded path. See
+	// core.NodeConfig.CodedThreshold.
+	CodedThreshold int
+	// ChunkSize splits oversized client payloads into deterministic
+	// frames reassembled after ordering: 0 keeps the protocol default
+	// (64 KiB), negative disables chunking. Atomic mode only. See
+	// core.NodeConfig.ChunkSize.
+	ChunkSize int
 	// DataDir, when non-empty, gives every replica a durable write-ahead
 	// log under DataDir/server<i>: protocol-critical messages are
 	// journaled before first transmission, and RestartServerDurable
@@ -239,6 +250,23 @@ func WithCheckpointInterval(interval int64) SimOption {
 // replica's ordering layer; see core.NodeConfig.RetentionWindow.
 func WithRetentionWindow(window int64) SimOption {
 	return func(o *SimOptions) { o.RetentionWindow = window }
+}
+
+// WithCodedThreshold sets the batch size (in bytes) above which every
+// replica's ordering layer disseminates proposals as digest headers plus
+// one erasure-coded reliable broadcast instead of embedding the payloads
+// in the agreement value: 0 keeps the protocol default (4 KiB), negative
+// disables the coded path (always-inline proposals).
+func WithCodedThreshold(bytes int) SimOption {
+	return func(o *SimOptions) { o.CodedThreshold = bytes }
+}
+
+// WithChunkSize sets the payload size (in bytes) above which client
+// submissions are split into deterministic frames reassembled after
+// ordering: 0 keeps the protocol default (64 KiB), negative disables
+// chunking. Atomic mode only.
+func WithChunkSize(bytes int) SimOption {
+	return func(o *SimOptions) { o.ChunkSize = bytes }
 }
 
 // WithDataDir enables durable write-ahead logging: each replica journals
@@ -411,6 +439,8 @@ func (d *SimulatedDeployment) startNode(i int) error {
 		MaxBatchSize:       d.opts.MaxBatchSize,
 		CheckpointInterval: d.opts.CheckpointInterval,
 		RetentionWindow:    d.opts.RetentionWindow,
+		CodedThreshold:     d.opts.CodedThreshold,
+		ChunkSize:          d.opts.ChunkSize,
 	}
 	if d.opts.DataDir != "" {
 		cfg.DataDir = d.serverDir(i)
